@@ -1,0 +1,51 @@
+"""Ablation — transaction slice size (the paper fixes 100).
+
+Smaller slices yield more, smaller graphs per address (longer sequences
+for the LSTM); larger slices approach one-graph-per-address.  This sweep
+shows the end-to-end effect through the full BAClassifier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import BAClassifier, BAClassifierConfig
+from repro.eval import format_table, precision_recall_f1
+
+from conftest import BENCH_SEED, save_result
+
+SLICE_SIZES = (20, 40, 80)
+
+
+def test_ablation_slice_size(benchmark, bench_world, bench_split):
+    """Sweep the slicing unit through the full pipeline."""
+    _, train_split, test_split = bench_split
+
+    def run():
+        scores = {}
+        for slice_size in SLICE_SIZES:
+            clf = BAClassifier(
+                BAClassifierConfig(
+                    slice_size=slice_size,
+                    gnn_epochs=12,
+                    head_epochs=20,
+                    head_learning_rate=3e-3,
+                    seed=BENCH_SEED,
+                )
+            )
+            clf.fit(train_split.addresses, train_split.labels, bench_world.index)
+            predictions = clf.predict(test_split.addresses, bench_world.index)
+            report = precision_recall_f1(test_split.labels, predictions, 4)
+            scores[slice_size] = report.weighted_f1
+        return scores
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = format_table(
+        ["Slice size", "Weighted F1"],
+        [[size, scores[size]] for size in SLICE_SIZES],
+        title="Ablation — transaction slice size",
+    )
+    save_result("ablation_slice_size", table)
+
+    assert all(f1 > 0.4 for f1 in scores.values())

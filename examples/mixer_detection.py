@@ -1,0 +1,147 @@
+"""Underground-bank (money laundering) detection — the paper's workflow.
+
+§III "Workflow of Our System": underground banks hide behind mixing
+services; BAClassifier flags an address as *Service*, and the analyst
+then walks its counterparties to dig out further hidden service
+addresses.
+
+This example reproduces that investigation loop on a simulated economy:
+
+1. train BAClassifier on labelled addresses;
+2. sweep a pool of unlabelled-to-the-model test addresses and flag the
+   ones classified as Service;
+3. for each flagged address, rank counterparties by interaction volume
+   and probe them with the classifier — recovering related mixer
+   addresses that never appeared in the flagged set.
+
+Usage::
+
+    python examples/mixer_detection.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro import (
+    BAClassifier,
+    BAClassifierConfig,
+    CLASS_NAMES,
+    AddressLabel,
+    WorldConfig,
+    build_dataset,
+    generate_world,
+)
+
+
+def main() -> None:
+    print("Simulating an economy with active mixers/underground banks ...")
+    world = generate_world(
+        WorldConfig(seed=13, num_blocks=180, num_mixers=4, num_retail=90)
+    )
+    dataset = build_dataset(world, min_transactions=5)
+    train, test = dataset.split(test_fraction=0.25, seed=1)
+    print(f"  labelled addresses: {dataset.class_counts()}")
+
+    print("Training BAClassifier ...")
+    classifier = BAClassifier(
+        BAClassifierConfig(
+            slice_size=40,
+            gnn_epochs=15,
+            head_epochs=25,
+            head_learning_rate=3e-3,
+            seed=1,
+        )
+    )
+    classifier.fit(train.addresses, train.labels, world.index)
+
+    print("Sweeping held-out addresses for Service behaviour ...")
+    predictions = classifier.predict(test.addresses, world.index)
+    flagged = [
+        address
+        for address, label in zip(test.addresses, predictions)
+        if label == AddressLabel.SERVICE
+    ]
+    truth = {
+        address: int(label)
+        for address, label in zip(test.addresses, test.labels)
+    }
+    true_positives = sum(
+        1 for address in flagged if truth[address] == AddressLabel.SERVICE
+    )
+    print(
+        f"  flagged {len(flagged)} addresses as Service; "
+        f"{true_positives} are labelled Service in ground truth"
+    )
+
+    if not flagged:
+        print("  nothing flagged — rerun with a different seed")
+        return
+
+    print("\nTracing flows downstream of the flagged addresses ...")
+    # Mixing infrastructure is deliberately low-activity: each peeling-
+    # chain intermediate sees exactly two transactions (receive, then
+    # split onward).  Investigators therefore trace *downstream*: the
+    # outputs of transactions the flagged address funds are the next hop
+    # of the laundering flow.
+    downstream = Counter()
+    flagged_set = set(flagged)
+    for target in flagged:
+        for tx in world.index.transactions_of(target):
+            if target in set(tx.input_addresses()):
+                for other in tx.output_addresses():
+                    if other != target:
+                        downstream[other] += 1
+    excluded = set(train.addresses) | flagged_set
+    candidates = [
+        address
+        for address, _count in downstream.most_common(120)
+        if world.index.transaction_count(address) >= 2
+        and address not in excluded
+    ][:12]
+    if not candidates:
+        print("  no probe-worthy counterparties found")
+        return
+
+    # Ground truth for the probe: actual wallet ownership.  Mixer float
+    # and change addresses are *not* in the labelled dataset (only intake
+    # addresses are published) — exactly the "hidden addresses" the
+    # paper's workflow is meant to dig out.
+    from repro.datagen import MixerActor
+
+    mixer_owned = set()
+    for actor in world.actors:
+        if isinstance(actor, MixerActor):
+            mixer_owned.update(actor.wallet.addresses)
+
+    probe_labels = classifier.predict(candidates, world.index)
+    hidden_hits = 0
+    for address, label in zip(candidates, probe_labels):
+        known = world.labels.get(address)
+        if known is not None:
+            truth = CLASS_NAMES[known]
+        elif address in mixer_owned:
+            truth = "hidden mixer infra"
+        else:
+            truth = "unlabelled"
+        marker = ""
+        if label == AddressLabel.SERVICE and (
+            known == AddressLabel.SERVICE or address in mixer_owned
+        ):
+            hidden_hits += 1
+            marker = "  <-- recovered"
+        print(
+            f"  {address[:24]:<26} predicted={CLASS_NAMES[label]:<9} "
+            f"truth={truth:<19}{marker}"
+        )
+    print(
+        f"\nRecovered {hidden_hits} hidden underground-bank addresses by "
+        "counterparty probing — the paper's 'dig out more hidden addresses "
+        "of underground banks' loop."
+    )
+
+
+if __name__ == "__main__":
+    main()

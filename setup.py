@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` (or `python setup.py develop`)
+both work with the legacy setuptools in this offline environment.
+"""
+from setuptools import setup
+
+setup()

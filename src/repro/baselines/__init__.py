@@ -1,0 +1,6 @@
+"""Published baselines for Table IV: BitScope and Lee et al."""
+
+from repro.baselines.bitscope import BitScopeClassifier, KMeans
+from repro.baselines.lee import LeeClassifier
+
+__all__ = ["BitScopeClassifier", "KMeans", "LeeClassifier"]

@@ -1,0 +1,58 @@
+"""Bitcoin UTXO-model substrate: addresses, transactions, blocks, wallets.
+
+This package is the simulated ledger the rest of the library analyses.
+It reproduces the transaction model the paper's §II-A describes — UTXOs,
+coinbase minting, and the wallet change mechanism — with full validation
+(no double spends, no value creation outside the subsidy schedule).
+"""
+
+from repro.chain.address import AddressFactory, KeyPair, is_valid_address
+from repro.chain.block import Block, merkle_root
+from repro.chain.chain import Blockchain, ChainParams, GENESIS_PREV_HASH
+from repro.chain.explorer import ChainIndex, TxRecord, attach_index
+from repro.chain.mempool import Mempool, PendingView
+from repro.chain.serialize import (
+    load_chain,
+    load_world_chain,
+    save_chain,
+    save_world,
+)
+from repro.chain.transaction import (
+    SATOSHIS_PER_BTC,
+    OutPoint,
+    Transaction,
+    TxInput,
+    TxOutput,
+    btc,
+)
+from repro.chain.utxo import UTXOEntry, UTXOSet
+from repro.chain.wallet import Wallet
+
+__all__ = [
+    "AddressFactory",
+    "KeyPair",
+    "is_valid_address",
+    "Block",
+    "merkle_root",
+    "Blockchain",
+    "ChainParams",
+    "GENESIS_PREV_HASH",
+    "ChainIndex",
+    "TxRecord",
+    "attach_index",
+    "Mempool",
+    "PendingView",
+    "load_chain",
+    "load_world_chain",
+    "save_chain",
+    "save_world",
+    "SATOSHIS_PER_BTC",
+    "OutPoint",
+    "Transaction",
+    "TxInput",
+    "TxOutput",
+    "btc",
+    "UTXOEntry",
+    "UTXOSet",
+    "Wallet",
+]

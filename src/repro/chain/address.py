@@ -1,0 +1,129 @@
+"""Bitcoin-style address derivation.
+
+The paper (§I) describes a bitcoin address as "a 26-bit to 34-bit string of
+letters and numbers" derived from an asymmetric key pair.  We reproduce the
+shape of that pipeline deterministically:
+
+``private key (32 random bytes)`` → ``public key = SHA-256(priv)`` →
+``hash160 = SHA-256(SHA-256(pub))[:20]`` → ``Base58Check('1' + hash160)``.
+
+Real Bitcoin uses secp256k1 and RIPEMD-160; neither changes anything the
+classifier can observe (addresses are opaque identifiers), so we keep the
+derivation dependency-free while preserving the address alphabet, length
+band, checksum structure, and the leading ``1`` of P2PKH addresses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.utils.rng import as_generator
+
+__all__ = ["KeyPair", "AddressFactory", "base58check_encode", "is_valid_address"]
+
+_BASE58_ALPHABET = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz"
+_BASE58_INDEX = {char: index for index, char in enumerate(_BASE58_ALPHABET)}
+_P2PKH_VERSION = b"\x00"
+
+
+def _sha256(data: bytes) -> bytes:
+    return hashlib.sha256(data).digest()
+
+
+def base58check_encode(version: bytes, payload: bytes) -> str:
+    """Base58Check-encode ``version || payload`` (4-byte double-SHA checksum)."""
+    body = version + payload
+    checksum = _sha256(_sha256(body))[:4]
+    data = body + checksum
+
+    number = int.from_bytes(data, "big")
+    encoded = []
+    while number > 0:
+        number, remainder = divmod(number, 58)
+        encoded.append(_BASE58_ALPHABET[remainder])
+    # Each leading zero byte is encoded as the alphabet's zero symbol '1'.
+    leading_zeros = len(data) - len(data.lstrip(b"\x00"))
+    return "1" * leading_zeros + "".join(reversed(encoded))
+
+
+def base58check_decode(address: str) -> bytes:
+    """Decode a Base58Check string back to ``version || payload`` bytes.
+
+    Raises :class:`ValidationError` on a bad alphabet or checksum.
+    """
+    number = 0
+    for char in address:
+        if char not in _BASE58_INDEX:
+            raise ValidationError(f"invalid base58 character {char!r} in address")
+        number = number * 58 + _BASE58_INDEX[char]
+    body = number.to_bytes((number.bit_length() + 7) // 8, "big")
+    leading = len(address) - len(address.lstrip("1"))
+    data = b"\x00" * leading + body
+    if len(data) < 5:
+        raise ValidationError("address too short to contain a checksum")
+    payload, checksum = data[:-4], data[-4:]
+    if _sha256(_sha256(payload))[:4] != checksum:
+        raise ValidationError("address checksum mismatch")
+    return payload
+
+
+def is_valid_address(address: str) -> bool:
+    """Return True if ``address`` Base58Check-decodes with a valid checksum."""
+    try:
+        base58check_decode(address)
+    except ValidationError:
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A simulated key pair and its derived P2PKH-style address."""
+
+    private_key: bytes
+    public_key: bytes
+    address: str
+
+    @staticmethod
+    def from_private_key(private_key: bytes) -> "KeyPair":
+        """Derive the public key and address from 32 private-key bytes."""
+        if len(private_key) != 32:
+            raise ValidationError(
+                f"private key must be 32 bytes, got {len(private_key)}"
+            )
+        public_key = _sha256(private_key)
+        hash160 = _sha256(_sha256(public_key))[:20]
+        address = base58check_encode(_P2PKH_VERSION, hash160)
+        return KeyPair(private_key=private_key, public_key=public_key, address=address)
+
+
+class AddressFactory:
+    """Mint deterministic key pairs / addresses from a random stream.
+
+    A single factory is shared by a wallet (or the whole simulated world) so
+    that address creation order — and therefore every downstream artifact —
+    is reproducible from the master seed.
+    """
+
+    def __init__(self, seed_or_generator: "int | np.random.Generator | None" = None):
+        self._rng = as_generator(seed_or_generator)
+        self._minted = 0
+
+    @property
+    def minted(self) -> int:
+        """How many key pairs this factory has created."""
+        return self._minted
+
+    def new_keypair(self) -> KeyPair:
+        """Create a fresh key pair with a random 32-byte private key."""
+        private_key = self._rng.bytes(32)
+        self._minted += 1
+        return KeyPair.from_private_key(private_key)
+
+    def new_address(self) -> str:
+        """Create a fresh address (discarding the key material)."""
+        return self.new_keypair().address

@@ -1,0 +1,117 @@
+"""Blocks and block headers.
+
+A block packages an ordered list of transactions under a header that links
+to the previous block's hash and commits to the transaction set via a
+Merkle root — the structure that gives the ledger its tamper-proof nature
+(paper §I).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.chain.transaction import Transaction
+from repro.errors import ValidationError
+
+__all__ = ["Block", "merkle_root"]
+
+
+def _sha256_hex(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def merkle_root(txids: Sequence[str]) -> str:
+    """Compute the Merkle root of a txid list.
+
+    Follows Bitcoin's convention of duplicating the last element of odd
+    levels.  An empty list hashes to the hash of the empty string, which
+    only occurs for artificial empty blocks.
+    """
+    if not txids:
+        return _sha256_hex(b"")
+    level: List[str] = list(txids)
+    while len(level) > 1:
+        if len(level) % 2 == 1:
+            level.append(level[-1])
+        level = [
+            _sha256_hex((level[i] + level[i + 1]).encode())
+            for i in range(0, len(level), 2)
+        ]
+    return level[0]
+
+
+@dataclass(frozen=True)
+class Block:
+    """An immutable block: header fields plus the transaction list.
+
+    Parameters
+    ----------
+    height:
+        Position in the chain (genesis = 0).
+    timestamp:
+        Unix seconds (simulated clock) when the block was mined.
+    prev_hash:
+        Hash of the previous block header (all-zero for genesis).
+    transactions:
+        Ordered transactions; the first must be the coinbase for non-empty
+        validated blocks (enforced by :class:`repro.chain.chain.Blockchain`,
+        not here, so that unit tests can build minimal blocks).
+    """
+
+    height: int
+    timestamp: float
+    prev_hash: str
+    transactions: Tuple[Transaction, ...]
+    merkle: str = field(init=False)
+    hash: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.height < 0:
+            raise ValidationError(f"height must be >= 0, got {self.height}")
+        object.__setattr__(
+            self, "merkle", merkle_root([tx.txid for tx in self.transactions])
+        )
+        header = (
+            f"h={self.height};t={self.timestamp!r};"
+            f"p={self.prev_hash};m={self.merkle}"
+        )
+        object.__setattr__(self, "hash", _sha256_hex(header.encode()))
+
+    @staticmethod
+    def create(
+        height: int,
+        timestamp: float,
+        prev_hash: str,
+        transactions: Sequence[Transaction],
+    ) -> "Block":
+        """Build a block from any transaction sequence."""
+        return Block(
+            height=height,
+            timestamp=float(timestamp),
+            prev_hash=prev_hash,
+            transactions=tuple(transactions),
+        )
+
+    @property
+    def coinbase(self) -> "Transaction | None":
+        """The block's coinbase transaction, if the block has one."""
+        if self.transactions and self.transactions[0].is_coinbase:
+            return self.transactions[0]
+        return None
+
+    @property
+    def tx_count(self) -> int:
+        """Number of transactions in the block."""
+        return len(self.transactions)
+
+    def total_fees(self) -> int:
+        """Total fees paid by the block's non-coinbase transactions."""
+        return sum(tx.fee for tx in self.transactions if not tx.is_coinbase)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Block(height={self.height}, {self.tx_count} txs, "
+            f"hash={self.hash[:12]}…)"
+        )

@@ -1,0 +1,209 @@
+"""The blockchain: an append-only, validated sequence of blocks.
+
+Validation enforces the invariants downstream analysis relies on:
+
+- blocks link by hash and have monotonically non-decreasing timestamps;
+- the first transaction of each mined block is the coinbase, minting at
+  most ``subsidy(height) + fees``;
+- every other transaction spends only existing, unspent outputs and does
+  not create value (checked by the :class:`~repro.chain.utxo.UTXOSet`).
+
+The chain maintains the UTXO set incrementally and notifies registered
+listeners (e.g. the :class:`~repro.chain.explorer.ChainIndex`) on append.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.chain.block import Block
+from repro.chain.transaction import SATOSHIS_PER_BTC, Transaction
+from repro.chain.utxo import UTXOSet
+from repro.errors import InvalidBlockError, ValidationError
+
+__all__ = ["ChainParams", "Blockchain", "GENESIS_PREV_HASH"]
+
+GENESIS_PREV_HASH = "0" * 64
+
+
+@dataclass(frozen=True)
+class ChainParams:
+    """Consensus-level constants for a simulated chain.
+
+    ``halving_interval`` defaults far smaller than mainnet's 210,000 so a
+    simulated decade exercises the subsidy schedule.
+    """
+
+    initial_subsidy: int = 50 * SATOSHIS_PER_BTC
+    halving_interval: int = 10_000
+    block_interval: float = 600.0
+
+    def subsidy_at(self, height: int) -> int:
+        """Block subsidy at ``height`` under the halving schedule."""
+        if height < 0:
+            raise ValidationError(f"height must be >= 0, got {height}")
+        halvings = height // self.halving_interval
+        if halvings >= 64:
+            return 0
+        return self.initial_subsidy >> halvings
+
+
+class Blockchain:
+    """An in-memory validated chain with an incrementally-maintained UTXO set."""
+
+    def __init__(
+        self,
+        params: Optional[ChainParams] = None,
+        genesis_timestamp: float = 0.0,
+    ):
+        self.params = params or ChainParams()
+        self.utxo_set = UTXOSet()
+        self._blocks: List[Block] = []
+        self._listeners: List[Callable[[Block], None]] = []
+        genesis = Block.create(
+            height=0,
+            timestamp=genesis_timestamp,
+            prev_hash=GENESIS_PREV_HASH,
+            transactions=(),
+        )
+        self._blocks.append(genesis)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def height(self) -> int:
+        """Height of the chain tip (genesis = 0)."""
+        return len(self._blocks) - 1
+
+    @property
+    def tip(self) -> Block:
+        """The most recent block."""
+        return self._blocks[-1]
+
+    @property
+    def blocks(self) -> Sequence[Block]:
+        """All blocks, genesis first (read-only view)."""
+        return tuple(self._blocks)
+
+    def block_at(self, height: int) -> Block:
+        """The block at ``height``."""
+        if not 0 <= height < len(self._blocks):
+            raise ValidationError(
+                f"height {height} out of range [0, {self.height}]"
+            )
+        return self._blocks[height]
+
+    def add_listener(self, listener: Callable[[Block], None]) -> None:
+        """Register a callback invoked with each successfully appended block."""
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def append_block(self, block: Block) -> None:
+        """Validate ``block`` against the tip and apply it.
+
+        On failure the chain state is unchanged: transactions already
+        applied during validation are rolled back in reverse order.
+        """
+        self._check_header(block)
+        self._check_coinbase(block)
+        applied: List[Transaction] = []
+        try:
+            for tx in block.transactions:
+                if tx.is_coinbase and applied:
+                    raise InvalidBlockError(
+                        f"block {block.height} has a non-leading coinbase"
+                    )
+                self.utxo_set.apply_transaction(tx)
+                applied.append(tx)
+        except Exception:
+            for tx in reversed(applied):
+                self.utxo_set.unapply_transaction(tx)
+            raise
+        self._blocks.append(block)
+        for listener in self._listeners:
+            listener(block)
+
+    def mine_block(
+        self,
+        transactions: Sequence[Transaction],
+        reward_address: str,
+        timestamp: Optional[float] = None,
+    ) -> Block:
+        """Assemble a coinbase, build the next block, and append it.
+
+        The coinbase claims the full ``subsidy + fees``.  Returns the
+        appended block.
+        """
+        height = self.height + 1
+        if timestamp is None:
+            timestamp = self.tip.timestamp + self.params.block_interval
+        fees = sum(tx.fee for tx in transactions if not tx.is_coinbase)
+        reward = self.params.subsidy_at(height) + fees
+        coinbase = Transaction.coinbase(
+            reward_address=reward_address,
+            value=reward,
+            timestamp=timestamp,
+            tag=f"height={height}",
+        )
+        block = Block.create(
+            height=height,
+            timestamp=timestamp,
+            prev_hash=self.tip.hash,
+            transactions=(coinbase, *transactions),
+        )
+        self.append_block(block)
+        return block
+
+    # ------------------------------------------------------------------ #
+    # Validation internals
+    # ------------------------------------------------------------------ #
+
+    def _check_header(self, block: Block) -> None:
+        if block.height != self.height + 1:
+            raise InvalidBlockError(
+                f"expected height {self.height + 1}, got {block.height}"
+            )
+        if block.prev_hash != self.tip.hash:
+            raise InvalidBlockError(
+                f"block {block.height} does not link to tip "
+                f"{self.tip.hash[:12]}"
+            )
+        if block.timestamp < self.tip.timestamp:
+            raise InvalidBlockError(
+                f"block {block.height} timestamp {block.timestamp} precedes "
+                f"tip timestamp {self.tip.timestamp}"
+            )
+
+    def _check_coinbase(self, block: Block) -> None:
+        if not block.transactions:
+            return  # empty blocks are permitted (no reward claimed)
+        coinbase = block.transactions[0]
+        if not coinbase.is_coinbase:
+            raise InvalidBlockError(
+                f"block {block.height} first transaction is not a coinbase"
+            )
+        fees = sum(tx.fee for tx in block.transactions[1:] if not tx.is_coinbase)
+        allowed = self.params.subsidy_at(block.height) + fees
+        if coinbase.output_value > allowed:
+            raise InvalidBlockError(
+                f"block {block.height} coinbase mints {coinbase.output_value} "
+                f"sat, allowed {allowed}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+
+    def total_supply(self) -> int:
+        """Current monetary base (equals the UTXO set's total value)."""
+        return self.utxo_set.total_value()
+
+    def transaction_count(self) -> int:
+        """Total transactions across all blocks (including coinbases)."""
+        return sum(block.tx_count for block in self._blocks)

@@ -1,0 +1,143 @@
+"""A mempool of validated-but-unconfirmed transactions.
+
+The mempool maintains a *delta view* over the confirmed UTXO set: the
+outpoints its pending transactions spend and the outputs they create.
+Validation of a new transaction consults the confirmed set plus this delta,
+so intra-mempool chains (spend an unconfirmed output) and double-spend
+rejection both work without copying the UTXO set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.chain.transaction import OutPoint, Transaction
+from repro.chain.utxo import UTXOEntry, UTXOSet
+from repro.errors import InvalidTransactionError
+
+__all__ = ["Mempool", "PendingView"]
+
+
+class Mempool:
+    """FIFO pool of unconfirmed transactions with double-spend protection."""
+
+    def __init__(self, utxo_set: UTXOSet):
+        self._utxo_set = utxo_set
+        self._pending: Dict[str, Transaction] = {}
+        self._order: List[str] = []
+        self._spent: Set[OutPoint] = set()
+        self._created: Dict[OutPoint, UTXOEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __contains__(self, txid: str) -> bool:
+        return txid in self._pending
+
+    @property
+    def transactions(self) -> List[Transaction]:
+        """Pending transactions in arrival order."""
+        return [self._pending[txid] for txid in self._order]
+
+    def submit(self, tx: Transaction) -> None:
+        """Validate ``tx`` against confirmed + pending state and enqueue it."""
+        if tx.txid in self._pending:
+            raise InvalidTransactionError(f"tx {tx.txid[:12]} already in mempool")
+        if tx.is_coinbase:
+            raise InvalidTransactionError("coinbase transactions cannot enter the mempool")
+        for inp in tx.inputs:
+            if inp.outpoint in self._spent:
+                raise InvalidTransactionError(
+                    f"tx {tx.txid[:12]} double-spends pending outpoint "
+                    f"{inp.outpoint.txid[:12]}:{inp.outpoint.vout}"
+                )
+            entry = self._resolve(inp.outpoint)
+            if entry is None:
+                raise InvalidTransactionError(
+                    f"tx {tx.txid[:12]} spends unknown outpoint "
+                    f"{inp.outpoint.txid[:12]}:{inp.outpoint.vout}"
+                )
+            if entry.address != inp.address or entry.value != inp.value:
+                raise InvalidTransactionError(
+                    f"tx {tx.txid[:12]} input does not match the available output"
+                )
+        if tx.output_value > tx.input_value:
+            raise InvalidTransactionError(
+                f"tx {tx.txid[:12]} outputs exceed inputs"
+            )
+        self._pending[tx.txid] = tx
+        self._order.append(tx.txid)
+        for inp in tx.inputs:
+            self._spent.add(inp.outpoint)
+        for vout, out in enumerate(tx.outputs):
+            outpoint = OutPoint(txid=tx.txid, vout=vout)
+            self._created[outpoint] = UTXOEntry(
+                outpoint=outpoint,
+                address=out.address,
+                value=out.value,
+                timestamp=tx.timestamp,
+            )
+
+    def take(self, max_count: int) -> List[Transaction]:
+        """Remove and return up to ``max_count`` transactions (FIFO).
+
+        Intended for block assembly: the taken transactions are expected to
+        be confirmed; their delta entries are dropped.
+        """
+        taken_ids = self._order[:max_count]
+        self._order = self._order[max_count:]
+        taken = []
+        for txid in taken_ids:
+            tx = self._pending.pop(txid)
+            taken.append(tx)
+            for inp in tx.inputs:
+                self._spent.discard(inp.outpoint)
+            for vout in range(len(tx.outputs)):
+                self._created.pop(OutPoint(txid=txid, vout=vout), None)
+        return taken
+
+    def drain(self) -> List[Transaction]:
+        """Remove and return every pending transaction (FIFO)."""
+        return self.take(len(self._order))
+
+    def _resolve(self, outpoint: OutPoint) -> "UTXOEntry | None":
+        created = self._created.get(outpoint)
+        if created is not None:
+            return created
+        return self._utxo_set.get(outpoint)
+
+    def view(self) -> "PendingView":
+        """A spendability view over confirmed + pending state."""
+        return PendingView(self._utxo_set, self)
+
+
+class PendingView:
+    """Read-only 'confirmed plus mempool' view used by wallets.
+
+    An output is spendable iff it exists in the confirmed set or was
+    created by a pending transaction, and is not spent by any pending
+    transaction.
+    """
+
+    def __init__(self, utxo_set: UTXOSet, mempool: Mempool):
+        self._utxo_set = utxo_set
+        self._mempool = mempool
+
+    def entries_for(self, address: str) -> List[UTXOEntry]:
+        """Spendable entries owned by ``address`` under this view."""
+        spent = self._mempool._spent
+        entries = [
+            entry
+            for entry in self._utxo_set.entries_for(address)
+            if entry.outpoint not in spent
+        ]
+        entries.extend(
+            entry
+            for entry in self._mempool._created.values()
+            if entry.address == address and entry.outpoint not in spent
+        )
+        return entries
+
+    def balance_of(self, address: str) -> int:
+        """Spendable satoshis owned by ``address`` under this view."""
+        return sum(entry.value for entry in self.entries_for(address))

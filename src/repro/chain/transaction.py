@@ -1,0 +1,201 @@
+"""UTXO-model transactions.
+
+A transaction consumes previously-unspent outputs (inputs reference them by
+``(txid, vout)`` outpoint) and creates new outputs, each locking ``value``
+satoshis to an address.  A *coinbase* transaction has no inputs and mints
+the block subsidy plus fees (paper §II-A).
+
+Values are integer satoshis (1 BTC = 100,000,000 sat) to avoid float drift
+in conservation checks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "SATOSHIS_PER_BTC",
+    "OutPoint",
+    "TxInput",
+    "TxOutput",
+    "Transaction",
+    "btc",
+]
+
+SATOSHIS_PER_BTC = 100_000_000
+
+
+def btc(amount: float) -> int:
+    """Convert a BTC float amount to integer satoshis (rounded)."""
+    return int(round(amount * SATOSHIS_PER_BTC))
+
+
+@dataclass(frozen=True, order=True)
+class OutPoint:
+    """Reference to a transaction output: ``(txid, vout)``."""
+
+    txid: str
+    vout: int
+
+    def __post_init__(self) -> None:
+        if self.vout < 0:
+            raise ValidationError(f"vout must be >= 0, got {self.vout}")
+
+
+@dataclass(frozen=True)
+class TxInput:
+    """A transaction input spending a prior output.
+
+    ``address`` records the owner of the spent output.  In real Bitcoin this
+    is recoverable from the scriptSig; carrying it explicitly saves every
+    consumer a UTXO-set lookup and is validated against the UTXO set when
+    the transaction is applied.
+    """
+
+    outpoint: OutPoint
+    address: str
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise ValidationError(f"input value must be > 0 sat, got {self.value}")
+
+
+@dataclass(frozen=True)
+class TxOutput:
+    """A transaction output locking ``value`` satoshis to ``address``."""
+
+    address: str
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise ValidationError(f"output value must be > 0 sat, got {self.value}")
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """An immutable transaction with a content-derived txid.
+
+    Parameters
+    ----------
+    inputs:
+        Spent outpoints; empty for a coinbase transaction.
+    outputs:
+        Created outputs; must be non-empty.
+    timestamp:
+        Unix seconds (simulated clock) at creation time.
+    """
+
+    inputs: Tuple[TxInput, ...]
+    outputs: Tuple[TxOutput, ...]
+    timestamp: float
+    txid: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.outputs:
+            raise ValidationError("a transaction must have at least one output")
+        if len(set(inp.outpoint for inp in self.inputs)) != len(self.inputs):
+            raise ValidationError("a transaction may not spend an outpoint twice")
+        object.__setattr__(self, "txid", self._compute_txid())
+
+    @staticmethod
+    def create(
+        inputs: Iterable[TxInput],
+        outputs: Iterable[TxOutput],
+        timestamp: float,
+    ) -> "Transaction":
+        """Build a transaction from any input/output iterables."""
+        return Transaction(
+            inputs=tuple(inputs), outputs=tuple(outputs), timestamp=float(timestamp)
+        )
+
+    @staticmethod
+    def coinbase(
+        reward_address: str, value: int, timestamp: float, tag: str = ""
+    ) -> "Transaction":
+        """Build a coinbase transaction minting ``value`` sat to one address.
+
+        ``tag`` disambiguates coinbases that would otherwise hash
+        identically (same miner, value and timestamp in distinct blocks).
+        """
+        output = TxOutput(address=reward_address, value=value)
+        tx = Transaction(inputs=(), outputs=(output,), timestamp=float(timestamp))
+        if tag:
+            object.__setattr__(tx, "txid", tx._compute_txid(extra=tag))
+        return tx
+
+    def _compute_txid(self, extra: str = "") -> str:
+        hasher = hashlib.sha256()
+        hasher.update(f"ts={self.timestamp!r};{extra}|".encode())
+        for inp in self.inputs:
+            hasher.update(
+                f"in:{inp.outpoint.txid}:{inp.outpoint.vout}:"
+                f"{inp.address}:{inp.value}|".encode()
+            )
+        for out in self.outputs:
+            hasher.update(f"out:{out.address}:{out.value}|".encode())
+        return hasher.hexdigest()
+
+    @property
+    def is_coinbase(self) -> bool:
+        """True when the transaction mints new coins (no inputs)."""
+        return len(self.inputs) == 0
+
+    @property
+    def input_value(self) -> int:
+        """Total satoshis consumed (0 for a coinbase)."""
+        return sum(inp.value for inp in self.inputs)
+
+    @property
+    def output_value(self) -> int:
+        """Total satoshis created."""
+        return sum(out.value for out in self.outputs)
+
+    @property
+    def fee(self) -> int:
+        """Satoshis left to the miner (0 for a coinbase)."""
+        if self.is_coinbase:
+            return 0
+        return self.input_value - self.output_value
+
+    def input_addresses(self) -> List[str]:
+        """Addresses on the spending side, in input order (with repeats)."""
+        return [inp.address for inp in self.inputs]
+
+    def output_addresses(self) -> List[str]:
+        """Addresses on the receiving side, in output order (with repeats)."""
+        return [out.address for out in self.outputs]
+
+    def addresses(self) -> List[str]:
+        """All distinct addresses touched by this transaction."""
+        seen = {}
+        for addr in self.input_addresses() + self.output_addresses():
+            seen.setdefault(addr, None)
+        return list(seen)
+
+    def value_for(self, address: str) -> int:
+        """Net satoshi flow for ``address``: outputs received minus inputs spent."""
+        received = sum(out.value for out in self.outputs if out.address == address)
+        spent = sum(inp.value for inp in self.inputs if inp.address == address)
+        return received - spent
+
+    def outpoint(self, vout: int) -> OutPoint:
+        """The outpoint referencing this transaction's ``vout``-th output."""
+        if not 0 <= vout < len(self.outputs):
+            raise ValidationError(
+                f"vout {vout} out of range for {len(self.outputs)} outputs"
+            )
+        return OutPoint(txid=self.txid, vout=vout)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "coinbase " if self.is_coinbase else ""
+        return (
+            f"Transaction({kind}{self.txid[:12]}…, "
+            f"{len(self.inputs)} in, {len(self.outputs)} out, "
+            f"{self.output_value} sat)"
+        )

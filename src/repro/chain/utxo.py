@@ -1,0 +1,153 @@
+"""The UTXO set: every unspent transaction output, indexed for fast queries.
+
+The UTXO set is the substrate of the Bitcoin transaction model (paper
+§II-A): wallets look through their available UTXOs to fund spends, and
+validation rejects transactions whose inputs are absent (double spends or
+spends of never-created outputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Set
+
+from repro.chain.transaction import OutPoint, Transaction
+from repro.errors import InvalidTransactionError
+
+__all__ = ["UTXOEntry", "UTXOSet"]
+
+
+@dataclass(frozen=True)
+class UTXOEntry:
+    """An unspent output: its outpoint, owner address, value and birth time."""
+
+    outpoint: OutPoint
+    address: str
+    value: int
+    timestamp: float
+
+
+class UTXOSet:
+    """Mutable set of unspent outputs with a per-address secondary index.
+
+    All mutation goes through :meth:`apply_transaction` /
+    :meth:`unapply_transaction` so the primary map and the address index can
+    never diverge.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[OutPoint, UTXOEntry] = {}
+        self._by_address: Dict[str, Set[OutPoint]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, outpoint: OutPoint) -> bool:
+        return outpoint in self._entries
+
+    def __iter__(self) -> Iterator[UTXOEntry]:
+        return iter(self._entries.values())
+
+    def get(self, outpoint: OutPoint) -> "UTXOEntry | None":
+        """The entry at ``outpoint``, or None if spent/unknown."""
+        return self._entries.get(outpoint)
+
+    def entries_for(self, address: str) -> List[UTXOEntry]:
+        """All unspent entries owned by ``address`` (outpoint-sorted)."""
+        outpoints = self._by_address.get(address, set())
+        return [self._entries[op] for op in sorted(outpoints)]
+
+    def balance_of(self, address: str) -> int:
+        """Total unspent satoshis owned by ``address``."""
+        return sum(entry.value for entry in self.entries_for(address))
+
+    def total_value(self) -> int:
+        """Total satoshis across the entire set (monetary base)."""
+        return sum(entry.value for entry in self._entries.values())
+
+    def validate_transaction(self, tx: Transaction) -> None:
+        """Raise :class:`InvalidTransactionError` if ``tx`` cannot apply.
+
+        Checks: every input exists and is unspent, the recorded input
+        address/value match the UTXO set, and outputs do not exceed inputs
+        (no inflation) for non-coinbase transactions.
+        """
+        if tx.is_coinbase:
+            return
+        for inp in tx.inputs:
+            entry = self._entries.get(inp.outpoint)
+            if entry is None:
+                raise InvalidTransactionError(
+                    f"tx {tx.txid[:12]} spends missing/spent outpoint "
+                    f"{inp.outpoint.txid[:12]}:{inp.outpoint.vout}"
+                )
+            if entry.address != inp.address:
+                raise InvalidTransactionError(
+                    f"tx {tx.txid[:12]} claims input owner {inp.address[:8]} "
+                    f"but UTXO belongs to {entry.address[:8]}"
+                )
+            if entry.value != inp.value:
+                raise InvalidTransactionError(
+                    f"tx {tx.txid[:12]} claims input value {inp.value} "
+                    f"but UTXO holds {entry.value}"
+                )
+        if tx.output_value > tx.input_value:
+            raise InvalidTransactionError(
+                f"tx {tx.txid[:12]} creates {tx.output_value} sat "
+                f"from {tx.input_value} sat of inputs"
+            )
+
+    def apply_transaction(self, tx: Transaction) -> None:
+        """Validate then apply ``tx``: remove its inputs, add its outputs."""
+        self.validate_transaction(tx)
+        for inp in tx.inputs:
+            self._remove(inp.outpoint)
+        for vout, out in enumerate(tx.outputs):
+            self._add(
+                UTXOEntry(
+                    outpoint=OutPoint(txid=tx.txid, vout=vout),
+                    address=out.address,
+                    value=out.value,
+                    timestamp=tx.timestamp,
+                )
+            )
+
+    def unapply_transaction(self, tx: Transaction) -> None:
+        """Reverse :meth:`apply_transaction` (used for mempool rollback).
+
+        The caller must supply the same transaction that was applied; its
+        recorded input addresses/values restore the consumed entries.
+        """
+        for vout in range(len(tx.outputs)):
+            self._remove(OutPoint(txid=tx.txid, vout=vout))
+        for inp in tx.inputs:
+            self._add(
+                UTXOEntry(
+                    outpoint=inp.outpoint,
+                    address=inp.address,
+                    value=inp.value,
+                    timestamp=tx.timestamp,
+                )
+            )
+
+    def _add(self, entry: UTXOEntry) -> None:
+        if entry.outpoint in self._entries:
+            raise InvalidTransactionError(
+                f"outpoint {entry.outpoint.txid[:12]}:{entry.outpoint.vout} "
+                "already exists in the UTXO set"
+            )
+        self._entries[entry.outpoint] = entry
+        self._by_address.setdefault(entry.address, set()).add(entry.outpoint)
+
+    def _remove(self, outpoint: OutPoint) -> None:
+        entry = self._entries.pop(outpoint, None)
+        if entry is None:
+            raise InvalidTransactionError(
+                f"cannot remove unknown outpoint "
+                f"{outpoint.txid[:12]}:{outpoint.vout}"
+            )
+        owners = self._by_address.get(entry.address)
+        if owners is not None:
+            owners.discard(outpoint)
+            if not owners:
+                del self._by_address[entry.address]

@@ -1,0 +1,190 @@
+"""Wallets implementing the Bitcoin change mechanism.
+
+Paper §II-A: "When a transaction occurs, the bitcoin wallet will zero off
+the balance in the original address, and transfer any leftover funds to a
+new address."  A :class:`Wallet` therefore spends *whole addresses*: coin
+selection picks source addresses, consumes **all** their spendable UTXOs,
+and routes any remainder to a change output — by default a freshly minted
+address, optionally (``change_to_source``) back to the source address, the
+variant some services use and which address-clustering heuristics exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.chain.address import AddressFactory
+from repro.chain.mempool import PendingView
+from repro.chain.transaction import Transaction, TxInput, TxOutput
+from repro.errors import InsufficientFundsError, ValidationError
+
+__all__ = ["Wallet", "Payment"]
+
+Payment = Tuple[str, int]  # (recipient address, satoshis)
+
+
+class Wallet:
+    """A key-managing wallet over a spendability view.
+
+    Parameters
+    ----------
+    view:
+        Where the wallet looks up its spendable outputs (confirmed UTXO
+        set or a mempool-aware :class:`~repro.chain.mempool.PendingView`).
+    address_factory:
+        Mints this wallet's receive and change addresses.
+    name:
+        Optional human-readable owner tag (used by the dataset labeller).
+    """
+
+    def __init__(
+        self,
+        view: PendingView,
+        address_factory: AddressFactory,
+        name: str = "",
+    ):
+        self._view = view
+        self._factory = address_factory
+        self.name = name
+        self._addresses: List[str] = []
+        self._address_set: Set[str] = set()
+
+    # ------------------------------------------------------------------ #
+    # Address management
+    # ------------------------------------------------------------------ #
+
+    @property
+    def addresses(self) -> Sequence[str]:
+        """All addresses ever owned by this wallet, oldest first."""
+        return tuple(self._addresses)
+
+    def owns(self, address: str) -> bool:
+        """True if this wallet minted ``address``."""
+        return address in self._address_set
+
+    def new_address(self) -> str:
+        """Mint and register a fresh receive address."""
+        address = self._factory.new_address()
+        self._addresses.append(address)
+        self._address_set.add(address)
+        return address
+
+    def adopt_address(self, address: str) -> str:
+        """Register an externally created address as wallet-owned."""
+        if address not in self._address_set:
+            self._addresses.append(address)
+            self._address_set.add(address)
+        return address
+
+    # ------------------------------------------------------------------ #
+    # Balances
+    # ------------------------------------------------------------------ #
+
+    def balance(self) -> int:
+        """Total spendable satoshis across all owned addresses."""
+        return sum(self._view.balance_of(addr) for addr in self._addresses)
+
+    def funded_addresses(self) -> List[Tuple[str, int]]:
+        """``(address, balance)`` for owned addresses with spendable funds."""
+        funded = []
+        for address in self._addresses:
+            value = self._view.balance_of(address)
+            if value > 0:
+                funded.append((address, value))
+        return funded
+
+    # ------------------------------------------------------------------ #
+    # Spending
+    # ------------------------------------------------------------------ #
+
+    def create_transaction(
+        self,
+        payments: Iterable[Payment],
+        timestamp: float,
+        fee: int = 0,
+        change_to_source: bool = False,
+        source_addresses: Optional[Sequence[str]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Transaction:
+        """Build a transaction paying ``payments`` plus ``fee``.
+
+        Coin selection spends whole source addresses (largest balance
+        first, or the caller-pinned ``source_addresses``) until the target
+        is covered; any remainder goes to a change output.
+
+        Raises
+        ------
+        InsufficientFundsError
+            If the wallet's spendable balance cannot cover the spend.
+        """
+        payment_list = list(payments)
+        if not payment_list:
+            raise ValidationError("payments must be non-empty")
+        if fee < 0:
+            raise ValidationError(f"fee must be >= 0, got {fee}")
+        target = sum(value for _, value in payment_list) + fee
+        if any(value <= 0 for _, value in payment_list):
+            raise ValidationError("payment values must be > 0")
+
+        inputs, total_in, change_source = self._select_inputs(
+            target, source_addresses
+        )
+        outputs = [TxOutput(address=addr, value=value) for addr, value in payment_list]
+        change = total_in - target
+        if change > 0:
+            if change_to_source:
+                change_address = change_source
+            else:
+                change_address = self.new_address()
+            outputs.append(TxOutput(address=change_address, value=change))
+        return Transaction.create(inputs=inputs, outputs=outputs, timestamp=timestamp)
+
+    def _select_inputs(
+        self,
+        target: int,
+        source_addresses: Optional[Sequence[str]],
+    ) -> Tuple[List[TxInput], int, str]:
+        """Select whole-address inputs worth at least ``target`` satoshis.
+
+        Returns ``(inputs, total_value, first_source_address)``.
+        """
+        if source_addresses is not None:
+            candidates = [
+                (addr, self._view.balance_of(addr)) for addr in source_addresses
+            ]
+            candidates = [(addr, bal) for addr, bal in candidates if bal > 0]
+        else:
+            funded = self.funded_addresses()
+            candidates = sorted(funded, key=lambda item: (-item[1], item[0]))
+
+        inputs: List[TxInput] = []
+        total = 0
+        first_source = ""
+        for address, _balance in candidates:
+            for entry in self._view.entries_for(address):
+                inputs.append(
+                    TxInput(
+                        outpoint=entry.outpoint,
+                        address=entry.address,
+                        value=entry.value,
+                    )
+                )
+                total += entry.value
+            if not first_source:
+                first_source = address
+            if total >= target:
+                break
+        if total < target:
+            raise InsufficientFundsError(
+                f"wallet {self.name or '<anon>'} needs {target} sat "
+                f"but only {total} sat spendable"
+            )
+        return inputs, total, first_source
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Wallet(name={self.name!r}, addresses={len(self._addresses)}, "
+            f"balance={self.balance()})"
+        )

@@ -1,0 +1,162 @@
+"""Command-line interface: simulate worlds, train, evaluate, classify.
+
+Usage::
+
+    python -m repro simulate --seed 7 --blocks 200 --out world_dir
+    python -m repro train    --world world_dir --out model_dir
+    python -m repro evaluate --world world_dir --model model_dir
+    python -m repro classify --world world_dir --model model_dir ADDR [ADDR...]
+
+``simulate`` persists the chain and label maps; ``train``/``evaluate``
+work from a persisted world, so the expensive simulation runs once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.chain.serialize import load_world_chain, save_world
+from repro.core import BAClassifier, BAClassifierConfig
+from repro.datagen import CLASS_NAMES, WorldConfig, generate_world
+from repro.eval import classification_report
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BAClassifier: bitcoin address behavior classification",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="simulate a world and persist it")
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--blocks", type=int, default=200)
+    sim.add_argument("--retail", type=int, default=80)
+    sim.add_argument("--out", required=True, help="output directory")
+
+    train = sub.add_parser("train", help="train BAClassifier on a world")
+    train.add_argument("--world", required=True)
+    train.add_argument("--out", required=True, help="model directory")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--slice-size", type=int, default=40)
+    train.add_argument("--gnn-epochs", type=int, default=15)
+    train.add_argument("--head-epochs", type=int, default=25)
+    train.add_argument("--min-transactions", type=int, default=5)
+    train.add_argument("--test-fraction", type=float, default=0.2)
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a trained model")
+    evaluate.add_argument("--world", required=True)
+    evaluate.add_argument("--model", required=True)
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument("--min-transactions", type=int, default=5)
+    evaluate.add_argument("--test-fraction", type=float, default=0.2)
+
+    classify = sub.add_parser("classify", help="classify specific addresses")
+    classify.add_argument("--world", required=True)
+    classify.add_argument("--model", required=True)
+    classify.add_argument("addresses", nargs="+")
+    return parser
+
+
+def _split_from_world(directory: str, min_transactions: int,
+                      test_fraction: float, seed: int):
+    from repro.datagen.dataset import LabeledAddressDataset
+
+    _, index, labels, _ = load_world_chain(directory)
+    eligible = [
+        (address, label)
+        for address, label in labels.items()
+        if index.transaction_count(address) >= min_transactions
+    ]
+    dataset = LabeledAddressDataset(
+        addresses=tuple(a for a, _ in eligible),
+        labels=np.array([l for _, l in eligible], dtype=np.int64),
+    )
+    train, test = dataset.split(test_fraction=test_fraction, seed=seed)
+    return index, train, test
+
+
+def _cmd_simulate(args) -> int:
+    config = WorldConfig(
+        seed=args.seed, num_blocks=args.blocks, num_retail=args.retail
+    )
+    print(f"Simulating {args.blocks} blocks (seed {args.seed}) ...")
+    world = generate_world(config)
+    save_world(world, args.out)
+    counts = world.class_counts(min_transactions=1)
+    print(
+        f"Saved to {args.out}: height={world.chain.height}, "
+        f"txs={world.chain.transaction_count():,}, labels="
+        + ", ".join(f"{CLASS_NAMES[k]}={v}" for k, v in counts.items())
+    )
+    return 0
+
+
+def _cmd_train(args) -> int:
+    index, train, _ = _split_from_world(
+        args.world, args.min_transactions, args.test_fraction, args.seed
+    )
+    print(f"Training on {len(train)} addresses ...")
+    classifier = BAClassifier(
+        BAClassifierConfig(
+            slice_size=args.slice_size,
+            gnn_epochs=args.gnn_epochs,
+            head_epochs=args.head_epochs,
+            head_learning_rate=3e-3,
+            seed=args.seed,
+        )
+    )
+    classifier.fit(train.addresses, train.labels, index)
+    classifier.save(args.out)
+    print(f"Model saved to {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    index, _, test = _split_from_world(
+        args.world, args.min_transactions, args.test_fraction, args.seed
+    )
+    classifier = BAClassifier.load(args.model)
+    print(f"Evaluating on {len(test)} held-out addresses ...")
+    predictions = classifier.predict(test.addresses, index)
+    print(classification_report(test.labels, predictions, class_names=CLASS_NAMES))
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    _, index, _, _ = load_world_chain(args.world)
+    classifier = BAClassifier.load(args.model)
+    known = [a for a in args.addresses if index.transaction_count(a) > 0]
+    unknown = [a for a in args.addresses if index.transaction_count(a) == 0]
+    for address in unknown:
+        print(f"{address}  <no transactions on chain>")
+    if known:
+        predictions = classifier.predict(known, index)
+        for address, label in zip(known, predictions):
+            print(f"{address}  {CLASS_NAMES[label]}")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "classify": _cmd_classify,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""The end-to-end BAClassifier pipeline."""
+
+from repro.core.baclassifier import BAClassifier
+from repro.core.config import BAClassifierConfig
+from repro.core.embedding import embedding_sequences
+from repro.core.refinement import (
+    neighbor_label_distribution,
+    refine_with_neighbor_labels,
+)
+
+__all__ = [
+    "BAClassifier",
+    "BAClassifierConfig",
+    "embedding_sequences",
+    "neighbor_label_distribution",
+    "refine_with_neighbor_labels",
+]

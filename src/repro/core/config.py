@@ -1,0 +1,92 @@
+"""End-to-end configuration of the BAClassifier pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ValidationError
+from repro.gnn.training import GraphTrainingConfig
+from repro.graphs.pipeline import GraphPipelineConfig
+from repro.seqmodels.trainer import SequenceTrainingConfig
+
+__all__ = ["BAClassifierConfig"]
+
+
+@dataclass(frozen=True)
+class BAClassifierConfig:
+    """All knobs of the three-stage pipeline.
+
+    Graph construction (paper defaults: 100-transaction slices, Ψ/σ
+    compression), GFN representation learning (hidden width, propagation
+    depth k, epochs), and the sequence head (LSTM+MLP by default, as
+    selected in Table III).
+    """
+
+    num_classes: int = 4
+    # Stage 1-4: graph construction
+    slice_size: int = 100
+    psi: float = 0.6
+    sigma: int = 2
+    enable_single_compression: bool = True
+    enable_multi_compression: bool = True
+    enable_augmentation: bool = True
+    # Stage: graph representation learning (GFN)
+    gnn_hidden_dim: int = 64
+    gfn_k: int = 2
+    gnn_epochs: int = 15
+    gnn_batch_size: int = 32
+    gnn_learning_rate: float = 1e-3
+    # Stage: address classification
+    head_name: str = "lstm"
+    head_hidden_dim: int = 64
+    head_epochs: int = 25
+    head_batch_size: int = 32
+    head_learning_rate: float = 1e-3
+    head_restarts: int = 2
+    max_sequence_length: Optional[int] = 32
+    # Shared
+    seed: int = 0
+    class_weighted: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_classes < 2:
+            raise ValidationError(
+                f"num_classes must be >= 2, got {self.num_classes}"
+            )
+        if self.head_restarts < 1:
+            raise ValidationError(
+                f"head_restarts must be >= 1, got {self.head_restarts}"
+            )
+
+    def pipeline_config(self) -> GraphPipelineConfig:
+        """The graph-construction sub-configuration."""
+        return GraphPipelineConfig(
+            slice_size=self.slice_size,
+            psi=self.psi,
+            sigma=self.sigma,
+            enable_single_compression=self.enable_single_compression,
+            enable_multi_compression=self.enable_multi_compression,
+            enable_augmentation=self.enable_augmentation,
+        )
+
+    def gnn_training_config(self) -> GraphTrainingConfig:
+        """The graph-representation training sub-configuration."""
+        return GraphTrainingConfig(
+            epochs=self.gnn_epochs,
+            batch_size=self.gnn_batch_size,
+            learning_rate=self.gnn_learning_rate,
+            seed=self.seed,
+            class_weighted=self.class_weighted,
+        )
+
+    def head_training_config(self) -> SequenceTrainingConfig:
+        """The address-classification training sub-configuration."""
+        return SequenceTrainingConfig(
+            epochs=self.head_epochs,
+            batch_size=self.head_batch_size,
+            learning_rate=self.head_learning_rate,
+            seed=self.seed,
+            class_weighted=self.class_weighted,
+            max_sequence_length=self.max_sequence_length,
+        )

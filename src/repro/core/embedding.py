@@ -1,0 +1,35 @@
+"""Per-address embedding sequences from a trained graph encoder."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.gnn.base import GraphClassifier
+from repro.gnn.data import EncodedGraph
+
+__all__ = ["embedding_sequences"]
+
+
+def embedding_sequences(
+    encoder: GraphClassifier,
+    encoded_by_address: Dict[str, List[EncodedGraph]],
+    addresses: Sequence[str],
+) -> List[np.ndarray]:
+    """One ``(k_i, D)`` embedding sequence per address, slice-ordered.
+
+    The address's slice graphs are embedded with the trained encoder; the
+    resulting row sequence is the input to the paper's LSTM stage.
+    """
+    sequences: List[np.ndarray] = []
+    for address in addresses:
+        graphs = encoded_by_address.get(address)
+        if not graphs:
+            raise ValidationError(
+                f"no encoded graphs available for address {address[:12]}"
+            )
+        ordered = sorted(graphs, key=lambda g: g.slice_index)
+        sequences.append(encoder.embed_graphs(ordered))
+    return sequences

@@ -1,0 +1,94 @@
+"""Neighbour-label refinement — the paper's second future-work direction.
+
+§V: "our model only utilizes the topology of the current node ... which
+does not take account into the label information of other nodes.  In
+real-world scenarios, nodes of the same type often cluster together.  The
+accuracy of the classification model can usually be improved by analyzing
+the types of connected nodes."
+
+:func:`refine_with_neighbor_labels` blends a classifier's per-address
+probability estimates with the empirical label distribution of each
+address's *known-label* counterparties (e.g. the training set), i.e. one
+step of anchored label propagation over the transaction graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.chain.explorer import ChainIndex
+from repro.errors import ValidationError
+
+__all__ = ["neighbor_label_distribution", "refine_with_neighbor_labels"]
+
+
+def neighbor_label_distribution(
+    index: ChainIndex,
+    address: str,
+    anchor_labels: Dict[str, int],
+    num_classes: int,
+) -> "np.ndarray | None":
+    """Label histogram of an address's labelled counterparties.
+
+    Returns a normalised distribution over classes, or None when no
+    counterparty has a known label.
+    """
+    counts = np.zeros(num_classes, dtype=np.float64)
+    for neighbor in index.counterparties(address):
+        label = anchor_labels.get(neighbor)
+        if label is not None and 0 <= label < num_classes:
+            counts[label] += 1.0
+    total = counts.sum()
+    if total == 0.0:
+        return None
+    return counts / total
+
+
+def refine_with_neighbor_labels(
+    probabilities: np.ndarray,
+    addresses: Sequence[str],
+    index: ChainIndex,
+    anchor_labels: Dict[str, int],
+    alpha: float = 0.25,
+) -> np.ndarray:
+    """Blend model probabilities with neighbour-label evidence.
+
+    ``refined = (1 − α)·model + α·neighbour_distribution`` for addresses
+    with labelled counterparties; others keep the model's estimate.
+
+    Parameters
+    ----------
+    probabilities:
+        Model output, shape ``(len(addresses), num_classes)``.
+    anchor_labels:
+        Known labels (typically the training set) used as propagation
+        anchors.
+    alpha:
+        Neighbour-evidence weight in [0, 1].
+
+    Returns
+    -------
+    numpy.ndarray
+        Refined probability matrix of the same shape (rows sum to 1).
+    """
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if probabilities.ndim != 2 or probabilities.shape[0] != len(addresses):
+        raise ValidationError(
+            f"probabilities shape {probabilities.shape} does not match "
+            f"{len(addresses)} addresses"
+        )
+    if not 0.0 <= alpha <= 1.0:
+        raise ValidationError(f"alpha must be in [0, 1], got {alpha}")
+    num_classes = probabilities.shape[1]
+    refined = probabilities.copy()
+    for row, address in enumerate(addresses):
+        neighbors = neighbor_label_distribution(
+            index, address, anchor_labels, num_classes
+        )
+        if neighbors is not None:
+            refined[row] = (1.0 - alpha) * refined[row] + alpha * neighbors
+    row_sums = refined.sum(axis=1, keepdims=True)
+    row_sums[row_sums == 0] = 1.0
+    return refined / row_sums

@@ -1,0 +1,62 @@
+"""Behaviour-driven workload generation for the four address classes.
+
+This package substitutes for the paper's crawled 2.1 M-address corpus:
+actors with the on-chain signatures of exchanges, mining pools, gambling
+sites and services (mixer / custodial wallet / lending) transact on the
+simulated chain, and the resulting addresses carry ground-truth labels.
+"""
+
+from repro.datagen.actor import (
+    Actor,
+    AddressLabel,
+    CLASS_NAMES,
+    LabeledActor,
+    WorldContext,
+)
+from repro.datagen.dataset import (
+    LabeledAddressDataset,
+    build_dataset,
+    build_fine_grained_dataset,
+    stratified_sample,
+    stratified_split,
+)
+from repro.datagen.exchange import ExchangeActor
+from repro.datagen.gambling import Bet, GamblerActor, GamblingHouseActor
+from repro.datagen.mining import MinerMemberActor, MiningPoolActor
+from repro.datagen.retail import FaucetActor, RetailActor
+from repro.datagen.service import (
+    LendingActor,
+    MixerActor,
+    MixOrder,
+    WalletServiceActor,
+)
+from repro.datagen.simulator import World, WorldConfig, WorldSimulator, generate_world
+
+__all__ = [
+    "Actor",
+    "AddressLabel",
+    "CLASS_NAMES",
+    "LabeledActor",
+    "WorldContext",
+    "LabeledAddressDataset",
+    "build_dataset",
+    "build_fine_grained_dataset",
+    "stratified_sample",
+    "stratified_split",
+    "ExchangeActor",
+    "Bet",
+    "GamblerActor",
+    "GamblingHouseActor",
+    "MinerMemberActor",
+    "MiningPoolActor",
+    "FaucetActor",
+    "RetailActor",
+    "LendingActor",
+    "MixerActor",
+    "MixOrder",
+    "WalletServiceActor",
+    "World",
+    "WorldConfig",
+    "WorldSimulator",
+    "generate_world",
+]

@@ -1,0 +1,171 @@
+"""Actor framework for the behaviour-driven workload generator.
+
+Each labelled behaviour class in the paper's dataset (Table I) is produced
+by an *actor*: a stateful process owning a wallet that emits transactions
+with the class's characteristic topology, value distribution and cadence.
+Actors run inside the :class:`~repro.datagen.simulator.WorldSimulator`,
+which advances a block clock and mines their submitted transactions.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.chain.mempool import Mempool
+from repro.chain.transaction import Transaction
+from repro.chain.wallet import Wallet
+from repro.errors import InsufficientFundsError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.chain.chain import Blockchain
+    from repro.chain.explorer import ChainIndex
+
+__all__ = ["AddressLabel", "CLASS_NAMES", "WorldContext", "Actor", "LabeledActor"]
+
+
+class AddressLabel(IntEnum):
+    """The four behaviour classes of the paper's dataset (Table I)."""
+
+    EXCHANGE = 0
+    MINING = 1
+    GAMBLING = 2
+    SERVICE = 3
+
+
+CLASS_NAMES = ("Exchange", "Mining", "Gambling", "Service")
+
+
+@dataclass
+class WorldContext:
+    """Shared state actors read and write during a simulation step.
+
+    The ``bulletin`` dict is the simulator's off-chain side channel: the
+    website databases (exchange deposit books, gambling bet queues, mixer
+    orders) that coordinate real-world services.  Only transactions reach
+    the chain; the bulletin never leaks into features.
+    """
+
+    chain: "Blockchain"
+    index: "ChainIndex"
+    mempool: Mempool
+    now: float = 0.0
+    height: int = 0
+    bulletin: Dict[str, object] = field(default_factory=dict)
+
+    def submit(self, tx: Transaction) -> bool:
+        """Submit ``tx`` to the mempool; False if it was rejected."""
+        try:
+            self.mempool.submit(tx)
+        except Exception:
+            return False
+        return True
+
+
+class Actor(abc.ABC):
+    """A transaction-emitting participant in the simulated economy.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier, also used to derive the actor's random stream.
+    wallet:
+        The actor's wallet (addresses it controls).
+    rng:
+        This actor's private random generator.
+    active_from:
+        Simulated timestamp before which the actor does nothing — used to
+        model staggered adoption (Figure 1's growth curve).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        wallet: Wallet,
+        rng: np.random.Generator,
+        active_from: float = 0.0,
+    ):
+        self.name = name
+        self.wallet = wallet
+        self.rng = rng
+        self.active_from = active_from
+
+    def step(self, ctx: WorldContext) -> None:
+        """Run one simulation tick (no-op before ``active_from``)."""
+        if ctx.now < self.active_from:
+            return
+        self.on_step(ctx)
+
+    @abc.abstractmethod
+    def on_step(self, ctx: WorldContext) -> None:
+        """Actor-specific behaviour for one tick."""
+
+    # ------------------------------------------------------------------ #
+    # Helpers shared by concrete actors
+    # ------------------------------------------------------------------ #
+
+    def try_pay(
+        self,
+        ctx: WorldContext,
+        payments: List,
+        fee: int,
+        change_to_source: bool = False,
+        source_addresses: Optional[List[str]] = None,
+    ) -> Optional[Transaction]:
+        """Create and submit a payment; None if unaffordable or rejected."""
+        try:
+            tx = self.wallet.create_transaction(
+                payments,
+                timestamp=ctx.now,
+                fee=fee,
+                change_to_source=change_to_source,
+                source_addresses=source_addresses,
+            )
+        except InsufficientFundsError:
+            return None
+        if not ctx.submit(tx):
+            return None
+        return tx
+
+    def lognormal_sats(self, mean_btc: float, sigma: float = 1.0) -> int:
+        """A lognormal satoshi amount with the given BTC-scale median."""
+        from repro.chain.transaction import btc
+
+        amount = float(self.rng.lognormal(mean=np.log(mean_btc), sigma=sigma))
+        return max(1_000, btc(amount))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class LabeledActor(Actor):
+    """An actor whose addresses carry a ground-truth behaviour label."""
+
+    label: AddressLabel
+
+    def labeled_addresses(self) -> List[str]:
+        """Addresses of this actor that should enter the labelled dataset.
+
+        Default: every address the actor's wallet ever owned.  Subclasses
+        narrow this (e.g. an exchange labels hot/cold/deposit addresses
+        but a mixer labels only its intake addresses).
+        """
+        return list(self.wallet.addresses)
+
+    def fine_labeled_addresses(self) -> List[tuple]:
+        """``(address, fine_label)`` pairs for fine-grained classification.
+
+        Implements the paper's first future-work direction ("we will
+        expand the number of categories based on the address behavior,
+        such as exchange cold wallets, exchange hot wallets...").  The
+        default tags every labelled address with the coarse class name;
+        subclasses refine to sub-behaviours.
+        """
+        from repro.datagen.actor import CLASS_NAMES as _NAMES
+
+        coarse = _NAMES[self.label].lower()
+        return [(address, coarse) for address in self.labeled_addresses()]

@@ -1,0 +1,192 @@
+"""Labelled dataset assembly: filtering, stratified sampling and splits.
+
+Mirrors the paper's protocol (§IV-B): the full world plays the role of the
+2.1 M-address corpus; experiments draw a stratified sample and split it
+80/20 into train and test sets by label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datagen.actor import CLASS_NAMES, AddressLabel
+from repro.datagen.simulator import World
+from repro.errors import ValidationError
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "LabeledAddressDataset",
+    "build_dataset",
+    "stratified_split",
+    "stratified_sample",
+]
+
+
+@dataclass(frozen=True)
+class LabeledAddressDataset:
+    """Parallel arrays of addresses and integer labels."""
+
+    addresses: Tuple[str, ...]
+    labels: np.ndarray  # int64, aligned with addresses
+
+    def __post_init__(self) -> None:
+        if len(self.addresses) != len(self.labels):
+            raise ValidationError("addresses and labels must be the same length")
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def class_counts(self) -> Dict[str, int]:
+        """Address count per class name, in label order."""
+        counts = {}
+        for label in AddressLabel:
+            counts[CLASS_NAMES[label]] = int(np.sum(self.labels == int(label)))
+        return counts
+
+    def subset(self, indices: Sequence[int]) -> "LabeledAddressDataset":
+        """A new dataset restricted to ``indices`` (order preserved)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return LabeledAddressDataset(
+            addresses=tuple(self.addresses[i] for i in idx),
+            labels=self.labels[idx].copy(),
+        )
+
+    def split(
+        self, test_fraction: float = 0.2, seed: int = 0
+    ) -> Tuple["LabeledAddressDataset", "LabeledAddressDataset"]:
+        """Stratified train/test split (paper uses 80/20)."""
+        train_idx, test_idx = stratified_split(
+            self.labels, test_fraction=test_fraction, rng=seed
+        )
+        return self.subset(train_idx), self.subset(test_idx)
+
+    def sample(
+        self, per_class: int, seed: int = 0
+    ) -> "LabeledAddressDataset":
+        """Stratified sample of up to ``per_class`` addresses per class."""
+        idx = stratified_sample(self.labels, per_class=per_class, rng=seed)
+        return self.subset(idx)
+
+
+def build_dataset(
+    world: World,
+    min_transactions: int = 4,
+    max_per_class: Optional[int] = None,
+    seed: int = 0,
+) -> LabeledAddressDataset:
+    """Extract the labelled dataset from a simulated world.
+
+    Addresses with fewer than ``min_transactions`` on-chain transactions
+    are dropped (too little behaviour to classify), mirroring the paper's
+    implicit filtering — every labelled address has a usable history.
+    """
+    addresses: List[str] = []
+    labels: List[int] = []
+    for address, label in world.labels.items():
+        if world.index.transaction_count(address) >= min_transactions:
+            addresses.append(address)
+            labels.append(int(label))
+    if not addresses:
+        raise ValidationError(
+            "no labelled address meets the min_transactions filter; "
+            "run a longer simulation or lower the threshold"
+        )
+    dataset = LabeledAddressDataset(
+        addresses=tuple(addresses), labels=np.asarray(labels, dtype=np.int64)
+    )
+    if max_per_class is not None:
+        dataset = dataset.sample(per_class=max_per_class, seed=seed)
+    return dataset
+
+
+def build_fine_grained_dataset(
+    world: World,
+    min_transactions: int = 4,
+    min_class_size: int = 4,
+) -> Tuple[LabeledAddressDataset, List[str]]:
+    """The fine-grained (sub-behaviour) dataset of the paper's future work.
+
+    Returns ``(dataset, class_names)`` where labels index into
+    ``class_names`` (e.g. ``exchange_hot``, ``mining_pool``, ``mixer``).
+    Sub-classes with fewer than ``min_class_size`` qualifying addresses
+    are dropped — too small to split.
+    """
+    qualifying: Dict[str, List[str]] = {}
+    for address, fine in world.fine_labels.items():
+        if world.index.transaction_count(address) >= min_transactions:
+            qualifying.setdefault(fine, []).append(address)
+    class_names = sorted(
+        name for name, members in qualifying.items()
+        if len(members) >= min_class_size
+    )
+    if not class_names:
+        raise ValidationError(
+            "no fine-grained class has enough members; lower the thresholds"
+        )
+    name_to_id = {name: i for i, name in enumerate(class_names)}
+    addresses: List[str] = []
+    labels: List[int] = []
+    for name in class_names:
+        for address in qualifying[name]:
+            addresses.append(address)
+            labels.append(name_to_id[name])
+    dataset = LabeledAddressDataset(
+        addresses=tuple(addresses), labels=np.asarray(labels, dtype=np.int64)
+    )
+    return dataset, class_names
+
+
+def stratified_split(
+    labels: np.ndarray,
+    test_fraction: float = 0.2,
+    rng: "int | np.random.Generator | None" = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Index split preserving per-class proportions.
+
+    Every class with at least two members contributes at least one test
+    example, so per-class metrics are always defined.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValidationError(
+            f"test_fraction must be in (0, 1), got {test_fraction}"
+        )
+    labels = np.asarray(labels, dtype=np.int64)
+    generator = as_generator(rng)
+    train_parts: List[np.ndarray] = []
+    test_parts: List[np.ndarray] = []
+    for value in np.unique(labels):
+        class_idx = np.flatnonzero(labels == value)
+        generator.shuffle(class_idx)
+        n_test = int(round(len(class_idx) * test_fraction))
+        if len(class_idx) >= 2:
+            n_test = min(max(n_test, 1), len(class_idx) - 1)
+        test_parts.append(class_idx[:n_test])
+        train_parts.append(class_idx[n_test:])
+    train_idx = np.concatenate(train_parts)
+    test_idx = np.concatenate(test_parts) if test_parts else np.empty(0, np.int64)
+    generator.shuffle(train_idx)
+    generator.shuffle(test_idx)
+    return train_idx, test_idx
+
+
+def stratified_sample(
+    labels: np.ndarray,
+    per_class: int,
+    rng: "int | np.random.Generator | None" = 0,
+) -> np.ndarray:
+    """Up to ``per_class`` indices per class, shuffled together."""
+    if per_class <= 0:
+        raise ValidationError(f"per_class must be > 0, got {per_class}")
+    labels = np.asarray(labels, dtype=np.int64)
+    generator = as_generator(rng)
+    parts: List[np.ndarray] = []
+    for value in np.unique(labels):
+        class_idx = np.flatnonzero(labels == value)
+        generator.shuffle(class_idx)
+        parts.append(class_idx[:per_class])
+    chosen = np.concatenate(parts)
+    generator.shuffle(chosen)
+    return chosen

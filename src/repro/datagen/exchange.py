@@ -1,0 +1,183 @@
+"""Exchange actor: hot/cold wallet management, deposits and withdrawals.
+
+Behaviour signature (paper §IV-B: "cold wallet addresses and hot wallet
+addresses ... used by exchanges to manage funds and provide deposit and
+withdrawal services"):
+
+- users deposit to per-user *deposit addresses*;
+- the exchange periodically *consolidates* funded deposit addresses into a
+  hot wallet (large fan-in transactions);
+- withdrawals are paid from the hot wallet with change back to it (the hot
+  address is long-lived and accumulates a very high transaction count);
+- when the hot balance exceeds a threshold the excess is *swept* to cold
+  storage; when it runs low, cold refills hot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.chain.transaction import btc
+from repro.chain.wallet import Wallet
+from repro.datagen.actor import AddressLabel, LabeledActor, WorldContext
+
+__all__ = ["ExchangeActor"]
+
+
+class ExchangeActor(LabeledActor):
+    """A centralized exchange with hot/cold wallets and deposit addresses."""
+
+    label = AddressLabel.EXCHANGE
+
+    def __init__(
+        self,
+        name: str,
+        wallet: Wallet,
+        rng: np.random.Generator,
+        active_from: float = 0.0,
+        num_hot: int = 2,
+        num_cold: int = 2,
+        consolidate_every: int = 6,
+        withdrawal_rate: float = 1.5,
+        withdrawal_mean_btc: float = 0.3,
+        sweep_threshold_btc: float = 400.0,
+        refill_threshold_btc: float = 20.0,
+        fee_sats: int = 2_000,
+        deposit_address_reuse: float = 0.8,
+    ):
+        super().__init__(name, wallet, rng, active_from)
+        self.hot_addresses = [wallet.new_address() for _ in range(num_hot)]
+        self.cold_addresses = [wallet.new_address() for _ in range(num_cold)]
+        self.consolidate_every = consolidate_every
+        self.withdrawal_rate = withdrawal_rate
+        self.withdrawal_mean_btc = withdrawal_mean_btc
+        self.sweep_threshold = btc(sweep_threshold_btc)
+        self.refill_threshold = btc(refill_threshold_btc)
+        self.fee_sats = fee_sats
+        self.deposit_address_reuse = deposit_address_reuse
+        self._deposit_address_of: Dict[str, str] = {}
+        self._funded_deposits: List[str] = []
+        self._tick = 0
+
+    # ------------------------------------------------------------------ #
+    # Deposit-side API (called by retail users via the world bulletin)
+    # ------------------------------------------------------------------ #
+
+    def deposit_address(self, user_id: str) -> str:
+        """The deposit address assigned to ``user_id``.
+
+        With probability ``deposit_address_reuse`` an existing assignment
+        is kept; otherwise a fresh address is minted (exchanges rotate
+        deposit addresses for privacy).
+        """
+        existing = self._deposit_address_of.get(user_id)
+        if existing is not None and self.rng.random() < self.deposit_address_reuse:
+            return existing
+        address = self.wallet.new_address()
+        self._deposit_address_of[user_id] = address
+        return address
+
+    def notify_deposit(self, address: str) -> None:
+        """Record that ``address`` received a deposit (queues consolidation)."""
+        self._funded_deposits.append(address)
+
+    # ------------------------------------------------------------------ #
+    # Per-tick behaviour
+    # ------------------------------------------------------------------ #
+
+    def on_step(self, ctx: WorldContext) -> None:
+        self._tick += 1
+        if self._tick % self.consolidate_every == 0:
+            self._consolidate(ctx)
+        self._withdrawals(ctx)
+        self._rebalance(ctx)
+
+    def _consolidate(self, ctx: WorldContext) -> None:
+        """Sweep funded deposit addresses into the hot wallet (fan-in tx)."""
+        view = self.wallet._view
+        funded = [
+            addr
+            for addr in dict.fromkeys(self._funded_deposits)
+            if view.balance_of(addr) > self.fee_sats
+        ]
+        if not funded:
+            return
+        self._funded_deposits = []
+        total = sum(view.balance_of(addr) for addr in funded)
+        hot = self._pick_hot()
+        self.try_pay(
+            ctx,
+            payments=[(hot, total - self.fee_sats)],
+            fee=self.fee_sats,
+            source_addresses=funded,
+        )
+
+    def _withdrawals(self, ctx: WorldContext) -> None:
+        """Pay user withdrawals from the hot wallet, change back to hot."""
+        book = ctx.bulletin.get("retail_addresses", [])
+        if not book:
+            return
+        count = int(self.rng.poisson(self.withdrawal_rate))
+        for _ in range(count):
+            target = book[int(self.rng.integers(len(book)))]
+            amount = self.lognormal_sats(self.withdrawal_mean_btc, sigma=1.2)
+            hot = self._pick_hot()
+            view = self.wallet._view
+            if view.balance_of(hot) < amount + self.fee_sats:
+                continue
+            self.try_pay(
+                ctx,
+                payments=[(target, amount)],
+                fee=self.fee_sats,
+                change_to_source=True,
+                source_addresses=[hot],
+            )
+
+    def _rebalance(self, ctx: WorldContext) -> None:
+        """Hot→cold sweep above threshold; cold→hot refill below threshold."""
+        view = self.wallet._view
+        hot = self._pick_hot()
+        hot_balance = view.balance_of(hot)
+        if hot_balance > self.sweep_threshold:
+            excess = hot_balance - self.sweep_threshold // 2
+            cold = self.cold_addresses[int(self.rng.integers(len(self.cold_addresses)))]
+            self.try_pay(
+                ctx,
+                payments=[(cold, excess - self.fee_sats)],
+                fee=self.fee_sats,
+                change_to_source=True,
+                source_addresses=[hot],
+            )
+        elif hot_balance < self.refill_threshold:
+            funded_cold = [
+                addr for addr in self.cold_addresses if view.balance_of(addr) > 0
+            ]
+            if funded_cold:
+                cold = funded_cold[int(self.rng.integers(len(funded_cold)))]
+                amount = min(view.balance_of(cold) - self.fee_sats, self.sweep_threshold // 2)
+                if amount > self.fee_sats:
+                    self.try_pay(
+                        ctx,
+                        payments=[(hot, amount)],
+                        fee=self.fee_sats,
+                        source_addresses=[cold],
+                    )
+
+    def _pick_hot(self) -> str:
+        return self.hot_addresses[int(self.rng.integers(len(self.hot_addresses)))]
+
+    def labeled_addresses(self) -> List[str]:
+        """Hot, cold, and all deposit addresses carry the Exchange label."""
+        deposits = list(dict.fromkeys(self._deposit_address_of.values()))
+        return self.hot_addresses + self.cold_addresses + deposits
+
+    def fine_labeled_addresses(self) -> List[tuple]:
+        """Sub-behaviours: hot wallet / cold wallet / deposit address."""
+        deposits = list(dict.fromkeys(self._deposit_address_of.values()))
+        return (
+            [(a, "exchange_hot") for a in self.hot_addresses]
+            + [(a, "exchange_cold") for a in self.cold_addresses]
+            + [(a, "exchange_deposit") for a in deposits]
+        )

@@ -1,0 +1,174 @@
+"""Gambling actors: a betting house and dedicated gambler wallets.
+
+Behaviour signature (paper §IV-B: "gambling websites absorb and manage
+gambling funds through this class of addresses, while gamblers send and
+receive gambling funds through this class of addresses"):
+
+- bets are small lognormal amounts sent to a long-lived house bank
+  address (very high transaction count, tiny values);
+- the house resolves bets with a win probability below fair odds (house
+  edge) and pays winners in batched payout transactions;
+- dedicated gambler wallets bet frequently; both sides carry the
+  Gambling label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.chain.wallet import Wallet
+from repro.datagen.actor import AddressLabel, LabeledActor, WorldContext
+
+__all__ = ["GamblingHouseActor", "GamblerActor", "Bet"]
+
+
+@dataclass
+class Bet:
+    """An unresolved wager: who to pay, how much was staked, when."""
+
+    payout_address: str
+    amount: int
+    placed_at: float
+
+
+class GamblingHouseActor(LabeledActor):
+    """A casino/dice site with a hot bank address and batched payouts."""
+
+    label = AddressLabel.GAMBLING
+
+    def __init__(
+        self,
+        name: str,
+        wallet: Wallet,
+        rng: np.random.Generator,
+        active_from: float = 0.0,
+        num_bank_addresses: int = 2,
+        win_probability: float = 0.46,
+        payout_multiplier: float = 2.0,
+        max_payouts_per_tx: int = 8,
+        fee_sats: int = 1_200,
+    ):
+        super().__init__(name, wallet, rng, active_from)
+        self.bank_addresses = [wallet.new_address() for _ in range(num_bank_addresses)]
+        self.win_probability = win_probability
+        self.payout_multiplier = payout_multiplier
+        self.max_payouts_per_tx = max_payouts_per_tx
+        self.fee_sats = fee_sats
+        self._pending: List[Bet] = []
+
+    def betting_address(self) -> str:
+        """Where bettors should send their stakes."""
+        return self.bank_addresses[int(self.rng.integers(len(self.bank_addresses)))]
+
+    def place_bet(self, bet: Bet) -> None:
+        """Register an on-chain stake for resolution next tick."""
+        self._pending.append(bet)
+
+    def on_step(self, ctx: WorldContext) -> None:
+        if not self._pending:
+            return
+        winners = []
+        for bet in self._pending:
+            if self.rng.random() < self.win_probability:
+                payout = int(bet.amount * self.payout_multiplier)
+                winners.append((bet.payout_address, payout))
+        self._pending = []
+        view = self.wallet._view
+        # Batch winner payouts; each batch spends from one bank address
+        # with change back to it, keeping the bank address long-lived.
+        for start in range(0, len(winners), self.max_payouts_per_tx):
+            batch = winners[start : start + self.max_payouts_per_tx]
+            total = sum(amount for _, amount in batch) + self.fee_sats
+            bank = max(self.bank_addresses, key=view.balance_of)
+            if view.balance_of(bank) < total:
+                continue
+            self.try_pay(
+                ctx,
+                payments=batch,
+                fee=self.fee_sats,
+                change_to_source=True,
+                source_addresses=[bank],
+            )
+
+    def labeled_addresses(self) -> List[str]:
+        """The house bank addresses carry the Gambling label."""
+        return list(self.bank_addresses)
+
+    def fine_labeled_addresses(self) -> List[tuple]:
+        """House banks form their own sub-class."""
+        return [(a, "gambling_house") for a in self.bank_addresses]
+
+
+class GamblerActor(LabeledActor):
+    """A habitual gambler: frequent small stakes, winnings re-staked."""
+
+    label = AddressLabel.GAMBLING
+
+    def __init__(
+        self,
+        name: str,
+        wallet: Wallet,
+        rng: np.random.Generator,
+        active_from: float = 0.0,
+        bet_probability: float = 0.55,
+        bet_mean_btc: float = 0.004,
+        max_bets_per_tick: int = 3,
+        fee_sats: int = 1_000,
+    ):
+        super().__init__(name, wallet, rng, active_from)
+        self.bet_probability = bet_probability
+        self.bet_mean_btc = bet_mean_btc
+        self.max_bets_per_tick = max_bets_per_tick
+        self.fee_sats = fee_sats
+        self._stake_address = wallet.new_address()
+
+    def stake_address(self) -> str:
+        """The gambler's long-lived betting/payout address."""
+        return self._stake_address
+
+    def on_step(self, ctx: WorldContext) -> None:
+        houses = ctx.bulletin.get("gambling_houses", [])
+        if not houses:
+            return
+        for _ in range(self.max_bets_per_tick):
+            if self.rng.random() >= self.bet_probability:
+                continue
+            house = houses[int(self.rng.integers(len(houses)))]
+            amount = self.lognormal_sats(self.bet_mean_btc, sigma=0.8)
+            view = self.wallet._view
+            if view.balance_of(self._stake_address) < amount + self.fee_sats:
+                # Top the stake address up from the rest of the wallet.
+                if self.wallet.balance() < 2 * (amount + self.fee_sats):
+                    return
+                self.try_pay(
+                    ctx,
+                    payments=[(self._stake_address, amount * 4)],
+                    fee=self.fee_sats,
+                )
+                continue
+            tx = self.try_pay(
+                ctx,
+                payments=[(house.betting_address(), amount)],
+                fee=self.fee_sats,
+                change_to_source=True,
+                source_addresses=[self._stake_address],
+            )
+            if tx is not None:
+                house.place_bet(
+                    Bet(
+                        payout_address=self._stake_address,
+                        amount=amount,
+                        placed_at=ctx.now,
+                    )
+                )
+
+    def labeled_addresses(self) -> List[str]:
+        """Only the gambler's stake address carries the label."""
+        return [self._stake_address]
+
+    def fine_labeled_addresses(self) -> List[tuple]:
+        """Gambler stake addresses form their own sub-class."""
+        return [(self._stake_address, "gambler")]

@@ -1,0 +1,172 @@
+"""Mining-pool actor: coinbase collection and high-fan-out reward payouts.
+
+Behaviour signature (paper §IV-B and §III-A: "the mining pool will pay the
+reward to every address which participated in the mining, resulting in
+thousands of mining addresses being linked to each transaction of the
+mining pool address"):
+
+- the pool's reward address receives block subsidies (coinbases);
+- every ``payout_interval`` blocks it emits a payout transaction fanning
+  out to all member addresses at once (the signature the paper's
+  multi-transaction address compression targets);
+- member wallets accumulate small regular rewards and occasionally sweep
+  them out to an exchange (cash-out).
+
+Both the pool addresses and the member addresses carry the Mining label,
+matching the paper's definition ("the mining nodes receive their reward
+from the mining pools through this type of address").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.chain.transaction import btc
+from repro.chain.wallet import Wallet
+from repro.datagen.actor import AddressLabel, LabeledActor, WorldContext
+
+__all__ = ["MiningPoolActor", "MinerMemberActor"]
+
+
+class MiningPoolActor(LabeledActor):
+    """A mining pool: receives coinbases, pays members in bulk."""
+
+    label = AddressLabel.MINING
+
+    def __init__(
+        self,
+        name: str,
+        wallet: Wallet,
+        rng: np.random.Generator,
+        active_from: float = 0.0,
+        payout_interval: int = 4,
+        pool_fee_fraction: float = 0.02,
+        rotate_reward_every: int = 40,
+        fee_sats: int = 3_000,
+    ):
+        super().__init__(name, wallet, rng, active_from)
+        self.payout_interval = payout_interval
+        self.pool_fee_fraction = pool_fee_fraction
+        self.rotate_reward_every = rotate_reward_every
+        self.fee_sats = fee_sats
+        self.members: List["MinerMemberActor"] = []
+        self._reward_addresses = [wallet.new_address()]
+        self._tick = 0
+        self._payouts_done = 0
+
+    @property
+    def reward_address(self) -> str:
+        """The address coinbases are currently paid to."""
+        return self._reward_addresses[-1]
+
+    def register_member(self, member: "MinerMemberActor") -> None:
+        """Add a miner whose shares earn payout outputs."""
+        self.members.append(member)
+
+    def on_step(self, ctx: WorldContext) -> None:
+        self._tick += 1
+        if self._tick % self.payout_interval != 0 or not self.members:
+            return
+        view = self.wallet._view
+        balance = sum(view.balance_of(addr) for addr in self._reward_addresses)
+        distributable = int(balance * (1.0 - self.pool_fee_fraction)) - self.fee_sats
+        if distributable < btc(0.01) * len(self.members):
+            return
+        payments = self._member_shares(distributable)
+        if not payments:
+            return
+        tx = self.try_pay(
+            ctx,
+            payments=payments,
+            fee=self.fee_sats,
+            source_addresses=list(self._reward_addresses),
+        )
+        if tx is None:
+            return
+        self._payouts_done += 1
+        if self._payouts_done % self.rotate_reward_every == 0:
+            self._reward_addresses.append(self.wallet.new_address())
+
+    def _member_shares(self, distributable: int) -> List:
+        """Split ``distributable`` over members with ±20% hashrate noise."""
+        weights = self.rng.uniform(0.8, 1.2, size=len(self.members))
+        weights = weights / weights.sum()
+        payments = []
+        for member, weight in zip(self.members, weights):
+            share = int(distributable * float(weight))
+            if share > 10_000:
+                payments.append((member.payout_address(), share))
+        return payments
+
+    def labeled_addresses(self) -> List[str]:
+        """Only the pool's reward addresses (members label their own)."""
+        return list(self._reward_addresses)
+
+    def fine_labeled_addresses(self) -> List[tuple]:
+        """Pool reward addresses form their own sub-class."""
+        return [(a, "mining_pool") for a in self._reward_addresses]
+
+
+class MinerMemberActor(LabeledActor):
+    """A pool member: receives regular payouts, occasionally cashes out."""
+
+    label = AddressLabel.MINING
+
+    def __init__(
+        self,
+        name: str,
+        wallet: Wallet,
+        rng: np.random.Generator,
+        active_from: float = 0.0,
+        cashout_probability: float = 0.03,
+        cashout_fraction: float = 0.7,
+        fee_sats: int = 1_500,
+        rotate_payout_probability: float = 0.05,
+    ):
+        super().__init__(name, wallet, rng, active_from)
+        self.cashout_probability = cashout_probability
+        self.cashout_fraction = cashout_fraction
+        self.fee_sats = fee_sats
+        self.rotate_payout_probability = rotate_payout_probability
+        self._payout_addresses = [wallet.new_address()]
+
+    def payout_address(self) -> str:
+        """Where the pool should send this member's share.
+
+        Rotates occasionally, as real miners reconfigure payout targets.
+        """
+        if self.rng.random() < self.rotate_payout_probability:
+            self._payout_addresses.append(self.wallet.new_address())
+        return self._payout_addresses[-1]
+
+    def on_step(self, ctx: WorldContext) -> None:
+        if self.rng.random() >= self.cashout_probability:
+            return
+        exchanges = ctx.bulletin.get("exchanges", [])
+        if not exchanges:
+            return
+        balance = self.wallet.balance()
+        amount = int(balance * self.cashout_fraction)
+        if amount <= self.fee_sats + 10_000:
+            return
+        exchange = exchanges[int(self.rng.integers(len(exchanges)))]
+        deposit_addr = exchange.deposit_address(self.name)
+        tx = self.try_pay(
+            ctx, payments=[(deposit_addr, amount)], fee=self.fee_sats
+        )
+        if tx is not None:
+            exchange.notify_deposit(deposit_addr)
+
+    def labeled_addresses(self) -> List[str]:
+        """Only reward-receiving addresses carry the Mining label.
+
+        Change addresses from cash-outs are ordinary one-shot addresses
+        and are not representative of mining behaviour.
+        """
+        return list(self._payout_addresses)
+
+    def fine_labeled_addresses(self) -> List[tuple]:
+        """Member payout addresses form their own sub-class."""
+        return [(a, "mining_member") for a in self._payout_addresses]

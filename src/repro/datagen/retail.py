@@ -1,0 +1,216 @@
+"""Unlabelled background traffic: retail users and the bootstrap faucet.
+
+Retail users are the economy's connective tissue — they deposit to
+exchanges, place casual bets, order mixes, open lending positions, and pay
+each other peer-to-peer.  Their addresses are *not* labelled; they exist
+so that labelled addresses have realistic, diverse counterparties.
+
+The :class:`FaucetActor` models coins already in circulation before the
+simulation window: it receives the warm-up coinbases and disperses initial
+float to services and retail (an exchange's cold storage, a casino's
+bankroll and a mixer's liquidity do not appear out of thin air on mainnet
+either — they were funded by earlier history we do not simulate).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.chain.transaction import btc
+from repro.chain.wallet import Wallet
+from repro.datagen.actor import Actor, WorldContext
+from repro.datagen.gambling import Bet
+from repro.datagen.service import MixOrder
+
+__all__ = ["RetailActor", "FaucetActor"]
+
+
+class RetailActor(Actor):
+    """An ordinary user with a small wallet and mixed habits."""
+
+    def __init__(
+        self,
+        name: str,
+        wallet: Wallet,
+        rng: np.random.Generator,
+        active_from: float = 0.0,
+        action_probability: float = 0.25,
+        p2p_weight: float = 0.40,
+        deposit_weight: float = 0.22,
+        bet_weight: float = 0.12,
+        mix_weight: float = 0.08,
+        lend_weight: float = 0.08,
+        wallet_weight: float = 0.10,
+        fee_sats: int = 1_200,
+    ):
+        super().__init__(name, wallet, rng, active_from)
+        self.action_probability = action_probability
+        weights = np.array(
+            [p2p_weight, deposit_weight, bet_weight, mix_weight, lend_weight,
+             wallet_weight]
+        )
+        self._weights = weights / weights.sum()
+        self.fee_sats = fee_sats
+        self.receive_address = wallet.new_address()
+
+    def on_step(self, ctx: WorldContext) -> None:
+        if self.rng.random() >= self.action_probability:
+            return
+        action = int(self.rng.choice(6, p=self._weights))
+        balance = self.wallet.balance()
+        if balance < btc(0.01):
+            return
+        if action == 0:
+            self._p2p_payment(ctx, balance)
+        elif action == 1:
+            self._exchange_deposit(ctx, balance)
+        elif action == 2:
+            self._casual_bet(ctx, balance)
+        elif action == 3:
+            self._mix_order(ctx, balance)
+        elif action == 4:
+            self._lending_deposit(ctx, balance)
+        else:
+            self._wallet_deposit(ctx, balance)
+
+    def _p2p_payment(self, ctx: WorldContext, balance: int) -> None:
+        book = ctx.bulletin.get("retail_addresses", [])
+        if len(book) < 2:
+            return
+        target = book[int(self.rng.integers(len(book)))]
+        if target == self.receive_address:
+            return
+        amount = min(self.lognormal_sats(0.05, sigma=1.0), balance // 3)
+        if amount > 10_000:
+            self.try_pay(ctx, payments=[(target, amount)], fee=self.fee_sats)
+
+    def _exchange_deposit(self, ctx: WorldContext, balance: int) -> None:
+        exchanges = ctx.bulletin.get("exchanges", [])
+        if not exchanges:
+            return
+        exchange = exchanges[int(self.rng.integers(len(exchanges)))]
+        amount = min(self.lognormal_sats(0.15, sigma=1.2), balance // 2)
+        if amount <= 20_000:
+            return
+        deposit_addr = exchange.deposit_address(self.name)
+        tx = self.try_pay(ctx, payments=[(deposit_addr, amount)], fee=self.fee_sats)
+        if tx is not None:
+            exchange.notify_deposit(deposit_addr)
+
+    def _casual_bet(self, ctx: WorldContext, balance: int) -> None:
+        houses = ctx.bulletin.get("gambling_houses", [])
+        if not houses:
+            return
+        house = houses[int(self.rng.integers(len(houses)))]
+        amount = min(self.lognormal_sats(0.003, sigma=0.8), balance // 5)
+        if amount <= 5_000:
+            return
+        tx = self.try_pay(
+            ctx, payments=[(house.betting_address(), amount)], fee=self.fee_sats
+        )
+        if tx is not None:
+            house.place_bet(
+                Bet(
+                    payout_address=self.receive_address,
+                    amount=amount,
+                    placed_at=ctx.now,
+                )
+            )
+
+    def _mix_order(self, ctx: WorldContext, balance: int) -> None:
+        mixers = ctx.bulletin.get("mixers", [])
+        if not mixers:
+            return
+        mixer = mixers[int(self.rng.integers(len(mixers)))]
+        amount = min(self.lognormal_sats(0.2, sigma=1.0), balance // 2)
+        if amount <= btc(0.02):
+            return
+        tx = self.try_pay(
+            ctx, payments=[(mixer.intake_address(), amount)], fee=self.fee_sats
+        )
+        if tx is not None:
+            returns = [self.wallet.new_address() for _ in range(2)]
+            mixer.request_mix(
+                MixOrder(amount=amount, return_addresses=returns, received_at=ctx.now)
+            )
+
+    def _lending_deposit(self, ctx: WorldContext, balance: int) -> None:
+        desks = ctx.bulletin.get("lending_desks", [])
+        if not desks:
+            return
+        desk = desks[int(self.rng.integers(len(desks)))]
+        amount = min(self.lognormal_sats(0.3, sigma=1.0), balance // 2)
+        if amount <= btc(0.05):
+            return
+        tx = self.try_pay(
+            ctx, payments=[(desk.treasury_address, amount)], fee=self.fee_sats
+        )
+        if tx is not None:
+            desk.open_position(principal=amount, payee_address=self.receive_address)
+
+    def _wallet_deposit(self, ctx: WorldContext, balance: int) -> None:
+        services = ctx.bulletin.get("wallet_services", [])
+        if not services:
+            return
+        service = services[int(self.rng.integers(len(services)))]
+        amount = min(self.lognormal_sats(0.06, sigma=1.0), balance // 3)
+        if amount <= 15_000:
+            return
+        deposit_addr = service.deposit_address(self.name)
+        tx = self.try_pay(ctx, payments=[(deposit_addr, amount)], fee=self.fee_sats)
+        if tx is not None:
+            service.notify_deposit(deposit_addr)
+
+
+class FaucetActor(Actor):
+    """Disperses warm-up coinbase funds as initial float and balances."""
+
+    def __init__(
+        self,
+        name: str,
+        wallet: Wallet,
+        rng: np.random.Generator,
+        grants: List,
+        fee_sats: int = 2_500,
+        grants_per_tick: int = 6,
+    ):
+        super().__init__(name, wallet, rng, active_from=0.0)
+        self.reward_address = wallet.new_address()
+        # Each grant is (recipient address, satoshis); paid out gradually.
+        self._grants = list(grants)
+        self.fee_sats = fee_sats
+        self.grants_per_tick = grants_per_tick
+
+    def add_grant(self, address: str, value: int) -> None:
+        """Queue a one-off capital grant."""
+        self._grants.append((address, value))
+
+    @property
+    def pending_grants(self) -> int:
+        """Grants not yet paid out."""
+        return len(self._grants)
+
+    @property
+    def total_pending_value(self) -> int:
+        """Total satoshis still queued for dispersal."""
+        return sum(value for _, value in self._grants)
+
+    def on_step(self, ctx: WorldContext) -> None:
+        if not self._grants:
+            return
+        batch = self._grants[: self.grants_per_tick]
+        affordable = []
+        total = self.fee_sats
+        balance = self.wallet.balance()
+        for address, value in batch:
+            if total + value > balance:
+                break
+            affordable.append((address, value))
+            total += value
+        if not affordable:
+            return
+        tx = self.try_pay(ctx, payments=affordable, fee=self.fee_sats)
+        if tx is not None:
+            self._grants = self._grants[len(affordable):]

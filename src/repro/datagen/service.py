@@ -1,0 +1,276 @@
+"""Service actors: mixer (underground bank), custodial wallet, lending.
+
+The paper's *Service* class is a heterogeneous grab-bag — "wallet, coin
+mixer, dark web, and lending" (§IV-B) — and is its hardest class (lowest
+per-class F1 in Tables III/IV).  We reproduce that difficulty by composing
+three distinct sub-behaviours under one label:
+
+- :class:`MixerActor` — the money-laundering workflow of the paper's §III
+  walkthrough: take a deposit, split it into peeling chains through fresh
+  intermediate addresses, return it (minus a fee) to the client later;
+- :class:`WalletServiceActor` — custodial deposits/withdrawals that look
+  like a *small* exchange (deliberate overlap with the Exchange class);
+- :class:`LendingActor` — principal in, scheduled interest out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.chain.transaction import btc
+from repro.chain.wallet import Wallet
+from repro.datagen.actor import AddressLabel, LabeledActor, WorldContext
+
+__all__ = ["MixerActor", "WalletServiceActor", "LendingActor", "MixOrder"]
+
+
+@dataclass
+class MixOrder:
+    """A mixing request: amount received and where to return clean coins."""
+
+    amount: int
+    return_addresses: List[str]
+    received_at: float
+    hops_remaining: int = 2
+    chunks: List[int] = field(default_factory=list)
+
+
+class MixerActor(LabeledActor):
+    """A coin mixer / underground bank running peeling-chain splits."""
+
+    label = AddressLabel.SERVICE
+
+    def __init__(
+        self,
+        name: str,
+        wallet: Wallet,
+        rng: np.random.Generator,
+        active_from: float = 0.0,
+        num_intake_addresses: int = 4,
+        service_fee_fraction: float = 0.03,
+        min_chunks: int = 2,
+        max_chunks: int = 5,
+        delay_ticks: int = 2,
+        fee_sats: int = 1_500,
+    ):
+        super().__init__(name, wallet, rng, active_from)
+        self.intake_addresses = [
+            wallet.new_address() for _ in range(num_intake_addresses)
+        ]
+        self.service_fee_fraction = service_fee_fraction
+        self.min_chunks = min_chunks
+        self.max_chunks = max_chunks
+        self.delay_ticks = delay_ticks
+        self.fee_sats = fee_sats
+        self._orders: List[Tuple[int, MixOrder]] = []  # (due_tick, order)
+        self._tick = 0
+
+    def intake_address(self) -> str:
+        """Where a client should send coins to be mixed."""
+        return self.intake_addresses[int(self.rng.integers(len(self.intake_addresses)))]
+
+    def request_mix(self, order: MixOrder) -> None:
+        """Register a mixing order whose funds just hit an intake address."""
+        due = self._tick + self.delay_ticks
+        self._orders.append((due, order))
+
+    def on_step(self, ctx: WorldContext) -> None:
+        self._tick += 1
+        due_now = [order for due, order in self._orders if due <= self._tick]
+        self._orders = [(due, o) for due, o in self._orders if due > self._tick]
+        for order in due_now:
+            self._process(ctx, order)
+
+    def _process(self, ctx: WorldContext, order: MixOrder) -> None:
+        """Run one hop of the order's peeling chain."""
+        payable = int(order.amount * (1.0 - self.service_fee_fraction))
+        if order.hops_remaining > 1:
+            # Intermediate hop: split into fresh mixer-owned addresses.
+            chunks = self._split(payable)
+            payments = [(self.wallet.new_address(), chunk) for chunk in chunks]
+            tx = self.try_pay(ctx, payments=payments, fee=self.fee_sats)
+            if tx is None:
+                return
+            order.hops_remaining -= 1
+            order.amount = payable - self.fee_sats
+            self._orders.append((self._tick + self.delay_ticks, order))
+        else:
+            # Final hop: pay the client's return addresses.
+            targets = order.return_addresses
+            share = max(10_000, (payable - self.fee_sats) // max(1, len(targets)))
+            payments = [(addr, share) for addr in targets]
+            self.try_pay(ctx, payments=payments, fee=self.fee_sats)
+
+    def _split(self, amount: int) -> List[int]:
+        """Split ``amount`` into 2–5 near-equal chunks with ±15% jitter."""
+        count = int(self.rng.integers(self.min_chunks, self.max_chunks + 1))
+        weights = self.rng.uniform(0.85, 1.15, size=count)
+        weights = weights / weights.sum()
+        chunks = [max(10_000, int(amount * float(w))) for w in weights]
+        overshoot = sum(chunks) - amount + self.fee_sats
+        if overshoot > 0:
+            chunks[0] = max(10_000, chunks[0] - overshoot)
+        return chunks
+
+    def labeled_addresses(self) -> List[str]:
+        """Intake addresses carry the Service label (the paper's focus:
+        'which addresses are used for money laundering and mixing')."""
+        return list(self.intake_addresses)
+
+    def fine_labeled_addresses(self) -> List[tuple]:
+        """Mixer intakes form their own sub-class."""
+        return [(a, "mixer") for a in self.intake_addresses]
+
+
+class WalletServiceActor(LabeledActor):
+    """A custodial web-wallet: a low-volume lookalike of an exchange."""
+
+    label = AddressLabel.SERVICE
+
+    def __init__(
+        self,
+        name: str,
+        wallet: Wallet,
+        rng: np.random.Generator,
+        active_from: float = 0.0,
+        consolidate_every: int = 10,
+        withdrawal_rate: float = 0.5,
+        withdrawal_mean_btc: float = 0.08,
+        fee_sats: int = 1_500,
+    ):
+        super().__init__(name, wallet, rng, active_from)
+        self.custody_address = wallet.new_address()
+        self.consolidate_every = consolidate_every
+        self.withdrawal_rate = withdrawal_rate
+        self.withdrawal_mean_btc = withdrawal_mean_btc
+        self.fee_sats = fee_sats
+        self._deposit_address_of: Dict[str, str] = {}
+        self._funded_deposits: List[str] = []
+        self._tick = 0
+
+    def deposit_address(self, user_id: str) -> str:
+        """A stable per-user custodial deposit address."""
+        existing = self._deposit_address_of.get(user_id)
+        if existing is not None:
+            return existing
+        address = self.wallet.new_address()
+        self._deposit_address_of[user_id] = address
+        return address
+
+    def notify_deposit(self, address: str) -> None:
+        """Record a deposit so the next consolidation picks it up."""
+        self._funded_deposits.append(address)
+
+    def on_step(self, ctx: WorldContext) -> None:
+        self._tick += 1
+        view = self.wallet._view
+        if self._tick % self.consolidate_every == 0 and self._funded_deposits:
+            funded = [
+                addr
+                for addr in dict.fromkeys(self._funded_deposits)
+                if view.balance_of(addr) > self.fee_sats
+            ]
+            self._funded_deposits = []
+            if funded:
+                total = sum(view.balance_of(a) for a in funded)
+                self.try_pay(
+                    ctx,
+                    payments=[(self.custody_address, total - self.fee_sats)],
+                    fee=self.fee_sats,
+                    source_addresses=funded,
+                )
+        book = ctx.bulletin.get("retail_addresses", [])
+        if not book:
+            return
+        for _ in range(int(self.rng.poisson(self.withdrawal_rate))):
+            target = book[int(self.rng.integers(len(book)))]
+            amount = self.lognormal_sats(self.withdrawal_mean_btc, sigma=1.0)
+            if view.balance_of(self.custody_address) < amount + self.fee_sats:
+                continue
+            self.try_pay(
+                ctx,
+                payments=[(target, amount)],
+                fee=self.fee_sats,
+                change_to_source=True,
+                source_addresses=[self.custody_address],
+            )
+
+    def labeled_addresses(self) -> List[str]:
+        """Custody plus per-user deposit addresses carry the Service label."""
+        deposits = list(dict.fromkeys(self._deposit_address_of.values()))
+        return [self.custody_address] + deposits
+
+    def fine_labeled_addresses(self) -> List[tuple]:
+        """Custodial-wallet addresses form their own sub-class."""
+        return [(a, "wallet_service") for a in self.labeled_addresses()]
+
+
+class LendingActor(LabeledActor):
+    """A lending desk: deposits earn scheduled interest payouts."""
+
+    label = AddressLabel.SERVICE
+
+    def __init__(
+        self,
+        name: str,
+        wallet: Wallet,
+        rng: np.random.Generator,
+        active_from: float = 0.0,
+        interest_per_period: float = 0.01,
+        period_ticks: int = 8,
+        periods: int = 6,
+        fee_sats: int = 1_200,
+    ):
+        super().__init__(name, wallet, rng, active_from)
+        self.treasury_address = wallet.new_address()
+        self.interest_per_period = interest_per_period
+        self.period_ticks = period_ticks
+        self.periods = periods
+        self.fee_sats = fee_sats
+        # (next_due_tick, payouts_left, principal, payee address)
+        self._positions: List[List] = []
+        self._tick = 0
+
+    def open_position(self, principal: int, payee_address: str) -> None:
+        """Register a deposit that will earn ``periods`` interest payouts."""
+        self._positions.append(
+            [self._tick + self.period_ticks, self.periods, principal, payee_address]
+        )
+
+    def on_step(self, ctx: WorldContext) -> None:
+        self._tick += 1
+        view = self.wallet._view
+        payments = []
+        for position in self._positions:
+            due, remaining, principal, payee = position
+            if due > self._tick or remaining <= 0:
+                continue
+            interest = max(5_000, int(principal * self.interest_per_period))
+            amount = interest if remaining > 1 else interest + principal
+            payments.append((payee, amount))
+            position[0] = self._tick + self.period_ticks
+            position[1] -= 1
+        self._positions = [p for p in self._positions if p[1] > 0]
+        for start in range(0, len(payments), 6):
+            batch = payments[start : start + 6]
+            total = sum(v for _, v in batch) + self.fee_sats
+            if view.balance_of(self.treasury_address) < total:
+                continue
+            self.try_pay(
+                ctx,
+                payments=batch,
+                fee=self.fee_sats,
+                change_to_source=True,
+                source_addresses=[self.treasury_address],
+            )
+
+    def labeled_addresses(self) -> List[str]:
+        """The treasury address carries the Service label."""
+        return [self.treasury_address]
+
+    def fine_labeled_addresses(self) -> List[tuple]:
+        """Lending treasuries form their own sub-class."""
+        return [(self.treasury_address, "lending")]

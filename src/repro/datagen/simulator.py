@@ -1,0 +1,440 @@
+"""The world simulator: wires actors to a chain and advances block time.
+
+One simulation tick = one block.  Per tick, every actor runs (submitting
+transactions to the mempool), then a mining pool wins the block and the
+mempool drains into it.  A warm-up phase first mines coinbases to a
+faucet, which disperses initial float to services and retail — modelling
+the pre-existing circulation the simulation window does not cover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.chain.address import AddressFactory
+from repro.chain.chain import Blockchain, ChainParams
+from repro.chain.explorer import ChainIndex, attach_index
+from repro.chain.mempool import Mempool
+from repro.chain.transaction import btc
+from repro.chain.wallet import Wallet
+from repro.datagen.actor import Actor, AddressLabel, LabeledActor, WorldContext
+from repro.datagen.exchange import ExchangeActor
+from repro.datagen.gambling import GamblerActor, GamblingHouseActor
+from repro.datagen.mining import MinerMemberActor, MiningPoolActor
+from repro.datagen.retail import FaucetActor, RetailActor
+from repro.datagen.service import LendingActor, MixerActor, WalletServiceActor
+from repro.errors import ValidationError
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = ["WorldConfig", "World", "WorldSimulator", "generate_world"]
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Knobs of the simulated economy.
+
+    The defaults produce a small world (a few hundred labelled addresses)
+    in a couple of seconds; benchmarks scale the actor counts up.
+    ``adoption_spread`` staggers actor activation over that fraction of
+    the simulation window (0 = all active from the start), producing the
+    growth curve of the paper's Figure 1.
+    """
+
+    seed: int = 0
+    num_blocks: int = 400
+    warmup_blocks: int = 40
+    block_interval: float = 600.0
+    max_block_txs: int = 4_000
+    num_exchanges: int = 2
+    num_pools: int = 2
+    num_miner_members: int = 16
+    num_gambling_houses: int = 2
+    num_gamblers: int = 30
+    num_mixers: int = 3
+    num_wallet_services: int = 3
+    num_lending_desks: int = 2
+    num_retail: int = 80
+    adoption_spread: float = 0.0
+    heterogeneity: float = 0.5
+    exchange_cold_float_btc: float = 220.0
+    gambling_bankroll_btc: float = 60.0
+    mixer_float_btc: float = 40.0
+    wallet_service_float_btc: float = 30.0
+    lending_treasury_btc: float = 50.0
+    retail_grant_btc: float = 0.8
+    gambler_grant_btc: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.num_blocks <= 0:
+            raise ValidationError("num_blocks must be > 0")
+        if self.warmup_blocks < 0:
+            raise ValidationError("warmup_blocks must be >= 0")
+        if not 0.0 <= self.adoption_spread <= 1.0:
+            raise ValidationError("adoption_spread must be in [0, 1]")
+        if self.heterogeneity < 0.0:
+            raise ValidationError("heterogeneity must be >= 0")
+
+    def total_grant_budget_btc(self) -> float:
+        """The satoshi value the faucet must disperse, in BTC."""
+        return (
+            self.num_exchanges * self.exchange_cold_float_btc
+            + self.num_gambling_houses * self.gambling_bankroll_btc
+            + self.num_mixers * self.mixer_float_btc
+            + self.num_wallet_services * self.wallet_service_float_btc
+            + self.num_lending_desks * self.lending_treasury_btc
+            + self.num_retail * self.retail_grant_btc
+            + self.num_gamblers * self.gambler_grant_btc
+        )
+
+
+@dataclass
+class World:
+    """A finished simulation: the chain, its index, and the label maps.
+
+    ``fine_labels`` carries the sub-behaviour tags (exchange_hot,
+    mining_pool, mixer, ...) of the paper's future-work taxonomy.
+    """
+
+    config: WorldConfig
+    chain: Blockchain
+    index: ChainIndex
+    labels: Dict[str, AddressLabel]
+    fine_labels: Dict[str, str] = field(default_factory=dict)
+    actors: List[Actor] = field(default_factory=list)
+
+    def labeled_addresses(self, min_transactions: int = 1) -> List[str]:
+        """Labelled addresses with at least ``min_transactions`` on chain."""
+        return [
+            address
+            for address in self.labels
+            if self.index.transaction_count(address) >= min_transactions
+        ]
+
+    def class_counts(self, min_transactions: int = 1) -> Dict[AddressLabel, int]:
+        """Number of qualifying labelled addresses per behaviour class."""
+        counts = {label: 0 for label in AddressLabel}
+        for address in self.labeled_addresses(min_transactions):
+            counts[self.labels[address]] += 1
+        return counts
+
+
+class WorldSimulator:
+    """Builds and runs one simulated economy from a :class:`WorldConfig`."""
+
+    def __init__(self, config: Optional[WorldConfig] = None):
+        self.config = config or WorldConfig()
+        self._seeds = SeedSequenceFactory(self.config.seed)
+        self._factory = AddressFactory(self._seeds.generator("addresses"))
+        # A generous halving interval: no halving inside a dataset window
+        # unless the caller simulates long horizons (Figure 1 does).
+        self.chain = Blockchain(
+            ChainParams(
+                halving_interval=max(50_000, self.config.num_blocks * 4),
+                block_interval=self.config.block_interval,
+            )
+        )
+        self.index = attach_index(self.chain)
+        self.mempool = Mempool(self.chain.utxo_set)
+        self.ctx = WorldContext(
+            chain=self.chain, index=self.index, mempool=self.mempool
+        )
+        self._actors: List[Actor] = []
+        self._pools: List[MiningPoolActor] = []
+        self._faucet: Optional[FaucetActor] = None
+        self._build_actors()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def _new_wallet(self, name: str) -> Wallet:
+        return Wallet(self.mempool.view(), self._factory, name=name)
+
+    def _scale(self, rng: np.random.Generator, spread: float = 1.0) -> float:
+        """A per-actor lognormal scale multiplier under ``heterogeneity``.
+
+        Real-world classes are internally diverse (a boutique exchange is
+        orders of magnitude smaller than a major one); this multiplier
+        injects that intra-class variance.  Clipped to [1/6, 6] so the
+        faucet's grant budget stays bounded.
+        """
+        h = self.config.heterogeneity * spread
+        if h <= 0.0:
+            return 1.0
+        return float(np.clip(rng.lognormal(mean=0.0, sigma=h), 1.0 / 6.0, 6.0))
+
+    def _activation(self, rng: np.random.Generator) -> float:
+        """Sample an activation time under the adoption schedule."""
+        cfg = self.config
+        if cfg.adoption_spread <= 0.0:
+            return 0.0
+        window = cfg.num_blocks * cfg.block_interval * cfg.adoption_spread
+        start = (cfg.warmup_blocks + 1) * cfg.block_interval
+        return start + float(rng.random()) * window
+
+    def _build_actors(self) -> None:
+        cfg = self.config
+        faucet_wallet = self._new_wallet("faucet")
+        self._faucet = FaucetActor(
+            "faucet", faucet_wallet, self._seeds.generator("faucet"), grants=[]
+        )
+
+        exchanges = []
+        for i in range(cfg.num_exchanges):
+            rng = self._seeds.generator(f"exchange/{i}")
+            hrng = self._seeds.generator(f"hetero/exchange/{i}")
+            size = self._scale(hrng)
+            actor = ExchangeActor(
+                f"exchange-{i}", self._new_wallet(f"exchange-{i}"), rng,
+                active_from=self._activation(rng),
+                withdrawal_mean_btc=0.3 * size,
+                withdrawal_rate=float(np.clip(1.5 * self._scale(hrng), 0.3, 5.0)),
+                consolidate_every=int(hrng.integers(4, 11)),
+                sweep_threshold_btc=400.0 * size,
+                deposit_address_reuse=float(hrng.uniform(0.6, 0.95)),
+            )
+            float_each = btc(cfg.exchange_cold_float_btc * size) // max(
+                1, len(actor.cold_addresses)
+            )
+            for cold in actor.cold_addresses:
+                self._faucet.add_grant(cold, float_each)
+            exchanges.append(actor)
+
+        pools = []
+        members_per_pool = max(1, cfg.num_miner_members // max(1, cfg.num_pools))
+        member_index = 0
+        for i in range(cfg.num_pools):
+            rng = self._seeds.generator(f"pool/{i}")
+            hrng = self._seeds.generator(f"hetero/pool/{i}")
+            pool = MiningPoolActor(
+                f"pool-{i}", self._new_wallet(f"pool-{i}"), rng,
+                active_from=self._activation(rng),
+                payout_interval=int(hrng.integers(3, 7)),
+                pool_fee_fraction=float(hrng.uniform(0.01, 0.05)),
+                rotate_reward_every=int(hrng.integers(20, 60)),
+            )
+            for _ in range(members_per_pool):
+                mrng = self._seeds.generator(f"member/{member_index}")
+                mhrng = self._seeds.generator(f"hetero/member/{member_index}")
+                member = MinerMemberActor(
+                    f"member-{member_index}",
+                    self._new_wallet(f"member-{member_index}"),
+                    mrng,
+                    active_from=pool.active_from,
+                    cashout_probability=float(mhrng.uniform(0.01, 0.06)),
+                    cashout_fraction=float(mhrng.uniform(0.5, 0.9)),
+                )
+                pool.register_member(member)
+                self._actors.append(member)
+                member_index += 1
+            pools.append(pool)
+        self._pools = pools
+
+        houses = []
+        for i in range(cfg.num_gambling_houses):
+            rng = self._seeds.generator(f"house/{i}")
+            hrng = self._seeds.generator(f"hetero/house/{i}")
+            size = self._scale(hrng)
+            house = GamblingHouseActor(
+                f"house-{i}", self._new_wallet(f"house-{i}"), rng,
+                active_from=self._activation(rng),
+                num_bank_addresses=int(hrng.integers(1, 4)),
+                win_probability=float(hrng.uniform(0.42, 0.49)),
+                payout_multiplier=float(hrng.choice([1.5, 2.0, 3.0])),
+            )
+            bank_each = btc(cfg.gambling_bankroll_btc * size) // max(
+                1, len(house.bank_addresses)
+            )
+            for bank in house.bank_addresses:
+                self._faucet.add_grant(bank, bank_each)
+            houses.append(house)
+
+        gamblers = []
+        for i in range(cfg.num_gamblers):
+            rng = self._seeds.generator(f"gambler/{i}")
+            hrng = self._seeds.generator(f"hetero/gambler/{i}")
+            stake_scale = self._scale(hrng, spread=1.5)
+            gambler = GamblerActor(
+                f"gambler-{i}", self._new_wallet(f"gambler-{i}"), rng,
+                active_from=self._activation(rng),
+                bet_probability=float(hrng.uniform(0.3, 0.7)),
+                bet_mean_btc=0.004 * stake_scale,
+                max_bets_per_tick=int(hrng.integers(1, 5)),
+            )
+            self._faucet.add_grant(
+                gambler.stake_address(),
+                btc(cfg.gambler_grant_btc * stake_scale),
+            )
+            gamblers.append(gambler)
+
+        mixers = []
+        for i in range(cfg.num_mixers):
+            rng = self._seeds.generator(f"mixer/{i}")
+            hrng = self._seeds.generator(f"hetero/mixer/{i}")
+            mixer = MixerActor(
+                f"mixer-{i}", self._new_wallet(f"mixer-{i}"), rng,
+                active_from=self._activation(rng),
+                num_intake_addresses=int(hrng.integers(3, 7)),
+                service_fee_fraction=float(hrng.uniform(0.01, 0.06)),
+                max_chunks=int(hrng.integers(3, 7)),
+                delay_ticks=int(hrng.integers(1, 5)),
+            )
+            float_address = mixer.wallet.new_address()
+            self._faucet.add_grant(
+                float_address, btc(cfg.mixer_float_btc * self._scale(hrng))
+            )
+            mixers.append(mixer)
+
+        wallet_services = []
+        for i in range(cfg.num_wallet_services):
+            rng = self._seeds.generator(f"walletsvc/{i}")
+            hrng = self._seeds.generator(f"hetero/walletsvc/{i}")
+            size = self._scale(hrng)
+            service = WalletServiceActor(
+                f"walletsvc-{i}", self._new_wallet(f"walletsvc-{i}"), rng,
+                active_from=self._activation(rng),
+                consolidate_every=int(hrng.integers(6, 15)),
+                withdrawal_rate=float(hrng.uniform(0.2, 1.0)),
+                withdrawal_mean_btc=0.08 * size,
+            )
+            self._faucet.add_grant(
+                service.custody_address,
+                btc(cfg.wallet_service_float_btc * size),
+            )
+            wallet_services.append(service)
+
+        lending_desks = []
+        for i in range(cfg.num_lending_desks):
+            rng = self._seeds.generator(f"lending/{i}")
+            hrng = self._seeds.generator(f"hetero/lending/{i}")
+            desk = LendingActor(
+                f"lending-{i}", self._new_wallet(f"lending-{i}"), rng,
+                active_from=self._activation(rng),
+                interest_per_period=float(hrng.uniform(0.005, 0.02)),
+                period_ticks=int(hrng.integers(5, 13)),
+                periods=int(hrng.integers(4, 9)),
+            )
+            self._faucet.add_grant(
+                desk.treasury_address,
+                btc(cfg.lending_treasury_btc * self._scale(hrng)),
+            )
+            lending_desks.append(desk)
+
+        retail = []
+        for i in range(cfg.num_retail):
+            rng = self._seeds.generator(f"retail/{i}")
+            hrng = self._seeds.generator(f"hetero/retail/{i}")
+            user = RetailActor(
+                f"retail-{i}", self._new_wallet(f"retail-{i}"), rng,
+                active_from=self._activation(rng),
+                action_probability=float(hrng.uniform(0.15, 0.35)),
+            )
+            self._faucet.add_grant(
+                user.receive_address,
+                btc(cfg.retail_grant_btc * self._scale(hrng)),
+            )
+            retail.append(user)
+
+        self.ctx.bulletin["exchanges"] = exchanges
+        self.ctx.bulletin["gambling_houses"] = houses
+        self.ctx.bulletin["mixers"] = mixers
+        self.ctx.bulletin["wallet_services"] = wallet_services
+        self.ctx.bulletin["lending_desks"] = lending_desks
+        self.ctx.bulletin["retail_addresses"] = [u.receive_address for u in retail]
+
+        # Actor order: faucet first (funds flow out), then services, then users.
+        self._actors = (
+            [self._faucet]
+            + exchanges
+            + pools
+            + houses
+            + mixers
+            + wallet_services
+            + lending_desks
+            + self._actors  # miner members (registered during pool build)
+            + gamblers
+            + retail
+        )
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> World:
+        """Run warm-up plus the main window; return the finished world."""
+        cfg = self.config
+        interval = cfg.block_interval
+        rng = self._seeds.generator("world")
+
+        # Warm-up: mine subsidies to the faucet so grants are fundable.
+        # The actual queued grant total is used (per-actor heterogeneity
+        # rescales the nominal config budget).
+        needed = self._faucet.total_pending_value
+        subsidy = self.chain.params.subsidy_at(1)
+        warmup = max(cfg.warmup_blocks, int(needed // max(subsidy, 1)) + 2)
+        for i in range(warmup):
+            self.chain.mine_block(
+                [],
+                reward_address=self._faucet.reward_address,
+                timestamp=(i + 1) * interval,
+            )
+
+        start = warmup + 1
+        for tick in range(cfg.num_blocks):
+            now = (start + tick) * interval
+            self.ctx.now = now
+            self.ctx.height = self.chain.height + 1
+            for actor in self._actors:
+                actor.step(self.ctx)
+            txs = self.mempool.take(cfg.max_block_txs)
+            reward_address = self._pick_miner(rng, now)
+            self.chain.mine_block(txs, reward_address=reward_address, timestamp=now)
+
+        labels, fine_labels = self._collect_labels()
+        return World(
+            config=cfg,
+            chain=self.chain,
+            index=self.index,
+            labels=labels,
+            fine_labels=fine_labels,
+            actors=list(self._actors),
+        )
+
+    def _pick_miner(self, rng: np.random.Generator, now: float) -> str:
+        active_pools = [p for p in self._pools if now >= p.active_from]
+        if not active_pools:
+            return self._faucet.reward_address
+        pool = active_pools[int(rng.integers(len(active_pools)))]
+        return pool.reward_address
+
+    def _collect_labels(self) -> "tuple[Dict[str, AddressLabel], Dict[str, str]]":
+        labels: Dict[str, AddressLabel] = {}
+        fine_labels: Dict[str, str] = {}
+        for actor in self._actors:
+            if not isinstance(actor, LabeledActor):
+                continue
+            for address in actor.labeled_addresses():
+                labels[address] = actor.label
+            for address, fine in actor.fine_labeled_addresses():
+                fine_labels[address] = fine
+        return labels, fine_labels
+
+
+def generate_world(
+    config: Optional[WorldConfig] = None, seed: Optional[int] = None, **overrides
+) -> World:
+    """Build and run a world in one call.
+
+    ``generate_world(seed=7, num_retail=100)`` constructs a
+    :class:`WorldConfig` with the given overrides and runs it.
+    """
+    if config is None:
+        if seed is not None:
+            overrides["seed"] = seed
+        config = WorldConfig(**overrides)
+    elif seed is not None or overrides:
+        raise ValidationError("pass either a config or keyword overrides, not both")
+    return WorldSimulator(config).run()

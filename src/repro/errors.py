@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong shape, range, or type)."""
+
+
+class ChainError(ReproError):
+    """Base class for blockchain-substrate errors."""
+
+
+class InvalidTransactionError(ChainError):
+    """A transaction violates the UTXO rules (missing input, overspend...)."""
+
+
+class InvalidBlockError(ChainError):
+    """A block violates chain rules (bad link, bad coinbase, bad merkle)."""
+
+
+class InsufficientFundsError(ChainError):
+    """A wallet cannot assemble enough UTXO value for a requested spend."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method requiring a fitted model was called before ``fit``."""
+
+
+class GraphConstructionError(ReproError):
+    """Address-graph construction failed (empty history, bad slice...)."""
+
+
+class AutogradError(ReproError):
+    """An invalid operation was attempted on the autograd tape."""

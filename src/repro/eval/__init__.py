@@ -1,0 +1,26 @@
+"""Evaluation: metrics, training curves, and paper-style table rendering."""
+
+from repro.eval.curves import CurvePoint, TrainingCurve
+from repro.eval.metrics import (
+    ClassMetrics,
+    MetricsReport,
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    precision_recall_f1,
+)
+from repro.eval.report import format_curve_table, format_table, render_ascii_chart
+
+__all__ = [
+    "CurvePoint",
+    "TrainingCurve",
+    "ClassMetrics",
+    "MetricsReport",
+    "accuracy",
+    "classification_report",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "format_curve_table",
+    "format_table",
+    "render_ascii_chart",
+]

@@ -1,0 +1,76 @@
+"""Training-curve tracking for Figures 5 and 6 (F1 vs epoch / runtime)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import ValidationError
+
+__all__ = ["CurvePoint", "TrainingCurve"]
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One evaluation sample during training."""
+
+    epoch: int
+    runtime_seconds: float
+    f1: float
+
+
+@dataclass
+class TrainingCurve:
+    """Ordered F1 samples over a training run, keyed by a model name."""
+
+    model_name: str
+    points: List[CurvePoint] = field(default_factory=list)
+
+    def add(self, epoch: int, runtime_seconds: float, f1: float) -> None:
+        """Append one evaluation sample (epochs must be non-decreasing)."""
+        if self.points and epoch < self.points[-1].epoch:
+            raise ValidationError(
+                f"epochs must be non-decreasing, got {epoch} after "
+                f"{self.points[-1].epoch}"
+            )
+        self.points.append(
+            CurvePoint(epoch=epoch, runtime_seconds=runtime_seconds, f1=f1)
+        )
+
+    def epochs(self) -> List[int]:
+        """Epoch indices of the samples."""
+        return [p.epoch for p in self.points]
+
+    def runtimes(self) -> List[float]:
+        """Cumulative runtimes of the samples."""
+        return [p.runtime_seconds for p in self.points]
+
+    def f1_scores(self) -> List[float]:
+        """F1 at each sample."""
+        return [p.f1 for p in self.points]
+
+    def best_f1(self) -> float:
+        """Best F1 achieved over the run."""
+        if not self.points:
+            return 0.0
+        return max(p.f1 for p in self.points)
+
+    def final_f1(self) -> float:
+        """F1 at the last sample."""
+        if not self.points:
+            return 0.0
+        return self.points[-1].f1
+
+    def f1_at_time(self, budget_seconds: float) -> float:
+        """Best F1 achieved within a wall-clock budget (Fig. 5/6 right)."""
+        eligible = [p.f1 for p in self.points if p.runtime_seconds <= budget_seconds]
+        return max(eligible) if eligible else 0.0
+
+    def f1_at_epoch(self, epoch: int) -> Optional[float]:
+        """F1 of the latest sample at or before ``epoch``."""
+        eligible = [p for p in self.points if p.epoch <= epoch]
+        return eligible[-1].f1 if eligible else None
+
+    def rows(self) -> List[Tuple[int, float, float]]:
+        """``(epoch, runtime, f1)`` tuples."""
+        return [(p.epoch, p.runtime_seconds, p.f1) for p in self.points]

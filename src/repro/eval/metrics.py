@@ -1,0 +1,157 @@
+"""Classification metrics (paper §IV-A-b: precision, recall, F1-score).
+
+Per-class precision/recall/F1 plus the support-weighted averages the
+paper reports as "Weighted Avg".  Zero-division conventions follow the
+common tooling default: a class with no predicted (or true) examples
+scores 0 for the undefined metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "confusion_matrix",
+    "accuracy",
+    "precision_recall_f1",
+    "ClassMetrics",
+    "MetricsReport",
+    "classification_report",
+]
+
+
+def _validate_pair(y_true, y_pred) -> tuple:
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_true.ndim != 1 or y_pred.ndim != 1:
+        raise ValidationError("labels must be 1-D arrays")
+    if y_true.shape != y_pred.shape:
+        raise ValidationError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValidationError("labels must be non-empty")
+    return y_true, y_pred
+
+
+def confusion_matrix(
+    y_true, y_pred, num_classes: Optional[int] = None
+) -> np.ndarray:
+    """Counts ``C[i, j]`` = examples of true class i predicted as j."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    if num_classes is None:
+        num_classes = int(max(y_true.max(), y_pred.max())) + 1
+    if y_true.min() < 0 or y_pred.min() < 0:
+        raise ValidationError("labels must be non-negative")
+    if max(y_true.max(), y_pred.max()) >= num_classes:
+        raise ValidationError("labels exceed num_classes")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of exact label matches."""
+    y_true, y_pred = _validate_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+@dataclass(frozen=True)
+class ClassMetrics:
+    """Precision/recall/F1/support for one class."""
+
+    precision: float
+    recall: float
+    f1: float
+    support: int
+
+
+@dataclass(frozen=True)
+class MetricsReport:
+    """Per-class metrics plus support-weighted averages."""
+
+    per_class: Dict[int, ClassMetrics]
+    weighted_precision: float
+    weighted_recall: float
+    weighted_f1: float
+    accuracy: float
+
+    def row(self, label: int) -> ClassMetrics:
+        """Metrics of one class."""
+        return self.per_class[label]
+
+
+def precision_recall_f1(
+    y_true, y_pred, num_classes: Optional[int] = None
+) -> MetricsReport:
+    """Per-class and weighted precision/recall/F1 (paper Eq. 23–25)."""
+    matrix = confusion_matrix(y_true, y_pred, num_classes)
+    n_classes = matrix.shape[0]
+    true_positive = np.diag(matrix).astype(np.float64)
+    predicted = matrix.sum(axis=0).astype(np.float64)
+    actual = matrix.sum(axis=1).astype(np.float64)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(predicted > 0, true_positive / predicted, 0.0)
+        recall = np.where(actual > 0, true_positive / actual, 0.0)
+        denom = precision + recall
+        f1 = np.where(denom > 0, 2.0 * precision * recall / denom, 0.0)
+
+    per_class = {
+        label: ClassMetrics(
+            precision=float(precision[label]),
+            recall=float(recall[label]),
+            f1=float(f1[label]),
+            support=int(actual[label]),
+        )
+        for label in range(n_classes)
+    }
+    total = float(actual.sum())
+    weights = actual / total
+    return MetricsReport(
+        per_class=per_class,
+        weighted_precision=float(np.sum(precision * weights)),
+        weighted_recall=float(np.sum(recall * weights)),
+        weighted_f1=float(np.sum(f1 * weights)),
+        accuracy=float(true_positive.sum() / total),
+    )
+
+
+def classification_report(
+    y_true,
+    y_pred,
+    class_names: Optional[Sequence[str]] = None,
+    digits: int = 4,
+) -> str:
+    """A paper-style text table: one row per class plus Weighted Avg."""
+    report = precision_recall_f1(
+        y_true, y_pred, num_classes=len(class_names) if class_names else None
+    )
+    labels = sorted(report.per_class)
+    if class_names is None:
+        class_names = [f"class_{label}" for label in labels]
+    width = max(len(name) for name in list(class_names) + ["Weighted Avg"]) + 2
+    header = (
+        f"{'':<{width}}{'Precision':>11}{'Recall':>11}{'F1-score':>11}{'Support':>9}"
+    )
+    lines = [header]
+    for label in labels:
+        row = report.per_class[label]
+        lines.append(
+            f"{class_names[label]:<{width}}"
+            f"{row.precision:>11.{digits}f}{row.recall:>11.{digits}f}"
+            f"{row.f1:>11.{digits}f}{row.support:>9d}"
+        )
+    total = sum(report.per_class[label].support for label in labels)
+    lines.append(
+        f"{'Weighted Avg':<{width}}"
+        f"{report.weighted_precision:>11.{digits}f}"
+        f"{report.weighted_recall:>11.{digits}f}"
+        f"{report.weighted_f1:>11.{digits}f}{total:>9d}"
+    )
+    return "\n".join(lines)

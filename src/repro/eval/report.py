@@ -1,0 +1,107 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints tables in the same row/column layout the
+paper uses, so paper-vs-measured comparison is a visual diff.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_curve_table", "render_ascii_chart"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+    float_digits: int = 4,
+) -> str:
+    """Align ``rows`` under ``headers``; floats rendered to fixed digits."""
+    rendered: List[List[str]] = []
+    for row in rows:
+        rendered.append(
+            [
+                f"{cell:.{float_digits}f}" if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_curve_table(curves, budgets: Sequence[float]) -> str:
+    """F1-at-time-budget comparison across several TrainingCurves."""
+    headers = ["Model"] + [f"F1@{budget:.0f}s" for budget in budgets] + ["Best F1"]
+    rows = []
+    for curve in curves:
+        rows.append(
+            [curve.model_name]
+            + [curve.f1_at_time(budget) for budget in budgets]
+            + [curve.best_f1()]
+        )
+    return format_table(headers, rows)
+
+
+def render_ascii_chart(
+    curves,
+    width: int = 60,
+    height: int = 12,
+    by_runtime: bool = False,
+) -> str:
+    """A text rendering of F1 training curves (Figures 5/6 in a terminal).
+
+    Each curve gets a marker character; the x axis is the epoch index
+    (or cumulative runtime when ``by_runtime``), the y axis is F1 scaled
+    to the observed range.  Curves with no points are skipped.
+    """
+    markers = "*o+x#@%&"
+    plotted = [curve for curve in curves if curve.points]
+    if not plotted:
+        return "(no curve data)"
+    xs_of = (
+        (lambda c: c.runtimes()) if by_runtime else (lambda c: [float(e) for e in c.epochs()])
+    )
+    x_max = max(max(xs_of(curve)) for curve in plotted)
+    x_min = min(min(xs_of(curve)) for curve in plotted)
+    y_values = [p.f1 for curve in plotted for p in curve.points]
+    y_min, y_max = min(y_values), max(y_values)
+    if y_max - y_min < 1e-9:
+        y_max = y_min + 1e-9
+    if x_max - x_min < 1e-9:
+        x_max = x_min + 1e-9
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, curve in enumerate(plotted):
+        marker = markers[index % len(markers)]
+        for x, y in zip(xs_of(curve), curve.f1_scores()):
+            col = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = int((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = marker
+    lines = [
+        f"F1 {y_max:.3f} ┤" + "".join(grid[0]),
+    ]
+    for row in grid[1:-1]:
+        lines.append(" " * 9 + "│" + "".join(row))
+    lines.append(f"F1 {y_min:.3f} ┤" + "".join(grid[-1]))
+    axis_label = "runtime (s)" if by_runtime else "epoch"
+    lines.append(" " * 10 + "└" + "─" * (width - 1))
+    lines.append(
+        " " * 10 + f"{x_min:.0f}".ljust(width - 8) + f"{x_max:.0f} {axis_label}"
+    )
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={curve.model_name}"
+        for i, curve in enumerate(plotted)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Feature extraction: SFE statistics and the Lee et al. 80 features.
+
+Graph flattening for classical models lives in
+:mod:`repro.graphs.flatten` (it consumes constructed address graphs).
+"""
+
+from repro.features.sfe import (
+    SFE_DIM,
+    SFE_FEATURE_NAMES,
+    sfe_vector,
+    signed_log1p,
+)
+from repro.features.address_features import (
+    LEE_FEATURE_DIM,
+    extract_address_features,
+    extract_feature_matrix,
+)
+
+__all__ = [
+    "SFE_DIM",
+    "SFE_FEATURE_NAMES",
+    "sfe_vector",
+    "signed_log1p",
+    "LEE_FEATURE_DIM",
+    "extract_address_features",
+    "extract_feature_matrix",
+]

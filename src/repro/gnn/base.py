@@ -1,0 +1,68 @@
+"""Shared interface for graph-level classifiers (GFN / GCN / DiffPool)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.gnn.data import EncodedGraph
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, no_grad
+
+__all__ = ["GraphClassifier"]
+
+
+class GraphClassifier(Module):
+    """Base class: batch preparation + logits/embedding heads.
+
+    Subclasses implement :meth:`prepare_batch` (numpy-side feature
+    assembly, cacheable per graph) and :meth:`forward`/:meth:`embed`
+    (autograd-side computation).
+    """
+
+    num_classes: int
+    embedding_dim: int
+
+    def prepare_batch(self, graphs: Sequence[EncodedGraph]):
+        """Assemble a model-specific numpy payload for a batch."""
+        raise NotImplementedError
+
+    def forward(self, payload) -> Tensor:
+        """Class logits of shape ``(num_graphs, num_classes)``."""
+        raise NotImplementedError
+
+    def embed(self, payload) -> Tensor:
+        """Pre-classifier graph embeddings ``(num_graphs, embedding_dim)``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Convenience inference helpers
+    # ------------------------------------------------------------------ #
+
+    def predict(
+        self, graphs: Sequence[EncodedGraph], batch_size: int = 64
+    ) -> np.ndarray:
+        """Predicted class per graph."""
+        self.eval()
+        outputs: List[np.ndarray] = []
+        with no_grad():
+            for start in range(0, len(graphs), batch_size):
+                payload = self.prepare_batch(graphs[start : start + batch_size])
+                logits = self.forward(payload)
+                outputs.append(np.argmax(logits.data, axis=1))
+        return np.concatenate(outputs) if outputs else np.zeros(0, dtype=np.int64)
+
+    def embed_graphs(
+        self, graphs: Sequence[EncodedGraph], batch_size: int = 64
+    ) -> np.ndarray:
+        """Embeddings for every graph, row-aligned with the input order."""
+        self.eval()
+        outputs: List[np.ndarray] = []
+        with no_grad():
+            for start in range(0, len(graphs), batch_size):
+                payload = self.prepare_batch(graphs[start : start + batch_size])
+                outputs.append(self.embed(payload).data)
+        if not outputs:
+            return np.zeros((0, self.embedding_dim))
+        return np.concatenate(outputs, axis=0)

@@ -1,0 +1,69 @@
+"""Graph Convolutional Network baseline (Kipf & Welling; paper Table II).
+
+Two renormalised-adjacency convolutions with ReLU, SUM readout, linear
+classifier.  Unlike GFN, every layer multiplies by Ã *inside* the
+training loop, which is what makes GCN slower per epoch in Figure 5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.gnn.base import GraphClassifier
+from repro.gnn.data import EncodedGraph
+from repro.gnn.readout import sum_readout
+from repro.nn import functional as F
+from repro.nn.layers import Linear
+from repro.nn.tensor import Tensor
+from repro.utils.rng import as_generator
+
+__all__ = ["GCN"]
+
+
+class GCN(GraphClassifier):
+    """Two-layer GCN graph classifier with SUM readout."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        num_classes: int,
+        hidden_dim: int = 64,
+        rng: "int | np.random.Generator | None" = None,
+    ):
+        super().__init__()
+        generator = as_generator(rng)
+        self.input_dim = input_dim
+        self.num_classes = num_classes
+        self.hidden_dim = hidden_dim
+        self.embedding_dim = hidden_dim
+        self.conv1 = Linear(input_dim, hidden_dim, rng=generator)
+        self.conv2 = Linear(hidden_dim, hidden_dim, rng=generator)
+        self.classifier = Linear(hidden_dim, num_classes, rng=generator)
+
+    def prepare_batch(self, graphs: Sequence[EncodedGraph]) -> Dict:
+        """Block-diagonal Ã plus concatenated raw features."""
+        features = np.concatenate([g.features for g in graphs], axis=0)
+        adjacency = sp.block_diag([g.adjacency for g in graphs], format="csr")
+        segments = np.concatenate(
+            [np.full(g.num_nodes, i, dtype=np.int64) for i, g in enumerate(graphs)]
+        )
+        return {
+            "features": features,
+            "adjacency": adjacency,
+            "segments": segments,
+            "num_graphs": len(graphs),
+            "labels": np.array([g.label for g in graphs], dtype=np.int64),
+        }
+
+    def embed(self, payload: Dict) -> Tensor:
+        adjacency = payload["adjacency"]
+        x = Tensor(payload["features"])
+        hidden = F.relu(F.spmm(adjacency, self.conv1(x)))
+        hidden = F.relu(F.spmm(adjacency, self.conv2(hidden)))
+        return sum_readout(hidden, payload["segments"], payload["num_graphs"])
+
+    def forward(self, payload: Dict) -> Tensor:
+        return self.classifier(self.embed(payload))

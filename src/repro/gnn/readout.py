@@ -1,0 +1,23 @@
+"""Graph readout functions (paper Eq. 15: SUM pooling over node states)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+__all__ = ["sum_readout", "mean_readout"]
+
+
+def sum_readout(x: Tensor, segments: np.ndarray, num_graphs: int) -> Tensor:
+    """SUM-pool node states into per-graph embeddings (the paper's choice)."""
+    return F.segment_sum(x, segments, num_graphs)
+
+
+def mean_readout(x: Tensor, segments: np.ndarray, num_graphs: int) -> Tensor:
+    """Mean-pool node states into per-graph embeddings."""
+    sums = F.segment_sum(x, segments, num_graphs)
+    counts = np.bincount(segments, minlength=num_graphs).astype(np.float64)
+    counts = np.maximum(counts, 1.0)[:, np.newaxis]
+    return F.divide(sums, Tensor(counts))

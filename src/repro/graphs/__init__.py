@@ -1,0 +1,80 @@
+"""Address graph construction: extraction, compression, augmentation.
+
+Implements the paper's first component (§III-A): transactions of an
+address become chronological slice graphs; node compression (Eq. 1–7)
+bounds their size; centrality augmentation (Eq. 8–11) enriches node
+features; :class:`GraphConstructionPipeline` chains the stages with the
+per-stage timing of Table V.
+"""
+
+from repro.graphs.augmentation import augment_graph
+from repro.graphs.centrality import (
+    betweenness_centrality,
+    centrality_matrix,
+    closeness_centrality,
+    degree_centrality,
+    pagerank_centrality,
+)
+from repro.graphs.compression import (
+    compress_multi_transaction_addresses,
+    compress_single_transaction_addresses,
+    similarity_matrices,
+)
+from repro.graphs.extraction import (
+    build_original_graph,
+    extract_graphs,
+    slice_transactions,
+)
+from repro.graphs.flatten import (
+    FLAT_FEATURE_DIM,
+    flatten_dataset,
+    flatten_graph,
+    flatten_graphs,
+)
+from repro.graphs.matrices import (
+    normalized_adjacency,
+    normalized_adjacency_from_matrix,
+)
+from repro.graphs.model import (
+    NODE_FEATURE_DIM,
+    NODE_KIND_ORDER,
+    AddressGraph,
+    GraphEdge,
+    GraphNode,
+    NodeKind,
+)
+from repro.graphs.pipeline import (
+    STAGE_NAMES,
+    GraphConstructionPipeline,
+    GraphPipelineConfig,
+)
+
+__all__ = [
+    "augment_graph",
+    "betweenness_centrality",
+    "centrality_matrix",
+    "closeness_centrality",
+    "degree_centrality",
+    "pagerank_centrality",
+    "compress_multi_transaction_addresses",
+    "compress_single_transaction_addresses",
+    "similarity_matrices",
+    "build_original_graph",
+    "extract_graphs",
+    "slice_transactions",
+    "FLAT_FEATURE_DIM",
+    "flatten_dataset",
+    "flatten_graph",
+    "flatten_graphs",
+    "normalized_adjacency",
+    "normalized_adjacency_from_matrix",
+    "NODE_FEATURE_DIM",
+    "NODE_KIND_ORDER",
+    "AddressGraph",
+    "GraphEdge",
+    "GraphNode",
+    "NodeKind",
+    "STAGE_NAMES",
+    "GraphConstructionPipeline",
+    "GraphPipelineConfig",
+]

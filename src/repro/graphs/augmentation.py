@@ -1,0 +1,24 @@
+"""Stage 4 — graph structure augmentation (paper §III-A-3).
+
+Attaches the four network centralities (degree, closeness, betweenness,
+PageRank) to every node of a compressed address graph, so node features
+carry "not only the semantic information of address transactions but also
+the augmented graph structural characteristics".
+"""
+
+from __future__ import annotations
+
+from repro.graphs.centrality import centrality_matrix
+from repro.graphs.model import AddressGraph
+
+__all__ = ["augment_graph"]
+
+
+def augment_graph(graph: AddressGraph) -> AddressGraph:
+    """Compute and attach centrality features in place; returns the graph."""
+    if graph.num_nodes == 0:
+        return graph
+    matrix = centrality_matrix(graph.adjacency_lists())
+    for node in graph.nodes:
+        node.centrality = matrix[node.node_id]
+    return graph

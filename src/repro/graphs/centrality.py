@@ -1,0 +1,170 @@
+"""Network centrality measures, from scratch (paper §III-A-3, Eq. 8–11).
+
+All four measures operate on an undirected, unweighted graph given as
+adjacency lists.  They are validated against networkx in the test suite
+(networkx is a test-only dependency).
+
+- **Degree centrality** (Eq. 8): here normalised by ``n − 1`` so the
+  feature is scale-free across graphs of different sizes.
+- **Closeness centrality** (Eq. 9): ``(r − 1) / Σ d`` over the ``r``
+  nodes reachable from ``v`` (the paper's formula restricted to the
+  node's component; isolated nodes score 0).
+- **Betweenness centrality** (Eq. 10): Brandes' algorithm, with the
+  standard undirected normalisation ``2 / ((n − 1)(n − 2))``.
+- **PageRank centrality** (Eq. 11): power iteration with uniform
+  dangling-mass redistribution.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "degree_centrality",
+    "closeness_centrality",
+    "betweenness_centrality",
+    "pagerank_centrality",
+    "centrality_matrix",
+]
+
+Adjacency = Sequence[Sequence[int]]
+
+
+def _validate(adjacency: Adjacency) -> int:
+    n = len(adjacency)
+    for node, neighbors in enumerate(adjacency):
+        for neighbor in neighbors:
+            if not 0 <= neighbor < n:
+                raise ValidationError(
+                    f"adjacency[{node}] references unknown node {neighbor}"
+                )
+    return n
+
+
+def degree_centrality(adjacency: Adjacency) -> np.ndarray:
+    """Degree divided by ``n − 1`` (1.0 = connected to everyone)."""
+    n = _validate(adjacency)
+    if n <= 1:
+        return np.zeros(n, dtype=np.float64)
+    degrees = np.array([len(nbrs) for nbrs in adjacency], dtype=np.float64)
+    return degrees / (n - 1)
+
+
+def _bfs_distances(adjacency: Adjacency, source: int) -> np.ndarray:
+    n = len(adjacency)
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in adjacency[node]:
+            if dist[neighbor] < 0:
+                dist[neighbor] = dist[node] + 1
+                queue.append(neighbor)
+    return dist
+
+
+def closeness_centrality(adjacency: Adjacency) -> np.ndarray:
+    """Per-component closeness ``(r − 1) / Σ d`` (Eq. 9)."""
+    n = _validate(adjacency)
+    scores = np.zeros(n, dtype=np.float64)
+    for node in range(n):
+        dist = _bfs_distances(adjacency, node)
+        reachable = dist >= 0
+        r = int(reachable.sum())
+        if r <= 1:
+            continue
+        total = float(dist[reachable].sum())
+        if total > 0:
+            scores[node] = (r - 1) / total
+    return scores
+
+
+def betweenness_centrality(
+    adjacency: Adjacency, normalized: bool = True
+) -> np.ndarray:
+    """Shortest-path betweenness via Brandes' accumulation (Eq. 10)."""
+    n = _validate(adjacency)
+    scores = np.zeros(n, dtype=np.float64)
+    for source in range(n):
+        stack: List[int] = []
+        predecessors: List[List[int]] = [[] for _ in range(n)]
+        sigma = np.zeros(n, dtype=np.float64)
+        sigma[source] = 1.0
+        dist = np.full(n, -1, dtype=np.int64)
+        dist[source] = 0
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            stack.append(node)
+            for neighbor in adjacency[node]:
+                if dist[neighbor] < 0:
+                    dist[neighbor] = dist[node] + 1
+                    queue.append(neighbor)
+                if dist[neighbor] == dist[node] + 1:
+                    sigma[neighbor] += sigma[node]
+                    predecessors[neighbor].append(node)
+        delta = np.zeros(n, dtype=np.float64)
+        while stack:
+            node = stack.pop()
+            for pred in predecessors[node]:
+                delta[pred] += sigma[pred] / sigma[node] * (1.0 + delta[node])
+            if node != source:
+                scores[node] += delta[node]
+    scores /= 2.0  # each undirected pair counted twice
+    if normalized and n > 2:
+        scores *= 2.0 / ((n - 1) * (n - 2))
+    return scores
+
+
+def pagerank_centrality(
+    adjacency: Adjacency,
+    alpha: float = 0.85,
+    max_iterations: int = 200,
+    tolerance: float = 1e-10,
+) -> np.ndarray:
+    """Power-iteration PageRank with dangling redistribution (Eq. 11)."""
+    n = _validate(adjacency)
+    if n == 0:
+        return np.zeros(0, dtype=np.float64)
+    if not 0.0 < alpha < 1.0:
+        raise ValidationError(f"alpha must be in (0, 1), got {alpha}")
+    out_degree = np.array([len(nbrs) for nbrs in adjacency], dtype=np.float64)
+    dangling = out_degree == 0
+    rank = np.full(n, 1.0 / n, dtype=np.float64)
+    for _ in range(max_iterations):
+        new_rank = np.full(n, (1.0 - alpha) / n, dtype=np.float64)
+        dangling_mass = alpha * float(rank[dangling].sum()) / n
+        new_rank += dangling_mass
+        for node, neighbors in enumerate(adjacency):
+            if not neighbors:
+                continue
+            share = alpha * rank[node] / out_degree[node]
+            for neighbor in neighbors:
+                new_rank[neighbor] += share
+        if float(np.abs(new_rank - rank).sum()) < tolerance:
+            rank = new_rank
+            break
+        rank = new_rank
+    return rank
+
+
+def centrality_matrix(adjacency: Adjacency) -> np.ndarray:
+    """All four centralities stacked: shape ``(n, 4)``.
+
+    Column order: degree, closeness, betweenness, PageRank — the layout
+    consumed by :mod:`repro.graphs.augmentation`.
+    """
+    return np.column_stack(
+        [
+            degree_centrality(adjacency),
+            closeness_centrality(adjacency),
+            betweenness_centrality(adjacency),
+            pagerank_centrality(adjacency),
+        ]
+    )

@@ -1,0 +1,257 @@
+"""Stages 2–3 — graph node compression (paper §III-A-2, Eq. 1–7).
+
+Two passes bound the size of the original address graphs while preserving
+the transfer statistics of merged nodes through SFE:
+
+- **Single-transaction address compression** (Fig. 3): all non-centre
+  address nodes touching exactly one transaction are merged, per
+  transaction and per side (input/output), into a *single-transaction
+  hyper node* whose value bag is the union of its members' (Eq. 2).
+- **Multi-transaction address compression** (Fig. 4): address nodes
+  touching two or more transactions are compared via the co-occurrence
+  similarity ``M = A·Aᵀ·D⁻¹`` (Eq. 3–4); groups whose thresholded
+  similarity row ``Q = ReLU(M − Ψ)`` (Eq. 5) has more than σ non-zeros
+  are merged into *multi-transaction hyper nodes* (Eq. 6–7).
+
+The centre address node is never merged — it is the classification
+subject.  Transaction nodes are never merged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.graphs.model import AddressGraph, GraphEdge, GraphNode, NodeKind
+
+__all__ = [
+    "compress_single_transaction_addresses",
+    "compress_multi_transaction_addresses",
+    "similarity_matrices",
+]
+
+
+def _distinct_neighbors(graph: AddressGraph) -> List[Set[int]]:
+    neighbors: List[Set[int]] = [set() for _ in range(graph.num_nodes)]
+    for edge in graph.edges:
+        neighbors[edge.src].add(edge.dst)
+        neighbors[edge.dst].add(edge.src)
+    return neighbors
+
+
+def _rebuild_with_merges(
+    graph: AddressGraph,
+    merge_groups: List[Tuple[str, str, List[int]]],
+) -> AddressGraph:
+    """Rebuild ``graph`` with each ``(kind, ref, member_ids)`` group merged.
+
+    Member edges to the rest of the graph are aggregated per
+    ``(other node, direction)`` with summed values; member value bags are
+    concatenated (the input to SFE at feature-assembly time).
+    """
+    member_to_group: Dict[int, int] = {}
+    for group_index, (_, _, members) in enumerate(merge_groups):
+        for member in members:
+            member_to_group[member] = group_index
+
+    new_nodes: List[GraphNode] = []
+    old_to_new: Dict[int, int] = {}
+    for node in graph.nodes:
+        if node.node_id in member_to_group:
+            continue
+        new_id = len(new_nodes)
+        old_to_new[node.node_id] = new_id
+        new_nodes.append(
+            GraphNode(
+                node_id=new_id,
+                kind=node.kind,
+                ref=node.ref,
+                values=list(node.values),
+                merged_count=node.merged_count,
+                centrality=node.centrality,
+            )
+        )
+    group_new_ids: List[int] = []
+    for kind, ref, members in merge_groups:
+        new_id = len(new_nodes)
+        group_new_ids.append(new_id)
+        bag: List[float] = []
+        merged_count = 0
+        for member in members:
+            bag.extend(graph.nodes[member].values)
+            merged_count += graph.nodes[member].merged_count
+        new_nodes.append(
+            GraphNode(
+                node_id=new_id,
+                kind=kind,
+                ref=ref,
+                values=bag,
+                merged_count=merged_count,
+            )
+        )
+
+    def resolve(old_id: int) -> int:
+        group = member_to_group.get(old_id)
+        if group is not None:
+            return group_new_ids[group]
+        return old_to_new[old_id]
+
+    aggregated: Dict[Tuple[int, int], float] = {}
+    order: List[Tuple[int, int]] = []
+    for edge in graph.edges:
+        key = (resolve(edge.src), resolve(edge.dst))
+        if key not in aggregated:
+            aggregated[key] = 0.0
+            order.append(key)
+        aggregated[key] += edge.value
+
+    new_edges = [
+        GraphEdge(src=src, dst=dst, value=aggregated[(src, dst)])
+        for src, dst in order
+    ]
+    return graph.rebuild(new_nodes, new_edges)
+
+
+# --------------------------------------------------------------------- #
+# Stage 2 — single-transaction address compression
+# --------------------------------------------------------------------- #
+
+
+def compress_single_transaction_addresses(graph: AddressGraph) -> AddressGraph:
+    """Merge degree-1 address nodes per transaction and side (Fig. 3).
+
+    After this pass a transaction node links to at most one
+    single-transaction hyper node on its input side and one on its output
+    side (plus any remaining multi-transaction or centre address nodes).
+    Address nodes appearing on *both* sides of their single transaction
+    (self-change) are left unmerged — they carry a distinct signature.
+    """
+    neighbors = _distinct_neighbors(graph)
+    center_id = graph.center_node_id()
+
+    in_side: Dict[int, Set[int]] = {}
+    out_side: Dict[int, Set[int]] = {}
+    for edge in graph.edges:
+        src_node = graph.nodes[edge.src]
+        dst_node = graph.nodes[edge.dst]
+        if src_node.kind == NodeKind.ADDRESS and dst_node.kind == NodeKind.TRANSACTION:
+            in_side.setdefault(edge.dst, set()).add(edge.src)
+        elif src_node.kind == NodeKind.TRANSACTION and dst_node.kind == NodeKind.ADDRESS:
+            out_side.setdefault(edge.src, set()).add(edge.dst)
+
+    merge_groups: List[Tuple[str, str, List[int]]] = []
+    for tx_id, side_map, tag in (
+        *((tx, in_side, "in") for tx in in_side),
+        *((tx, out_side, "out") for tx in out_side),
+    ):
+        members = []
+        other = out_side if tag == "in" else in_side
+        for addr_id in sorted(side_map[tx_id]):
+            node = graph.nodes[addr_id]
+            if addr_id == center_id or node.kind != NodeKind.ADDRESS:
+                continue
+            if len(neighbors[addr_id]) != 1:
+                continue  # multi-transaction address
+            if addr_id in other.get(tx_id, ()):  # appears on both sides
+                continue
+            members.append(addr_id)
+        if len(members) >= 2:
+            tx_ref = graph.nodes[tx_id].ref
+            merge_groups.append(
+                (NodeKind.SINGLE_HYPER, f"s:{tx_ref}:{tag}", members)
+            )
+
+    if not merge_groups:
+        return graph
+    return _rebuild_with_merges(graph, merge_groups)
+
+
+# --------------------------------------------------------------------- #
+# Stage 3 — multi-transaction address compression
+# --------------------------------------------------------------------- #
+
+
+def similarity_matrices(
+    graph: AddressGraph,
+) -> Tuple[List[int], List[int], np.ndarray, np.ndarray]:
+    """The incidence and similarity matrices of Eq. (3)–(4).
+
+    Returns ``(multi_ids, tx_ids, S, M)`` where ``multi_ids`` are the
+    candidate multi-transaction address node ids (degree ≥ 2 address
+    nodes, centre excluded), ``S = A·Aᵀ`` counts shared transactions and
+    ``M = S·D⁻¹`` is the column-normalised similarity (``m_ij = s_ij /
+    s_jj`` — the fraction of j's transactions shared with i, exactly the
+    paper's worked example ``m31 = s31 / s11 = 0.7``).
+    """
+    neighbors = _distinct_neighbors(graph)
+    center_id = graph.center_node_id()
+    tx_ids = [n.node_id for n in graph.nodes if n.kind == NodeKind.TRANSACTION]
+    tx_index = {tx: i for i, tx in enumerate(tx_ids)}
+    multi_ids = [
+        node.node_id
+        for node in graph.nodes
+        if node.kind == NodeKind.ADDRESS
+        and node.node_id != center_id
+        and len(neighbors[node.node_id]) >= 2
+    ]
+    n, d = len(multi_ids), len(tx_ids)
+    incidence = np.zeros((n, d), dtype=np.float64)
+    for row, addr_id in enumerate(multi_ids):
+        for neighbor in neighbors[addr_id]:
+            col = tx_index.get(neighbor)
+            if col is not None:
+                incidence[row, col] = 1.0
+    shared = incidence @ incidence.T
+    diagonal = np.diag(shared).copy()
+    safe = np.where(diagonal > 0, diagonal, 1.0)
+    similarity = shared / safe[np.newaxis, :]
+    return multi_ids, tx_ids, shared, similarity
+
+
+def compress_multi_transaction_addresses(
+    graph: AddressGraph,
+    psi: float = 0.6,
+    sigma: int = 2,
+) -> AddressGraph:
+    """Merge co-occurring multi-transaction address nodes (Eq. 3–7).
+
+    ``Q = ReLU(M − Ψ)`` thresholds the similarity; a node whose row has
+    more than ``sigma`` non-zeros is merged with its similar set.  Groups
+    are formed greedily from the densest rows; each node joins at most
+    one hyper node.
+    """
+    if not 0.0 < psi <= 1.0:
+        raise ValidationError(f"psi must be in (0, 1], got {psi}")
+    if sigma < 1:
+        raise ValidationError(f"sigma must be >= 1, got {sigma}")
+
+    multi_ids, _, _, similarity = similarity_matrices(graph)
+    if len(multi_ids) < 2:
+        return graph
+
+    thresholded = np.maximum(0.0, similarity - psi)  # Eq. (5)
+    nonzero_counts = (thresholded > 0.0).sum(axis=1)
+
+    merged: Set[int] = set()
+    merge_groups: List[Tuple[str, str, List[int]]] = []
+    for row in np.argsort(-nonzero_counts):
+        row = int(row)
+        if nonzero_counts[row] <= sigma or row in merged:
+            continue
+        similar_rows = [
+            int(col)
+            for col in np.flatnonzero(thresholded[row] > 0.0)
+            if int(col) not in merged
+        ]
+        if len(similar_rows) < 2:
+            continue
+        merged.update(similar_rows)
+        members = [multi_ids[col] for col in similar_rows]
+        anchor_ref = graph.nodes[multi_ids[row]].ref
+        merge_groups.append((NodeKind.MULTI_HYPER, f"m:{anchor_ref}", members))
+
+    if not merge_groups:
+        return graph
+    return _rebuild_with_merges(graph, merge_groups)

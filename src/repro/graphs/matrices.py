@@ -1,0 +1,35 @@
+"""Adjacency-matrix builders for graph neural networks (paper Eq. 12).
+
+``Ã = D̃^{-1/2}(A + I)D̃^{-1/2}`` — the renormalised adjacency of Kipf &
+Welling, used by both the GFN feature-propagation step (Eq. 13) and the
+GCN baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ValidationError
+from repro.graphs.model import AddressGraph
+
+__all__ = ["normalized_adjacency", "normalized_adjacency_from_matrix"]
+
+
+def normalized_adjacency_from_matrix(adjacency: sp.spmatrix) -> sp.csr_matrix:
+    """``D̃^{-1/2}(A + I)D̃^{-1/2}`` for a square sparse adjacency."""
+    if adjacency.shape[0] != adjacency.shape[1]:
+        raise ValidationError(
+            f"adjacency must be square, got shape {adjacency.shape}"
+        )
+    n = adjacency.shape[0]
+    with_loops = adjacency.tocsr() + sp.identity(n, format="csr")
+    degree = np.asarray(with_loops.sum(axis=1)).ravel()
+    inv_sqrt = np.where(degree > 0, 1.0 / np.sqrt(degree), 0.0)
+    scale = sp.diags(inv_sqrt)
+    return (scale @ with_loops @ scale).tocsr()
+
+
+def normalized_adjacency(graph: AddressGraph) -> sp.csr_matrix:
+    """The renormalised adjacency of an address graph."""
+    return normalized_adjacency_from_matrix(graph.adjacency_matrix())

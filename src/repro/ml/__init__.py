@@ -1,0 +1,33 @@
+"""Classical ML baselines, from scratch (Table II comparators).
+
+Logistic regression, linear SVM, Bernoulli/Gaussian naive Bayes, k-NN,
+CART decision tree, random forest, multiclass GBDT, second-order
+("XGBoost-style") boosting, and an sklearn-style MLP over repro.nn.
+"""
+
+from repro.ml.base import Classifier, softmax_rows
+from repro.ml.ensemble import GradientBoostingClassifier, RandomForestClassifier
+from repro.ml.linear import LinearSVM, LogisticRegression
+from repro.ml.naive_bayes import BernoulliNB, GaussianNB
+from repro.ml.neighbors import KNNClassifier
+from repro.ml.neural import MLPClassifier
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.tree import DecisionTreeClassifier, RegressionTree
+from repro.ml.xgboost import XGBoostClassifier
+
+__all__ = [
+    "Classifier",
+    "softmax_rows",
+    "GradientBoostingClassifier",
+    "RandomForestClassifier",
+    "LinearSVM",
+    "LogisticRegression",
+    "BernoulliNB",
+    "GaussianNB",
+    "KNNClassifier",
+    "MLPClassifier",
+    "StandardScaler",
+    "DecisionTreeClassifier",
+    "RegressionTree",
+    "XGBoostClassifier",
+]

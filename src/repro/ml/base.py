@@ -1,0 +1,76 @@
+"""Estimator base class for the from-scratch classical ML models."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import NotFittedError, ValidationError
+
+__all__ = ["Classifier", "check_fit_inputs", "softmax_rows"]
+
+
+def check_fit_inputs(features, labels) -> tuple:
+    """Coerce and validate ``(X, y)`` for classifier fitting."""
+    x = np.asarray(features, dtype=np.float64)
+    y = np.asarray(labels, dtype=np.int64)
+    if x.ndim != 2:
+        raise ValidationError(f"X must be 2-D, got shape {x.shape}")
+    if y.ndim != 1:
+        raise ValidationError(f"y must be 1-D, got shape {y.shape}")
+    if x.shape[0] != y.shape[0]:
+        raise ValidationError(
+            f"X rows ({x.shape[0]}) must match y length ({y.shape[0]})"
+        )
+    if x.shape[0] == 0:
+        raise ValidationError("cannot fit on an empty dataset")
+    if y.min() < 0:
+        raise ValidationError("labels must be non-negative integers")
+    return x, y
+
+
+def softmax_rows(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax of a 2-D logit matrix."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=1, keepdims=True)
+
+
+class Classifier:
+    """Common fit/predict interface.
+
+    Subclasses set ``self.num_classes_`` during :meth:`fit` and implement
+    :meth:`predict_proba` (or override :meth:`predict` directly).
+    """
+
+    num_classes_: Optional[int] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed."""
+        return self.num_classes_ is not None
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before prediction"
+            )
+
+    def fit(self, features, labels) -> "Classifier":
+        """Train on ``(X, y)``; returns self."""
+        raise NotImplementedError
+
+    def predict_proba(self, features) -> np.ndarray:
+        """Class-probability matrix ``(n_samples, n_classes)``."""
+        raise NotImplementedError
+
+    def predict(self, features) -> np.ndarray:
+        """Hard class predictions."""
+        self._require_fitted()
+        return np.argmax(self.predict_proba(features), axis=1)
+
+    def score(self, features, labels) -> float:
+        """Mean accuracy on ``(X, y)``."""
+        labels = np.asarray(labels, dtype=np.int64)
+        return float(np.mean(self.predict(features) == labels))

@@ -1,0 +1,166 @@
+"""Tree ensembles: random forest and gradient-boosted decision trees."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.ml.base import Classifier, check_fit_inputs, softmax_rows
+from repro.ml.tree import DecisionTreeClassifier, RegressionTree
+from repro.utils.rng import as_generator
+
+__all__ = ["RandomForestClassifier", "GradientBoostingClassifier"]
+
+
+class RandomForestClassifier(Classifier):
+    """Bootstrap-aggregated CART trees with √d feature subsampling."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: Optional[int] = None,
+        min_samples_leaf: int = 1,
+        max_features="sqrt",
+        seed: int = 0,
+    ):
+        if n_estimators <= 0:
+            raise ValidationError(f"n_estimators must be > 0, got {n_estimators}")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.trees_: List[DecisionTreeClassifier] = []
+
+    def fit(self, features, labels) -> "RandomForestClassifier":
+        x, y = check_fit_inputs(features, labels)
+        self.num_classes_ = int(y.max()) + 1
+        rng = as_generator(self.seed)
+        self.trees_ = []
+        n = x.shape[0]
+        for index in range(self.n_estimators):
+            sample = rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=int(rng.integers(2**31)),
+            )
+            tree.num_classes_ = self.num_classes_
+            tree.fit(x[sample], y[sample])
+            # Bootstrap may miss classes; align proba width to the forest.
+            tree.num_classes_ = self.num_classes_
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, features) -> np.ndarray:
+        self._require_fitted()
+        x = np.asarray(features, dtype=np.float64)
+        total = np.zeros((x.shape[0], self.num_classes_))
+        for tree in self.trees_:
+            proba = tree.predict_proba(x)
+            if proba.shape[1] < self.num_classes_:
+                padded = np.zeros((x.shape[0], self.num_classes_))
+                padded[:, : proba.shape[1]] = proba
+                proba = padded
+            total += proba
+        return total / len(self.trees_)
+
+
+class GradientBoostingClassifier(Classifier):
+    """Multiclass GBDT with softmax deviance and Friedman leaf updates.
+
+    Each boosting round fits one shallow regression tree per class to the
+    softmax residual ``y_k − p_k``; leaf outputs use the standard
+    multiclass update ``(K−1)/K · Σr / Σ|r|(1−|r|)``.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 60,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 1,
+        subsample: float = 1.0,
+        seed: int = 0,
+    ):
+        if n_estimators <= 0:
+            raise ValidationError(f"n_estimators must be > 0, got {n_estimators}")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValidationError(f"learning_rate must be in (0, 1], got {learning_rate}")
+        if not 0.0 < subsample <= 1.0:
+            raise ValidationError(f"subsample must be in (0, 1], got {subsample}")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self.seed = seed
+        self.rounds_: List[List[RegressionTree]] = []
+        self.init_scores_ = None
+
+    def fit(self, features, labels) -> "GradientBoostingClassifier":
+        x, y = check_fit_inputs(features, labels)
+        n, _ = x.shape
+        n_classes = int(y.max()) + 1
+        self.num_classes_ = n_classes
+        rng = as_generator(self.seed)
+        onehot = np.eye(n_classes)[y]
+        priors = np.clip(onehot.mean(axis=0), 1e-12, None)
+        self.init_scores_ = np.log(priors)
+        scores = np.tile(self.init_scores_, (n, 1))
+        self.rounds_ = []
+        for _ in range(self.n_estimators):
+            probabilities = softmax_rows(scores)
+            residual = onehot - probabilities
+            if self.subsample < 1.0:
+                chosen = rng.random(n) < self.subsample
+                if not chosen.any():
+                    chosen[rng.integers(n)] = True
+            else:
+                chosen = np.ones(n, dtype=bool)
+            round_trees: List[RegressionTree] = []
+            for cls in range(n_classes):
+                tree = RegressionTree(
+                    max_depth=self.max_depth,
+                    min_samples_leaf=self.min_samples_leaf,
+                    seed=int(rng.integers(2**31)),
+                )
+                tree.fit(x[chosen], residual[chosen, cls])
+                self._friedman_update(tree, x[chosen], residual[chosen, cls])
+                scores[:, cls] += self.learning_rate * tree.predict(x)
+                round_trees.append(tree)
+            self.rounds_.append(round_trees)
+        return self
+
+    def _friedman_update(
+        self, tree: RegressionTree, x: np.ndarray, residual: np.ndarray
+    ) -> None:
+        k = float(self.num_classes_)
+        leaves = tree.apply(x)
+        updates = {}
+        for leaf in np.unique(leaves):
+            rows = leaves == leaf
+            numerator = residual[rows].sum()
+            denominator = float(
+                (np.abs(residual[rows]) * (1.0 - np.abs(residual[rows]))).sum()
+            )
+            if denominator < 1e-12:
+                continue
+            updates[int(leaf)] = (k - 1.0) / k * numerator / denominator
+        tree.set_leaf_values(updates)
+
+    def decision_function(self, features) -> np.ndarray:
+        """Raw additive scores ``(n_samples, n_classes)``."""
+        self._require_fitted()
+        x = np.asarray(features, dtype=np.float64)
+        scores = np.tile(self.init_scores_, (x.shape[0], 1))
+        for round_trees in self.rounds_:
+            for cls, tree in enumerate(round_trees):
+                scores[:, cls] += self.learning_rate * tree.predict(x)
+        return scores
+
+    def predict_proba(self, features) -> np.ndarray:
+        return softmax_rows(self.decision_function(features))

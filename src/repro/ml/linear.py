@@ -1,0 +1,143 @@
+"""Linear classifiers: softmax regression and a linear SVM.
+
+Both standardise features internally by default (linear models are
+scale-sensitive; the address features span orders of magnitude even after
+log compression).  Pass ``standardize=False`` to reproduce the paper's
+Table II protocol, where raw-magnitude features sink the scale-sensitive
+models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.ml.base import Classifier, check_fit_inputs, softmax_rows
+from repro.ml.preprocessing import StandardScaler
+from repro.utils.rng import as_generator
+
+__all__ = ["LogisticRegression", "LinearSVM"]
+
+
+class LogisticRegression(Classifier):
+    """Multinomial logistic regression trained by batch gradient descent."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        epochs: int = 300,
+        l2: float = 1e-4,
+        seed: int = 0,
+        standardize: bool = True,
+    ):
+        if epochs <= 0:
+            raise ValidationError(f"epochs must be > 0, got {epochs}")
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self.seed = seed
+        self.standardize = standardize
+        self.weights_ = None
+        self.bias_ = None
+        self._scaler = StandardScaler()
+
+    def _fit_scale(self, x):
+        return self._scaler.fit_transform(x) if self.standardize else x
+
+    def _scale(self, x):
+        return self._scaler.transform(x) if self.standardize else x
+
+    def fit(self, features, labels) -> "LogisticRegression":
+        x, y = check_fit_inputs(features, labels)
+        x = self._fit_scale(x)
+        n_samples, n_features = x.shape
+        n_classes = int(y.max()) + 1
+        rng = as_generator(self.seed)
+        weights = rng.normal(0.0, 0.01, size=(n_features, n_classes))
+        bias = np.zeros(n_classes)
+        onehot = np.eye(n_classes)[y]
+        for _ in range(self.epochs):
+            probabilities = softmax_rows(x @ weights + bias)
+            error = (probabilities - onehot) / n_samples
+            grad_w = x.T @ error + self.l2 * weights
+            grad_b = error.sum(axis=0)
+            weights -= self.learning_rate * grad_w
+            bias -= self.learning_rate * grad_b
+        self.weights_ = weights
+        self.bias_ = bias
+        self.num_classes_ = n_classes
+        return self
+
+    def predict_proba(self, features) -> np.ndarray:
+        self._require_fitted()
+        x = self._scale(np.asarray(features, dtype=np.float64))
+        return softmax_rows(x @ self.weights_ + self.bias_)
+
+
+class LinearSVM(Classifier):
+    """One-vs-rest linear SVM trained by hinge-loss subgradient descent.
+
+    ``predict_proba`` returns softmax-calibrated decision margins — enough
+    for argmax prediction and ranking, which is all the benchmarks use.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.05,
+        epochs: int = 300,
+        c: float = 1.0,
+        seed: int = 0,
+        standardize: bool = True,
+    ):
+        if epochs <= 0:
+            raise ValidationError(f"epochs must be > 0, got {epochs}")
+        if c <= 0:
+            raise ValidationError(f"C must be > 0, got {c}")
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.c = c
+        self.seed = seed
+        self.standardize = standardize
+        self.weights_ = None
+        self.bias_ = None
+        self._scaler = StandardScaler()
+
+    def _fit_scale(self, x):
+        return self._scaler.fit_transform(x) if self.standardize else x
+
+    def _scale(self, x):
+        return self._scaler.transform(x) if self.standardize else x
+
+    def fit(self, features, labels) -> "LinearSVM":
+        x, y = check_fit_inputs(features, labels)
+        x = self._fit_scale(x)
+        n_samples, n_features = x.shape
+        n_classes = int(y.max()) + 1
+        rng = as_generator(self.seed)
+        weights = rng.normal(0.0, 0.01, size=(n_features, n_classes))
+        bias = np.zeros(n_classes)
+        # OvR targets in {-1, +1}
+        targets = np.where(np.eye(n_classes)[y] > 0, 1.0, -1.0)
+        for _ in range(self.epochs):
+            margins = targets * (x @ weights + bias)
+            active = (margins < 1.0).astype(np.float64)
+            grad_w = (
+                weights / n_samples
+                - self.c * (x.T @ (active * targets)) / n_samples
+            )
+            grad_b = -self.c * (active * targets).sum(axis=0) / n_samples
+            weights -= self.learning_rate * grad_w
+            bias -= self.learning_rate * grad_b
+        self.weights_ = weights
+        self.bias_ = bias
+        self.num_classes_ = n_classes
+        return self
+
+    def decision_function(self, features) -> np.ndarray:
+        """Raw OvR margins, shape ``(n_samples, n_classes)``."""
+        self._require_fitted()
+        x = self._scale(np.asarray(features, dtype=np.float64))
+        return x @ self.weights_ + self.bias_
+
+    def predict_proba(self, features) -> np.ndarray:
+        return softmax_rows(self.decision_function(features))

@@ -1,0 +1,124 @@
+"""Naive Bayes classifiers: Gaussian and Bernoulli variants."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.ml.base import Classifier, check_fit_inputs
+
+__all__ = ["GaussianNB", "BernoulliNB"]
+
+
+class GaussianNB(Classifier):
+    """Per-class diagonal-Gaussian likelihoods with shared variance floor."""
+
+    def __init__(self, var_smoothing: float = 1e-9):
+        if var_smoothing <= 0:
+            raise ValidationError(
+                f"var_smoothing must be > 0, got {var_smoothing}"
+            )
+        self.var_smoothing = var_smoothing
+        self.means_ = None
+        self.variances_ = None
+        self.log_priors_ = None
+
+    def fit(self, features, labels) -> "GaussianNB":
+        x, y = check_fit_inputs(features, labels)
+        n_classes = int(y.max()) + 1
+        n_features = x.shape[1]
+        means = np.zeros((n_classes, n_features))
+        variances = np.zeros((n_classes, n_features))
+        priors = np.zeros(n_classes)
+        floor = self.var_smoothing * float(x.var(axis=0).max() or 1.0)
+        for cls in range(n_classes):
+            rows = x[y == cls]
+            priors[cls] = len(rows) / len(x)
+            if len(rows) == 0:
+                variances[cls] = floor
+                continue
+            means[cls] = rows.mean(axis=0)
+            variances[cls] = rows.var(axis=0) + floor
+        self.means_ = means
+        self.variances_ = variances
+        with np.errstate(divide="ignore"):
+            self.log_priors_ = np.where(priors > 0, np.log(priors), -np.inf)
+        self.num_classes_ = n_classes
+        return self
+
+    def _joint_log_likelihood(self, x: np.ndarray) -> np.ndarray:
+        n_classes = self.means_.shape[0]
+        scores = np.zeros((x.shape[0], n_classes))
+        for cls in range(n_classes):
+            diff = x - self.means_[cls]
+            log_like = -0.5 * (
+                np.log(2.0 * np.pi * self.variances_[cls])
+                + diff**2 / self.variances_[cls]
+            )
+            scores[:, cls] = self.log_priors_[cls] + log_like.sum(axis=1)
+        return scores
+
+    def predict_proba(self, features) -> np.ndarray:
+        self._require_fitted()
+        x = np.asarray(features, dtype=np.float64)
+        scores = self._joint_log_likelihood(x)
+        shifted = scores - scores.max(axis=1, keepdims=True)
+        exps = np.exp(shifted)
+        return exps / exps.sum(axis=1, keepdims=True)
+
+
+class BernoulliNB(Classifier):
+    """Bernoulli NB over median-binarised features with Laplace smoothing.
+
+    Continuous inputs are binarised at the per-feature training median,
+    the standard adaptation for real-valued data.
+    """
+
+    def __init__(self, alpha: float = 1.0):
+        if alpha <= 0:
+            raise ValidationError(f"alpha must be > 0, got {alpha}")
+        self.alpha = alpha
+        self.thresholds_ = None
+        self.feature_log_prob_ = None
+        self.feature_log_neg_ = None
+        self.log_priors_ = None
+
+    def _binarize(self, x: np.ndarray) -> np.ndarray:
+        return (x > self.thresholds_).astype(np.float64)
+
+    def fit(self, features, labels) -> "BernoulliNB":
+        x, y = check_fit_inputs(features, labels)
+        self.thresholds_ = np.median(x, axis=0)
+        binary = self._binarize(x)
+        n_classes = int(y.max()) + 1
+        n_features = x.shape[1]
+        log_prob = np.zeros((n_classes, n_features))
+        log_neg = np.zeros((n_classes, n_features))
+        priors = np.zeros(n_classes)
+        for cls in range(n_classes):
+            rows = binary[y == cls]
+            count = len(rows)
+            priors[cls] = count / len(x)
+            ones = rows.sum(axis=0) if count else np.zeros(n_features)
+            p = (ones + self.alpha) / (count + 2.0 * self.alpha)
+            log_prob[cls] = np.log(p)
+            log_neg[cls] = np.log(1.0 - p)
+        self.feature_log_prob_ = log_prob
+        self.feature_log_neg_ = log_neg
+        with np.errstate(divide="ignore"):
+            self.log_priors_ = np.where(priors > 0, np.log(priors), -np.inf)
+        self.num_classes_ = n_classes
+        return self
+
+    def predict_proba(self, features) -> np.ndarray:
+        self._require_fitted()
+        x = np.asarray(features, dtype=np.float64)
+        binary = self._binarize(x)
+        scores = (
+            binary @ self.feature_log_prob_.T
+            + (1.0 - binary) @ self.feature_log_neg_.T
+            + self.log_priors_
+        )
+        shifted = scores - scores.max(axis=1, keepdims=True)
+        exps = np.exp(shifted)
+        return exps / exps.sum(axis=1, keepdims=True)

@@ -1,0 +1,70 @@
+"""k-nearest-neighbour classification."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.ml.base import Classifier, check_fit_inputs
+from repro.ml.preprocessing import StandardScaler
+
+__all__ = ["KNNClassifier"]
+
+
+class KNNClassifier(Classifier):
+    """Euclidean k-NN with optional inverse-distance weighting."""
+
+    def __init__(self, k: int = 5, weighted: bool = False,
+                 standardize: bool = True):
+        if k <= 0:
+            raise ValidationError(f"k must be > 0, got {k}")
+        self.k = k
+        self.weighted = weighted
+        self.standardize = standardize
+        self._scaler = StandardScaler()
+        self._train_x = None
+        self._train_y = None
+
+    def fit(self, features, labels) -> "KNNClassifier":
+        x, y = check_fit_inputs(features, labels)
+        self._train_x = (
+            self._scaler.fit_transform(x) if self.standardize else x
+        )
+        self._train_y = y
+        self.num_classes_ = int(y.max()) + 1
+        return self
+
+    def predict_proba(self, features) -> np.ndarray:
+        self._require_fitted()
+        x = np.asarray(features, dtype=np.float64)
+        if self.standardize:
+            x = self._scaler.transform(x)
+        k = min(self.k, len(self._train_x))
+        # Pairwise squared distances, computed blockwise to bound memory.
+        probabilities = np.zeros((x.shape[0], self.num_classes_))
+        block = 256
+        train_sq = (self._train_x**2).sum(axis=1)
+        for start in range(0, x.shape[0], block):
+            chunk = x[start : start + block]
+            distances = (
+                (chunk**2).sum(axis=1)[:, None]
+                + train_sq[None, :]
+                - 2.0 * chunk @ self._train_x.T
+            )
+            np.maximum(distances, 0.0, out=distances)
+            nearest = np.argpartition(distances, k - 1, axis=1)[:, :k]
+            for row in range(chunk.shape[0]):
+                neighbor_labels = self._train_y[nearest[row]]
+                if self.weighted:
+                    weights = 1.0 / (
+                        np.sqrt(distances[row, nearest[row]]) + 1e-12
+                    )
+                else:
+                    weights = np.ones(k)
+                votes = np.bincount(
+                    neighbor_labels,
+                    weights=weights,
+                    minlength=self.num_classes_,
+                )
+                probabilities[start + row] = votes / votes.sum()
+        return probabilities

@@ -1,0 +1,81 @@
+"""An sklearn-style MLP classifier over the repro.nn substrate.
+
+Used as Table II's "MLP" baseline and as the ANN of the Lee et al.
+comparison (Table IV).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.ml.base import Classifier, check_fit_inputs
+from repro.ml.preprocessing import StandardScaler
+from repro.nn.layers import MLP
+from repro.nn.loss import cross_entropy
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, no_grad
+from repro.utils.rng import as_generator
+
+__all__ = ["MLPClassifier"]
+
+
+class MLPClassifier(Classifier):
+    """Feed-forward network trained with Adam on cross-entropy."""
+
+    def __init__(
+        self,
+        hidden_dims: Sequence[int] = (64, 32),
+        epochs: int = 100,
+        batch_size: int = 32,
+        learning_rate: float = 1e-3,
+        seed: int = 0,
+        standardize: bool = True,
+    ):
+        if epochs <= 0 or batch_size <= 0:
+            raise ValidationError("epochs and batch_size must be > 0")
+        self.hidden_dims = list(hidden_dims)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self.standardize = standardize
+        self._scaler = StandardScaler()
+        self._model = None
+
+    def fit(self, features, labels) -> "MLPClassifier":
+        x, y = check_fit_inputs(features, labels)
+        if self.standardize:
+            x = self._scaler.fit_transform(x)
+        n_classes = int(y.max()) + 1
+        rng = as_generator(self.seed)
+        self._model = MLP(
+            [x.shape[1], *self.hidden_dims, n_classes], rng=rng
+        )
+        optimizer = Adam(self._model.parameters(), lr=self.learning_rate)
+        indices = np.arange(len(x))
+        for _ in range(self.epochs):
+            rng.shuffle(indices)
+            for start in range(0, len(indices), self.batch_size):
+                chosen = indices[start : start + self.batch_size]
+                logits = self._model(Tensor(x[chosen]))
+                loss = cross_entropy(logits, y[chosen])
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+        self.num_classes_ = n_classes
+        return self
+
+    def predict_proba(self, features) -> np.ndarray:
+        self._require_fitted()
+        x = np.asarray(features, dtype=np.float64)
+        if self.standardize:
+            x = self._scaler.transform(x)
+        self._model.eval()
+        with no_grad():
+            logits = self._model(Tensor(x)).data
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exps = np.exp(shifted)
+        return exps / exps.sum(axis=1, keepdims=True)

@@ -1,0 +1,38 @@
+"""Feature preprocessing: standardisation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError, ValidationError
+
+__all__ = ["StandardScaler"]
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance scaling; constant columns pass through."""
+
+    def __init__(self) -> None:
+        self.mean_ = None
+        self.scale_ = None
+
+    def fit(self, features) -> "StandardScaler":
+        """Learn per-column mean and standard deviation."""
+        x = np.asarray(features, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValidationError(f"X must be 2-D, got shape {x.shape}")
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        self.scale_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, features) -> np.ndarray:
+        """Apply the learned scaling."""
+        if self.mean_ is None:
+            raise NotFittedError("StandardScaler must be fitted first")
+        x = np.asarray(features, dtype=np.float64)
+        return (x - self.mean_) / self.scale_
+
+    def fit_transform(self, features) -> np.ndarray:
+        """Fit then transform in one step."""
+        return self.fit(features).transform(features)

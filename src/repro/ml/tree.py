@@ -1,0 +1,297 @@
+"""Decision trees: CART classification and regression trees.
+
+Split search is exact: every feature's sorted column is scanned with
+prefix-sum statistics (class counts for Gini, moments for variance), so
+each node costs ``O(n_features · n log n)``.
+
+The regression tree exposes leaf identifiers and re-assignable leaf
+values — the hooks gradient boosting (:mod:`repro.ml.ensemble`) needs for
+Friedman-style leaf updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.ml.base import Classifier, check_fit_inputs
+from repro.utils.rng import as_generator
+
+__all__ = ["DecisionTreeClassifier", "RegressionTree"]
+
+
+@dataclass
+class _TreeNode:
+    """Internal node (feature/threshold) or leaf (value, leaf_id)."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_TreeNode"] = None
+    right: Optional["_TreeNode"] = None
+    value: Optional[np.ndarray] = None
+    leaf_id: int = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _resolve_max_features(max_features, n_features: int) -> int:
+    if max_features is None:
+        return n_features
+    if max_features == "sqrt":
+        return max(1, int(np.sqrt(n_features)))
+    if isinstance(max_features, (int, np.integer)) and max_features > 0:
+        return min(int(max_features), n_features)
+    raise ValidationError(f"invalid max_features: {max_features!r}")
+
+
+class DecisionTreeClassifier(Classifier):
+    """CART with Gini impurity."""
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features=None,
+        seed: int = 0,
+    ):
+        if min_samples_split < 2:
+            raise ValidationError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValidationError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._root: Optional[_TreeNode] = None
+
+    def fit(self, features, labels) -> "DecisionTreeClassifier":
+        x, y = check_fit_inputs(features, labels)
+        self.num_classes_ = int(y.max()) + 1
+        self._rng = as_generator(self.seed)
+        self._n_subset = _resolve_max_features(self.max_features, x.shape[1])
+        self._root = self._build(x, y, depth=0)
+        return self
+
+    def _leaf(self, y: np.ndarray) -> _TreeNode:
+        counts = np.bincount(y, minlength=self.num_classes_).astype(np.float64)
+        return _TreeNode(value=counts / counts.sum())
+
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> _TreeNode:
+        n = len(y)
+        if (
+            n < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or np.unique(y).size == 1
+        ):
+            return self._leaf(y)
+        split = self._best_split(x, y)
+        if split is None:
+            return self._leaf(y)
+        feature, threshold = split
+        mask = x[:, feature] <= threshold
+        left = self._build(x[mask], y[mask], depth + 1)
+        right = self._build(x[~mask], y[~mask], depth + 1)
+        return _TreeNode(feature=feature, threshold=threshold, left=left, right=right)
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray):
+        n, n_features = x.shape
+        onehot = np.eye(self.num_classes_)[y]
+        if self._n_subset < n_features:
+            candidates = self._rng.choice(n_features, self._n_subset, replace=False)
+        else:
+            candidates = np.arange(n_features)
+        best_gain = 1e-12
+        best = None
+        parent_counts = onehot.sum(axis=0)
+        parent_gini = 1.0 - ((parent_counts / n) ** 2).sum()
+        min_leaf = self.min_samples_leaf
+        for feature in candidates:
+            order = np.argsort(x[:, feature], kind="stable")
+            values = x[order, feature]
+            prefix = np.cumsum(onehot[order], axis=0)  # (n, C)
+            left_n = np.arange(1, n)
+            valid = values[1:] > values[:-1]
+            if min_leaf > 1:
+                valid &= (left_n >= min_leaf) & (n - left_n >= min_leaf)
+            if not valid.any():
+                continue
+            left_counts = prefix[:-1]
+            right_counts = parent_counts - left_counts
+            left_gini = 1.0 - ((left_counts / left_n[:, None]) ** 2).sum(axis=1)
+            right_n = n - left_n
+            right_gini = 1.0 - ((right_counts / right_n[:, None]) ** 2).sum(axis=1)
+            weighted = (left_n * left_gini + right_n * right_gini) / n
+            gains = np.where(valid, parent_gini - weighted, -np.inf)
+            index = int(np.argmax(gains))
+            if gains[index] > best_gain:
+                best_gain = float(gains[index])
+                threshold = 0.5 * (values[index] + values[index + 1])
+                best = (int(feature), float(threshold))
+        return best
+
+    def predict_proba(self, features) -> np.ndarray:
+        self._require_fitted()
+        x = np.asarray(features, dtype=np.float64)
+        output = np.zeros((x.shape[0], self.num_classes_))
+        for row in range(x.shape[0]):
+            node = self._root
+            while not node.is_leaf:
+                if x[row, node.feature] <= node.threshold:
+                    node = node.left
+                else:
+                    node = node.right
+            output[row] = node.value
+        return output
+
+    def depth(self) -> int:
+        """Maximum depth of the fitted tree."""
+        self._require_fitted()
+
+        def walk(node: _TreeNode) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+
+class RegressionTree:
+    """CART regression tree (variance reduction) with leaf re-assignment."""
+
+    def __init__(
+        self,
+        max_depth: int = 3,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features=None,
+        seed: int = 0,
+    ):
+        if max_depth < 1:
+            raise ValidationError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._root: Optional[_TreeNode] = None
+        self._leaf_count = 0
+
+    @property
+    def num_leaves(self) -> int:
+        """Number of leaves in the fitted tree."""
+        return self._leaf_count
+
+    def fit(self, features, targets) -> "RegressionTree":
+        """Fit the tree to real-valued targets; returns self."""
+        x = np.asarray(features, dtype=np.float64)
+        y = np.asarray(targets, dtype=np.float64)
+        if x.ndim != 2 or y.ndim != 1 or x.shape[0] != y.shape[0]:
+            raise ValidationError("RegressionTree needs X (n, d) and y (n,)")
+        self._rng = as_generator(self.seed)
+        self._n_subset = _resolve_max_features(self.max_features, x.shape[1])
+        self._leaf_count = 0
+        self._root = self._build(x, y, depth=0)
+        return self
+
+    def _leaf(self, y: np.ndarray) -> _TreeNode:
+        node = _TreeNode(
+            value=np.array([y.mean() if len(y) else 0.0]),
+            leaf_id=self._leaf_count,
+        )
+        self._leaf_count += 1
+        return node
+
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> _TreeNode:
+        n = len(y)
+        if n < self.min_samples_split or depth >= self.max_depth:
+            return self._leaf(y)
+        split = self._best_split(x, y)
+        if split is None:
+            return self._leaf(y)
+        feature, threshold = split
+        mask = x[:, feature] <= threshold
+        left = self._build(x[mask], y[mask], depth + 1)
+        right = self._build(x[~mask], y[~mask], depth + 1)
+        return _TreeNode(feature=feature, threshold=threshold, left=left, right=right)
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray):
+        n, n_features = x.shape
+        if self._n_subset < n_features:
+            candidates = self._rng.choice(n_features, self._n_subset, replace=False)
+        else:
+            candidates = np.arange(n_features)
+        total_sum = y.sum()
+        best_score = -np.inf
+        best = None
+        min_leaf = self.min_samples_leaf
+        for feature in candidates:
+            order = np.argsort(x[:, feature], kind="stable")
+            values = x[order, feature]
+            prefix = np.cumsum(y[order])
+            left_n = np.arange(1, n)
+            valid = values[1:] > values[:-1]
+            if min_leaf > 1:
+                valid &= (left_n >= min_leaf) & (n - left_n >= min_leaf)
+            if not valid.any():
+                continue
+            left_sum = prefix[:-1]
+            right_sum = total_sum - left_sum
+            right_n = n - left_n
+            # Variance reduction ∝ SL²/nL + SR²/nR (constant terms dropped).
+            scores = np.where(
+                valid, left_sum**2 / left_n + right_sum**2 / right_n, -np.inf
+            )
+            index = int(np.argmax(scores))
+            if scores[index] > best_score:
+                best_score = float(scores[index])
+                threshold = 0.5 * (values[index] + values[index + 1])
+                best = (int(feature), float(threshold))
+        return best
+
+    def apply(self, features) -> np.ndarray:
+        """Leaf id per sample."""
+        x = np.asarray(features, dtype=np.float64)
+        leaves = np.zeros(x.shape[0], dtype=np.int64)
+        for row in range(x.shape[0]):
+            node = self._root
+            while not node.is_leaf:
+                if x[row, node.feature] <= node.threshold:
+                    node = node.left
+                else:
+                    node = node.right
+            leaves[row] = node.leaf_id
+        return leaves
+
+    def predict(self, features) -> np.ndarray:
+        """Leaf value per sample."""
+        x = np.asarray(features, dtype=np.float64)
+        output = np.zeros(x.shape[0])
+        for row in range(x.shape[0]):
+            node = self._root
+            while not node.is_leaf:
+                if x[row, node.feature] <= node.threshold:
+                    node = node.left
+                else:
+                    node = node.right
+            output[row] = node.value[0]
+        return output
+
+    def set_leaf_values(self, values: Dict[int, float]) -> None:
+        """Overwrite leaf outputs (gradient-boosting leaf updates)."""
+
+        def walk(node: _TreeNode) -> None:
+            if node.is_leaf:
+                if node.leaf_id in values:
+                    node.value = np.array([values[node.leaf_id]])
+                return
+            walk(node.left)
+            walk(node.right)
+
+        walk(self._root)

@@ -1,0 +1,208 @@
+"""Second-order gradient boosting ("XGBoost-style"), from scratch.
+
+Implements the regularised Newton boosting of Chen & Guestrin (2016):
+per-class trees grown on gradient/hessian statistics of the softmax
+objective, split gain
+
+``½·[G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)] − γ``
+
+and leaf weight ``−G/(H+λ)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.ml.base import Classifier, check_fit_inputs, softmax_rows
+from repro.utils.rng import as_generator
+
+__all__ = ["XGBoostClassifier"]
+
+
+@dataclass
+class _XGBNode:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_XGBNode"] = None
+    right: Optional["_XGBNode"] = None
+    weight: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class _XGBTree:
+    """One regularised tree grown on (g, h) statistics."""
+
+    def __init__(
+        self,
+        max_depth: int,
+        reg_lambda: float,
+        gamma: float,
+        min_child_weight: float,
+        colsample: float,
+        rng: np.random.Generator,
+    ):
+        self.max_depth = max_depth
+        self.reg_lambda = reg_lambda
+        self.gamma = gamma
+        self.min_child_weight = min_child_weight
+        self.colsample = colsample
+        self.rng = rng
+        self.root: Optional[_XGBNode] = None
+
+    def fit(self, x: np.ndarray, g: np.ndarray, h: np.ndarray) -> "_XGBTree":
+        self.root = self._build(x, g, h, depth=0)
+        return self
+
+    def _leaf(self, g: np.ndarray, h: np.ndarray) -> _XGBNode:
+        weight = -g.sum() / (h.sum() + self.reg_lambda)
+        return _XGBNode(weight=float(weight))
+
+    def _build(
+        self, x: np.ndarray, g: np.ndarray, h: np.ndarray, depth: int
+    ) -> _XGBNode:
+        if depth >= self.max_depth or len(g) < 2:
+            return self._leaf(g, h)
+        split = self._best_split(x, g, h)
+        if split is None:
+            return self._leaf(g, h)
+        feature, threshold = split
+        mask = x[:, feature] <= threshold
+        left = self._build(x[mask], g[mask], h[mask], depth + 1)
+        right = self._build(x[~mask], g[~mask], h[~mask], depth + 1)
+        return _XGBNode(feature=feature, threshold=threshold, left=left, right=right)
+
+    def _best_split(self, x: np.ndarray, g: np.ndarray, h: np.ndarray):
+        n, n_features = x.shape
+        total_g, total_h = g.sum(), h.sum()
+        parent_score = total_g**2 / (total_h + self.reg_lambda)
+        subset = max(1, int(n_features * self.colsample))
+        if subset < n_features:
+            candidates = self.rng.choice(n_features, subset, replace=False)
+        else:
+            candidates = np.arange(n_features)
+        best_gain = 0.0
+        best = None
+        for feature in candidates:
+            order = np.argsort(x[:, feature], kind="stable")
+            values = x[order, feature]
+            g_prefix = np.cumsum(g[order])[:-1]
+            h_prefix = np.cumsum(h[order])[:-1]
+            valid = values[1:] > values[:-1]
+            valid &= h_prefix >= self.min_child_weight
+            valid &= (total_h - h_prefix) >= self.min_child_weight
+            if not valid.any():
+                continue
+            left_score = g_prefix**2 / (h_prefix + self.reg_lambda)
+            right_score = (total_g - g_prefix) ** 2 / (
+                total_h - h_prefix + self.reg_lambda
+            )
+            gains = np.where(
+                valid,
+                0.5 * (left_score + right_score - parent_score) - self.gamma,
+                -np.inf,
+            )
+            index = int(np.argmax(gains))
+            if gains[index] > best_gain:
+                best_gain = float(gains[index])
+                best = (int(feature), 0.5 * float(values[index] + values[index + 1]))
+        return best
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        output = np.zeros(x.shape[0])
+        for row in range(x.shape[0]):
+            node = self.root
+            while not node.is_leaf:
+                if x[row, node.feature] <= node.threshold:
+                    node = node.left
+                else:
+                    node = node.right
+            output[row] = node.weight
+        return output
+
+
+class XGBoostClassifier(Classifier):
+    """Multiclass Newton-boosted trees with L2 leaf regularisation."""
+
+    def __init__(
+        self,
+        n_estimators: int = 60,
+        learning_rate: float = 0.3,
+        max_depth: int = 4,
+        reg_lambda: float = 1.0,
+        gamma: float = 0.0,
+        min_child_weight: float = 1e-3,
+        subsample: float = 1.0,
+        colsample: float = 1.0,
+        seed: int = 0,
+    ):
+        if n_estimators <= 0:
+            raise ValidationError(f"n_estimators must be > 0, got {n_estimators}")
+        if reg_lambda < 0:
+            raise ValidationError(f"reg_lambda must be >= 0, got {reg_lambda}")
+        if not 0.0 < subsample <= 1.0 or not 0.0 < colsample <= 1.0:
+            raise ValidationError("subsample/colsample must be in (0, 1]")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.reg_lambda = reg_lambda
+        self.gamma = gamma
+        self.min_child_weight = min_child_weight
+        self.subsample = subsample
+        self.colsample = colsample
+        self.seed = seed
+        self.rounds_: List[List[_XGBTree]] = []
+
+    def fit(self, features, labels) -> "XGBoostClassifier":
+        x, y = check_fit_inputs(features, labels)
+        n = x.shape[0]
+        n_classes = int(y.max()) + 1
+        self.num_classes_ = n_classes
+        rng = as_generator(self.seed)
+        onehot = np.eye(n_classes)[y]
+        scores = np.zeros((n, n_classes))
+        self.rounds_ = []
+        for _ in range(self.n_estimators):
+            probabilities = softmax_rows(scores)
+            gradients = probabilities - onehot
+            hessians = probabilities * (1.0 - probabilities)
+            if self.subsample < 1.0:
+                chosen = rng.random(n) < self.subsample
+                if not chosen.any():
+                    chosen[rng.integers(n)] = True
+            else:
+                chosen = np.ones(n, dtype=bool)
+            round_trees: List[_XGBTree] = []
+            for cls in range(n_classes):
+                tree = _XGBTree(
+                    max_depth=self.max_depth,
+                    reg_lambda=self.reg_lambda,
+                    gamma=self.gamma,
+                    min_child_weight=self.min_child_weight,
+                    colsample=self.colsample,
+                    rng=rng,
+                )
+                tree.fit(x[chosen], gradients[chosen, cls], hessians[chosen, cls])
+                scores[:, cls] += self.learning_rate * tree.predict(x)
+                round_trees.append(tree)
+            self.rounds_.append(round_trees)
+        return self
+
+    def decision_function(self, features) -> np.ndarray:
+        """Raw additive scores."""
+        self._require_fitted()
+        x = np.asarray(features, dtype=np.float64)
+        scores = np.zeros((x.shape[0], self.num_classes_))
+        for round_trees in self.rounds_:
+            for cls, tree in enumerate(round_trees):
+                scores[:, cls] += self.learning_rate * tree.predict(x)
+        return scores
+
+    def predict_proba(self, features) -> np.ndarray:
+        return softmax_rows(self.decision_function(features))

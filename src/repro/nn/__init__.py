@@ -1,0 +1,50 @@
+"""Neural substrate: numpy autograd, layers, RNNs, attention, optimisers.
+
+The reproduction's stand-in for PyTorch — a reverse-mode autodiff engine
+(:mod:`repro.nn.tensor`, :mod:`repro.nn.functional`) with the layer zoo
+the paper's models need: Linear/MLP, LSTM/BiLSTM (Eq. 16–21), attention
+pooling, cross-entropy, SGD and Adam.
+"""
+
+from repro.nn import functional
+from repro.nn.attention import AttentionPooling
+from repro.nn.init import kaiming_uniform, xavier_normal, xavier_uniform, zeros
+from repro.nn.layers import MLP, Activation, Dropout, LayerNorm, Linear, Sequential
+from repro.nn.loss import cross_entropy, mse_loss, nll_loss
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.rnn import BiLSTM, LSTM, LSTMCell
+from repro.nn.serialize import load_module, save_module
+from repro.nn.tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "functional",
+    "AttentionPooling",
+    "kaiming_uniform",
+    "xavier_normal",
+    "xavier_uniform",
+    "zeros",
+    "MLP",
+    "Activation",
+    "Dropout",
+    "LayerNorm",
+    "Linear",
+    "Sequential",
+    "cross_entropy",
+    "mse_loss",
+    "nll_loss",
+    "Module",
+    "Parameter",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "BiLSTM",
+    "LSTM",
+    "LSTMCell",
+    "load_module",
+    "save_module",
+    "Tensor",
+    "as_tensor",
+    "is_grad_enabled",
+    "no_grad",
+]

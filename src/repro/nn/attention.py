@@ -1,0 +1,68 @@
+"""Additive attention pooling over masked sequences.
+
+Used by the Table III "Attention+MLP" head: a learned query scores each
+timestep (``score_t = vᵀ tanh(W h_t)``), masked softmax turns scores into
+weights, and the pooled vector is the weighted sum of timesteps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.nn import functional as F
+from repro.nn.init import xavier_uniform
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["AttentionPooling"]
+
+_MASK_OFFSET = 1e9
+
+
+class AttentionPooling(Module):
+    """Learned softmax pooling of a ``(B, T, D)`` sequence to ``(B, D)``."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        attention_dim: int = 32,
+        rng: "int | np.random.Generator | None" = None,
+    ):
+        super().__init__()
+        if input_dim <= 0 or attention_dim <= 0:
+            raise ValidationError(
+                f"attention dims must be positive, got ({input_dim}, {attention_dim})"
+            )
+        from repro.utils.rng import as_generator
+
+        generator = as_generator(rng)
+        self.input_dim = input_dim
+        self.attention_dim = attention_dim
+        self.projection = Parameter(
+            xavier_uniform((input_dim, attention_dim), generator)
+        )
+        self.query = Parameter(xavier_uniform((attention_dim, 1), generator))
+
+    def forward(
+        self, x: Tensor, mask: Optional[np.ndarray] = None
+    ) -> Tensor:
+        """Pool ``x`` (B, T, D) to (B, D); masked steps get zero weight."""
+        if x.ndim != 3:
+            raise ValidationError(f"attention input must be (B, T, D), got {x.shape}")
+        batch, steps, dim = x.shape
+        flat = F.reshape(x, (batch * steps, dim))
+        hidden = F.tanh(F.matmul(flat, self.projection))
+        scores = F.reshape(F.matmul(hidden, self.query), (batch, steps))
+        if mask is not None:
+            mask = np.asarray(mask, dtype=np.float64)
+            if mask.shape != (batch, steps):
+                raise ValidationError(
+                    f"mask shape {mask.shape} does not match {(batch, steps)}"
+                )
+            scores = F.add(scores, Tensor((mask - 1.0) * _MASK_OFFSET))
+        weights = F.softmax(scores, axis=1)
+        weighted = F.multiply(x, F.reshape(weights, (batch, steps, 1)))
+        return F.sum(weighted, axis=1)

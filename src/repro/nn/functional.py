@@ -1,0 +1,445 @@
+"""Differentiable operations over :class:`~repro.nn.tensor.Tensor`.
+
+Every op computes its forward result eagerly and, when the tape is
+enabled, registers a closure that routes the output gradient to each
+parent.  All gradients are verified against central finite differences in
+``tests/test_autograd.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import AutogradError
+from repro.nn.tensor import Tensor, as_tensor, is_grad_enabled, unbroadcast
+
+__all__ = [
+    "add",
+    "multiply",
+    "divide",
+    "negate",
+    "power",
+    "matmul",
+    "exp",
+    "log",
+    "sqrt",
+    "tanh",
+    "sigmoid",
+    "relu",
+    "leaky_relu",
+    "sum",
+    "mean",
+    "max",
+    "reshape",
+    "transpose",
+    "take",
+    "concatenate",
+    "stack",
+    "softmax",
+    "log_softmax",
+    "spmm",
+    "segment_sum",
+    "dropout",
+]
+
+
+def _build(data: np.ndarray, parents: Sequence[Tensor], grad_fns) -> Tensor:
+    """Create an output tensor, wiring backward closures to ``parents``."""
+    tracked = [p for p in parents if p.requires_grad]
+    if not is_grad_enabled() or not tracked:
+        return Tensor(data)
+
+    pairs = [
+        (parent, fn) for parent, fn in zip(parents, grad_fns) if parent.requires_grad
+    ]
+
+    def backward(grad: np.ndarray) -> None:
+        for parent, fn in pairs:
+            contribution = fn(grad)
+            if contribution is not None:
+                parent.accumulate_grad(contribution)
+
+    return Tensor(
+        data, requires_grad=True, _parents=tuple(tracked), _backward=backward
+    )
+
+
+# --------------------------------------------------------------------- #
+# Elementwise arithmetic
+# --------------------------------------------------------------------- #
+
+
+def add(a, b) -> Tensor:
+    """Broadcasting elementwise addition."""
+    a, b = as_tensor(a), as_tensor(b)
+    return _build(
+        a.data + b.data,
+        (a, b),
+        (
+            lambda g: unbroadcast(g, a.data.shape),
+            lambda g: unbroadcast(g, b.data.shape),
+        ),
+    )
+
+
+def multiply(a, b) -> Tensor:
+    """Broadcasting elementwise multiplication."""
+    a, b = as_tensor(a), as_tensor(b)
+    return _build(
+        a.data * b.data,
+        (a, b),
+        (
+            lambda g: unbroadcast(g * b.data, a.data.shape),
+            lambda g: unbroadcast(g * a.data, b.data.shape),
+        ),
+    )
+
+
+def divide(a, b) -> Tensor:
+    """Broadcasting elementwise division."""
+    a, b = as_tensor(a), as_tensor(b)
+    return _build(
+        a.data / b.data,
+        (a, b),
+        (
+            lambda g: unbroadcast(g / b.data, a.data.shape),
+            lambda g: unbroadcast(-g * a.data / (b.data**2), b.data.shape),
+        ),
+    )
+
+
+def negate(a) -> Tensor:
+    """Elementwise negation."""
+    a = as_tensor(a)
+    return _build(-a.data, (a,), (lambda g: -g,))
+
+
+def power(a, exponent: float) -> Tensor:
+    """Elementwise power with a constant scalar exponent."""
+    a = as_tensor(a)
+    if not np.isscalar(exponent):
+        raise AutogradError("power() supports scalar exponents only")
+    exponent = float(exponent)
+    return _build(
+        a.data**exponent,
+        (a,),
+        (lambda g: g * exponent * np.power(a.data, exponent - 1.0),),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Linear algebra
+# --------------------------------------------------------------------- #
+
+
+def matmul(a, b) -> Tensor:
+    """Matrix product of two 2-D tensors."""
+    a, b = as_tensor(a), as_tensor(b)
+    if a.ndim != 2 or b.ndim != 2:
+        raise AutogradError(
+            f"matmul requires 2-D operands, got {a.shape} @ {b.shape}"
+        )
+    return _build(
+        a.data @ b.data,
+        (a, b),
+        (lambda g: g @ b.data.T, lambda g: a.data.T @ g),
+    )
+
+
+def spmm(matrix: sp.spmatrix, x: Tensor) -> Tensor:
+    """Sparse-constant × dense-tensor product (for Ã·X in GNN layers).
+
+    The sparse ``matrix`` is a constant of the graph; gradients flow only
+    to ``x``: ``∂/∂x (A x) = Aᵀ g``.
+    """
+    x = as_tensor(x)
+    if x.ndim != 2 or matrix.shape[1] != x.shape[0]:
+        raise AutogradError(
+            f"spmm shape mismatch: {matrix.shape} @ {x.shape}"
+        )
+    csr = matrix.tocsr()
+    return _build(
+        np.asarray(csr @ x.data),
+        (x,),
+        (lambda g: np.asarray(csr.T @ g),),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Elementwise nonlinearities
+# --------------------------------------------------------------------- #
+
+
+def exp(a) -> Tensor:
+    """Elementwise exponential."""
+    a = as_tensor(a)
+    out_data = np.exp(a.data)
+    return _build(out_data, (a,), (lambda g: g * out_data,))
+
+
+def log(a) -> Tensor:
+    """Elementwise natural logarithm."""
+    a = as_tensor(a)
+    return _build(np.log(a.data), (a,), (lambda g: g / a.data,))
+
+
+def sqrt(a) -> Tensor:
+    """Elementwise square root."""
+    a = as_tensor(a)
+    out_data = np.sqrt(a.data)
+    return _build(out_data, (a,), (lambda g: g * 0.5 / out_data,))
+
+
+def tanh(a) -> Tensor:
+    """Elementwise hyperbolic tangent."""
+    a = as_tensor(a)
+    out_data = np.tanh(a.data)
+    return _build(out_data, (a,), (lambda g: g * (1.0 - out_data**2),))
+
+
+def sigmoid(a) -> Tensor:
+    """Numerically-stable elementwise logistic sigmoid.
+
+    Inputs are clipped to ±40 before exponentiation; the sigmoid is
+    saturated to double precision well inside that range.
+    """
+    a = as_tensor(a)
+    clipped = np.clip(a.data, -40.0, 40.0)
+    out_data = 1.0 / (1.0 + np.exp(-clipped))
+    return _build(out_data, (a,), (lambda g: g * out_data * (1.0 - out_data),))
+
+
+def relu(a) -> Tensor:
+    """Elementwise rectifier max(x, 0)."""
+    a = as_tensor(a)
+    mask = a.data > 0
+    return _build(a.data * mask, (a,), (lambda g: g * mask,))
+
+
+def leaky_relu(a, negative_slope: float = 0.01) -> Tensor:
+    """Leaky rectifier: x for x>0, slope·x otherwise."""
+    a = as_tensor(a)
+    mask = a.data > 0
+    scale = np.where(mask, 1.0, negative_slope)
+    return _build(a.data * scale, (a,), (lambda g: g * scale,))
+
+
+# --------------------------------------------------------------------- #
+# Reductions
+# --------------------------------------------------------------------- #
+
+
+def _expand_reduced(grad: np.ndarray, shape, axis, keepdims: bool) -> np.ndarray:
+    if axis is None:
+        return np.broadcast_to(grad, shape).copy()
+    if not keepdims:
+        axes = axis if isinstance(axis, tuple) else (axis,)
+        for ax in sorted(a % len(shape) for a in axes):
+            grad = np.expand_dims(grad, ax)
+    return np.broadcast_to(grad, shape).copy()
+
+
+def sum(a, axis=None, keepdims: bool = False) -> Tensor:
+    """Sum over ``axis`` (all elements when None)."""
+    a = as_tensor(a)
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+    return _build(
+        out_data,
+        (a,),
+        (lambda g: _expand_reduced(g, a.data.shape, axis, keepdims),),
+    )
+
+
+def mean(a, axis=None, keepdims: bool = False) -> Tensor:
+    """Arithmetic mean over ``axis``."""
+    a = as_tensor(a)
+    out_data = a.data.mean(axis=axis, keepdims=keepdims)
+    count = a.data.size if axis is None else _axis_count(a.data.shape, axis)
+    return _build(
+        out_data,
+        (a,),
+        (lambda g: _expand_reduced(g, a.data.shape, axis, keepdims) / count,),
+    )
+
+
+def _axis_count(shape, axis) -> float:
+    axes = axis if isinstance(axis, tuple) else (axis,)
+    count = 1
+    for ax in axes:
+        count *= shape[ax % len(shape)]
+    return float(count)
+
+
+def max(a, axis=None, keepdims: bool = False) -> Tensor:
+    """Maximum over ``axis``; ties split the gradient evenly."""
+    a = as_tensor(a)
+    out_data = a.data.max(axis=axis, keepdims=keepdims)
+
+    def backward(g: np.ndarray) -> np.ndarray:
+        expanded_out = _expand_reduced(
+            np.asarray(out_data), a.data.shape, axis, keepdims
+        )
+        mask = (a.data == expanded_out).astype(np.float64)
+        counts = mask.sum(axis=axis, keepdims=True)
+        expanded_grad = _expand_reduced(g, a.data.shape, axis, keepdims)
+        return expanded_grad * mask / counts
+
+    return _build(out_data, (a,), (backward,))
+
+
+# --------------------------------------------------------------------- #
+# Shape manipulation
+# --------------------------------------------------------------------- #
+
+
+def reshape(a, shape: Tuple[int, ...]) -> Tensor:
+    """Reshape (view semantics forward, dense gradient back)."""
+    a = as_tensor(a)
+    return _build(
+        a.data.reshape(shape), (a,), (lambda g: g.reshape(a.data.shape),)
+    )
+
+
+def transpose(a, axes: Optional[Sequence[int]] = None) -> Tensor:
+    """Permute dimensions (reverses them when ``axes`` is None)."""
+    a = as_tensor(a)
+    if axes is None:
+        inverse = None
+    else:
+        axes = tuple(axes)
+        inverse = tuple(np.argsort(axes))
+    return _build(
+        a.data.transpose(axes),
+        (a,),
+        (lambda g: g.transpose(inverse) if inverse is not None else g.transpose(),),
+    )
+
+
+def take(a, key) -> Tensor:
+    """Indexing/slicing; gradients scatter-add back into the source."""
+    a = as_tensor(a)
+    out_data = a.data[key]
+
+    def backward(g: np.ndarray) -> np.ndarray:
+        full = np.zeros_like(a.data)
+        np.add.at(full, key, g)
+        return full
+
+    return _build(out_data, (a,), (backward,))
+
+
+def concatenate(tensors: Sequence, axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    if not tensors:
+        raise AutogradError("concatenate requires at least one tensor")
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def make_fn(index: int):
+        start, stop = offsets[index], offsets[index + 1]
+
+        def backward(g: np.ndarray) -> np.ndarray:
+            slicer = [slice(None)] * g.ndim
+            slicer[axis] = slice(start, stop)
+            return g[tuple(slicer)]
+
+        return backward
+
+    return _build(out_data, tensors, [make_fn(i) for i in range(len(tensors))])
+
+
+def stack(tensors: Sequence, axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    if not tensors:
+        raise AutogradError("stack requires at least one tensor")
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def make_fn(index: int):
+        def backward(g: np.ndarray) -> np.ndarray:
+            return np.take(g, index, axis=axis)
+
+        return backward
+
+    return _build(out_data, tensors, [make_fn(i) for i in range(len(tensors))])
+
+
+# --------------------------------------------------------------------- #
+# Softmax family
+# --------------------------------------------------------------------- #
+
+
+def softmax(a, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` (stable via max subtraction)."""
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    out_data = exps / exps.sum(axis=axis, keepdims=True)
+
+    def backward(g: np.ndarray) -> np.ndarray:
+        inner = (g * out_data).sum(axis=axis, keepdims=True)
+        return out_data * (g - inner)
+
+    return _build(out_data, (a,), (backward,))
+
+
+def log_softmax(a, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis`` (stable log-sum-exp)."""
+    a = as_tensor(a)
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_norm
+    soft = np.exp(out_data)
+
+    def backward(g: np.ndarray) -> np.ndarray:
+        return g - soft * g.sum(axis=axis, keepdims=True)
+
+    return _build(out_data, (a,), (backward,))
+
+
+# --------------------------------------------------------------------- #
+# Graph / batching utilities
+# --------------------------------------------------------------------- #
+
+
+def segment_sum(x, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``x`` into ``num_segments`` buckets (graph readout).
+
+    ``segment_ids`` maps each row of ``x`` to its output bucket; the
+    backward pass gathers the bucket gradient back to each row.
+    """
+    x = as_tensor(x)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if x.ndim != 2 or segment_ids.shape != (x.shape[0],):
+        raise AutogradError(
+            f"segment_sum expects x (N, D) and ids (N,), got "
+            f"{x.shape} and {segment_ids.shape}"
+        )
+    if segment_ids.size and (
+        segment_ids.min() < 0 or segment_ids.max() >= num_segments
+    ):
+        raise AutogradError("segment ids out of range")
+    out_data = np.zeros((num_segments, x.shape[1]), dtype=np.float64)
+    np.add.at(out_data, segment_ids, x.data)
+    return _build(out_data, (x,), (lambda g: g[segment_ids],))
+
+
+def dropout(
+    x,
+    p: float,
+    rng: np.random.Generator,
+    training: bool = True,
+) -> Tensor:
+    """Inverted dropout: zero with probability ``p``, scale by 1/(1−p)."""
+    x = as_tensor(x)
+    if not 0.0 <= p < 1.0:
+        raise AutogradError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    keep = (rng.random(x.data.shape) >= p) / (1.0 - p)
+    return _build(x.data * keep, (x,), (lambda g: g * keep,))

@@ -1,0 +1,44 @@
+"""Weight initialisers (deterministic: every scheme takes a Generator)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["xavier_uniform", "xavier_normal", "kaiming_uniform", "zeros"]
+
+
+def _check_fan(shape) -> tuple:
+    if len(shape) < 2:
+        raise ValidationError(
+            f"fan-based init requires >= 2 dimensions, got shape {shape}"
+        )
+    fan_in, fan_out = shape[0], shape[1]
+    return float(fan_in), float(fan_out)
+
+
+def xavier_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+    """Glorot uniform: U(−a, a) with a = √(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _check_fan(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape, rng: np.random.Generator) -> np.ndarray:
+    """Glorot normal: N(0, 2 / (fan_in + fan_out))."""
+    fan_in, fan_out = _check_fan(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape, rng: np.random.Generator) -> np.ndarray:
+    """He uniform for ReLU nets: U(−a, a) with a = √(6 / fan_in)."""
+    fan_in, _ = _check_fan(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape, dtype=np.float64)

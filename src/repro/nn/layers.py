@@ -1,0 +1,166 @@
+"""Core feed-forward layers: Linear, MLP, Dropout, LayerNorm, Sequential."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.nn import functional as F
+from repro.nn.init import xavier_uniform, zeros
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+from repro.utils.rng import as_generator
+
+__all__ = ["Linear", "Dropout", "LayerNorm", "Sequential", "Activation", "MLP"]
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b`` with Xavier-initialised weights."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: "int | np.random.Generator | None" = None,
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValidationError(
+                f"Linear dims must be positive, got ({in_features}, {out_features})"
+            )
+        generator = as_generator(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(xavier_uniform((in_features, out_features), generator))
+        self.bias = Parameter(zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = F.matmul(x, self.weight)
+        if self.bias is not None:
+            out = F.add(out, self.bias)
+        return out
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, p: float = 0.5, rng: "int | np.random.Generator | None" = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValidationError(f"dropout p must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = as_generator(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self._rng, training=self.training)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        if dim <= 0:
+            raise ValidationError(f"LayerNorm dim must be positive, got {dim}")
+        self.dim = dim
+        self.eps = eps
+        self.gain = Parameter(np.ones(dim))
+        self.shift = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = F.mean(x, axis=-1, keepdims=True)
+        centered = F.add(x, F.negate(mu))
+        var = F.mean(F.multiply(centered, centered), axis=-1, keepdims=True)
+        inv_std = F.power(F.add(var, Tensor(self.eps)), -0.5)
+        normalised = F.multiply(centered, inv_std)
+        return F.add(F.multiply(normalised, self.gain), self.shift)
+
+
+class Activation(Module):
+    """Wrap a functional nonlinearity as a module (for Sequential)."""
+
+    _ACTIVATIONS = {
+        "relu": F.relu,
+        "tanh": F.tanh,
+        "sigmoid": F.sigmoid,
+        "leaky_relu": F.leaky_relu,
+    }
+
+    def __init__(self, name: str = "relu"):
+        super().__init__()
+        if name not in self._ACTIVATIONS:
+            raise ValidationError(
+                f"unknown activation {name!r}; options: {sorted(self._ACTIVATIONS)}"
+            )
+        self.name = name
+        self._fn: Callable = self._ACTIVATIONS[name]
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self._fn(x)
+
+
+class Sequential(Module):
+    """Run modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.steps: List[Module] = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for step in self.steps:
+            x = step(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.steps[index]
+
+
+class MLP(Module):
+    """Multi-layer perceptron with hidden activations and optional dropout.
+
+    ``dims = [in, h1, ..., out]``; activation follows every layer except
+    the last.  The output layer is linear (logits).
+    """
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        activation: str = "relu",
+        dropout: float = 0.0,
+        rng: "int | np.random.Generator | None" = None,
+    ):
+        super().__init__()
+        if len(dims) < 2:
+            raise ValidationError(f"MLP needs >= 2 dims, got {list(dims)}")
+        generator = as_generator(rng)
+        steps: List[Module] = []
+        for index in range(len(dims) - 1):
+            steps.append(Linear(dims[index], dims[index + 1], rng=generator))
+            is_last = index == len(dims) - 2
+            if not is_last:
+                steps.append(Activation(activation))
+                if dropout > 0.0:
+                    steps.append(Dropout(dropout, rng=generator))
+        self.net = Sequential(*steps)
+        self.dims = list(dims)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+    def hidden(self, x: Tensor, upto_layer: Optional[int] = None) -> Tensor:
+        """The representation just before the final linear layer.
+
+        Used to harvest embeddings from a trained classifier (the paper's
+        GFN embeddings are the pre-classifier activations).
+        """
+        steps = self.net.steps
+        cutoff = len(steps) - 1 if upto_layer is None else upto_layer
+        for step in steps[:cutoff]:
+            x = step(x)
+        return x

@@ -1,0 +1,66 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, as_tensor
+
+__all__ = ["cross_entropy", "mse_loss", "nll_loss"]
+
+
+def cross_entropy(
+    logits: Tensor,
+    labels: np.ndarray,
+    class_weights: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Mean softmax cross-entropy of ``logits`` (N, C) against int labels.
+
+    ``class_weights`` (C,) re-weights each example by its class — useful
+    under the heavy class imbalance of the address dataset.
+    """
+    logits = as_tensor(logits)
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValidationError(f"logits must be (N, C), got {logits.shape}")
+    n, c = logits.shape
+    if labels.shape != (n,):
+        raise ValidationError(
+            f"labels shape {labels.shape} does not match logits rows {n}"
+        )
+    if labels.size and (labels.min() < 0 or labels.max() >= c):
+        raise ValidationError("labels out of range for logit columns")
+    log_probs = F.log_softmax(logits, axis=1)
+    picked = F.take(log_probs, (np.arange(n), labels))
+    if class_weights is not None:
+        class_weights = np.asarray(class_weights, dtype=np.float64)
+        if class_weights.shape != (c,):
+            raise ValidationError(
+                f"class_weights must be ({c},), got {class_weights.shape}"
+            )
+        weights = class_weights[labels]
+        weighted = F.multiply(picked, Tensor(weights))
+        total = F.sum(weighted)
+        return F.negate(F.divide(total, Tensor(float(weights.sum()))))
+    return F.negate(F.mean(picked))
+
+
+def nll_loss(log_probs: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood of pre-computed log-probabilities."""
+    log_probs = as_tensor(log_probs)
+    labels = np.asarray(labels, dtype=np.int64)
+    n = log_probs.shape[0]
+    picked = F.take(log_probs, (np.arange(n), labels))
+    return F.negate(F.mean(picked))
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    """Mean squared error."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    diff = F.add(prediction, F.negate(target))
+    return F.mean(F.multiply(diff, diff))

@@ -1,0 +1,131 @@
+"""Module base class: parameter registration, traversal, state dicts."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.nn.tensor import Tensor
+
+__all__ = ["Module", "Parameter"]
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable parameter of a module."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for neural-network components.
+
+    Parameters (``Parameter`` attributes) and sub-modules (``Module``
+    attributes, or lists of modules) are discovered by attribute
+    traversal, mirroring the familiar torch.nn semantics: assignment is
+    registration.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    # Traversal
+    # ------------------------------------------------------------------ #
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first."""
+        for name, value in vars(self).items():
+            if name.startswith("_module_"):
+                name = name[len("_module_"):]
+            full = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full}.{index}.")
+                    elif isinstance(item, Parameter):
+                        yield f"{full}.{index}", item
+
+    def parameters(self) -> List[Parameter]:
+        """All trainable parameters, depth-first."""
+        return [param for _, param in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        """This module and all sub-modules, depth-first."""
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    # ------------------------------------------------------------------ #
+    # Training state
+    # ------------------------------------------------------------------ #
+
+    def zero_grad(self) -> None:
+        """Clear gradient buffers of every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self) -> "Module":
+        """Switch this module tree to training mode (dropout active)."""
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Switch this module tree to inference mode."""
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return int(np.sum([p.size for p in self.parameters()]))
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter keyed by dotted name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameters in place; names and shapes must match exactly."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise ValidationError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValidationError(
+                    f"parameter {name}: shape {value.shape} does not match "
+                    f"{param.data.shape}"
+                )
+            param.data = value.copy()
+
+    # ------------------------------------------------------------------ #
+    # Call protocol
+    # ------------------------------------------------------------------ #
+
+    def forward(self, *args, **kwargs):
+        """Compute the module's output; subclasses must override."""
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)

@@ -1,0 +1,151 @@
+"""Recurrent layers: LSTM cell, (masked) LSTM, and bidirectional LSTM.
+
+Implements the paper's Eq. (16)–(21): forget/input/output gates with a
+tanh candidate.  Sequences are batched as ``(B, T, D)`` with a float mask
+``(B, T)`` (1 for real steps, 0 for padding); masked steps leave the
+hidden and cell state unchanged, so the final state of a padded sequence
+equals the state after its last real step.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.nn import functional as F
+from repro.nn.init import xavier_uniform, zeros
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["LSTMCell", "LSTM", "BiLSTM"]
+
+
+class LSTMCell(Module):
+    """One LSTM step: fused gate projection ``[i, f, g, o]``.
+
+    The forget-gate bias is initialised to 1, the standard trick that
+    keeps memory open early in training.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        rng: "int | np.random.Generator | None" = None,
+    ):
+        super().__init__()
+        if input_dim <= 0 or hidden_dim <= 0:
+            raise ValidationError(
+                f"LSTMCell dims must be positive, got ({input_dim}, {hidden_dim})"
+            )
+        from repro.utils.rng import as_generator
+
+        generator = as_generator(rng)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.weight = Parameter(
+            xavier_uniform((input_dim + hidden_dim, 4 * hidden_dim), generator)
+        )
+        bias = zeros(4 * hidden_dim)
+        bias[hidden_dim : 2 * hidden_dim] = 1.0  # forget-gate bias
+        self.bias = Parameter(bias)
+
+    def forward(
+        self, x: Tensor, state: Tuple[Tensor, Tensor]
+    ) -> Tuple[Tensor, Tensor]:
+        """One step: ``x`` is (B, D); returns the new ``(h, c)``."""
+        h_prev, c_prev = state
+        combined = F.concatenate([x, h_prev], axis=1)
+        gates = F.add(F.matmul(combined, self.weight), self.bias)
+        H = self.hidden_dim
+        i_gate = F.sigmoid(gates[:, 0 * H : 1 * H])
+        f_gate = F.sigmoid(gates[:, 1 * H : 2 * H])
+        g_cand = F.tanh(gates[:, 2 * H : 3 * H])
+        o_gate = F.sigmoid(gates[:, 3 * H : 4 * H])
+        c_new = F.add(F.multiply(f_gate, c_prev), F.multiply(i_gate, g_cand))
+        h_new = F.multiply(o_gate, F.tanh(c_new))
+        return h_new, c_new
+
+
+class LSTM(Module):
+    """A unidirectional masked LSTM over ``(B, T, D)`` sequences."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        rng: "int | np.random.Generator | None" = None,
+        reverse: bool = False,
+    ):
+        super().__init__()
+        self.cell = LSTMCell(input_dim, hidden_dim, rng=rng)
+        self.hidden_dim = hidden_dim
+        self.reverse = reverse
+
+    def forward(
+        self,
+        x: Tensor,
+        mask: Optional[np.ndarray] = None,
+    ) -> Tuple[Tensor, Tensor]:
+        """Run the sequence; returns ``(outputs (B,T,H), final_h (B,H))``.
+
+        ``mask`` is a constant (B, T) float array; masked steps freeze
+        the recurrent state.
+        """
+        if x.ndim != 3:
+            raise ValidationError(f"LSTM input must be (B, T, D), got {x.shape}")
+        batch, steps, _ = x.shape
+        if mask is None:
+            mask = np.ones((batch, steps), dtype=np.float64)
+        mask = np.asarray(mask, dtype=np.float64)
+        if mask.shape != (batch, steps):
+            raise ValidationError(
+                f"mask shape {mask.shape} does not match sequence {(batch, steps)}"
+            )
+
+        h = Tensor(np.zeros((batch, self.hidden_dim)))
+        c = Tensor(np.zeros((batch, self.hidden_dim)))
+        outputs: List[Tensor] = [None] * steps  # type: ignore[list-item]
+        time_order = range(steps - 1, -1, -1) if self.reverse else range(steps)
+        for t in time_order:
+            x_t = x[:, t, :]
+            keep = Tensor(mask[:, t : t + 1])
+            drop = Tensor(1.0 - mask[:, t : t + 1])
+            h_new, c_new = self.cell(x_t, (h, c))
+            h = F.add(F.multiply(keep, h_new), F.multiply(drop, h))
+            c = F.add(F.multiply(keep, c_new), F.multiply(drop, c))
+            outputs[t] = h
+        stacked = F.stack(outputs, axis=1)
+        return stacked, h
+
+
+class BiLSTM(Module):
+    """Bidirectional LSTM; final state is ``[h_forward ; h_backward]``."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        rng: "int | np.random.Generator | None" = None,
+    ):
+        super().__init__()
+        from repro.utils.rng import as_generator
+
+        generator = as_generator(rng)
+        self.forward_lstm = LSTM(input_dim, hidden_dim, rng=generator)
+        self.backward_lstm = LSTM(input_dim, hidden_dim, rng=generator, reverse=True)
+        self.hidden_dim = hidden_dim
+
+    def forward(
+        self,
+        x: Tensor,
+        mask: Optional[np.ndarray] = None,
+    ) -> Tuple[Tensor, Tensor]:
+        """Returns ``(outputs (B,T,2H), final (B,2H))``."""
+        fwd_outputs, fwd_final = self.forward_lstm(x, mask)
+        bwd_outputs, bwd_final = self.backward_lstm(x, mask)
+        outputs = F.concatenate([fwd_outputs, bwd_outputs], axis=2)
+        final = F.concatenate([fwd_final, bwd_final], axis=1)
+        return outputs, final

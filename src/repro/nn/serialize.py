@@ -1,0 +1,25 @@
+"""Persistence for module parameters (JSON + base64 buffers)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.nn.module import Module
+from repro.utils.serialization import load_arrays, save_arrays
+
+__all__ = ["save_module", "load_module"]
+
+
+def save_module(module: Module, path: "str | Path") -> None:
+    """Write ``module``'s parameters to ``path``."""
+    save_arrays(path, module.state_dict())
+
+
+def load_module(module: Module, path: "str | Path") -> Module:
+    """Load parameters saved by :func:`save_module` into ``module``.
+
+    The module must already be constructed with matching architecture;
+    returns it for fluent use.
+    """
+    module.load_state_dict(load_arrays(path))
+    return module

@@ -1,0 +1,278 @@
+"""A reverse-mode automatic-differentiation engine over numpy arrays.
+
+This is the substrate every neural model in the library (MLPs, LSTMs,
+attention, GFN/GCN/DiffPool) is built on — the reproduction's stand-in
+for PyTorch.  A :class:`Tensor` wraps an ``ndarray``, records the
+operations that produced it, and :meth:`Tensor.backward` walks the tape in
+reverse topological order accumulating gradients.
+
+Design notes
+------------
+- Gradients are dense float64 ndarrays; ``grad`` is ``None`` until first
+  accumulation.
+- Broadcasting in elementwise ops is handled by summing gradient
+  contributions back onto the original shape (:func:`unbroadcast`).
+- Graph edges are only recorded while ``autograd`` is enabled and at
+  least one input requires a gradient, so inference is allocation-lean.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AutogradError
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "unbroadcast", "as_tensor"]
+
+_GRAD_ENABLED = True
+
+
+@contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager disabling tape recording (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations currently record the autograd tape."""
+    return _GRAD_ENABLED
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` by summing broadcast dimensions."""
+    if grad.shape == shape:
+        return grad
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """A differentiable numpy array.
+
+    Parameters
+    ----------
+    data:
+        Array-like; stored as float64.
+    requires_grad:
+        Whether gradients should accumulate into this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        _parents: Tuple["Tensor", ...] = (),
+        _backward: Optional[Callable[[np.ndarray], None]] = None,
+    ):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._parents = _parents
+        self._backward = _backward
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return self.data.size
+
+    def item(self) -> float:
+        """The single scalar value (errors on non-scalars)."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self._item_error()
+
+    def _item_error(self) -> float:
+        raise AutogradError(f"item() requires a scalar, got shape {self.shape}")
+
+    def numpy(self) -> np.ndarray:
+        """The raw ndarray (shared, do not mutate during training)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """A view of the data cut off from the tape."""
+        return Tensor(self.data, requires_grad=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{flag})"
+
+    # ------------------------------------------------------------------ #
+    # Autograd machinery
+    # ------------------------------------------------------------------ #
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into this tensor's gradient buffer."""
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def zero_grad(self) -> None:
+        """Reset the gradient buffer."""
+        self.grad = None
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded tape.
+
+        ``grad`` defaults to 1 for scalars; non-scalar roots require an
+        explicit output gradient.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise AutogradError(
+                    "backward() without an explicit gradient requires a "
+                    f"scalar output, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+            if grad.shape != self.data.shape:
+                raise AutogradError(
+                    f"output gradient shape {grad.shape} does not match "
+                    f"tensor shape {self.shape}"
+                )
+
+        order = self._topological_order()
+        self.accumulate_grad(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    def _topological_order(self) -> List["Tensor"]:
+        order: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        return order
+
+    # ------------------------------------------------------------------ #
+    # Operator overloads (implemented in repro.nn.functional)
+    # ------------------------------------------------------------------ #
+
+    def __add__(self, other):
+        from repro.nn import functional as F
+
+        return F.add(self, other)
+
+    __radd__ = __add__
+
+    def __mul__(self, other):
+        from repro.nn import functional as F
+
+        return F.multiply(self, other)
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        from repro.nn import functional as F
+
+        return F.negate(self)
+
+    def __sub__(self, other):
+        from repro.nn import functional as F
+
+        return F.add(self, F.negate(as_tensor(other)))
+
+    def __rsub__(self, other):
+        from repro.nn import functional as F
+
+        return F.add(as_tensor(other), F.negate(self))
+
+    def __truediv__(self, other):
+        from repro.nn import functional as F
+
+        return F.divide(self, other)
+
+    def __rtruediv__(self, other):
+        from repro.nn import functional as F
+
+        return F.divide(as_tensor(other), self)
+
+    def __matmul__(self, other):
+        from repro.nn import functional as F
+
+        return F.matmul(self, other)
+
+    def __pow__(self, exponent: float):
+        from repro.nn import functional as F
+
+        return F.power(self, exponent)
+
+    def __getitem__(self, key):
+        from repro.nn import functional as F
+
+        return F.take(self, key)
+
+    def sum(self, axis=None, keepdims: bool = False):
+        """Differentiable sum over ``axis`` (all elements when None)."""
+        from repro.nn import functional as F
+
+        return F.sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        """Differentiable mean over ``axis``."""
+        from repro.nn import functional as F
+
+        return F.mean(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape):
+        """Differentiable reshape (accepts a tuple or varargs)."""
+        from repro.nn import functional as F
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return F.reshape(self, shape)
+
+    def transpose(self, axes: Optional[Sequence[int]] = None):
+        """Differentiable dimension permutation (reversed when None)."""
+        from repro.nn import functional as F
+
+        return F.transpose(self, axes)
+
+    @property
+    def T(self):
+        return self.transpose()
+
+
+def as_tensor(value) -> Tensor:
+    """Coerce numbers / arrays / tensors to a :class:`Tensor`."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)

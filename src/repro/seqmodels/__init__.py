@@ -1,0 +1,37 @@
+"""Address classification heads over graph-embedding sequences (§III-C)."""
+
+from repro.seqmodels.heads import (
+    HEAD_REGISTRY,
+    AttentionHead,
+    AvgPoolHead,
+    BiLSTMHead,
+    LSTMHead,
+    MaxPoolHead,
+    SequenceHead,
+    SumPoolHead,
+    build_head,
+)
+from repro.seqmodels.trainer import (
+    SequenceTrainingConfig,
+    fit_sequence_classifier,
+    pad_sequences,
+    predict_proba_sequences,
+    predict_sequences,
+)
+
+__all__ = [
+    "HEAD_REGISTRY",
+    "AttentionHead",
+    "AvgPoolHead",
+    "BiLSTMHead",
+    "LSTMHead",
+    "MaxPoolHead",
+    "SequenceHead",
+    "SumPoolHead",
+    "build_head",
+    "SequenceTrainingConfig",
+    "fit_sequence_classifier",
+    "pad_sequences",
+    "predict_proba_sequences",
+    "predict_sequences",
+]

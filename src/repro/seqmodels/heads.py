@@ -1,0 +1,187 @@
+"""Address-classification heads over graph-embedding sequences (§III-C).
+
+An address with ``k`` transaction slices yields a sequence of ``k`` graph
+embeddings; these heads map that variable-length sequence to a class.
+Table III compares six combinations:
+
+- **LSTM+MLP** (the paper's choice, Eq. 22) — forward-only recurrence,
+  matching bitcoin's forward-temporal dependency;
+- **BiLSTM+MLP** — bidirectional recurrence;
+- **Attention+MLP** — learned softmax pooling;
+- **SUM/AVG/MAX+MLP** — order-free pooling baselines.
+
+All heads share the interface ``forward(x (B,T,D), mask (B,T)) → logits``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.nn import functional as F
+from repro.nn.attention import AttentionPooling
+from repro.nn.layers import MLP
+from repro.nn.module import Module
+from repro.nn.rnn import BiLSTM, LSTM
+from repro.nn.tensor import Tensor
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "SequenceHead",
+    "LSTMHead",
+    "BiLSTMHead",
+    "AttentionHead",
+    "SumPoolHead",
+    "AvgPoolHead",
+    "MaxPoolHead",
+    "HEAD_REGISTRY",
+    "build_head",
+]
+
+_MASK_OFFSET = 1e9
+
+
+class SequenceHead(Module):
+    """Base class: pooling strategy + shared MLP classifier."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        num_classes: int,
+        hidden_dim: int = 64,
+        rng: "int | np.random.Generator | None" = None,
+    ):
+        super().__init__()
+        if input_dim <= 0 or num_classes <= 0 or hidden_dim <= 0:
+            raise ValidationError("head dims must be positive")
+        self.input_dim = input_dim
+        self.num_classes = num_classes
+        self.hidden_dim = hidden_dim
+        self._rng = as_generator(rng)
+
+    def pool(self, x: Tensor, mask: np.ndarray) -> Tensor:
+        """Reduce ``(B, T, D)`` to a fixed ``(B, P)`` representation."""
+        raise NotImplementedError
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        if x.ndim != 3:
+            raise ValidationError(f"head input must be (B, T, D), got {x.shape}")
+        if mask is None:
+            mask = np.ones(x.shape[:2], dtype=np.float64)
+        pooled = self.pool(x, np.asarray(mask, dtype=np.float64))
+        return self.classifier(pooled)
+
+
+class LSTMHead(SequenceHead):
+    """LSTM over the slice sequence; final hidden state → MLP (Eq. 22)."""
+
+    def __init__(self, input_dim, num_classes, hidden_dim=64, rng=None):
+        super().__init__(input_dim, num_classes, hidden_dim, rng)
+        self.lstm = LSTM(input_dim, hidden_dim, rng=self._rng)
+        self.classifier = MLP(
+            [hidden_dim, hidden_dim, num_classes], rng=self._rng
+        )
+
+    def pool(self, x: Tensor, mask: np.ndarray) -> Tensor:
+        _, final = self.lstm(x, mask)
+        return final
+
+
+class BiLSTMHead(SequenceHead):
+    """Bidirectional LSTM; concatenated final states → MLP."""
+
+    def __init__(self, input_dim, num_classes, hidden_dim=64, rng=None):
+        super().__init__(input_dim, num_classes, hidden_dim, rng)
+        self.lstm = BiLSTM(input_dim, hidden_dim, rng=self._rng)
+        self.classifier = MLP(
+            [2 * hidden_dim, hidden_dim, num_classes], rng=self._rng
+        )
+
+    def pool(self, x: Tensor, mask: np.ndarray) -> Tensor:
+        _, final = self.lstm(x, mask)
+        return final
+
+
+class AttentionHead(SequenceHead):
+    """Additive attention pooling → MLP."""
+
+    def __init__(self, input_dim, num_classes, hidden_dim=64, rng=None):
+        super().__init__(input_dim, num_classes, hidden_dim, rng)
+        self.attention = AttentionPooling(input_dim, hidden_dim, rng=self._rng)
+        self.classifier = MLP(
+            [input_dim, hidden_dim, num_classes], rng=self._rng
+        )
+
+    def pool(self, x: Tensor, mask: np.ndarray) -> Tensor:
+        return self.attention(x, mask)
+
+
+class SumPoolHead(SequenceHead):
+    """Masked SUM pooling → MLP."""
+
+    def __init__(self, input_dim, num_classes, hidden_dim=64, rng=None):
+        super().__init__(input_dim, num_classes, hidden_dim, rng)
+        self.classifier = MLP(
+            [input_dim, hidden_dim, num_classes], rng=self._rng
+        )
+
+    def pool(self, x: Tensor, mask: np.ndarray) -> Tensor:
+        keep = Tensor(mask[:, :, np.newaxis])
+        return F.sum(F.multiply(x, keep), axis=1)
+
+
+class AvgPoolHead(SequenceHead):
+    """Masked mean pooling → MLP."""
+
+    def __init__(self, input_dim, num_classes, hidden_dim=64, rng=None):
+        super().__init__(input_dim, num_classes, hidden_dim, rng)
+        self.classifier = MLP(
+            [input_dim, hidden_dim, num_classes], rng=self._rng
+        )
+
+    def pool(self, x: Tensor, mask: np.ndarray) -> Tensor:
+        keep = Tensor(mask[:, :, np.newaxis])
+        total = F.sum(F.multiply(x, keep), axis=1)
+        counts = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
+        return F.divide(total, Tensor(counts))
+
+
+class MaxPoolHead(SequenceHead):
+    """Masked max pooling → MLP."""
+
+    def __init__(self, input_dim, num_classes, hidden_dim=64, rng=None):
+        super().__init__(input_dim, num_classes, hidden_dim, rng)
+        self.classifier = MLP(
+            [input_dim, hidden_dim, num_classes], rng=self._rng
+        )
+
+    def pool(self, x: Tensor, mask: np.ndarray) -> Tensor:
+        offset = Tensor((mask[:, :, np.newaxis] - 1.0) * _MASK_OFFSET)
+        return F.max(F.add(x, offset), axis=1)
+
+
+HEAD_REGISTRY = {
+    "lstm": LSTMHead,
+    "bilstm": BiLSTMHead,
+    "attention": AttentionHead,
+    "sum": SumPoolHead,
+    "avg": AvgPoolHead,
+    "max": MaxPoolHead,
+}
+
+
+def build_head(
+    name: str,
+    input_dim: int,
+    num_classes: int,
+    hidden_dim: int = 64,
+    rng: "int | np.random.Generator | None" = None,
+) -> SequenceHead:
+    """Construct a head by registry name (``lstm``, ``bilstm``, ...)."""
+    if name not in HEAD_REGISTRY:
+        raise ValidationError(
+            f"unknown head {name!r}; options: {sorted(HEAD_REGISTRY)}"
+        )
+    return HEAD_REGISTRY[name](input_dim, num_classes, hidden_dim, rng)

@@ -1,0 +1,175 @@
+"""Training and inference over variable-length embedding sequences."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.eval.curves import TrainingCurve
+from repro.eval.metrics import precision_recall_f1
+from repro.nn.loss import cross_entropy
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.tensor import Tensor, no_grad
+from repro.seqmodels.heads import SequenceHead
+from repro.utils.rng import as_generator
+from repro.utils.timer import Stopwatch
+
+__all__ = [
+    "pad_sequences",
+    "SequenceTrainingConfig",
+    "fit_sequence_classifier",
+    "predict_sequences",
+    "predict_proba_sequences",
+]
+
+
+def pad_sequences(
+    sequences: Sequence[np.ndarray],
+    max_length: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Right-pad ``(k_i, D)`` sequences into ``(B, T, D)`` plus a mask.
+
+    Sequences longer than ``max_length`` keep their most recent steps
+    (the newest slices carry the freshest behaviour).
+    """
+    if not sequences:
+        raise ValidationError("pad_sequences needs at least one sequence")
+    dims = {seq.shape[1] for seq in sequences}
+    if len(dims) != 1:
+        raise ValidationError(f"inconsistent embedding dims: {dims}")
+    dim = dims.pop()
+    lengths = [seq.shape[0] for seq in sequences]
+    if any(length == 0 for length in lengths):
+        raise ValidationError("sequences must be non-empty")
+    longest = max(lengths)
+    horizon = longest if max_length is None else min(longest, max_length)
+    batch = np.zeros((len(sequences), horizon, dim), dtype=np.float64)
+    mask = np.zeros((len(sequences), horizon), dtype=np.float64)
+    for row, seq in enumerate(sequences):
+        clipped = seq[-horizon:]
+        batch[row, : clipped.shape[0]] = clipped
+        mask[row, : clipped.shape[0]] = 1.0
+    return batch, mask
+
+
+@dataclass(frozen=True)
+class SequenceTrainingConfig:
+    """Hyper-parameters for the address-classification stage."""
+
+    epochs: int = 25
+    batch_size: int = 32
+    learning_rate: float = 1e-3
+    weight_decay: float = 0.0
+    seed: int = 0
+    class_weighted: bool = True
+    max_sequence_length: Optional[int] = 32
+    grad_clip: Optional[float] = 5.0
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValidationError(f"epochs must be > 0, got {self.epochs}")
+        if self.batch_size <= 0:
+            raise ValidationError(f"batch_size must be > 0, got {self.batch_size}")
+
+
+def _class_weights(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    counts = np.bincount(labels, minlength=num_classes).astype(np.float64)
+    present = counts > 0
+    weights = np.zeros(num_classes)
+    weights[present] = 1.0 / counts[present]
+    return weights / (weights[present].mean() if present.any() else 1.0)
+
+
+def fit_sequence_classifier(
+    model: SequenceHead,
+    sequences: Sequence[np.ndarray],
+    labels: np.ndarray,
+    config: Optional[SequenceTrainingConfig] = None,
+    eval_sequences: Optional[Sequence[np.ndarray]] = None,
+    eval_labels: Optional[np.ndarray] = None,
+    curve_name: str = "",
+) -> TrainingCurve:
+    """Train a head on embedding sequences; optionally track an F1 curve."""
+    config = config or SequenceTrainingConfig()
+    labels = np.asarray(labels, dtype=np.int64)
+    if len(sequences) != len(labels):
+        raise ValidationError("sequences and labels must align")
+    if len(sequences) == 0:
+        raise ValidationError("fit_sequence_classifier needs data")
+
+    weights = (
+        _class_weights(labels, model.num_classes) if config.class_weighted else None
+    )
+    optimizer = Adam(
+        model.parameters(),
+        lr=config.learning_rate,
+        weight_decay=config.weight_decay,
+    )
+    rng = as_generator(config.seed)
+    curve = TrainingCurve(model_name=curve_name or type(model).__name__)
+    watch = Stopwatch()
+    indices = np.arange(len(sequences))
+
+    for epoch in range(1, config.epochs + 1):
+        model.train()
+        rng.shuffle(indices)
+        for start in range(0, len(indices), config.batch_size):
+            chosen = indices[start : start + config.batch_size]
+            batch, mask = pad_sequences(
+                [sequences[i] for i in chosen], config.max_sequence_length
+            )
+            logits = model(Tensor(batch), mask)
+            loss = cross_entropy(logits, labels[chosen], class_weights=weights)
+            optimizer.zero_grad()
+            loss.backward()
+            if config.grad_clip is not None:
+                clip_grad_norm(model.parameters(), config.grad_clip)
+            optimizer.step()
+        if eval_sequences is not None and eval_labels is not None:
+            predictions = predict_sequences(
+                model, eval_sequences, config.max_sequence_length
+            )
+            report = precision_recall_f1(
+                np.asarray(eval_labels), predictions, num_classes=model.num_classes
+            )
+            curve.add(epoch=epoch, runtime_seconds=watch.elapsed(), f1=report.weighted_f1)
+    return curve
+
+
+def predict_proba_sequences(
+    model: SequenceHead,
+    sequences: Sequence[np.ndarray],
+    max_sequence_length: Optional[int] = 32,
+    batch_size: int = 64,
+) -> np.ndarray:
+    """Softmax class probabilities per sequence."""
+    model.eval()
+    outputs: List[np.ndarray] = []
+    with no_grad():
+        for start in range(0, len(sequences), batch_size):
+            batch, mask = pad_sequences(
+                list(sequences[start : start + batch_size]), max_sequence_length
+            )
+            logits = model(Tensor(batch), mask).data
+            shifted = logits - logits.max(axis=1, keepdims=True)
+            exps = np.exp(shifted)
+            outputs.append(exps / exps.sum(axis=1, keepdims=True))
+    if not outputs:
+        return np.zeros((0, model.num_classes))
+    return np.concatenate(outputs, axis=0)
+
+
+def predict_sequences(
+    model: SequenceHead,
+    sequences: Sequence[np.ndarray],
+    max_sequence_length: Optional[int] = 32,
+    batch_size: int = 64,
+) -> np.ndarray:
+    """Hard class predictions per sequence."""
+    probabilities = predict_proba_sequences(
+        model, sequences, max_sequence_length, batch_size
+    )
+    return np.argmax(probabilities, axis=1)

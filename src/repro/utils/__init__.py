@@ -1,0 +1,44 @@
+"""Shared utilities: deterministic RNG, timers, validation, serialization."""
+
+from repro.utils.rng import SeedSequenceFactory, as_generator, derive_seed
+from repro.utils.timer import StageTimer, Stopwatch
+from repro.utils.serialization import (
+    decode_array,
+    encode_array,
+    load_arrays,
+    load_json,
+    save_arrays,
+    save_json,
+)
+from repro.utils.validation import (
+    check_array_1d,
+    check_array_2d,
+    check_in_range,
+    check_labels,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_same_length,
+)
+
+__all__ = [
+    "SeedSequenceFactory",
+    "as_generator",
+    "derive_seed",
+    "StageTimer",
+    "Stopwatch",
+    "encode_array",
+    "decode_array",
+    "save_arrays",
+    "load_arrays",
+    "save_json",
+    "load_json",
+    "check_array_1d",
+    "check_array_2d",
+    "check_in_range",
+    "check_labels",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_same_length",
+]

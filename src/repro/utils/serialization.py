@@ -1,0 +1,78 @@
+"""JSON-based persistence helpers for configs and model parameters.
+
+Model weights are stored as a JSON manifest plus base64-encoded float
+buffers, keeping the on-disk format dependency-free and diff-friendly for
+small models.  Large arrays round-trip exactly (raw IEEE-754 bytes).
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "encode_array",
+    "decode_array",
+    "save_arrays",
+    "load_arrays",
+    "dataclass_to_dict",
+    "save_json",
+    "load_json",
+]
+
+
+def encode_array(array: np.ndarray) -> Dict[str, Any]:
+    """Encode an ndarray to a JSON-safe dict (dtype, shape, base64 data)."""
+    arr = np.ascontiguousarray(array)
+    return {
+        "dtype": str(arr.dtype),
+        "shape": list(arr.shape),
+        "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(payload: Mapping[str, Any]) -> np.ndarray:
+    """Inverse of :func:`encode_array`."""
+    try:
+        dtype = np.dtype(payload["dtype"])
+        shape = tuple(int(dim) for dim in payload["shape"])
+        raw = base64.b64decode(payload["data"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValidationError(f"malformed array payload: {exc}") from exc
+    return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+
+
+def save_arrays(path: "str | Path", arrays: Mapping[str, np.ndarray]) -> None:
+    """Persist a name→array mapping as a single JSON file."""
+    payload = {name: encode_array(arr) for name, arr in arrays.items()}
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_arrays(path: "str | Path") -> Dict[str, np.ndarray]:
+    """Inverse of :func:`save_arrays`."""
+    payload = json.loads(Path(path).read_text())
+    return {name: decode_array(item) for name, item in payload.items()}
+
+
+def dataclass_to_dict(obj: Any) -> Dict[str, Any]:
+    """Convert a (possibly nested) dataclass to plain dicts for JSON."""
+    if not dataclasses.is_dataclass(obj):
+        raise ValidationError(f"expected a dataclass instance, got {type(obj)!r}")
+    return dataclasses.asdict(obj)
+
+
+def save_json(path: "str | Path", payload: Any) -> None:
+    """Write ``payload`` as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_json(path: "str | Path") -> Any:
+    """Read a JSON file."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,107 @@
+"""Lightweight wall-clock instrumentation.
+
+The address-graph construction pipeline (paper Table V) and the training
+curves (Figures 5 and 6) both need per-stage wall-clock accounting.  The
+:class:`StageTimer` accumulates named durations and reports totals and
+ratios in the same shape as the paper's Table V.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = ["StageTimer", "Stopwatch"]
+
+
+class Stopwatch:
+    """A resettable stopwatch measuring elapsed wall-clock seconds."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def reset(self) -> None:
+        """Restart the stopwatch from zero."""
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds since construction or the last :meth:`reset`."""
+        return time.perf_counter() - self._start
+
+
+@dataclass
+class StageTimer:
+    """Accumulate wall-clock time per named stage.
+
+    Use :meth:`stage` as a context manager around each pipeline stage; the
+    timer sums durations across repeated entries of the same stage, which
+    is how per-address averages over a dataset are produced.
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+    _order: List[str] = field(default_factory=list)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time one entry of stage ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            duration = time.perf_counter() - start
+            if name not in self.totals:
+                self.totals[name] = 0.0
+                self.counts[name] = 0
+                self._order.append(name)
+            self.totals[name] += duration
+            self.counts[name] += 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record ``seconds`` against stage ``name`` without a context."""
+        if name not in self.totals:
+            self.totals[name] = 0.0
+            self.counts[name] = 0
+            self._order.append(name)
+        self.totals[name] += seconds
+        self.counts[name] += 1
+
+    @property
+    def stage_names(self) -> List[str]:
+        """Stage names in first-seen order."""
+        return list(self._order)
+
+    def total(self) -> float:
+        """Total seconds across all stages."""
+        return sum(self.totals.values())
+
+    def ratios(self) -> Dict[str, float]:
+        """Fraction of total time spent in each stage (sums to 1.0)."""
+        total = self.total()
+        if total <= 0.0:
+            return {name: 0.0 for name in self._order}
+        return {name: self.totals[name] / total for name in self._order}
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per entry of stage ``name``."""
+        count = self.counts.get(name, 0)
+        if count == 0:
+            return 0.0
+        return self.totals[name] / count
+
+    def rows(self) -> List[Tuple[str, float, float]]:
+        """``(stage, total_seconds, ratio)`` rows in first-seen order."""
+        ratios = self.ratios()
+        return [(name, self.totals[name], ratios[name]) for name in self._order]
+
+    def merge(self, other: "StageTimer") -> None:
+        """Fold another timer's accumulations into this one."""
+        for name in other.stage_names:
+            if name not in self.totals:
+                self.totals[name] = 0.0
+                self.counts[name] = 0
+                self._order.append(name)
+            self.totals[name] += other.totals[name]
+            self.counts[name] += other.counts[name]

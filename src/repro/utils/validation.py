@@ -1,0 +1,91 @@
+"""Argument-validation helpers shared across the library.
+
+These are intentionally small, explicit functions (one check per function)
+so call sites read as declarations of their preconditions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+    "check_array_2d",
+    "check_array_1d",
+    "check_same_length",
+    "check_labels",
+]
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require ``value > 0``; return it for fluent use."""
+    if not value > 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Require ``value >= 0``; return it for fluent use."""
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Require ``0 <= value <= 1``; return it for fluent use."""
+    if not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Require ``low <= value <= high``; return it for fluent use."""
+    if not low <= value <= high:
+        raise ValidationError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def check_array_2d(array: np.ndarray, name: str) -> np.ndarray:
+    """Coerce to a 2-D float array, raising on other shapes."""
+    arr = np.asarray(array, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be 2-D, got shape {arr.shape}")
+    return arr
+
+
+def check_array_1d(array: np.ndarray, name: str) -> np.ndarray:
+    """Coerce to a 1-D array, raising on other shapes."""
+    arr = np.asarray(array)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be 1-D, got shape {arr.shape}")
+    return arr
+
+
+def check_same_length(a: Sequence, b: Sequence, name_a: str, name_b: str) -> None:
+    """Require two sequences to have equal length."""
+    if len(a) != len(b):
+        raise ValidationError(
+            f"{name_a} and {name_b} must have the same length, "
+            f"got {len(a)} and {len(b)}"
+        )
+
+
+def check_labels(labels: Iterable[int], num_classes: int) -> np.ndarray:
+    """Coerce labels to an int array and require them to be in range."""
+    arr = np.asarray(list(labels) if not isinstance(labels, np.ndarray) else labels)
+    if arr.size == 0:
+        raise ValidationError("labels must be non-empty")
+    arr = arr.astype(np.int64)
+    if arr.min() < 0 or arr.max() >= num_classes:
+        raise ValidationError(
+            f"labels must be in [0, {num_classes - 1}], "
+            f"got range [{arr.min()}, {arr.max()}]"
+        )
+    return arr

@@ -1,0 +1,86 @@
+"""API-surface quality gates: exports resolve, public items documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.chain",
+    "repro.datagen",
+    "repro.features",
+    "repro.graphs",
+    "repro.nn",
+    "repro.gnn",
+    "repro.ml",
+    "repro.seqmodels",
+    "repro.core",
+    "repro.baselines",
+    "repro.eval",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+class TestExports:
+    def test_all_exports_resolve(self, package_name):
+        module = importlib.import_module(package_name)
+        assert hasattr(module, "__all__"), f"{package_name} lacks __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), (
+                f"{package_name}.__all__ lists {name!r} but it is missing"
+            )
+
+    def test_package_documented(self, package_name):
+        module = importlib.import_module(package_name)
+        assert module.__doc__ and module.__doc__.strip()
+
+    def test_public_callables_documented(self, package_name):
+        """Every exported class and function carries a docstring."""
+        module = importlib.import_module(package_name)
+        undocumented = []
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(name)
+        assert not undocumented, (
+            f"{package_name}: undocumented exports {undocumented}"
+        )
+
+    def test_public_methods_documented(self, package_name):
+        """Public methods of exported classes carry docstrings.
+
+        Overrides of documented base-class methods (``fit``, ``forward``,
+        ``on_step``...) inherit their contract; documentation anywhere in
+        the MRO satisfies the gate.
+        """
+        module = importlib.import_module(package_name)
+        undocumented = []
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if not inspect.isclass(obj):
+                continue
+            for method_name, method in vars(obj).items():
+                if method_name.startswith("_") or not callable(method):
+                    continue
+                documented = any(
+                    (getattr(base.__dict__.get(method_name), "__doc__", None) or "").strip()
+                    for base in obj.__mro__
+                    if method_name in base.__dict__
+                )
+                if not documented:
+                    undocumented.append(f"{name}.{method_name}")
+        assert not undocumented, (
+            f"{package_name}: undocumented methods {undocumented}"
+        )
+
+
+class TestVersion:
+    def test_version_string(self):
+        import repro
+
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)

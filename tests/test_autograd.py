@@ -1,0 +1,375 @@
+"""Gradient checks: every autograd op against central finite differences."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AutogradError
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+
+RNG = np.random.default_rng(0)
+EPS = 1e-6
+TOL = 1e-5
+
+
+def numerical_grad(fn, x: np.ndarray) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued fn at x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    out = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + EPS
+        upper = fn(x)
+        flat[i] = original - EPS
+        lower = fn(x)
+        flat[i] = original
+        out[i] = (upper - lower) / (2 * EPS)
+    return grad
+
+
+def check_unary(op, x: np.ndarray, **kwargs):
+    """Autograd gradient of sum(op(x)) must match finite differences."""
+    t = Tensor(x.copy(), requires_grad=True)
+    out = op(t, **kwargs)
+    F.sum(out).backward()
+    expected = numerical_grad(
+        lambda arr: float(np.sum(op(Tensor(arr), **kwargs).data)), x.copy()
+    )
+    np.testing.assert_allclose(t.grad, expected, rtol=TOL, atol=TOL)
+
+
+def check_binary(op, a: np.ndarray, b: np.ndarray):
+    ta = Tensor(a.copy(), requires_grad=True)
+    tb = Tensor(b.copy(), requires_grad=True)
+    F.sum(op(ta, tb)).backward()
+    expected_a = numerical_grad(
+        lambda arr: float(np.sum(op(Tensor(arr), Tensor(b)).data)), a.copy()
+    )
+    expected_b = numerical_grad(
+        lambda arr: float(np.sum(op(Tensor(a), Tensor(arr)).data)), b.copy()
+    )
+    np.testing.assert_allclose(ta.grad, expected_a, rtol=TOL, atol=TOL)
+    np.testing.assert_allclose(tb.grad, expected_b, rtol=TOL, atol=TOL)
+
+
+class TestElementwise:
+    def test_add(self):
+        check_binary(F.add, RNG.normal(size=(3, 4)), RNG.normal(size=(3, 4)))
+
+    def test_add_broadcast_row(self):
+        check_binary(F.add, RNG.normal(size=(3, 4)), RNG.normal(size=(4,)))
+
+    def test_add_broadcast_col(self):
+        check_binary(F.add, RNG.normal(size=(3, 4)), RNG.normal(size=(3, 1)))
+
+    def test_multiply(self):
+        check_binary(F.multiply, RNG.normal(size=(3, 4)), RNG.normal(size=(3, 4)))
+
+    def test_multiply_broadcast(self):
+        check_binary(F.multiply, RNG.normal(size=(2, 3, 4)), RNG.normal(size=(3, 1)))
+
+    def test_divide(self):
+        b = RNG.normal(size=(3, 4))
+        b = np.where(np.abs(b) < 0.3, 0.5, b)
+        check_binary(F.divide, RNG.normal(size=(3, 4)), b)
+
+    def test_negate(self):
+        check_unary(F.negate, RNG.normal(size=(5,)))
+
+    def test_power(self):
+        check_unary(lambda t: F.power(t, 3.0), RNG.uniform(0.5, 2.0, size=(4,)))
+
+    def test_power_rejects_array_exponent(self):
+        with pytest.raises(AutogradError):
+            F.power(Tensor([1.0]), np.array([2.0]))
+
+
+class TestNonlinearities:
+    def test_exp(self):
+        check_unary(F.exp, RNG.normal(size=(3, 3)))
+
+    def test_log(self):
+        check_unary(F.log, RNG.uniform(0.2, 3.0, size=(3, 3)))
+
+    def test_sqrt(self):
+        check_unary(F.sqrt, RNG.uniform(0.5, 4.0, size=(6,)))
+
+    def test_tanh(self):
+        check_unary(F.tanh, RNG.normal(size=(3, 4)))
+
+    def test_sigmoid(self):
+        check_unary(F.sigmoid, RNG.normal(size=(3, 4)))
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = F.sigmoid(Tensor([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(out.data))
+        np.testing.assert_allclose(out.data, [0.0, 1.0], atol=1e-12)
+
+    def test_relu(self):
+        x = RNG.normal(size=(4, 4))
+        x[np.abs(x) < 0.1] = 0.5  # keep away from the kink
+        check_unary(F.relu, x)
+
+    def test_leaky_relu(self):
+        x = RNG.normal(size=(4, 4))
+        x[np.abs(x) < 0.1] = 0.5
+        check_unary(lambda t: F.leaky_relu(t, 0.1), x)
+
+
+class TestMatmul:
+    def test_gradients(self):
+        check_binary(F.matmul, RNG.normal(size=(3, 4)), RNG.normal(size=(4, 2)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(AutogradError):
+            F.matmul(Tensor(np.ones(3)), Tensor(np.ones((3, 2))))
+
+    def test_chain(self):
+        a = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(3, 3)), requires_grad=True)
+        out = F.sum(F.matmul(F.matmul(a, b), b))
+        out.backward()
+        assert a.grad is not None and b.grad is not None
+        # b is used twice; gradient must accumulate from both uses.
+        expected_b = numerical_grad(
+            lambda arr: float(
+                np.sum(F.matmul(F.matmul(Tensor(a.data), Tensor(arr)), Tensor(arr)).data)
+            ),
+            b.data.copy(),
+        )
+        np.testing.assert_allclose(b.grad, expected_b, rtol=TOL, atol=TOL)
+
+
+class TestSpmm:
+    def test_gradient(self):
+        matrix = sp.random(5, 4, density=0.5, random_state=1, format="csr")
+        x = RNG.normal(size=(4, 3))
+        t = Tensor(x.copy(), requires_grad=True)
+        F.sum(F.spmm(matrix, t)).backward()
+        expected = numerical_grad(
+            lambda arr: float(np.sum(matrix @ arr)), x.copy()
+        )
+        np.testing.assert_allclose(t.grad, expected, rtol=TOL, atol=TOL)
+
+    def test_shape_mismatch(self):
+        matrix = sp.identity(3, format="csr")
+        with pytest.raises(AutogradError):
+            F.spmm(matrix, Tensor(np.ones((4, 2))))
+
+
+class TestReductions:
+    def test_sum_all(self):
+        check_unary(F.sum, RNG.normal(size=(3, 4)))
+
+    def test_sum_axis(self):
+        check_unary(lambda t: F.sum(t, axis=0), RNG.normal(size=(3, 4)))
+        check_unary(lambda t: F.sum(t, axis=1, keepdims=True), RNG.normal(size=(3, 4)))
+
+    def test_mean(self):
+        check_unary(F.mean, RNG.normal(size=(3, 4)))
+        check_unary(lambda t: F.mean(t, axis=1), RNG.normal(size=(3, 4)))
+
+    def test_max_axis(self):
+        x = RNG.normal(size=(4, 5))
+        check_unary(lambda t: F.max(t, axis=1), x)
+
+    def test_max_tie_splitting(self):
+        x = np.array([[1.0, 1.0, 0.0]])
+        t = Tensor(x, requires_grad=True)
+        F.sum(F.max(t, axis=1)).backward()
+        np.testing.assert_allclose(t.grad, [[0.5, 0.5, 0.0]])
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        check_unary(lambda t: F.reshape(t, (2, 6)), RNG.normal(size=(3, 4)))
+
+    def test_transpose_default(self):
+        check_unary(F.transpose, RNG.normal(size=(3, 4)))
+
+    def test_transpose_axes(self):
+        check_unary(
+            lambda t: F.transpose(t, (1, 0, 2)), RNG.normal(size=(2, 3, 4))
+        )
+
+    def test_take_slice(self):
+        check_unary(lambda t: t[1:3], RNG.normal(size=(5, 2)))
+
+    def test_take_fancy_indexing(self):
+        x = RNG.normal(size=(5, 3))
+        idx = np.array([0, 2, 2, 4])
+        t = Tensor(x.copy(), requires_grad=True)
+        F.sum(t[idx]).backward()
+        expected = np.zeros_like(x)
+        np.add.at(expected, idx, 1.0)
+        np.testing.assert_allclose(t.grad, expected)
+
+    def test_concatenate(self):
+        a = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(4, 3)), requires_grad=True)
+        F.sum(F.multiply(F.concatenate([a, b], axis=0), 2.0)).backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3), 2.0))
+        np.testing.assert_allclose(b.grad, np.full((4, 3), 2.0))
+
+    def test_stack(self):
+        a = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        out = F.stack([a, b], axis=1)
+        assert out.shape == (2, 2, 3)
+        F.sum(out).backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+
+class TestSoftmaxFamily:
+    def test_softmax_gradient(self):
+        x = RNG.normal(size=(3, 5))
+        t = Tensor(x.copy(), requires_grad=True)
+        out = F.softmax(t, axis=1)
+        downstream = RNG.normal(size=(3, 5))
+        F.sum(F.multiply(out, Tensor(downstream))).backward()
+        expected = numerical_grad(
+            lambda arr: float(np.sum(F.softmax(Tensor(arr), axis=1).data * downstream)),
+            x.copy(),
+        )
+        np.testing.assert_allclose(t.grad, expected, rtol=TOL, atol=TOL)
+
+    def test_softmax_rows_sum_to_one(self):
+        out = F.softmax(Tensor(RNG.normal(size=(4, 6))), axis=1)
+        np.testing.assert_allclose(out.data.sum(axis=1), np.ones(4))
+
+    def test_log_softmax_gradient(self):
+        x = RNG.normal(size=(3, 4))
+        t = Tensor(x.copy(), requires_grad=True)
+        downstream = RNG.normal(size=(3, 4))
+        F.sum(F.multiply(F.log_softmax(t, axis=1), Tensor(downstream))).backward()
+        expected = numerical_grad(
+            lambda arr: float(
+                np.sum(F.log_softmax(Tensor(arr), axis=1).data * downstream)
+            ),
+            x.copy(),
+        )
+        np.testing.assert_allclose(t.grad, expected, rtol=TOL, atol=TOL)
+
+    def test_log_softmax_stability(self):
+        out = F.log_softmax(Tensor([[1000.0, 0.0]]), axis=1)
+        assert np.all(np.isfinite(out.data))
+
+
+class TestSegmentSum:
+    def test_forward(self):
+        x = Tensor(np.arange(8, dtype=float).reshape(4, 2))
+        out = F.segment_sum(x, np.array([0, 0, 1, 1]), 2)
+        np.testing.assert_allclose(out.data, [[2.0, 4.0], [10.0, 12.0]])
+
+    def test_gradient(self):
+        x = RNG.normal(size=(5, 3))
+        seg = np.array([0, 1, 1, 2, 2])
+        t = Tensor(x.copy(), requires_grad=True)
+        out = F.segment_sum(t, seg, 3)
+        weights = RNG.normal(size=(3, 3))
+        F.sum(F.multiply(out, Tensor(weights))).backward()
+        np.testing.assert_allclose(t.grad, weights[seg], rtol=TOL)
+
+    def test_rejects_bad_ids(self):
+        with pytest.raises(AutogradError):
+            F.segment_sum(Tensor(np.ones((2, 2))), np.array([0, 5]), 2)
+
+
+class TestDropout:
+    def test_eval_mode_identity(self):
+        x = Tensor(RNG.normal(size=(10, 10)))
+        out = F.dropout(x, 0.5, np.random.default_rng(0), training=False)
+        assert out is x
+
+    def test_scaling_preserves_expectation(self):
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.5, np.random.default_rng(0), training=True)
+        assert abs(out.data.mean() - 1.0) < 0.05
+
+    def test_gradient_uses_same_mask(self):
+        x = Tensor(np.ones((50, 50)), requires_grad=True)
+        out = F.dropout(x, 0.3, np.random.default_rng(1), training=True)
+        F.sum(out).backward()
+        zero_fwd = out.data == 0
+        assert np.all(x.grad[zero_fwd] == 0)
+        assert np.allclose(x.grad[~zero_fwd], 1.0 / 0.7)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(AutogradError):
+            F.dropout(Tensor([1.0]), 1.0, np.random.default_rng(0))
+
+
+class TestTensorMechanics:
+    def test_backward_requires_scalar(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(AutogradError):
+            F.multiply(t, 2.0).backward()
+
+    def test_backward_with_explicit_grad(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        F.multiply(t, 3.0).backward(np.ones((2, 2)))
+        np.testing.assert_allclose(t.grad, np.full((2, 2), 3.0))
+
+    def test_no_grad_blocks_tape(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = F.multiply(t, 2.0)
+        assert not out.requires_grad
+        assert is_grad_enabled()
+
+    def test_detach(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        out = F.sum(F.multiply(d, 2.0))
+        assert not out.requires_grad
+
+    def test_gradient_accumulation_diamond(self):
+        """x used via two paths: gradients from both must accumulate."""
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = F.add(F.multiply(x, 3.0), F.multiply(x, x))  # 3x + x^2
+        F.sum(y).backward()
+        np.testing.assert_allclose(x.grad, [3.0 + 2 * 2.0])
+
+    def test_operator_overloads(self):
+        a = Tensor(np.array([4.0]), requires_grad=True)
+        b = Tensor(np.array([2.0]), requires_grad=True)
+        out = (a * b + a / b - b) ** 2.0
+        out.backward()
+        # f = (ab + a/b - b)^2 = (8 + 2 - 2)^2 = 64
+        np.testing.assert_allclose(out.data, [64.0])
+        # df/da = 2(ab + a/b - b)(b + 1/b) = 2*8*2.5 = 40
+        np.testing.assert_allclose(a.grad, [40.0])
+
+    def test_item_and_shape(self):
+        t = Tensor([[1.5]])
+        assert t.item() == 1.5
+        assert t.shape == (1, 1)
+        assert Tensor(np.zeros((2, 3))).ndim == 2
+        with pytest.raises(AutogradError):
+            Tensor(np.zeros(3)).item()
+
+    @given(
+        st.lists(
+            st.floats(min_value=-5, max_value=5, allow_nan=False),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_composite_expression_property(self, values):
+        """tanh(x)·σ(x) + x² gradient matches finite differences anywhere."""
+        x = np.asarray(values, dtype=np.float64)
+
+        def build(t):
+            return F.sum(
+                F.add(F.multiply(F.tanh(t), F.sigmoid(t)), F.multiply(t, t))
+            )
+
+        t = Tensor(x.copy(), requires_grad=True)
+        build(t).backward()
+        expected = numerical_grad(lambda arr: float(build(Tensor(arr)).data), x.copy())
+        np.testing.assert_allclose(t.grad, expected, rtol=1e-4, atol=1e-4)

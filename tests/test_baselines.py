@@ -1,0 +1,110 @@
+"""Tests for the BitScope and Lee et al. baseline classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BitScopeClassifier, KMeans, LeeClassifier
+from repro.datagen import WorldConfig, build_dataset, generate_world
+from repro.errors import NotFittedError, ValidationError
+from repro.eval import precision_recall_f1
+
+
+@pytest.fixture(scope="module")
+def baseline_world():
+    world = generate_world(
+        WorldConfig(seed=21, num_blocks=120, num_retail=40, num_gamblers=14)
+    )
+    dataset = build_dataset(world, min_transactions=5)
+    train, test = dataset.split(test_fraction=0.25, seed=0)
+    return world, train, test
+
+
+class TestKMeans:
+    def test_separates_blobs(self):
+        rng = np.random.default_rng(0)
+        x = np.vstack(
+            [rng.normal(0, 0.3, (40, 2)), rng.normal(5, 0.3, (40, 2))]
+        )
+        model = KMeans(k=2, seed=0).fit(x)
+        assignment = model.predict(x)
+        # The first 40 and last 40 points land in different clusters.
+        assert len(set(assignment[:40])) == 1
+        assert len(set(assignment[40:])) == 1
+        assert assignment[0] != assignment[-1]
+
+    def test_k_capped_at_samples(self):
+        x = np.ones((3, 2))
+        model = KMeans(k=10, seed=0).fit(x)
+        assert model.centroids_.shape[0] <= 3
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            KMeans(k=0)
+        with pytest.raises(NotFittedError):
+            KMeans(k=2).predict(np.ones((2, 2)))
+
+
+class TestLeeClassifier:
+    @pytest.mark.parametrize("model", ["random_forest", "ann"])
+    def test_beats_random_guessing(self, baseline_world, model):
+        world, train, test = baseline_world
+        clf = LeeClassifier(model=model, seed=0)
+        clf.fit(train.addresses, train.labels, world.index)
+        predictions = clf.predict(test.addresses, world.index)
+        report = precision_recall_f1(test.labels, predictions, num_classes=4)
+        assert report.accuracy > 0.4  # 4 classes: chance is ~0.25
+
+    def test_rf_stronger_than_ann(self, baseline_world):
+        """Table IV ordering: Lee-RF clearly beats Lee-ANN."""
+        world, train, test = baseline_world
+        rf = LeeClassifier(model="random_forest", seed=0)
+        rf.fit(train.addresses, train.labels, world.index)
+        ann = LeeClassifier(model="ann", seed=0)
+        ann.fit(train.addresses, train.labels, world.index)
+        rf_f1 = precision_recall_f1(
+            test.labels, rf.predict(test.addresses, world.index), num_classes=4
+        ).weighted_f1
+        ann_f1 = precision_recall_f1(
+            test.labels, ann.predict(test.addresses, world.index), num_classes=4
+        ).weighted_f1
+        assert rf_f1 > ann_f1
+
+    def test_proba(self, baseline_world):
+        world, train, test = baseline_world
+        clf = LeeClassifier(seed=0).fit(train.addresses, train.labels, world.index)
+        proba = clf.predict_proba(test.addresses[:5], world.index)
+        assert proba.shape == (5, 4)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_validation(self, baseline_world):
+        world, _, test = baseline_world
+        with pytest.raises(ValidationError):
+            LeeClassifier(model="svm")
+        with pytest.raises(NotFittedError):
+            LeeClassifier().predict(test.addresses[:1], world.index)
+
+
+class TestBitScope:
+    def test_beats_random_guessing(self, baseline_world):
+        world, train, test = baseline_world
+        clf = BitScopeClassifier(seed=0)
+        clf.fit(train.addresses, train.labels, world.index)
+        predictions = clf.predict(test.addresses, world.index)
+        report = precision_recall_f1(test.labels, predictions, num_classes=4)
+        assert report.accuracy > 0.4
+
+    def test_proba_normalised(self, baseline_world):
+        world, train, test = baseline_world
+        clf = BitScopeClassifier(seed=0)
+        clf.fit(train.addresses, train.labels, world.index)
+        proba = clf.predict_proba(test.addresses[:6], world.index)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_unfitted(self, baseline_world):
+        world, _, test = baseline_world
+        with pytest.raises(NotFittedError):
+            BitScopeClassifier().predict(test.addresses[:1], world.index)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            BitScopeClassifier(resolutions=())

@@ -1,0 +1,557 @@
+"""Unit and property tests for the UTXO chain substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chain import (
+    AddressFactory,
+    Block,
+    Blockchain,
+    ChainParams,
+    Mempool,
+    OutPoint,
+    Transaction,
+    TxInput,
+    TxOutput,
+    UTXOSet,
+    Wallet,
+    attach_index,
+    btc,
+    is_valid_address,
+    merkle_root,
+)
+from repro.errors import (
+    InsufficientFundsError,
+    InvalidBlockError,
+    InvalidTransactionError,
+    ValidationError,
+)
+
+
+# --------------------------------------------------------------------- #
+# Addresses
+# --------------------------------------------------------------------- #
+
+
+class TestAddress:
+    def test_valid_and_deterministic(self):
+        a = AddressFactory(1).new_address()
+        b = AddressFactory(1).new_address()
+        assert a == b
+        assert is_valid_address(a)
+
+    def test_distinct_addresses(self):
+        factory = AddressFactory(1)
+        addresses = {factory.new_address() for _ in range(200)}
+        assert len(addresses) == 200
+
+    def test_length_band(self):
+        """Paper: 26-34 character strings."""
+        factory = AddressFactory(2)
+        for _ in range(50):
+            address = factory.new_address()
+            assert 26 <= len(address) <= 35
+            assert address.startswith("1")
+
+    def test_checksum_detects_corruption(self):
+        address = AddressFactory(3).new_address()
+        corrupted = ("2" if address[5] != "2" else "3").join(
+            [address[:5], address[6:]]
+        )
+        assert not is_valid_address(corrupted)
+
+    def test_invalid_alphabet_rejected(self):
+        assert not is_valid_address("0OIl" * 8)
+
+    def test_minted_counter(self):
+        factory = AddressFactory(4)
+        factory.new_address()
+        factory.new_keypair()
+        assert factory.minted == 2
+
+
+# --------------------------------------------------------------------- #
+# Transactions
+# --------------------------------------------------------------------- #
+
+
+def _addr(i: int) -> str:
+    return AddressFactory(1000 + i).new_address()
+
+
+class TestTransaction:
+    def test_coinbase(self):
+        tx = Transaction.coinbase(_addr(0), value=btc(50), timestamp=1.0)
+        assert tx.is_coinbase
+        assert tx.fee == 0
+        assert tx.output_value == btc(50)
+
+    def test_txid_content_addressed(self):
+        a = Transaction.coinbase(_addr(0), value=btc(50), timestamp=1.0)
+        b = Transaction.coinbase(_addr(0), value=btc(50), timestamp=1.0)
+        c = Transaction.coinbase(_addr(0), value=btc(50), timestamp=2.0)
+        assert a.txid == b.txid
+        assert a.txid != c.txid
+
+    def test_coinbase_tag_disambiguates(self):
+        a = Transaction.coinbase(_addr(0), value=btc(50), timestamp=1.0, tag="h=1")
+        b = Transaction.coinbase(_addr(0), value=btc(50), timestamp=1.0, tag="h=2")
+        assert a.txid != b.txid
+
+    def test_fee_and_values(self):
+        base = Transaction.coinbase(_addr(0), value=btc(50), timestamp=1.0)
+        spend = Transaction.create(
+            inputs=[TxInput(base.outpoint(0), _addr(0), btc(50))],
+            outputs=[TxOutput(_addr(1), btc(49))],
+            timestamp=2.0,
+        )
+        assert spend.fee == btc(1)
+        assert spend.input_value == btc(50)
+        assert spend.output_value == btc(49)
+
+    def test_value_for(self):
+        base = Transaction.coinbase(_addr(0), value=btc(50), timestamp=1.0)
+        spend = Transaction.create(
+            inputs=[TxInput(base.outpoint(0), _addr(0), btc(50))],
+            outputs=[TxOutput(_addr(1), btc(30)), TxOutput(_addr(0), btc(19))],
+            timestamp=2.0,
+        )
+        assert spend.value_for(_addr(0)) == btc(19) - btc(50)
+        assert spend.value_for(_addr(1)) == btc(30)
+        assert spend.value_for(_addr(2)) == 0
+
+    def test_addresses_deduplicated_ordered(self):
+        base = Transaction.coinbase(_addr(0), value=btc(50), timestamp=1.0)
+        spend = Transaction.create(
+            inputs=[TxInput(base.outpoint(0), _addr(0), btc(50))],
+            outputs=[TxOutput(_addr(0), btc(20)), TxOutput(_addr(1), btc(29))],
+            timestamp=2.0,
+        )
+        assert spend.addresses() == [_addr(0), _addr(1)]
+
+    def test_no_outputs_rejected(self):
+        with pytest.raises(ValidationError):
+            Transaction.create(inputs=[], outputs=[], timestamp=0.0)
+
+    def test_double_outpoint_rejected(self):
+        base = Transaction.coinbase(_addr(0), value=btc(50), timestamp=1.0)
+        inp = TxInput(base.outpoint(0), _addr(0), btc(50))
+        with pytest.raises(ValidationError):
+            Transaction.create(
+                inputs=[inp, inp], outputs=[TxOutput(_addr(1), btc(1))], timestamp=2.0
+            )
+
+    def test_nonpositive_values_rejected(self):
+        with pytest.raises(ValidationError):
+            TxOutput(_addr(0), 0)
+        with pytest.raises(ValidationError):
+            TxInput(OutPoint("ab", 0), _addr(0), -5)
+
+    def test_outpoint_out_of_range(self):
+        tx = Transaction.coinbase(_addr(0), value=btc(1), timestamp=0.0)
+        with pytest.raises(ValidationError):
+            tx.outpoint(1)
+
+
+class TestMerkle:
+    def test_single(self):
+        assert merkle_root(["ab"]) == "ab"
+
+    def test_order_sensitivity(self):
+        assert merkle_root(["a", "b"]) != merkle_root(["b", "a"])
+
+    def test_odd_duplication(self):
+        assert merkle_root(["a", "b", "c"]) == merkle_root(["a", "b", "c", "c"])
+
+    def test_empty(self):
+        assert isinstance(merkle_root([]), str)
+
+
+# --------------------------------------------------------------------- #
+# UTXO set
+# --------------------------------------------------------------------- #
+
+
+class TestUTXOSet:
+    def _funded(self):
+        utxo = UTXOSet()
+        tx = Transaction.coinbase(_addr(0), value=btc(50), timestamp=1.0)
+        utxo.apply_transaction(tx)
+        return utxo, tx
+
+    def test_apply_coinbase(self):
+        utxo, tx = self._funded()
+        assert utxo.balance_of(_addr(0)) == btc(50)
+        assert len(utxo) == 1
+        assert tx.outpoint(0) in utxo
+
+    def test_spend_moves_value(self):
+        utxo, base = self._funded()
+        spend = Transaction.create(
+            inputs=[TxInput(base.outpoint(0), _addr(0), btc(50))],
+            outputs=[TxOutput(_addr(1), btc(50))],
+            timestamp=2.0,
+        )
+        utxo.apply_transaction(spend)
+        assert utxo.balance_of(_addr(0)) == 0
+        assert utxo.balance_of(_addr(1)) == btc(50)
+
+    def test_double_spend_rejected(self):
+        utxo, base = self._funded()
+        spend = Transaction.create(
+            inputs=[TxInput(base.outpoint(0), _addr(0), btc(50))],
+            outputs=[TxOutput(_addr(1), btc(50))],
+            timestamp=2.0,
+        )
+        utxo.apply_transaction(spend)
+        with pytest.raises(InvalidTransactionError):
+            utxo.apply_transaction(spend)
+
+    def test_value_creation_rejected(self):
+        utxo, base = self._funded()
+        inflate = Transaction.create(
+            inputs=[TxInput(base.outpoint(0), _addr(0), btc(50))],
+            outputs=[TxOutput(_addr(1), btc(51))],
+            timestamp=2.0,
+        )
+        with pytest.raises(InvalidTransactionError):
+            utxo.apply_transaction(inflate)
+
+    def test_wrong_owner_rejected(self):
+        utxo, base = self._funded()
+        bad = Transaction.create(
+            inputs=[TxInput(base.outpoint(0), _addr(9), btc(50))],
+            outputs=[TxOutput(_addr(1), btc(50))],
+            timestamp=2.0,
+        )
+        with pytest.raises(InvalidTransactionError):
+            utxo.apply_transaction(bad)
+
+    def test_wrong_value_rejected(self):
+        utxo, base = self._funded()
+        bad = Transaction.create(
+            inputs=[TxInput(base.outpoint(0), _addr(0), btc(49))],
+            outputs=[TxOutput(_addr(1), btc(49))],
+            timestamp=2.0,
+        )
+        with pytest.raises(InvalidTransactionError):
+            utxo.apply_transaction(bad)
+
+    def test_unapply_restores(self):
+        utxo, base = self._funded()
+        spend = Transaction.create(
+            inputs=[TxInput(base.outpoint(0), _addr(0), btc(50))],
+            outputs=[TxOutput(_addr(1), btc(50))],
+            timestamp=2.0,
+        )
+        utxo.apply_transaction(spend)
+        utxo.unapply_transaction(spend)
+        assert utxo.balance_of(_addr(0)) == btc(50)
+        assert utxo.balance_of(_addr(1)) == 0
+
+    def test_total_value_conserved_by_feeless_spend(self):
+        utxo, base = self._funded()
+        before = utxo.total_value()
+        spend = Transaction.create(
+            inputs=[TxInput(base.outpoint(0), _addr(0), btc(50))],
+            outputs=[TxOutput(_addr(1), btc(20)), TxOutput(_addr(2), btc(30))],
+            timestamp=2.0,
+        )
+        utxo.apply_transaction(spend)
+        assert utxo.total_value() == before
+
+
+# --------------------------------------------------------------------- #
+# Blockchain
+# --------------------------------------------------------------------- #
+
+
+class TestBlockchain:
+    def test_genesis(self):
+        chain = Blockchain()
+        assert chain.height == 0
+        assert chain.tip.height == 0
+
+    def test_mining_grows_supply_by_subsidy(self):
+        chain = Blockchain(ChainParams(initial_subsidy=btc(50)))
+        chain.mine_block([], reward_address=_addr(0))
+        chain.mine_block([], reward_address=_addr(0))
+        assert chain.total_supply() == btc(100)
+
+    def test_halving_schedule(self):
+        params = ChainParams(initial_subsidy=btc(50), halving_interval=10)
+        assert params.subsidy_at(0) == btc(50)
+        assert params.subsidy_at(9) == btc(50)
+        assert params.subsidy_at(10) == btc(25)
+        assert params.subsidy_at(20) == btc(12.5)
+        assert params.subsidy_at(10 * 70) == 0
+
+    def test_subsidy_rejects_negative_height(self):
+        with pytest.raises(ValidationError):
+            ChainParams().subsidy_at(-1)
+
+    def test_bad_link_rejected(self):
+        chain = Blockchain()
+        block = Block.create(
+            height=1, timestamp=1.0, prev_hash="f" * 64, transactions=()
+        )
+        with pytest.raises(InvalidBlockError):
+            chain.append_block(block)
+
+    def test_bad_height_rejected(self):
+        chain = Blockchain()
+        block = Block.create(
+            height=5, timestamp=1.0, prev_hash=chain.tip.hash, transactions=()
+        )
+        with pytest.raises(InvalidBlockError):
+            chain.append_block(block)
+
+    def test_time_regression_rejected(self):
+        chain = Blockchain(genesis_timestamp=100.0)
+        block = Block.create(
+            height=1, timestamp=50.0, prev_hash=chain.tip.hash, transactions=()
+        )
+        with pytest.raises(InvalidBlockError):
+            chain.append_block(block)
+
+    def test_overminting_coinbase_rejected(self):
+        chain = Blockchain(ChainParams(initial_subsidy=btc(50)))
+        coinbase = Transaction.coinbase(_addr(0), value=btc(51), timestamp=1.0)
+        block = Block.create(
+            height=1, timestamp=1.0, prev_hash=chain.tip.hash,
+            transactions=(coinbase,),
+        )
+        with pytest.raises(InvalidBlockError):
+            chain.append_block(block)
+
+    def test_failed_block_rolls_back(self):
+        chain = Blockchain(ChainParams(initial_subsidy=btc(50)))
+        chain.mine_block([], reward_address=_addr(0), timestamp=600.0)
+        supply_before = chain.total_supply()
+        coinbase = Transaction.coinbase(
+            _addr(1), value=btc(50), timestamp=1200.0, tag="h2"
+        )
+        bad_spend = Transaction.create(
+            inputs=[TxInput(OutPoint("0" * 64, 0), _addr(0), btc(1))],
+            outputs=[TxOutput(_addr(2), btc(1))],
+            timestamp=1200.0,
+        )
+        block = Block.create(
+            height=2, timestamp=1200.0, prev_hash=chain.tip.hash,
+            transactions=(coinbase, bad_spend),
+        )
+        with pytest.raises(InvalidTransactionError):
+            chain.append_block(block)
+        assert chain.height == 1
+        assert chain.total_supply() == supply_before
+
+    def test_coinbase_collects_fees(self):
+        chain = Blockchain(ChainParams(initial_subsidy=btc(50)))
+        block1 = chain.mine_block([], reward_address=_addr(0), timestamp=600.0)
+        base = block1.transactions[0]
+        spend = Transaction.create(
+            inputs=[TxInput(base.outpoint(0), _addr(0), btc(50))],
+            outputs=[TxOutput(_addr(1), btc(49))],
+            timestamp=1200.0,
+        )
+        block2 = chain.mine_block(
+            [spend], reward_address=_addr(2), timestamp=1200.0
+        )
+        assert block2.transactions[0].output_value == btc(51)
+
+    @given(st.integers(min_value=1, max_value=12))
+    @settings(max_examples=10, deadline=None)
+    def test_supply_equals_cumulative_subsidy(self, blocks):
+        """Monetary conservation: no path mints value beyond the schedule."""
+        params = ChainParams(initial_subsidy=btc(50), halving_interval=4)
+        chain = Blockchain(params)
+        for _ in range(blocks):
+            chain.mine_block([], reward_address=_addr(0))
+        expected = sum(params.subsidy_at(h) for h in range(1, blocks + 1))
+        assert chain.total_supply() == expected
+
+
+# --------------------------------------------------------------------- #
+# Mempool + wallet
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def funded_world():
+    """A chain with a funded wallet and an empty mempool."""
+    factory = AddressFactory(11)
+    chain = Blockchain(ChainParams(initial_subsidy=btc(50)))
+    mempool = Mempool(chain.utxo_set)
+    wallet = Wallet(mempool.view(), factory, name="w")
+    reward = wallet.new_address()
+    for i in range(2):
+        chain.mine_block([], reward_address=reward, timestamp=600.0 * (i + 1))
+    return chain, mempool, wallet, factory
+
+
+class TestWallet:
+    def test_balance(self, funded_world):
+        _, _, wallet, _ = funded_world
+        assert wallet.balance() == btc(100)
+
+    def test_change_goes_to_fresh_address(self, funded_world):
+        chain, mempool, wallet, factory = funded_world
+        other = AddressFactory(99).new_address()
+        tx = wallet.create_transaction([(other, btc(10))], timestamp=2000.0)
+        change_outputs = [o for o in tx.outputs if o.address != other]
+        assert len(change_outputs) == 1
+        assert wallet.owns(change_outputs[0].address)
+        assert change_outputs[0].address != tx.inputs[0].address
+
+    def test_change_to_source(self, funded_world):
+        chain, mempool, wallet, factory = funded_world
+        other = AddressFactory(99).new_address()
+        tx = wallet.create_transaction(
+            [(other, btc(10))], timestamp=2000.0, change_to_source=True
+        )
+        change_outputs = [o for o in tx.outputs if o.address != other]
+        assert change_outputs[0].address == tx.inputs[0].address
+
+    def test_whole_address_spend(self, funded_world):
+        """Paper §II-A: the wallet zeroes the source address's balance."""
+        chain, mempool, wallet, _ = funded_world
+        source = wallet.addresses[0]
+        other = AddressFactory(99).new_address()
+        tx = wallet.create_transaction([(other, btc(10))], timestamp=2000.0)
+        mempool.submit(tx)
+        assert mempool.view().balance_of(source) == 0
+
+    def test_insufficient_funds(self, funded_world):
+        _, _, wallet, _ = funded_world
+        other = AddressFactory(99).new_address()
+        with pytest.raises(InsufficientFundsError):
+            wallet.create_transaction([(other, btc(1000))], timestamp=2000.0)
+
+    def test_rejects_empty_payments(self, funded_world):
+        _, _, wallet, _ = funded_world
+        with pytest.raises(ValidationError):
+            wallet.create_transaction([], timestamp=0.0)
+
+    def test_fee_deducted(self, funded_world):
+        chain, mempool, wallet, _ = funded_world
+        other = AddressFactory(99).new_address()
+        tx = wallet.create_transaction(
+            [(other, btc(10))], timestamp=2000.0, fee=btc(0.01)
+        )
+        assert tx.fee == btc(0.01)
+
+    def test_adopt_address(self, funded_world):
+        _, _, wallet, factory = funded_world
+        external = AddressFactory(98).new_address()
+        wallet.adopt_address(external)
+        assert wallet.owns(external)
+
+
+class TestMempool:
+    def test_submit_and_drain(self, funded_world):
+        chain, mempool, wallet, _ = funded_world
+        other = AddressFactory(99).new_address()
+        tx = wallet.create_transaction([(other, btc(5))], timestamp=2000.0)
+        mempool.submit(tx)
+        assert len(mempool) == 1
+        drained = mempool.drain()
+        assert [t.txid for t in drained] == [tx.txid]
+        assert len(mempool) == 0
+
+    def test_double_spend_rejected(self, funded_world):
+        chain, mempool, wallet, _ = funded_world
+        other = AddressFactory(99).new_address()
+        tx1 = wallet.create_transaction([(other, btc(5))], timestamp=2000.0)
+        mempool.submit(tx1)
+        # Manually craft a second spend of the same outpoint.
+        conflicting = Transaction.create(
+            inputs=list(tx1.inputs),
+            outputs=[TxOutput(other, tx1.input_value - btc(1))],
+            timestamp=2001.0,
+        )
+        with pytest.raises(InvalidTransactionError):
+            mempool.submit(conflicting)
+
+    def test_spend_unconfirmed_chain(self, funded_world):
+        """A wallet can spend its own unconfirmed change output."""
+        chain, mempool, wallet, _ = funded_world
+        other = AddressFactory(99).new_address()
+        tx1 = wallet.create_transaction([(other, btc(5))], timestamp=2000.0)
+        mempool.submit(tx1)
+        tx2 = wallet.create_transaction([(other, btc(5))], timestamp=2001.0)
+        mempool.submit(tx2)
+        assert len(mempool) == 2
+
+    def test_coinbase_rejected(self, funded_world):
+        _, mempool, _, _ = funded_world
+        cb = Transaction.coinbase(_addr(0), value=btc(1), timestamp=0.0)
+        with pytest.raises(InvalidTransactionError):
+            mempool.submit(cb)
+
+    def test_take_fifo(self, funded_world):
+        chain, mempool, wallet, _ = funded_world
+        other = AddressFactory(99).new_address()
+        tx1 = wallet.create_transaction([(other, btc(1))], timestamp=2000.0)
+        mempool.submit(tx1)
+        tx2 = wallet.create_transaction([(other, btc(1))], timestamp=2001.0)
+        mempool.submit(tx2)
+        first = mempool.take(1)
+        assert first[0].txid == tx1.txid
+        assert len(mempool) == 1
+
+    def test_mined_pending_block_applies(self, funded_world):
+        chain, mempool, wallet, _ = funded_world
+        other = AddressFactory(99).new_address()
+        tx = wallet.create_transaction([(other, btc(5))], timestamp=2000.0)
+        mempool.submit(tx)
+        chain.mine_block(mempool.drain(), reward_address=_addr(5), timestamp=2400.0)
+        assert chain.utxo_set.balance_of(other) == btc(5)
+
+
+class TestChainIndex:
+    def test_index_backfills_and_tracks(self, funded_world):
+        chain, mempool, wallet, _ = funded_world
+        index = attach_index(chain)
+        reward = wallet.addresses[0]
+        assert index.transaction_count(reward) == 2
+        other = AddressFactory(99).new_address()
+        tx = wallet.create_transaction([(other, btc(5))], timestamp=2000.0)
+        mempool.submit(tx)
+        chain.mine_block(mempool.drain(), reward_address=_addr(5), timestamp=2400.0)
+        assert index.transaction_count(other) == 1
+        assert index.transaction(tx.txid) is not None
+        assert index.height_of(tx.txid) == 3
+
+    def test_records_chronological_and_signed(self, funded_world):
+        chain, mempool, wallet, _ = funded_world
+        index = attach_index(chain)
+        reward = wallet.addresses[0]
+        other = AddressFactory(99).new_address()
+        tx = wallet.create_transaction([(other, btc(5))], timestamp=2000.0)
+        mempool.submit(tx)
+        chain.mine_block(mempool.drain(), reward_address=_addr(5), timestamp=2400.0)
+        records = index.records_for(reward)
+        times = [r.timestamp for r in records]
+        assert times == sorted(times)
+        assert records[0].direction == "in"
+        assert records[-1].direction == "out"
+
+    def test_counterparties(self, funded_world):
+        chain, mempool, wallet, _ = funded_world
+        index = attach_index(chain)
+        reward = wallet.addresses[0]
+        other = AddressFactory(99).new_address()
+        tx = wallet.create_transaction([(other, btc(5))], timestamp=2000.0)
+        mempool.submit(tx)
+        chain.mine_block(mempool.drain(), reward_address=_addr(5), timestamp=2400.0)
+        assert other in index.counterparties(reward)
+        assert reward not in index.counterparties(reward)
+
+    def test_active_addresses_buckets(self, funded_world):
+        chain, _, wallet, _ = funded_world
+        index = attach_index(chain)
+        series = index.active_addresses_by_bucket(600.0)
+        assert all(count >= 1 for _, count in series)
+        starts = [start for start, _ in series]
+        assert starts == sorted(starts)

@@ -1,0 +1,146 @@
+"""Stateful property test: random wallet/mempool/chain interleavings.
+
+A hypothesis rule-based state machine drives the ledger through random
+sequences of payments, mining, and draining, asserting the global
+conservation invariants after every step:
+
+- total UTXO value equals cumulative subsidies minus pending fees;
+- no address balance is ever negative;
+- the mempool never admits a double spend;
+- every mined block replays cleanly into a fresh chain (serialisation
+  round trip under arbitrary histories).
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.chain import (
+    AddressFactory,
+    Blockchain,
+    ChainParams,
+    Mempool,
+    Wallet,
+    btc,
+)
+from repro.errors import InsufficientFundsError
+
+
+class LedgerMachine(RuleBasedStateMachine):
+    """Random payments + mining with conservation invariants."""
+
+    @initialize()
+    def setup(self):
+        self.factory = AddressFactory(1234)
+        self.chain = Blockchain(ChainParams(initial_subsidy=btc(50)))
+        self.mempool = Mempool(self.chain.utxo_set)
+        self.wallets = [
+            Wallet(self.mempool.view(), self.factory, name=f"w{i}")
+            for i in range(3)
+        ]
+        for wallet in self.wallets:
+            wallet.new_address()
+        self.clock = 0.0
+        self.minted_subsidy = 0
+        # Fund wallet 0 so spends can start immediately.
+        self._mine(self.wallets[0])
+
+    def _mine(self, wallet):
+        self.clock += 600.0
+        transactions = self.mempool.drain()
+        block = self.chain.mine_block(
+            transactions,
+            reward_address=wallet.addresses[0],
+            timestamp=self.clock,
+        )
+        self.minted_subsidy += self.chain.params.subsidy_at(block.height)
+
+    @rule(
+        payer=st.integers(0, 2),
+        payee=st.integers(0, 2),
+        fraction=st.floats(0.05, 0.6),
+        fee_sats=st.integers(0, 50_000),
+        change_to_source=st.booleans(),
+    )
+    def pay(self, payer, payee, fraction, fee_sats, change_to_source):
+        """A wallet attempts a payment (may be unaffordable: allowed)."""
+        wallet = self.wallets[payer]
+        balance = wallet.balance()
+        amount = int(balance * fraction)
+        if amount < 10_000:
+            return
+        target = self.wallets[payee].new_address()
+        self.clock += 1.0
+        try:
+            tx = wallet.create_transaction(
+                [(target, amount)],
+                timestamp=self.clock,
+                fee=min(fee_sats, max(0, balance - amount)),
+                change_to_source=change_to_source,
+            )
+        except InsufficientFundsError:
+            return
+        self.mempool.submit(tx)
+
+    @rule(miner=st.integers(0, 2))
+    def mine(self, miner):
+        """Mine pending transactions into a block."""
+        self._mine(self.wallets[miner])
+
+    @invariant()
+    def value_conservation(self):
+        """Confirmed supply equals cumulative subsidies, always.
+
+        Pending transactions do not touch the confirmed UTXO set, and at
+        mining time every fee is transferred into the coinbase, so no
+        interleaving of payments and mining can create or destroy value.
+        """
+        if not hasattr(self, "chain"):
+            return
+        assert self.chain.total_supply() == self.minted_subsidy
+
+    @invariant()
+    def balances_non_negative(self):
+        if not hasattr(self, "chain"):
+            return
+        view = self.mempool.view()
+        for wallet in self.wallets:
+            for address in wallet.addresses:
+                assert view.balance_of(address) >= 0
+
+    @invariant()
+    def no_double_spend_in_mempool(self):
+        if not hasattr(self, "chain"):
+            return
+        seen = set()
+        for tx in self.mempool.transactions:
+            for inp in tx.inputs:
+                assert inp.outpoint not in seen
+                seen.add(inp.outpoint)
+
+    def teardown(self):
+        """Final check: the whole history replays through validation."""
+        if not hasattr(self, "chain"):
+            return
+        import tempfile
+        from pathlib import Path
+
+        from repro.chain import load_chain, save_chain
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "chain.jsonl"
+            save_chain(self.chain, path)
+            restored, _ = load_chain(path)
+            assert restored.tip.hash == self.chain.tip.hash
+
+
+TestLedgerMachine = LedgerMachine.TestCase
+TestLedgerMachine.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None
+)

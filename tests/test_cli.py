@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_args(self):
+        args = build_parser().parse_args(
+            ["simulate", "--seed", "9", "--blocks", "50", "--out", "w"]
+        )
+        assert args.command == "simulate"
+        assert args.seed == 9
+        assert args.blocks == 50
+
+    def test_classify_requires_addresses(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["classify", "--world", "w", "--model", "m"])
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def world_dir(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "world"
+        code = main(
+            [
+                "simulate", "--seed", "4", "--blocks", "60",
+                "--retail", "15", "--out", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_train_evaluate_classify(self, world_dir, tmp_path, capsys):
+        model_dir = tmp_path / "model"
+        assert main(
+            [
+                "train", "--world", str(world_dir), "--out", str(model_dir),
+                "--gnn-epochs", "2", "--head-epochs", "2",
+                "--slice-size", "30", "--min-transactions", "4",
+            ]
+        ) == 0
+        assert main(
+            [
+                "evaluate", "--world", str(world_dir), "--model", str(model_dir),
+                "--min-transactions", "4",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "Weighted Avg" in output
+
+        # Classify one known address plus one unknown.
+        from repro.chain.serialize import load_world_chain
+
+        _, index, labels, _ = load_world_chain(world_dir)
+        known = next(
+            a for a in labels if index.transaction_count(a) >= 4
+        )
+        assert main(
+            [
+                "classify", "--world", str(world_dir), "--model", str(model_dir),
+                known, "1UnknownAddressXYZ",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert known in output
+        assert "<no transactions on chain>" in output

@@ -1,0 +1,145 @@
+"""Integration tests: the end-to-end BAClassifier pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import BAClassifier, BAClassifierConfig
+from repro.datagen import WorldConfig, build_dataset, generate_world
+from repro.errors import NotFittedError, ValidationError
+from repro.eval import precision_recall_f1
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    """A small world plus a trained classifier (shared, read-only)."""
+    world = generate_world(
+        WorldConfig(seed=11, num_blocks=140, num_retail=40, num_gamblers=14)
+    )
+    dataset = build_dataset(world, min_transactions=5)
+    train, test = dataset.split(test_fraction=0.25, seed=0)
+    config = BAClassifierConfig(
+        slice_size=40,
+        gnn_epochs=8,
+        head_epochs=12,
+        gnn_hidden_dim=32,
+        head_hidden_dim=32,
+        seed=0,
+    )
+    clf = BAClassifier(config)
+    clf.fit(train.addresses, train.labels, world.index)
+    return world, train, test, clf
+
+
+class TestFitPredict:
+    def test_beats_majority_baseline(self, trained_setup):
+        world, train, test, clf = trained_setup
+        predictions = clf.predict(test.addresses, world.index)
+        report = precision_recall_f1(test.labels, predictions, num_classes=4)
+        majority = np.bincount(train.labels).argmax()
+        majority_f1 = precision_recall_f1(
+            test.labels, np.full(len(test), majority), num_classes=4
+        ).weighted_f1
+        assert report.weighted_f1 > majority_f1 + 0.2
+
+    def test_predict_proba(self, trained_setup):
+        world, _, test, clf = trained_setup
+        proba = clf.predict_proba(test.addresses[:5], world.index)
+        assert proba.shape == (5, 4)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_classify_single_address(self, trained_setup):
+        world, _, test, clf = trained_setup
+        label = clf.classify_address(test.addresses[0], world.index)
+        assert 0 <= label < 4
+
+    def test_embed_sequences(self, trained_setup):
+        world, _, test, clf = trained_setup
+        sequences = clf.embed(test.addresses[:3], world.index)
+        assert len(sequences) == 3
+        for seq in sequences:
+            assert seq.ndim == 2
+            assert seq.shape[1] == clf.encoder.embedding_dim
+
+    def test_deterministic_given_seed(self, trained_setup):
+        world, train, test, _ = trained_setup
+        config = BAClassifierConfig(
+            slice_size=40, gnn_epochs=2, head_epochs=2, seed=123,
+            gnn_hidden_dim=16, head_hidden_dim=16,
+        )
+        a = BAClassifier(config).fit(
+            train.addresses[:30], train.labels[:30], world.index
+        )
+        b = BAClassifier(config).fit(
+            train.addresses[:30], train.labels[:30], world.index
+        )
+        np.testing.assert_array_equal(
+            a.predict(test.addresses[:10], world.index),
+            b.predict(test.addresses[:10], world.index),
+        )
+
+
+class TestValidationAndState:
+    def test_unfitted_predict_raises(self, trained_setup):
+        world, _, test, _ = trained_setup
+        fresh = BAClassifier(BAClassifierConfig())
+        with pytest.raises(NotFittedError):
+            fresh.predict(test.addresses[:1], world.index)
+
+    def test_misaligned_fit_inputs(self, trained_setup):
+        world, train, _, _ = trained_setup
+        fresh = BAClassifier(BAClassifierConfig())
+        with pytest.raises(ValidationError):
+            fresh.fit(train.addresses[:3], train.labels[:2], world.index)
+
+    def test_empty_fit_rejected(self, trained_setup):
+        world, _, _, _ = trained_setup
+        fresh = BAClassifier(BAClassifierConfig())
+        with pytest.raises(ValidationError):
+            fresh.fit([], [], world.index)
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            BAClassifierConfig(num_classes=1)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, trained_setup, tmp_path):
+        world, _, test, clf = trained_setup
+        clf.save(tmp_path / "model")
+        restored = BAClassifier.load(tmp_path / "model")
+        np.testing.assert_array_equal(
+            clf.predict(test.addresses[:10], world.index),
+            restored.predict(test.addresses[:10], world.index),
+        )
+
+    def test_save_unfitted_rejected(self, tmp_path):
+        fresh = BAClassifier(BAClassifierConfig())
+        with pytest.raises(NotFittedError):
+            fresh.save(tmp_path / "nope")
+
+    def test_config_preserved(self, trained_setup, tmp_path):
+        world, _, _, clf = trained_setup
+        clf.save(tmp_path / "model")
+        restored = BAClassifier.load(tmp_path / "model")
+        assert restored.config == clf.config
+
+
+class TestCurves:
+    def test_eval_split_records_curves(self, trained_setup):
+        world, train, test, _ = trained_setup
+        config = BAClassifierConfig(
+            slice_size=40, gnn_epochs=3, head_epochs=3, seed=5,
+            gnn_hidden_dim=16, head_hidden_dim=16,
+        )
+        clf = BAClassifier(config)
+        clf.fit(
+            train.addresses[:40],
+            train.labels[:40],
+            world.index,
+            eval_addresses=test.addresses[:20],
+            eval_labels=test.labels[:20],
+        )
+        assert clf.encoder_curve is not None
+        assert len(clf.encoder_curve.points) == 3
+        assert clf.head_curve is not None
+        assert len(clf.head_curve.points) == 3

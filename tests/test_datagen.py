@@ -1,0 +1,237 @@
+"""Tests for the behaviour-driven workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    AddressLabel,
+    CLASS_NAMES,
+    WorldConfig,
+    build_dataset,
+    generate_world,
+    stratified_sample,
+    stratified_split,
+)
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    """A small but complete world shared by the read-only tests below."""
+    config = WorldConfig(
+        seed=3,
+        num_blocks=120,
+        num_retail=40,
+        num_gamblers=12,
+        num_miner_members=8,
+    )
+    return generate_world(config)
+
+
+class TestWorldGeneration:
+    def test_deterministic(self):
+        config = WorldConfig(seed=5, num_blocks=40, num_retail=10)
+        w1 = generate_world(config)
+        w2 = generate_world(config)
+        assert w1.chain.tip.hash == w2.chain.tip.hash
+        assert w1.labels == w2.labels
+
+    def test_seed_changes_world(self):
+        w1 = generate_world(WorldConfig(seed=5, num_blocks=40, num_retail=10))
+        w2 = generate_world(WorldConfig(seed=6, num_blocks=40, num_retail=10))
+        assert w1.chain.tip.hash != w2.chain.tip.hash
+
+    def test_supply_conservation(self, small_world):
+        """Total UTXO value equals cumulative minted subsidies."""
+        chain = small_world.chain
+        expected = sum(
+            chain.params.subsidy_at(h) for h in range(1, chain.height + 1)
+        )
+        assert chain.total_supply() == expected
+
+    def test_all_four_classes_present(self, small_world):
+        counts = small_world.class_counts(min_transactions=4)
+        for label in AddressLabel:
+            assert counts[label] > 0, f"{CLASS_NAMES[label]} missing"
+
+    def test_world_produces_transactions(self, small_world):
+        # Far more transactions than blocks: the economy is active.
+        assert small_world.chain.transaction_count() > small_world.chain.height * 2
+
+    def test_labels_disjoint_across_actors(self, small_world):
+        # collect_labels would silently overwrite on conflict; verify no
+        # address is claimed by two actors.
+        seen = {}
+        from repro.datagen.actor import LabeledActor
+
+        for actor in small_world.actors:
+            if not isinstance(actor, LabeledActor):
+                continue
+            for address in actor.labeled_addresses():
+                assert seen.get(address, actor.name) == actor.name
+                seen[address] = actor.name
+
+    def test_generate_world_kwargs(self):
+        world = generate_world(seed=9, num_blocks=30, num_retail=8)
+        assert world.config.seed == 9
+
+    def test_generate_world_rejects_config_plus_overrides(self):
+        with pytest.raises(ValidationError):
+            generate_world(WorldConfig(), seed=1)
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            WorldConfig(num_blocks=0)
+        with pytest.raises(ValidationError):
+            WorldConfig(adoption_spread=1.5)
+
+
+class TestBehaviorSignatures:
+    """Each class's addresses must show its on-chain signature."""
+
+    def test_mining_pool_fanout(self, small_world):
+        """Pool payouts fan out to many outputs at once."""
+        from repro.datagen.mining import MiningPoolActor
+
+        pools = [a for a in small_world.actors if isinstance(a, MiningPoolActor)]
+        assert pools
+        best_fanout = 0
+        for pool in pools:
+            for address in pool.labeled_addresses():
+                for tx in small_world.index.transactions_of(address):
+                    if not tx.is_coinbase:
+                        best_fanout = max(best_fanout, len(tx.outputs))
+        assert best_fanout >= 4
+
+    def test_gambling_house_high_frequency(self, small_world):
+        """House bank addresses have far more transactions than typical."""
+        from repro.datagen.gambling import GamblingHouseActor
+
+        houses = [a for a in small_world.actors if isinstance(a, GamblingHouseActor)]
+        counts = [
+            small_world.index.transaction_count(addr)
+            for house in houses
+            for addr in house.labeled_addresses()
+        ]
+        assert max(counts) > 50
+
+    def test_exchange_consolidation_fanin(self, small_world):
+        """Exchanges emit many-input consolidation transactions."""
+        from repro.datagen.exchange import ExchangeActor
+
+        exchanges = [a for a in small_world.actors if isinstance(a, ExchangeActor)]
+        best_fanin = 0
+        for exchange in exchanges:
+            for address in exchange.hot_addresses:
+                for tx in small_world.index.transactions_of(address):
+                    best_fanin = max(best_fanin, len(tx.inputs))
+        assert best_fanin >= 2
+
+    def test_mixer_returns_funds(self, small_world):
+        """Mixers split deposits into multi-output chains."""
+        from repro.datagen.service import MixerActor
+
+        mixers = [a for a in small_world.actors if isinstance(a, MixerActor)]
+        multi_output = 0
+        for mixer in mixers:
+            for address in mixer.wallet.addresses:
+                for tx in small_world.index.transactions_of(address):
+                    if len(tx.outputs) >= 2 and not tx.is_coinbase:
+                        multi_output += 1
+        assert multi_output > 0
+
+    def test_coinbases_go_to_pools(self, small_world):
+        """After warm-up, block rewards accrue to mining pool addresses."""
+        mining_addresses = {
+            addr
+            for addr, label in small_world.labels.items()
+            if label == AddressLabel.MINING
+        }
+        rewarded = 0
+        for block in small_world.chain.blocks[-50:]:
+            coinbase = block.coinbase
+            if coinbase is not None and coinbase.outputs[0].address in mining_addresses:
+                rewarded += 1
+        assert rewarded > 25
+
+
+class TestDatasetAssembly:
+    def test_build_dataset_filters(self, small_world):
+        ds_low = build_dataset(small_world, min_transactions=1)
+        ds_high = build_dataset(small_world, min_transactions=10)
+        assert len(ds_high) < len(ds_low)
+        for address in ds_high.addresses:
+            assert small_world.index.transaction_count(address) >= 10
+
+    def test_build_dataset_empty_filter_raises(self, small_world):
+        with pytest.raises(ValidationError):
+            build_dataset(small_world, min_transactions=10**9)
+
+    def test_max_per_class(self, small_world):
+        ds = build_dataset(small_world, min_transactions=2, max_per_class=5)
+        assert all(count <= 5 for count in ds.class_counts().values())
+
+    def test_split_is_stratified_and_disjoint(self, small_world):
+        ds = build_dataset(small_world, min_transactions=2)
+        train, test = ds.split(test_fraction=0.25, seed=1)
+        assert len(train) + len(test) == len(ds)
+        assert set(train.addresses).isdisjoint(test.addresses)
+        # Every class with >= 2 members appears in the test set.
+        for name, count in ds.class_counts().items():
+            if count >= 2:
+                assert test.class_counts()[name] >= 1
+
+    def test_split_deterministic(self, small_world):
+        ds = build_dataset(small_world, min_transactions=2)
+        t1, _ = ds.split(seed=5)
+        t2, _ = ds.split(seed=5)
+        assert t1.addresses == t2.addresses
+
+
+class TestSplitFunctions:
+    def test_stratified_split_proportions(self):
+        labels = np.array([0] * 80 + [1] * 20)
+        train_idx, test_idx = stratified_split(labels, test_fraction=0.25, rng=0)
+        assert len(train_idx) + len(test_idx) == 100
+        test_labels = labels[test_idx]
+        assert int(np.sum(test_labels == 0)) == 20
+        assert int(np.sum(test_labels == 1)) == 5
+
+    def test_split_rejects_bad_fraction(self):
+        with pytest.raises(ValidationError):
+            stratified_split(np.array([0, 1]), test_fraction=0.0)
+
+    def test_singleton_class_stays_in_train(self):
+        labels = np.array([0, 0, 0, 0, 1])
+        train_idx, test_idx = stratified_split(labels, test_fraction=0.4, rng=0)
+        assert 4 in train_idx  # index of the singleton class
+
+    def test_stratified_sample_caps(self):
+        labels = np.array([0] * 50 + [1] * 3)
+        idx = stratified_sample(labels, per_class=10, rng=0)
+        sampled = labels[idx]
+        assert int(np.sum(sampled == 0)) == 10
+        assert int(np.sum(sampled == 1)) == 3
+
+    def test_stratified_sample_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            stratified_sample(np.array([0, 1]), per_class=0)
+
+
+class TestAdoptionSchedule:
+    def test_adoption_grows_active_addresses(self):
+        config = WorldConfig(
+            seed=4,
+            num_blocks=160,
+            num_retail=40,
+            adoption_spread=0.8,
+        )
+        world = generate_world(config)
+        series = world.index.active_addresses_by_bucket(
+            bucket_seconds=config.block_interval * 20
+        )
+        # Skip warm-up buckets; activity at the end far exceeds the start.
+        counts = [count for _, count in series]
+        early = counts[len(counts) // 4]
+        late = max(counts[-3:])
+        assert late > early

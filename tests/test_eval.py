@@ -1,0 +1,191 @@
+"""Tests for metrics, curves and table rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.eval import (
+    TrainingCurve,
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    format_curve_table,
+    format_table,
+    precision_recall_f1,
+)
+
+
+class TestConfusionMatrix:
+    def test_known(self):
+        matrix = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 2]])
+
+    def test_explicit_classes(self):
+        matrix = confusion_matrix([0], [0], num_classes=4)
+        assert matrix.shape == (4, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            confusion_matrix([0, 1], [0])
+        with pytest.raises(ValidationError):
+            confusion_matrix([], [])
+        with pytest.raises(ValidationError):
+            confusion_matrix([0, 5], [0, 1], num_classes=2)
+
+
+class TestPrecisionRecallF1:
+    def test_perfect(self):
+        report = precision_recall_f1([0, 1, 2], [0, 1, 2])
+        assert report.weighted_f1 == 1.0
+        assert report.accuracy == 1.0
+
+    def test_known_values(self):
+        # class 0: TP=1 FP=0 FN=1 -> P=1, R=0.5, F1=2/3
+        # class 1: TP=2 FP=1 FN=0 -> P=2/3, R=1, F1=0.8
+        report = precision_recall_f1([0, 0, 1, 1], [0, 1, 1, 1])
+        row0 = report.row(0)
+        row1 = report.row(1)
+        assert row0.precision == pytest.approx(1.0)
+        assert row0.recall == pytest.approx(0.5)
+        assert row0.f1 == pytest.approx(2.0 / 3.0)
+        assert row1.precision == pytest.approx(2.0 / 3.0)
+        assert row1.recall == pytest.approx(1.0)
+        assert row1.f1 == pytest.approx(0.8)
+        assert report.weighted_f1 == pytest.approx(0.5 * (2 / 3) + 0.5 * 0.8)
+
+    def test_absent_class_scores_zero(self):
+        report = precision_recall_f1([0, 0, 1], [0, 0, 0], num_classes=2)
+        assert report.row(1).precision == 0.0
+        assert report.row(1).recall == 0.0
+        assert report.row(1).f1 == 0.0
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=60),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_f1_is_harmonic_mean_property(self, labels, seed):
+        rng = np.random.default_rng(seed)
+        y_true = np.asarray(labels)
+        y_pred = rng.integers(0, 4, size=len(labels))
+        report = precision_recall_f1(y_true, y_pred, num_classes=4)
+        for row in report.per_class.values():
+            if row.precision + row.recall > 0:
+                expected = (
+                    2 * row.precision * row.recall / (row.precision + row.recall)
+                )
+                assert row.f1 == pytest.approx(expected)
+            assert 0.0 <= row.precision <= 1.0
+            assert 0.0 <= row.recall <= 1.0
+        assert 0.0 <= report.weighted_f1 <= 1.0
+        # Weighted recall equals accuracy (standard identity).
+        assert report.weighted_recall == pytest.approx(report.accuracy)
+
+    def test_accuracy(self):
+        assert accuracy([0, 1, 1], [0, 1, 0]) == pytest.approx(2 / 3)
+
+
+class TestClassificationReport:
+    def test_contains_rows(self):
+        text = classification_report(
+            [0, 1, 1, 0], [0, 1, 0, 0], class_names=["Exchange", "Mining"]
+        )
+        assert "Exchange" in text
+        assert "Mining" in text
+        assert "Weighted Avg" in text
+
+
+class TestTrainingCurve:
+    def _curve(self):
+        curve = TrainingCurve("model")
+        curve.add(1, 1.0, 0.5)
+        curve.add(2, 2.0, 0.7)
+        curve.add(3, 3.0, 0.65)
+        return curve
+
+    def test_accessors(self):
+        curve = self._curve()
+        assert curve.epochs() == [1, 2, 3]
+        assert curve.best_f1() == 0.7
+        assert curve.final_f1() == 0.65
+
+    def test_f1_at_time(self):
+        curve = self._curve()
+        assert curve.f1_at_time(1.5) == 0.5
+        assert curve.f1_at_time(10.0) == 0.7
+        assert curve.f1_at_time(0.5) == 0.0
+
+    def test_f1_at_epoch(self):
+        curve = self._curve()
+        assert curve.f1_at_epoch(2) == 0.7
+        assert curve.f1_at_epoch(0) is None
+
+    def test_epoch_regression_rejected(self):
+        curve = self._curve()
+        with pytest.raises(ValidationError):
+            curve.add(1, 4.0, 0.9)
+
+    def test_empty(self):
+        curve = TrainingCurve("empty")
+        assert curve.best_f1() == 0.0
+        assert curve.final_f1() == 0.0
+
+
+class TestFormatting:
+    def test_format_table(self):
+        text = format_table(
+            ["Model", "F1"], [["GFN", 0.9769], ["GCN", 0.9514]], title="Table II"
+        )
+        assert "Table II" in text
+        assert "0.9769" in text
+        lines = text.splitlines()
+        assert len(lines) == 5
+
+    def test_format_curve_table(self):
+        curve = TrainingCurve("GFN")
+        curve.add(1, 10.0, 0.9)
+        text = format_curve_table([curve], budgets=[5.0, 20.0])
+        assert "GFN" in text
+        assert "F1@5s" in text
+
+
+class TestAsciiChart:
+    def _curves(self):
+        from repro.eval import TrainingCurve
+
+        a = TrainingCurve("GFN")
+        b = TrainingCurve("GCN")
+        for epoch in range(1, 6):
+            a.add(epoch, epoch * 2.0, 0.5 + epoch * 0.08)
+            b.add(epoch, epoch * 3.0, 0.4 + epoch * 0.06)
+        return [a, b]
+
+    def test_renders_by_epoch(self):
+        from repro.eval import render_ascii_chart
+
+        chart = render_ascii_chart(self._curves())
+        assert "legend:" in chart
+        assert "GFN" in chart and "GCN" in chart
+        assert "epoch" in chart
+        assert "*" in chart and "o" in chart
+
+    def test_renders_by_runtime(self):
+        from repro.eval import render_ascii_chart
+
+        chart = render_ascii_chart(self._curves(), by_runtime=True)
+        assert "runtime (s)" in chart
+
+    def test_empty(self):
+        from repro.eval import render_ascii_chart
+
+        assert render_ascii_chart([]) == "(no curve data)"
+
+    def test_flat_curve_does_not_crash(self):
+        from repro.eval import TrainingCurve, render_ascii_chart
+
+        flat = TrainingCurve("flat")
+        flat.add(1, 1.0, 0.5)
+        flat.add(2, 2.0, 0.5)
+        chart = render_ascii_chart([flat])
+        assert "flat" in chart

@@ -1,0 +1,136 @@
+"""Tests for the paper's future-work extensions: fine-grained labels and
+neighbour-label refinement."""
+
+import numpy as np
+import pytest
+
+from repro.core import neighbor_label_distribution, refine_with_neighbor_labels
+from repro.datagen import (
+    WorldConfig,
+    build_fine_grained_dataset,
+    generate_world,
+)
+from repro.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def fine_world():
+    return generate_world(
+        WorldConfig(seed=17, num_blocks=120, num_retail=40, num_gamblers=14)
+    )
+
+
+class TestFineGrainedDataset:
+    def test_subclasses_present(self, fine_world):
+        dataset, names = build_fine_grained_dataset(
+            fine_world, min_transactions=5
+        )
+        assert "gambler" in names or "gambling_house" in names
+        assert any(name.startswith("exchange") for name in names)
+        assert len(names) >= 4
+        assert len(dataset) > 0
+        assert int(dataset.labels.max()) == len(names) - 1
+
+    def test_fine_labels_refine_coarse(self, fine_world):
+        """Every fine-labelled address also carries a coarse label, and
+        the fine tag's prefix is consistent with the coarse class."""
+        from repro.datagen import CLASS_NAMES
+
+        coarse_of_fine = {
+            "exchange_hot": "Exchange",
+            "exchange_cold": "Exchange",
+            "exchange_deposit": "Exchange",
+            "mining_pool": "Mining",
+            "mining_member": "Mining",
+            "gambling_house": "Gambling",
+            "gambler": "Gambling",
+            "mixer": "Service",
+            "wallet_service": "Service",
+            "lending": "Service",
+        }
+        for address, fine in fine_world.fine_labels.items():
+            coarse = fine_world.labels.get(address)
+            assert coarse is not None
+            assert CLASS_NAMES[coarse] == coarse_of_fine[fine]
+
+    def test_min_class_size_filter(self, fine_world):
+        _, names_loose = build_fine_grained_dataset(
+            fine_world, min_transactions=5, min_class_size=1
+        )
+        _, names_strict = build_fine_grained_dataset(
+            fine_world, min_transactions=5, min_class_size=10
+        )
+        assert len(names_strict) <= len(names_loose)
+
+    def test_impossible_thresholds_raise(self, fine_world):
+        with pytest.raises(ValidationError):
+            build_fine_grained_dataset(
+                fine_world, min_transactions=10**9
+            )
+
+
+class TestNeighborRefinement:
+    def test_distribution_counts_labelled_neighbors(self, fine_world):
+        labels = {
+            a: int(l) for a, l in fine_world.labels.items()
+        }
+        some_address = next(iter(labels))
+        dist = neighbor_label_distribution(
+            fine_world.index, some_address, labels, 4
+        )
+        if dist is not None:
+            assert dist.shape == (4,)
+            assert dist.sum() == pytest.approx(1.0)
+
+    def test_no_labelled_neighbors_returns_none(self, fine_world):
+        dist = neighbor_label_distribution(
+            fine_world.index, "unknown-address", {}, 4
+        )
+        assert dist is None
+
+    def test_refinement_shapes_and_normalisation(self, fine_world):
+        addresses = list(fine_world.labels)[:10]
+        anchor = {a: int(l) for a, l in fine_world.labels.items()}
+        probabilities = np.full((10, 4), 0.25)
+        refined = refine_with_neighbor_labels(
+            probabilities, addresses, fine_world.index, anchor, alpha=0.5
+        )
+        assert refined.shape == (10, 4)
+        np.testing.assert_allclose(refined.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_alpha_zero_is_identity(self, fine_world):
+        addresses = list(fine_world.labels)[:5]
+        anchor = {a: int(l) for a, l in fine_world.labels.items()}
+        probabilities = np.random.default_rng(0).dirichlet(
+            np.ones(4), size=5
+        )
+        refined = refine_with_neighbor_labels(
+            probabilities, addresses, fine_world.index, anchor, alpha=0.0
+        )
+        np.testing.assert_allclose(refined, probabilities)
+
+    def test_refinement_pulls_toward_neighbors(self, fine_world):
+        """With alpha=1, rows with labelled neighbours equal the
+        neighbour distribution exactly."""
+        anchor = {a: int(l) for a, l in fine_world.labels.items()}
+        addresses = [a for a in fine_world.labels][:20]
+        probabilities = np.full((len(addresses), 4), 0.25)
+        refined = refine_with_neighbor_labels(
+            probabilities, addresses, fine_world.index, anchor, alpha=1.0
+        )
+        for row, address in enumerate(addresses):
+            dist = neighbor_label_distribution(
+                fine_world.index, address, anchor, 4
+            )
+            if dist is not None:
+                np.testing.assert_allclose(refined[row], dist, atol=1e-12)
+
+    def test_validation(self, fine_world):
+        with pytest.raises(ValidationError):
+            refine_with_neighbor_labels(
+                np.ones((2, 4)), ["a"], fine_world.index, {}, alpha=0.5
+            )
+        with pytest.raises(ValidationError):
+            refine_with_neighbor_labels(
+                np.ones((1, 4)), ["a"], fine_world.index, {}, alpha=1.5
+            )

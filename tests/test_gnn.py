@@ -1,0 +1,208 @@
+"""Tests for graph encoding, batching, and the three GNN classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.gnn import (
+    DiffPool,
+    EncodedGraph,
+    GCN,
+    GFN,
+    GraphBatch,
+    GraphTrainingConfig,
+    augment_features,
+    class_weight_vector,
+    encode_graph,
+    encode_sequences,
+    fit_graph_classifier,
+    mean_readout,
+    sum_readout,
+)
+from repro.graphs import AddressGraph, NodeKind, augment_graph
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+
+def _toy_graph(center: str, n_leaves: int, leaf_value: float) -> AddressGraph:
+    """A star: center address -> tx -> n_leaves outputs of leaf_value."""
+    graph = AddressGraph(center_address=center)
+    center_id = graph.add_node(NodeKind.ADDRESS, center)
+    tx_id = graph.add_node(NodeKind.TRANSACTION, f"tx:{center}")
+    graph.add_edge(center_id, tx_id, leaf_value * n_leaves)
+    for leaf in range(n_leaves):
+        leaf_id = graph.add_node(NodeKind.ADDRESS, f"{center}:leaf{leaf}")
+        graph.add_edge(tx_id, leaf_id, leaf_value)
+    return augment_graph(graph)
+
+
+def _toy_dataset(n_per_class: int = 20, seed: int = 0):
+    """Two classes separable by graph shape: wide stars vs narrow stars."""
+    rng = np.random.default_rng(seed)
+    graphs = []
+    for index in range(n_per_class):
+        wide = _toy_graph(f"w{index}", n_leaves=8 + int(rng.integers(3)),
+                          leaf_value=1e6)
+        narrow = _toy_graph(f"n{index}", n_leaves=2 + int(rng.integers(2)),
+                            leaf_value=1e9)
+        graphs.append(encode_graph(wide, label=0))
+        graphs.append(encode_graph(narrow, label=1))
+    rng.shuffle(graphs)
+    return graphs
+
+
+class TestEncoding:
+    def test_encode_graph_shapes(self):
+        graph = _toy_graph("c", 4, 100.0)
+        encoded = encode_graph(graph, label=1)
+        assert encoded.num_nodes == graph.num_nodes
+        assert encoded.adjacency.shape == (graph.num_nodes, graph.num_nodes)
+        assert encoded.label == 1
+
+    def test_encode_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            encode_graph(AddressGraph("x"))
+
+    def test_encode_sequences_ordering(self):
+        g0 = _toy_graph("a", 3, 1.0)
+        g1 = _toy_graph("a", 3, 1.0)
+        g0.slice_index, g1.slice_index = 1, 0
+        encoded = encode_sequences({"a": [g0, g1]}, {"a": 2})
+        assert [g.slice_index for g in encoded["a"]] == [0, 1]
+        assert all(g.label == 2 for g in encoded["a"])
+
+
+class TestGraphBatch:
+    def test_block_diagonal(self):
+        graphs = [encode_graph(_toy_graph("a", 3, 1.0), 0),
+                  encode_graph(_toy_graph("b", 2, 1.0), 1)]
+        batch = GraphBatch(graphs)
+        assert batch.num_graphs == 2
+        assert batch.num_nodes == graphs[0].num_nodes + graphs[1].num_nodes
+        # Off-diagonal blocks are zero.
+        dense = batch.adjacency.toarray()
+        n0 = graphs[0].num_nodes
+        assert np.all(dense[:n0, n0:] == 0)
+        np.testing.assert_array_equal(batch.labels, [0, 1])
+
+    def test_segments(self):
+        graphs = [encode_graph(_toy_graph("a", 3, 1.0), 0),
+                  encode_graph(_toy_graph("b", 2, 1.0), 1)]
+        batch = GraphBatch(graphs)
+        assert set(batch.segments) == {0, 1}
+        assert np.sum(batch.segments == 0) == graphs[0].num_nodes
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            GraphBatch([])
+
+
+class TestReadouts:
+    def test_sum_vs_mean(self):
+        x = Tensor(np.array([[1.0, 2.0], [3.0, 4.0], [10.0, 10.0]]))
+        segments = np.array([0, 0, 1])
+        sums = sum_readout(x, segments, 2)
+        means = mean_readout(x, segments, 2)
+        np.testing.assert_allclose(sums.data, [[4.0, 6.0], [10.0, 10.0]])
+        np.testing.assert_allclose(means.data, [[2.0, 3.0], [10.0, 10.0]])
+
+
+class TestGFNFeatures:
+    def test_augment_dimensions(self):
+        encoded = encode_graph(_toy_graph("a", 3, 1.0), 0)
+        feats = augment_features(encoded, k=2)
+        expected_dim = 1 + encoded.feature_dim * 3
+        assert feats.shape == (encoded.num_nodes, expected_dim)
+
+    def test_cache_reused(self):
+        encoded = encode_graph(_toy_graph("a", 3, 1.0), 0)
+        first = augment_features(encoded, k=2)
+        second = augment_features(encoded, k=2)
+        assert first is second
+
+    def test_k_zero(self):
+        encoded = encode_graph(_toy_graph("a", 3, 1.0), 0)
+        feats = augment_features(encoded, k=0)
+        assert feats.shape[1] == 1 + encoded.feature_dim
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValidationError):
+            GFN(input_dim=24, num_classes=2, k=-1)
+
+
+@pytest.mark.parametrize(
+    "model_factory",
+    [
+        lambda dim: GFN(input_dim=dim, num_classes=2, hidden_dim=16, rng=0),
+        lambda dim: GCN(input_dim=dim, num_classes=2, hidden_dim=16, rng=0),
+        lambda dim: DiffPool(
+            input_dim=dim, num_classes=2, hidden_dim=16, num_clusters=4, rng=0
+        ),
+    ],
+    ids=["GFN", "GCN", "DiffPool"],
+)
+class TestGraphClassifiers:
+    def test_learns_shape_classes(self, model_factory):
+        graphs = _toy_dataset(n_per_class=25)  # 50 graphs total
+        train, test = graphs[:40], graphs[40:]
+        model = model_factory(graphs[0].feature_dim)
+        fit_graph_classifier(
+            model,
+            train,
+            GraphTrainingConfig(epochs=30, batch_size=16, seed=0),
+        )
+        predictions = model.predict(test)
+        truth = np.array([g.label for g in test])
+        assert np.mean(predictions == truth) >= 0.8
+
+    def test_embeddings_shape(self, model_factory):
+        graphs = _toy_dataset(n_per_class=3)
+        model = model_factory(graphs[0].feature_dim)
+        embeddings = model.embed_graphs(graphs)
+        assert embeddings.shape == (len(graphs), model.embedding_dim)
+        assert np.all(np.isfinite(embeddings))
+
+    def test_logits_shape(self, model_factory):
+        graphs = _toy_dataset(n_per_class=2)
+        model = model_factory(graphs[0].feature_dim)
+        payload = model.prepare_batch(graphs)
+        logits = model.forward(payload)
+        assert logits.shape == (len(graphs), 2)
+
+
+class TestTrainingLoop:
+    def test_curve_tracked(self):
+        graphs = _toy_dataset(n_per_class=8)  # 16 graphs total
+        model = GFN(input_dim=graphs[0].feature_dim, num_classes=2,
+                    hidden_dim=16, rng=0)
+        curve = fit_graph_classifier(
+            model,
+            graphs[:12],
+            GraphTrainingConfig(epochs=4, seed=0),
+            eval_graphs=graphs[12:],
+            curve_name="gfn-test",
+        )
+        assert curve.model_name == "gfn-test"
+        assert len(curve.points) == 4
+        runtimes = curve.runtimes()
+        assert runtimes == sorted(runtimes)
+
+    def test_unlabeled_graphs_rejected(self):
+        graphs = [encode_graph(_toy_graph("a", 2, 1.0))]  # label -1
+        model = GFN(input_dim=graphs[0].feature_dim, num_classes=2, rng=0)
+        with pytest.raises(ValidationError):
+            fit_graph_classifier(model, graphs)
+
+    def test_empty_rejected(self):
+        model = GFN(input_dim=24, num_classes=2, rng=0)
+        with pytest.raises(ValidationError):
+            fit_graph_classifier(model, [])
+
+    def test_class_weights(self):
+        weights = class_weight_vector(np.array([0, 0, 0, 1]), 2)
+        assert weights[1] > weights[0]
+        assert weights.mean() == pytest.approx(1.0)
+
+    def test_class_weights_missing_class(self):
+        weights = class_weight_vector(np.array([0, 0]), 3)
+        assert weights[1] == 0.0 and weights[2] == 0.0

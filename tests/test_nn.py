@@ -1,0 +1,321 @@
+"""Tests for the neural layer zoo: layers, losses, optimisers, RNNs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AutogradError, ValidationError
+from repro.nn import (
+    MLP,
+    Adam,
+    AttentionPooling,
+    BiLSTM,
+    Dropout,
+    LayerNorm,
+    Linear,
+    LSTM,
+    LSTMCell,
+    Module,
+    Parameter,
+    SGD,
+    Sequential,
+    Tensor,
+    cross_entropy,
+    load_module,
+    mse_loss,
+    nll_loss,
+    save_module,
+)
+from repro.nn import functional as F
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = Linear(4, 3, rng=0)
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False, rng=0)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((2, 4))))
+        np.testing.assert_allclose(out.data, np.zeros((2, 3)))
+
+    def test_gradients_flow(self):
+        layer = Linear(4, 2, rng=0)
+        out = F.sum(layer(Tensor(np.ones((3, 4)))))
+        out.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValidationError):
+            Linear(0, 3)
+
+
+class TestMLP:
+    def test_forward_shape(self):
+        mlp = MLP([4, 8, 3], rng=0)
+        assert mlp(Tensor(np.ones((5, 4)))).shape == (5, 3)
+
+    def test_hidden_representation(self):
+        mlp = MLP([4, 8, 3], rng=0)
+        hidden = mlp.hidden(Tensor(np.ones((5, 4))))
+        assert hidden.shape == (5, 8)
+
+    def test_rejects_short_dims(self):
+        with pytest.raises(ValidationError):
+            MLP([4])
+
+    def test_learns_xor(self):
+        """The canonical non-linear task: MLP must fit XOR."""
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=np.float64)
+        y = np.array([0, 1, 1, 0])
+        mlp = MLP([2, 16, 2], rng=3)
+        optimizer = Adam(mlp.parameters(), lr=0.05)
+        for _ in range(300):
+            loss = cross_entropy(mlp(Tensor(x)), y)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        predictions = np.argmax(mlp(Tensor(x)).data, axis=1)
+        np.testing.assert_array_equal(predictions, y)
+
+
+class TestModuleMechanics:
+    def test_parameter_discovery(self):
+        mlp = MLP([4, 8, 3], rng=0)
+        names = dict(mlp.named_parameters())
+        assert len(names) == 4  # two layers x (weight, bias)
+        assert mlp.num_parameters() == 4 * 8 + 8 + 8 * 3 + 3
+
+    def test_train_eval_propagates(self):
+        net = Sequential(Linear(4, 4, rng=0), Dropout(0.5, rng=0))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_state_dict_roundtrip(self):
+        a = MLP([4, 8, 3], rng=0)
+        b = MLP([4, 8, 3], rng=99)
+        b.load_state_dict(a.state_dict())
+        x = Tensor(np.ones((2, 4)))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_state_dict_mismatch(self):
+        a = MLP([4, 8, 3], rng=0)
+        b = MLP([4, 9, 3], rng=0)
+        with pytest.raises(ValidationError):
+            b.load_state_dict(a.state_dict())
+
+    def test_save_load_file(self, tmp_path):
+        a = MLP([4, 8, 3], rng=0)
+        path = tmp_path / "model.json"
+        save_module(a, path)
+        b = load_module(MLP([4, 8, 3], rng=7), path)
+        x = Tensor(np.ones((2, 4)))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2, rng=0)
+        F.sum(layer(Tensor(np.ones((1, 2))))).backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+
+class TestLayerNorm:
+    def test_normalises(self):
+        norm = LayerNorm(8)
+        out = norm(Tensor(np.random.default_rng(0).normal(3.0, 5.0, (4, 8))))
+        np.testing.assert_allclose(out.data.mean(axis=1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.data.std(axis=1), 1.0, atol=1e-3)
+
+    def test_gradients(self):
+        norm = LayerNorm(4)
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 4)), requires_grad=True)
+        F.sum(F.multiply(norm(x), 2.0)).backward()
+        assert x.grad is not None
+        assert norm.gain.grad is not None
+
+
+class TestLosses:
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((4, 3)))
+        loss = cross_entropy(logits, np.array([0, 1, 2, 0]))
+        assert loss.item() == pytest.approx(np.log(3.0))
+
+    def test_cross_entropy_perfect(self):
+        logits = Tensor(np.eye(3) * 100.0)
+        loss = cross_entropy(logits, np.array([0, 1, 2]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_class_weights(self):
+        logits = Tensor(np.zeros((2, 2)))
+        unweighted = cross_entropy(logits, np.array([0, 1]))
+        weighted = cross_entropy(
+            logits, np.array([0, 1]), class_weights=np.array([1.0, 3.0])
+        )
+        # Uniform logits: weighting does not change value, only scale mix.
+        assert weighted.item() == pytest.approx(unweighted.item())
+
+    def test_cross_entropy_validation(self):
+        with pytest.raises(ValidationError):
+            cross_entropy(Tensor(np.zeros((2, 2))), np.array([0, 2]))
+        with pytest.raises(ValidationError):
+            cross_entropy(Tensor(np.zeros((2, 2))), np.array([0]))
+
+    def test_nll_matches_cross_entropy(self):
+        logits = np.random.default_rng(0).normal(size=(5, 4))
+        labels = np.array([0, 1, 2, 3, 1])
+        ce = cross_entropy(Tensor(logits), labels).item()
+        nll = nll_loss(F.log_softmax(Tensor(logits), axis=1), labels).item()
+        assert ce == pytest.approx(nll)
+
+    def test_mse(self):
+        loss = mse_loss(Tensor([1.0, 2.0]), Tensor([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+
+
+class TestOptimizers:
+    def _quadratic_descent(self, optimizer_factory) -> float:
+        param = Parameter(np.array([5.0]))
+        optimizer = optimizer_factory([param])
+        for _ in range(200):
+            loss = F.sum(F.multiply(param, param))
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        return abs(float(param.data[0]))
+
+    def test_sgd_converges(self):
+        assert self._quadratic_descent(lambda p: SGD(p, lr=0.1)) < 1e-6
+
+    def test_sgd_momentum_converges(self):
+        assert self._quadratic_descent(lambda p: SGD(p, lr=0.05, momentum=0.9)) < 1e-4
+
+    def test_adam_converges(self):
+        assert self._quadratic_descent(lambda p: Adam(p, lr=0.3)) < 1e-3
+
+    def test_weight_decay_shrinks(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = SGD([param], lr=0.1, weight_decay=1.0)
+        param.accumulate_grad(np.array([0.0]))
+        optimizer.step()
+        assert float(param.data[0]) == pytest.approx(0.9)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SGD([Parameter(np.zeros(1))], lr=-1.0)
+        with pytest.raises(ValidationError):
+            Adam([], lr=0.1)
+
+
+class TestLSTM:
+    def test_cell_shapes(self):
+        cell = LSTMCell(3, 5, rng=0)
+        h = Tensor(np.zeros((2, 5)))
+        c = Tensor(np.zeros((2, 5)))
+        h2, c2 = cell(Tensor(np.ones((2, 3))), (h, c))
+        assert h2.shape == (2, 5)
+        assert c2.shape == (2, 5)
+
+    def test_sequence_shapes(self):
+        lstm = LSTM(3, 5, rng=0)
+        outputs, final = lstm(Tensor(np.ones((2, 4, 3))))
+        assert outputs.shape == (2, 4, 5)
+        assert final.shape == (2, 5)
+
+    def test_mask_freezes_state(self):
+        """Final state of a padded sequence = state at its last real step."""
+        lstm = LSTM(3, 5, rng=0)
+        rng = np.random.default_rng(0)
+        seq = rng.normal(size=(1, 4, 3))
+        # Full 2-step sequence vs the same 2 steps padded to length 4.
+        short = seq[:, :2, :]
+        _, final_short = lstm(Tensor(short))
+        padded = seq.copy()
+        mask = np.array([[1.0, 1.0, 0.0, 0.0]])
+        _, final_padded = lstm(Tensor(padded), mask)
+        np.testing.assert_allclose(final_short.data, final_padded.data, atol=1e-12)
+
+    def test_gradients_reach_weights(self):
+        lstm = LSTM(3, 4, rng=0)
+        _, final = lstm(Tensor(np.ones((2, 3, 3))))
+        F.sum(final).backward()
+        assert lstm.cell.weight.grad is not None
+        assert np.any(lstm.cell.weight.grad != 0)
+
+    def test_learns_order_sensitivity(self):
+        """LSTM must distinguish sequences that pooling cannot."""
+        rng = np.random.default_rng(0)
+        a = np.array([[1.0], [0.0], [0.0]])
+        b = np.array([[0.0], [0.0], [1.0]])  # same multiset, different order
+        x = np.stack([a, b] * 8)
+        y = np.array([0, 1] * 8)
+        from repro.seqmodels import LSTMHead
+
+        head = LSTMHead(1, 2, hidden_dim=8, rng=1)
+        optimizer = Adam(head.parameters(), lr=0.05)
+        for _ in range(120):
+            loss = cross_entropy(head(Tensor(x)), y)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        predictions = np.argmax(head(Tensor(x)).data, axis=1)
+        np.testing.assert_array_equal(predictions, y)
+
+    def test_rejects_2d_input(self):
+        lstm = LSTM(3, 4, rng=0)
+        with pytest.raises(ValidationError):
+            lstm(Tensor(np.ones((2, 3))))
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            LSTMCell(0, 4)
+
+
+class TestBiLSTM:
+    def test_shapes(self):
+        bilstm = BiLSTM(3, 5, rng=0)
+        outputs, final = bilstm(Tensor(np.ones((2, 4, 3))))
+        assert outputs.shape == (2, 4, 10)
+        assert final.shape == (2, 10)
+
+    def test_direction_asymmetry(self):
+        """Reversing the sequence changes the bidirectional final state."""
+        bilstm = BiLSTM(2, 4, rng=0)
+        rng = np.random.default_rng(0)
+        seq = rng.normal(size=(1, 5, 2))
+        _, fwd = bilstm(Tensor(seq))
+        _, rev = bilstm(Tensor(seq[:, ::-1, :].copy()))
+        assert not np.allclose(fwd.data, rev.data)
+
+
+class TestAttentionPooling:
+    def test_shapes(self):
+        pool = AttentionPooling(6, attention_dim=4, rng=0)
+        out = pool(Tensor(np.ones((3, 5, 6))))
+        assert out.shape == (3, 6)
+
+    def test_mask_excludes_padding(self):
+        pool = AttentionPooling(4, rng=0)
+        rng = np.random.default_rng(0)
+        real = rng.normal(size=(1, 2, 4))
+        padded = np.concatenate([real, 100.0 * np.ones((1, 2, 4))], axis=1)
+        mask = np.array([[1.0, 1.0, 0.0, 0.0]])
+        out_padded = pool(Tensor(padded), mask)
+        out_real = pool(Tensor(real), np.ones((1, 2)))
+        np.testing.assert_allclose(out_padded.data, out_real.data, atol=1e-6)
+
+    def test_weights_gradient(self):
+        pool = AttentionPooling(4, rng=0)
+        out = F.sum(pool(Tensor(np.random.default_rng(0).normal(size=(2, 3, 4)))))
+        out.backward()
+        assert pool.projection.grad is not None
+        assert pool.query.grad is not None
+
+    def test_rejects_2d(self):
+        pool = AttentionPooling(4, rng=0)
+        with pytest.raises(ValidationError):
+            pool(Tensor(np.ones((2, 4))))

@@ -1,0 +1,144 @@
+"""Tests for chain and world persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.chain import (
+    AddressFactory,
+    Blockchain,
+    ChainParams,
+    Mempool,
+    Wallet,
+    attach_index,
+    btc,
+)
+from repro.chain.serialize import (
+    load_chain,
+    load_world_chain,
+    save_chain,
+    save_world,
+    transaction_from_dict,
+    transaction_to_dict,
+)
+from repro.datagen import WorldConfig, generate_world
+from repro.errors import ValidationError
+
+
+@pytest.fixture()
+def busy_chain():
+    factory = AddressFactory(77)
+    chain = Blockchain(ChainParams(initial_subsidy=btc(50)))
+    mempool = Mempool(chain.utxo_set)
+    wallet = Wallet(mempool.view(), factory, name="w")
+    reward = wallet.new_address()
+    for i in range(3):
+        chain.mine_block([], reward_address=reward, timestamp=600.0 * (i + 1))
+    other = AddressFactory(78).new_address()
+    tx = wallet.create_transaction([(other, btc(7))], timestamp=2000.0, fee=btc(0.001))
+    mempool.submit(tx)
+    chain.mine_block(mempool.drain(), reward_address=reward, timestamp=2400.0)
+    return chain
+
+
+class TestTransactionRoundtrip:
+    def test_roundtrip_preserves_txid(self, busy_chain):
+        for block in busy_chain.blocks[1:]:
+            for tx in block.transactions:
+                restored = transaction_from_dict(transaction_to_dict(tx))
+                assert restored.txid == tx.txid
+                assert restored.input_value == tx.input_value
+                assert restored.output_value == tx.output_value
+
+    def test_malformed_payload(self):
+        with pytest.raises(ValidationError):
+            transaction_from_dict({"inputs": []})
+
+
+class TestChainRoundtrip:
+    def test_roundtrip_identical_tip(self, busy_chain, tmp_path):
+        path = tmp_path / "chain.jsonl"
+        save_chain(busy_chain, path)
+        restored, index = load_chain(path)
+        assert restored.height == busy_chain.height
+        assert restored.tip.hash == busy_chain.tip.hash
+        assert restored.total_supply() == busy_chain.total_supply()
+
+    def test_index_rebuilt(self, busy_chain, tmp_path):
+        path = tmp_path / "chain.jsonl"
+        save_chain(busy_chain, path)
+        _, index = load_chain(path)
+        original_index = attach_index(busy_chain)
+        for address in original_index.known_addresses():
+            assert index.transaction_count(address) == (
+                original_index.transaction_count(address)
+            )
+
+    def test_tampering_detected(self, busy_chain, tmp_path):
+        """Inflating an output value must fail replay validation."""
+        path = tmp_path / "chain.jsonl"
+        save_chain(busy_chain, path)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[-1])
+        # Inflate the first non-coinbase input's claimed value.
+        for tx in record["transactions"]:
+            if tx["inputs"]:
+                tx["inputs"][0]["value"] += 1
+                tx["txid"] = ""  # force recompute; content now inconsistent
+                break
+        lines[-1] = json.dumps(record)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(Exception):
+            load_chain(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValidationError):
+            load_chain(path)
+
+    def test_missing_params_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"kind": "block"}) + "\n")
+        with pytest.raises(ValidationError):
+            load_chain(path)
+
+
+class TestWorldRoundtrip:
+    def test_world_save_load(self, tmp_path):
+        world = generate_world(WorldConfig(seed=51, num_blocks=50, num_retail=15))
+        save_world(world, tmp_path / "world")
+        chain, index, labels, fine_labels = load_world_chain(tmp_path / "world")
+        assert chain.tip.hash == world.chain.tip.hash
+        assert labels == {a: int(l) for a, l in world.labels.items()}
+        assert fine_labels == world.fine_labels
+        # The reloaded index supports the same queries.
+        some_address = next(iter(labels))
+        assert index.transaction_count(some_address) == (
+            world.index.transaction_count(some_address)
+        )
+
+    def test_loaded_world_trains(self, tmp_path):
+        """A classifier can be trained purely from a reloaded world."""
+        world = generate_world(WorldConfig(seed=52, num_blocks=60, num_retail=20))
+        save_world(world, tmp_path / "world")
+        _, index, labels, _ = load_world_chain(tmp_path / "world")
+        eligible = [
+            (address, label)
+            for address, label in labels.items()
+            if index.transaction_count(address) >= 4
+        ]
+        addresses = [a for a, _ in eligible][:30]
+        y = np.array([l for _, l in eligible][:30])
+        from repro.core import BAClassifier, BAClassifierConfig
+
+        clf = BAClassifier(
+            BAClassifierConfig(
+                slice_size=30, gnn_epochs=2, head_epochs=2,
+                gnn_hidden_dim=16, head_hidden_dim=16, head_restarts=1, seed=0,
+            )
+        )
+        clf.fit(addresses, y, index)
+        predictions = clf.predict(addresses[:5], index)
+        assert predictions.shape == (5,)
