@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full unit/integration suite plus the smoke-mode
+# serving-throughput benchmark, so perf regressions in the serving layer
+# surface in-repo without waiting for the full benchmark harness.
+#
+# Usage: scripts/tier1.sh [extra pytest args for the unit suite]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: unit + integration tests =="
+python -m pytest -x -q "$@"
+
+echo "== tier-1: serving throughput smoke benchmark =="
+REPRO_BENCH_SMOKE=1 python -m pytest -q benchmarks/bench_serving_throughput.py

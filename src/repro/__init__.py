@@ -37,11 +37,23 @@ from repro.eval import (
     confusion_matrix,
     precision_recall_f1,
 )
+from repro.serve import (
+    AddressScore,
+    AddressScoringService,
+    CacheStats,
+    ScoringServiceConfig,
+    SliceGraphCache,
+)
 
 __all__ = [
     "__version__",
+    "AddressScore",
+    "AddressScoringService",
     "BAClassifier",
     "BAClassifierConfig",
+    "CacheStats",
+    "ScoringServiceConfig",
+    "SliceGraphCache",
     "CLASS_NAMES",
     "AddressLabel",
     "LabeledAddressDataset",

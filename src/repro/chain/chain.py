@@ -100,6 +100,13 @@ class Blockchain:
         """Register a callback invoked with each successfully appended block."""
         self._listeners.append(listener)
 
+    def remove_listener(self, listener: Callable[[Block], None]) -> None:
+        """Unregister a previously added listener (no-op if absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
     # ------------------------------------------------------------------ #
     # Mutation
     # ------------------------------------------------------------------ #

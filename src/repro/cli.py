@@ -62,6 +62,18 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("--world", required=True)
     classify.add_argument("--model", required=True)
     classify.add_argument("addresses", nargs="+")
+
+    score = sub.add_parser(
+        "score", help="score addresses via the caching scoring service"
+    )
+    score.add_argument("--world", required=True)
+    score.add_argument("--model", required=True)
+    score.add_argument("--workers", type=int, default=0,
+                       help="construction worker threads (0 = inline)")
+    score.add_argument("--cache-capacity", type=int, default=4096)
+    score.add_argument("--stats", action="store_true",
+                       help="print cache statistics after scoring")
+    score.add_argument("addresses", nargs="+")
     return parser
 
 
@@ -144,11 +156,49 @@ def _cmd_classify(args) -> int:
     return 0
 
 
+def _cmd_score(args) -> int:
+    from repro.serve import AddressScoringService, ScoringServiceConfig
+
+    chain, index, _, _ = load_world_chain(args.world)
+    classifier = BAClassifier.load(args.model)
+    service = AddressScoringService(
+        classifier,
+        index,
+        chain=chain,
+        config=ScoringServiceConfig(
+            cache_capacity=args.cache_capacity, max_workers=args.workers
+        ),
+        class_names=CLASS_NAMES,
+    )
+    known = [a for a in args.addresses if index.transaction_count(a) > 0]
+    unknown = [a for a in args.addresses if index.transaction_count(a) == 0]
+    for address in unknown:
+        print(f"{address}  <no transactions on chain>")
+    if known:
+        scores = service.score(known)
+        for address in known:
+            result = scores[address]
+            distribution = " ".join(
+                f"{p:.3f}" for p in result.probabilities
+            )
+            print(f"{address}  {result.class_name}  [{distribution}]")
+    if args.stats:
+        stats = service.stats
+        print(
+            f"cache: hits={stats.hits} misses={stats.misses} "
+            f"evictions={stats.evictions} "
+            f"invalidations={stats.invalidations} "
+            f"hit_rate={stats.hit_rate:.2%}"
+        )
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "classify": _cmd_classify,
+    "score": _cmd_score,
 }
 
 

@@ -248,6 +248,11 @@ class BAClassifier:
         model._fitted = True
         return model
 
+    @property
+    def is_fitted(self) -> bool:
+        """Whether the classifier has been fitted (or loaded)."""
+        return self._fitted
+
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #

@@ -45,7 +45,13 @@ def cross_entropy(
         weights = class_weights[labels]
         weighted = F.multiply(picked, Tensor(weights))
         total = F.sum(weighted)
-        return F.negate(F.divide(total, Tensor(float(weights.sum()))))
+        denominator = float(weights.sum())
+        if denominator <= 0.0:
+            # Every label in the batch falls in a zero-weight class (e.g.
+            # absent at fit time): the batch carries no loss and no
+            # gradient, rather than 0/0 = NaN.
+            denominator = 1.0
+        return F.negate(F.divide(total, Tensor(denominator)))
     return F.negate(F.mean(picked))
 
 

@@ -73,6 +73,14 @@ class SequenceTrainingConfig:
             raise ValidationError(f"epochs must be > 0, got {self.epochs}")
         if self.batch_size <= 0:
             raise ValidationError(f"batch_size must be > 0, got {self.batch_size}")
+        if self.learning_rate <= 0:
+            raise ValidationError(
+                f"learning_rate must be > 0, got {self.learning_rate}"
+            )
+        if self.grad_clip is not None and self.grad_clip <= 0:
+            raise ValidationError(
+                f"grad_clip must be > 0 or None, got {self.grad_clip}"
+            )
 
 
 def _class_weights(labels: np.ndarray, num_classes: int) -> np.ndarray:
@@ -111,9 +119,13 @@ def fit_sequence_classifier(
     rng = as_generator(config.seed)
     curve = TrainingCurve(model_name=curve_name or type(model).__name__)
     watch = Stopwatch()
+    train_seconds = 0.0
     indices = np.arange(len(sequences))
 
     for epoch in range(1, config.epochs + 1):
+        # As in fit_graph_classifier: the curve's runtime axis (Figure 6)
+        # must exclude the per-epoch evaluation below.
+        watch.reset()
         model.train()
         rng.shuffle(indices)
         for start in range(0, len(indices), config.batch_size):
@@ -128,6 +140,7 @@ def fit_sequence_classifier(
             if config.grad_clip is not None:
                 clip_grad_norm(model.parameters(), config.grad_clip)
             optimizer.step()
+        train_seconds += watch.elapsed()
         if eval_sequences is not None and eval_labels is not None:
             predictions = predict_sequences(
                 model, eval_sequences, config.max_sequence_length
@@ -135,7 +148,7 @@ def fit_sequence_classifier(
             report = precision_recall_f1(
                 np.asarray(eval_labels), predictions, num_classes=model.num_classes
             )
-            curve.add(epoch=epoch, runtime_seconds=watch.elapsed(), f1=report.weighted_f1)
+            curve.add(epoch=epoch, runtime_seconds=train_seconds, f1=report.weighted_f1)
     return curve
 
 

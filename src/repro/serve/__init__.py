@@ -1,0 +1,23 @@
+"""The serving layer: cached, batched address scoring.
+
+Wraps a chain index, the graph-construction pipeline, and a trained
+classifier behind one ``score(addresses)`` API with slice-graph caching,
+incremental invalidation on block append, worker-pool construction, and
+block-diagonal batched inference.
+"""
+
+from repro.serve.cache import CacheKey, CacheStats, SliceGraphCache
+from repro.serve.service import (
+    AddressScore,
+    AddressScoringService,
+    ScoringServiceConfig,
+)
+
+__all__ = [
+    "AddressScore",
+    "AddressScoringService",
+    "CacheKey",
+    "CacheStats",
+    "ScoringServiceConfig",
+    "SliceGraphCache",
+]

@@ -1,0 +1,137 @@
+"""LRU cache of encoded slice graphs for the scoring service.
+
+Graph construction dominates the cost of scoring an address (paper
+Table V), and completed transaction slices never change on an
+append-only chain — so the serving layer caches :class:`EncodedGraph`
+slices keyed by ``(address, slice_index, pipeline-config fingerprint)``.
+The fingerprint component guarantees that services built over different
+construction parameters never share entries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from repro.errors import ValidationError
+from repro.gnn.data import EncodedGraph
+
+__all__ = ["CacheKey", "CacheStats", "SliceGraphCache"]
+
+#: ``(address, slice_index, pipeline fingerprint)``.
+CacheKey = Tuple[str, int, str]
+
+
+@dataclass
+class CacheStats:
+    """Running counters of cache behaviour.
+
+    ``hits``/``misses`` count slice-graph lookups; ``evictions`` counts
+    LRU capacity evictions; ``invalidations`` counts entries dropped
+    because new blocks touched their address.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when idle)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy of the counters (safe to diff across calls)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+
+class SliceGraphCache:
+    """Bounded LRU cache of encoded slice graphs.
+
+    Lookups refresh recency; inserts beyond ``capacity`` evict the least
+    recently used entry.  A per-address key index makes invalidation
+    O(cached slices of that address), which is what keeps block-append
+    invalidation incremental.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValidationError(f"capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[CacheKey, EncodedGraph]" = OrderedDict()
+        self._by_address: Dict[str, Set[CacheKey]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: CacheKey) -> Optional[EncodedGraph]:
+        """The cached graph at ``key`` (refreshing recency), or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def note_miss(self, count: int = 1) -> None:
+        """Count ``count`` lookups the caller skipped as known-stale."""
+        self.stats.misses += count
+
+    def put(self, key: CacheKey, graph: EncodedGraph) -> None:
+        """Insert (or refresh) ``key``, evicting LRU entries over capacity."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = graph
+        self._by_address.setdefault(key[0], set()).add(key)
+        while len(self._entries) > self.capacity:
+            evicted_key, _ = self._entries.popitem(last=False)
+            self._discard_address_key(evicted_key)
+            self.stats.evictions += 1
+
+    def invalidate_address(self, address: str, from_slice: int = 0) -> int:
+        """Drop cached slices of ``address`` with index >= ``from_slice``.
+
+        Returns the number of entries dropped.  ``from_slice=0`` drops
+        everything cached for the address.
+        """
+        keys = self._by_address.get(address)
+        if not keys:
+            return 0
+        stale = [key for key in keys if key[1] >= from_slice]
+        for key in stale:
+            del self._entries[key]
+            keys.discard(key)
+        if not keys:
+            del self._by_address[address]
+        self.stats.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+        self._by_address.clear()
+
+    def _discard_address_key(self, key: CacheKey) -> None:
+        keys = self._by_address.get(key[0])
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_address[key[0]]

@@ -1,0 +1,383 @@
+"""Cached, batched address scoring over a trained BAClassifier.
+
+The offline pipeline rebuilds every address graph from scratch on each
+query and runs one GNN forward per graph.  :class:`AddressScoringService`
+is the serving-path counterpart:
+
+- **Slice-graph caching** — encoded slice graphs are reused across
+  queries via :class:`~repro.serve.cache.SliceGraphCache`, keyed by
+  ``(address, slice_index, pipeline fingerprint)``.
+- **Incremental invalidation** — when blocks are appended to a connected
+  chain, only the trailing slices of the touched addresses are dropped;
+  completed slices of an append-only history never change.
+- **Parallel construction** — cache misses fan out over a
+  ``concurrent.futures`` thread pool, one task per address.
+- **Batched inference** — all slice graphs of a query are embedded in
+  block-diagonal batches and the sequence head runs over padded
+  sequence batches, instead of per-graph / per-address forwards.
+
+The service assumes the usual single-writer chain model: ``score`` must
+not run concurrently with block appends.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from collections.abc import Mapping
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.chain.block import Block
+from repro.chain.chain import Blockchain
+from repro.chain.explorer import ChainIndex
+from repro.errors import NotFittedError, ValidationError
+from repro.gnn.data import EncodedGraph, encode_graph
+from repro.graphs.pipeline import GraphConstructionPipeline
+from repro.seqmodels.trainer import predict_proba_sequences
+from repro.serve.cache import CacheStats, SliceGraphCache
+
+__all__ = ["ScoringServiceConfig", "AddressScore", "AddressScoringService"]
+
+
+@dataclass(frozen=True)
+class ScoringServiceConfig:
+    """Serving knobs, independent of the model configuration.
+
+    ``max_workers=0`` builds cache misses inline; any positive value
+    fans construction out over that many threads.  The two batch sizes
+    bound the block-diagonal GNN batches and the padded sequence
+    batches respectively.
+    """
+
+    cache_capacity: int = 4096
+    max_workers: int = 0
+    graph_batch_size: int = 256
+    sequence_batch_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.cache_capacity <= 0:
+            raise ValidationError(
+                f"cache_capacity must be > 0, got {self.cache_capacity}"
+            )
+        if self.max_workers < 0:
+            raise ValidationError(
+                f"max_workers must be >= 0, got {self.max_workers}"
+            )
+        if self.graph_batch_size <= 0:
+            raise ValidationError(
+                f"graph_batch_size must be > 0, got {self.graph_batch_size}"
+            )
+        if self.sequence_batch_size <= 0:
+            raise ValidationError(
+                f"sequence_batch_size must be > 0, got {self.sequence_batch_size}"
+            )
+
+
+@dataclass
+class AddressScore:
+    """One scored address: predicted class plus the full distribution."""
+
+    address: str
+    label: int
+    class_name: str
+    probabilities: np.ndarray
+
+
+class AddressScoringService:
+    """Serve ``score(addresses)`` queries over a fitted classifier.
+
+    Parameters
+    ----------
+    classifier:
+        A fitted :class:`~repro.core.BAClassifier` (trained or loaded).
+    index:
+        The chain index to read transaction histories from.
+    chain:
+        Optional chain to subscribe to for incremental invalidation;
+        equivalent to calling :meth:`connect` afterwards.
+    class_names:
+        Optional ``{label: name}`` mapping (or label-indexed sequence)
+        for human-readable results.
+    """
+
+    def __init__(
+        self,
+        classifier,
+        index: ChainIndex,
+        chain: Optional[Blockchain] = None,
+        config: Optional[ScoringServiceConfig] = None,
+        class_names: "Union[Mapping[int, str], Sequence[str], None]" = None,
+    ):
+        if not getattr(classifier, "is_fitted", False):
+            raise NotFittedError(
+                "AddressScoringService needs a fitted (or loaded) classifier"
+            )
+        self.classifier = classifier
+        self.index = index
+        self.config = config or ScoringServiceConfig()
+        self.pipeline_config = classifier.config.pipeline_config()
+        self.fingerprint = self.pipeline_config.fingerprint()
+        self.pipeline = GraphConstructionPipeline(self.pipeline_config)
+        self.cache = SliceGraphCache(self.config.cache_capacity)
+        if class_names is None:
+            self.class_names: Dict[int, str] = {}
+        elif isinstance(class_names, Mapping):
+            self.class_names = {int(k): str(v) for k, v in class_names.items()}
+        else:
+            self.class_names = {
+                i: str(name) for i, name in enumerate(class_names)
+            }
+        #: Transaction count each address's cached slices were built from.
+        self._covered: Dict[str, int] = {}
+        self._timer_lock = threading.Lock()
+        self._chain: Optional[Blockchain] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        if chain is not None:
+            self.connect(chain)
+
+    # ------------------------------------------------------------------ #
+    # Chain integration
+    # ------------------------------------------------------------------ #
+
+    def connect(self, chain: Blockchain) -> None:
+        """Subscribe to ``chain`` so future appends invalidate the cache.
+
+        Block events are what let the service locate exactly which
+        cached slices an append dirties; an unconnected service stays
+        correct by fully rebuilding any address whose transaction count
+        grew (see :meth:`score`), at the cost of incrementality.
+        Coverage accumulated while *not* listening cannot be trusted
+        (appends may have gone unobserved), so connecting drops any
+        existing cache contents.  Re-connecting (to the same chain or a
+        different one) first detaches the previous subscription.
+        """
+        if self._chain is not None:
+            self.disconnect()
+        if self._covered:
+            self.cache.clear()
+            self._covered.clear()
+        chain.add_listener(self.on_block)
+        self._chain = chain
+
+    def disconnect(self) -> None:
+        """Unsubscribe from the connected chain (no-op when unconnected).
+
+        Call when retiring a service so the chain no longer holds a
+        reference to it (and to its cache) through the listener list.
+        """
+        if self._chain is not None:
+            self._chain.remove_listener(self.on_block)
+        self._chain = None
+
+    def close(self) -> None:
+        """Release resources: detach from the chain and stop workers."""
+        self.disconnect()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def on_block(self, block: Block) -> None:
+        """Invalidate the cached slices the new block actually dirties.
+
+        Slice membership is decided by chronological ``(timestamp,
+        txid)`` order, and a transaction mined in this block may carry a
+        timestamp older than already-sliced history (e.g. created early,
+        mined late) — so the first stale slice is computed from where
+        the block's transactions *sort into* each address's history, not
+        from the end of it.  Slices strictly before that insertion point
+        are untouched and stay cached.
+        """
+        new_by_address: Dict[str, List[Tuple[float, str]]] = {}
+        for tx in block.transactions:
+            for address in tx.addresses():
+                new_by_address.setdefault(address, []).append(
+                    (tx.timestamp, tx.txid)
+                )
+        for address, keys in new_by_address.items():
+            self._invalidate(address, earliest_new=min(keys))
+
+    def _invalidate(
+        self, address: str, earliest_new: Optional[Tuple[float, str]] = None
+    ) -> None:
+        covered = self._covered.get(address)
+        if not covered:
+            return
+        slice_size = self.pipeline_config.slice_size
+        # Slices before the insertion point of the earliest new
+        # transaction keep their membership; without timestamp
+        # information, assume append-at-end (only the trailing partial
+        # slice is dirty).  Both bounds are idempotent across repeated
+        # appends: already slice-aligned coverage is never eroded.
+        stale_from = covered // slice_size
+        if earliest_new is not None:
+            position = sum(
+                1
+                for record in self.index.records_for(address)
+                if (record.timestamp, record.txid) < earliest_new
+            )
+            stale_from = min(stale_from, position // slice_size)
+        self.cache.invalidate_address(address, from_slice=stale_from)
+        self._covered[address] = min(covered, stale_from * slice_size)
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+
+    def score(self, addresses: Sequence[str]) -> Dict[str, AddressScore]:
+        """Score addresses: ``{address: AddressScore}`` in input order.
+
+        Raises :class:`~repro.errors.ValidationError` when any address
+        has no transactions on chain (callers should pre-filter, as the
+        CLI does).
+        """
+        addresses = list(dict.fromkeys(addresses))
+        if not addresses:
+            return {}
+        unknown = [
+            a for a in addresses if self.index.transaction_count(a) == 0
+        ]
+        if unknown:
+            raise ValidationError(
+                "addresses with no transactions on chain: "
+                + ", ".join(a[:16] for a in unknown[:5])
+            )
+        sequences_by_address = self._encoded_sequences(addresses)
+
+        flat: List[EncodedGraph] = []
+        spans: List[Tuple[int, int]] = []
+        for address in addresses:
+            graphs = sequences_by_address[address]
+            spans.append((len(flat), len(flat) + len(graphs)))
+            flat.extend(graphs)
+        embeddings = self.classifier.encoder.embed_graphs(
+            flat, batch_size=self.config.graph_batch_size
+        )
+        sequences = [embeddings[start:end] for start, end in spans]
+        probabilities = predict_proba_sequences(
+            self.classifier.head,
+            sequences,
+            self.classifier.config.max_sequence_length,
+            batch_size=self.config.sequence_batch_size,
+        )
+        labels = probabilities.argmax(axis=1)
+        return {
+            address: AddressScore(
+                address=address,
+                label=int(label),
+                class_name=self.class_names.get(
+                    int(label), f"class_{int(label)}"
+                ),
+                probabilities=row,
+            )
+            for address, label, row in zip(addresses, labels, probabilities)
+        }
+
+    def score_one(self, address: str) -> AddressScore:
+        """Score a single address."""
+        return self.score([address])[address]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def stats(self) -> CacheStats:
+        """The cache's running hit/miss/eviction/invalidation counters."""
+        return self.cache.stats
+
+    def construction_report(self) -> List[Dict[str, float]]:
+        """Per-stage construction cost accumulated across cache misses."""
+        return self.pipeline.stage_report()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _encoded_sequences(
+        self, addresses: Sequence[str]
+    ) -> Dict[str, List[EncodedGraph]]:
+        """Slice-ordered encoded graphs per address, cache-first."""
+        slice_size = self.pipeline_config.slice_size
+        reusable: Dict[str, Dict[int, EncodedGraph]] = {}
+        missing: Dict[str, List[int]] = {}
+        counts: Dict[str, int] = {}
+        for address in addresses:
+            count = self.index.transaction_count(address)
+            counts[address] = count
+            num_slices = -(-count // slice_size)
+            covered = self._covered.get(address, 0)
+            if covered > count:
+                covered = 0  # not append-only growth: distrust everything
+            if covered == count:
+                fresh_until = num_slices
+            elif self._chain is not None:
+                # on_block already dropped every dirtied slice (computed
+                # from where the new transactions sort in), so whatever
+                # coverage remains is exact.
+                fresh_until = covered // slice_size
+            else:
+                # Growth observed without block events: there is no way
+                # to know where the new transactions sorted into the
+                # history, so nothing cached for this address is safe.
+                fresh_until = 0
+            reusable[address] = {}
+            missing[address] = []
+            for i in range(num_slices):
+                if i < fresh_until:
+                    cached = self.cache.get((address, i, self.fingerprint))
+                    if cached is not None:
+                        reusable[address][i] = cached
+                        continue
+                else:
+                    self.cache.note_miss()
+                missing[address].append(i)
+
+        to_build = {a: idxs for a, idxs in missing.items() if idxs}
+        built: Dict[str, List[EncodedGraph]] = {}
+        if self.config.max_workers > 0 and len(to_build) > 1:
+            # One long-lived pool per service: per-call executor setup
+            # is measurable against small warm queries.
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.config.max_workers
+                )
+            futures = {
+                address: self._executor.submit(
+                    self._build_address, address, idxs
+                )
+                for address, idxs in to_build.items()
+            }
+            for address, future in futures.items():
+                built[address] = future.result()
+        else:
+            for address, idxs in to_build.items():
+                built[address] = self._build_address(address, idxs)
+
+        sequences: Dict[str, List[EncodedGraph]] = {}
+        for address in addresses:
+            by_slice = dict(reusable[address])
+            for graph in built.get(address, ()):
+                key = (address, graph.slice_index, self.fingerprint)
+                self.cache.put(key, graph)
+                by_slice[graph.slice_index] = graph
+            sequences[address] = [by_slice[i] for i in sorted(by_slice)]
+            self._covered[address] = counts[address]
+        return sequences
+
+    def _build_address(
+        self, address: str, slice_indices: List[int]
+    ) -> List[EncodedGraph]:
+        """Build + encode the missing slices of one address.
+
+        Each call uses a private pipeline so worker threads never share
+        a timer; the accumulations are merged back under a lock.
+        """
+        pipeline = GraphConstructionPipeline(self.pipeline_config)
+        graphs = pipeline.build_slices(self.index, address, slice_indices)
+        encoded = [encode_graph(graph) for graph in graphs]
+        with self._timer_lock:
+            self.pipeline.timer.merge(pipeline.timer)
+        return encoded

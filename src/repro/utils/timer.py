@@ -59,14 +59,19 @@ class StageTimer:
             self.totals[name] += duration
             self.counts[name] += 1
 
-    def add(self, name: str, seconds: float) -> None:
-        """Record ``seconds`` against stage ``name`` without a context."""
+    def add(self, name: str, seconds: float, count: int = 1) -> None:
+        """Record ``seconds`` against stage ``name`` without a context.
+
+        ``count`` is the number of entries the duration amortises over —
+        e.g. one timed extraction pass that produced ``count`` graphs —
+        so :meth:`mean` stays a per-entry figure.
+        """
         if name not in self.totals:
             self.totals[name] = 0.0
             self.counts[name] = 0
             self._order.append(name)
         self.totals[name] += seconds
-        self.counts[name] += 1
+        self.counts[name] += count
 
     @property
     def stage_names(self) -> List[str]:

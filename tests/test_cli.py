@@ -22,6 +22,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["classify", "--world", "w", "--model", "m"])
 
+    def test_score_args(self):
+        args = build_parser().parse_args(
+            ["score", "--world", "w", "--model", "m", "--workers", "2",
+             "--cache-capacity", "64", "--stats", "addr1", "addr2"]
+        )
+        assert args.command == "score"
+        assert args.workers == 2
+        assert args.cache_capacity == 64
+        assert args.stats is True
+        assert args.addresses == ["addr1", "addr2"]
+
 
 class TestEndToEnd:
     @pytest.fixture(scope="class")
@@ -70,3 +81,15 @@ class TestEndToEnd:
         output = capsys.readouterr().out
         assert known in output
         assert "<no transactions on chain>" in output
+
+        # Score the same address through the caching service.
+        assert main(
+            [
+                "score", "--world", str(world_dir), "--model", str(model_dir),
+                "--stats", known, "1UnknownAddressXYZ",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert known in output
+        assert "<no transactions on chain>" in output
+        assert "cache:" in output and "hit_rate" in output

@@ -187,6 +187,47 @@ class TestTrainingLoop:
         runtimes = curve.runtimes()
         assert runtimes == sorted(runtimes)
 
+    def test_runtime_excludes_eval_time(self):
+        """Figure 5's runtime axis must not include per-epoch evaluation."""
+        import time
+
+        graphs = _toy_dataset(n_per_class=6)  # 12 graphs
+        model = GFN(input_dim=graphs[0].feature_dim, num_classes=2,
+                    hidden_dim=8, rng=0)
+        eval_delay = 0.1
+        original_predict = model.predict
+
+        def slow_predict(eval_graphs, **kwargs):
+            time.sleep(eval_delay)
+            return original_predict(eval_graphs, **kwargs)
+
+        model.predict = slow_predict
+        epochs = 3
+        start = time.perf_counter()
+        curve = fit_graph_classifier(
+            model,
+            graphs[:8],
+            GraphTrainingConfig(epochs=epochs, seed=0),
+            eval_graphs=graphs[8:],
+        )
+        wall = time.perf_counter() - start
+        total_delay = epochs * eval_delay
+        assert wall >= total_delay
+        # The curve's reported training time excludes the injected eval
+        # delays (small scheduling margin allowed).
+        assert curve.points[-1].runtime_seconds <= wall - 0.9 * total_delay
+        runtimes = curve.runtimes()
+        assert runtimes == sorted(runtimes)
+
+    def test_validates_hyperparameters(self):
+        with pytest.raises(ValidationError):
+            GraphTrainingConfig(learning_rate=0.0)
+        with pytest.raises(ValidationError):
+            GraphTrainingConfig(learning_rate=-1e-3)
+        with pytest.raises(ValidationError):
+            GraphTrainingConfig(grad_clip=0.0)
+        assert GraphTrainingConfig(grad_clip=None).grad_clip is None
+
     def test_unlabeled_graphs_rejected(self):
         graphs = [encode_graph(_toy_graph("a", 2, 1.0))]  # label -1
         model = GFN(input_dim=graphs[0].feature_dim, num_classes=2, rng=0)

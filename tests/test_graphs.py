@@ -436,6 +436,54 @@ class TestPipeline:
         result = pipeline.build_many(index, [center])
         assert set(result) == {center}
 
+    def test_stage_report_mean_is_per_graph(self, mini_world_index):
+        """Table V semantics: one timer entry per slice graph, so the
+        report's mean is a per-graph cost even when one build() call
+        covers several slices of an address."""
+        index, center = mini_world_index
+        pipeline = GraphConstructionPipeline(GraphPipelineConfig(slice_size=5))
+        graphs = pipeline.build(index, center)
+        assert len(graphs) == 2
+        report = {row["stage"]: row for row in pipeline.stage_report()}
+        for name in STAGE_NAMES:
+            row = report[name]
+            assert row["entries"] == len(graphs)
+            assert row["mean_seconds"] * row["entries"] == pytest.approx(
+                row["total_seconds"]
+            )
+        # A second address accumulates further per-graph entries.
+        pipeline.build(index, center)
+        report = {row["stage"]: row for row in pipeline.stage_report()}
+        assert report[STAGE_NAMES[0]]["entries"] == 2 * len(graphs)
+
+    def test_build_slices_subset_matches_full_build(self, mini_world_index):
+        index, center = mini_world_index
+        config = GraphPipelineConfig(slice_size=5)
+        full = GraphConstructionPipeline(config).build(index, center)
+        subset = GraphConstructionPipeline(config).build_slices(
+            index, center, [1]
+        )
+        assert len(subset) == 1
+        assert subset[0].slice_index == 1
+        assert subset[0].num_nodes == full[1].num_nodes
+        np.testing.assert_allclose(
+            subset[0].feature_matrix(), full[1].feature_matrix()
+        )
+
+    def test_build_slices_none_builds_all(self, mini_world_index):
+        index, center = mini_world_index
+        config = GraphPipelineConfig(slice_size=5)
+        all_slices = GraphConstructionPipeline(config).build_slices(
+            index, center
+        )
+        assert [g.slice_index for g in all_slices] == [0, 1]
+
+    def test_build_slices_rejects_out_of_range(self, mini_world_index):
+        index, center = mini_world_index
+        pipeline = GraphConstructionPipeline(GraphPipelineConfig(slice_size=5))
+        with pytest.raises(ValidationError):
+            pipeline.build_slices(index, center, [99])
+
 
 class TestFlatten:
     def test_dimension(self, mini_world_index):

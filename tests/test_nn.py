@@ -165,6 +165,34 @@ class TestLosses:
         with pytest.raises(ValidationError):
             cross_entropy(Tensor(np.zeros((2, 2))), np.array([0]))
 
+    def test_zero_weight_batch_is_finite(self):
+        """Every label in a zero-weight class: zero loss, not 0/0 NaN."""
+        logits = Tensor(
+            np.random.default_rng(3).normal(size=(3, 3)), requires_grad=True
+        )
+        loss = cross_entropy(
+            logits, np.array([1, 1, 1]), class_weights=np.array([1.0, 0.0, 2.0])
+        )
+        assert np.isfinite(loss.item())
+        assert loss.item() == pytest.approx(0.0)
+        loss.backward()
+        assert np.all(np.isfinite(logits.grad))
+        np.testing.assert_allclose(logits.grad, 0.0, atol=1e-12)
+
+    def test_mixed_zero_weight_labels_still_weighted(self):
+        """Zero-weight examples drop out; the rest normalise as usual."""
+        rng = np.random.default_rng(4)
+        logits = rng.normal(size=(4, 3))
+        labels = np.array([0, 2, 0, 2])  # class 2 carries zero weight
+        mixed = cross_entropy(
+            Tensor(logits), labels, class_weights=np.array([1.0, 1.0, 0.0])
+        )
+        only_present = cross_entropy(
+            Tensor(logits[[0, 2]]), labels[[0, 2]],
+            class_weights=np.array([1.0, 1.0, 0.0]),
+        )
+        assert mixed.item() == pytest.approx(only_present.item())
+
     def test_nll_matches_cross_entropy(self):
         logits = np.random.default_rng(0).normal(size=(5, 4))
         labels = np.array([0, 1, 2, 3, 1])

@@ -150,3 +150,8 @@ class TestTrainerMechanics:
     def test_config_validation(self):
         with pytest.raises(ValidationError):
             SequenceTrainingConfig(epochs=0)
+        with pytest.raises(ValidationError):
+            SequenceTrainingConfig(learning_rate=0.0)
+        with pytest.raises(ValidationError):
+            SequenceTrainingConfig(grad_clip=-1.0)
+        assert SequenceTrainingConfig(grad_clip=None).grad_clip is None
