@@ -1,0 +1,212 @@
+"""Graph-construction pipeline throughput — the tracked perf trajectory.
+
+Measures, on one synthetic economy:
+
+- **Stage-level construction rates** — graphs/second per pipeline stage
+  (extraction, single/multi compression, augmentation) from the
+  pipeline's own Table-V timer, plus end-to-end cold addresses/second
+  (construct + encode every slice graph).
+- **Warm cache throughput** — the serving layer's hot path: every
+  encoded slice graph served from a :class:`SliceGraphCache`.
+- **Stage-4 vectorization speedup** — the CSR/batched-BFS centrality
+  kernels against the original per-node implementations
+  (:mod:`repro.graphs.reference`) on random graphs of ≥200 nodes, the
+  acceptance gate for the vectorized rewrite (≥10× in full mode).
+
+Results land in ``benchmarks/results/BENCH_pipeline.json`` under a
+per-mode key (``smoke`` / ``full``), so future PRs can diff stage
+timings against this one like-for-like — a tier-1 smoke run refreshes
+only the ``smoke`` entry and leaves the full-mode trajectory intact.
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the world to seconds-scale
+and relaxes the speedup gate (timing a tiny workload is noise); it runs
+in ``scripts/tier1.sh`` on every verification pass.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.datagen import WorldConfig, build_dataset, generate_world
+from repro.gnn.data import encode_graph
+from repro.graphs import (
+    GraphConstructionPipeline,
+    GraphPipelineConfig,
+    centrality_matrix,
+)
+from repro.graphs.reference import reference_centrality_matrix
+from repro.serve import SliceGraphCache
+
+from conftest import BENCH_SLICE_SIZE, BENCH_WORLD_CONFIG
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in {"", "0"}
+SEED = 2023
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_pipeline.json"
+
+if SMOKE:
+    WORLD_CONFIG = WorldConfig(
+        seed=SEED, num_blocks=70, num_retail=24, num_gamblers=10,
+        num_miner_members=6, num_mixers=2, num_wallet_services=2,
+        num_lending_desks=1,
+    )
+    SLICE_SIZE = 20
+    NUM_ADDRESSES = 24
+    SPEEDUP_GRAPH_SIZES = (80,)
+    MIN_SPEEDUP = None  # timing noise dominates at smoke scale
+else:
+    # Full mode measures the same economy the table/figure benchmarks
+    # share, so stage timings stay comparable across the harness.
+    WORLD_CONFIG = BENCH_WORLD_CONFIG
+    SLICE_SIZE = BENCH_SLICE_SIZE
+    NUM_ADDRESSES = 80
+    SPEEDUP_GRAPH_SIZES = (200, 320)
+    MIN_SPEEDUP = 10.0  # acceptance gate for the vectorized Stage 4
+
+
+def _random_adjacency(n: int, seed: int):
+    """A sparse connected-ish random graph with ``n`` nodes."""
+    rng = np.random.default_rng(seed)
+    adjacency = [set() for _ in range(n)]
+    for i in range(n):
+        for j in rng.choice(n, size=3, replace=False):
+            j = int(j)
+            if i != j:
+                adjacency[i].add(j)
+                adjacency[j].add(i)
+    return [sorted(neighbors) for neighbors in adjacency]
+
+
+def _stage4_speedup():
+    """Vectorized vs reference centrality on ≥200-node graphs (full mode).
+
+    Returns ``(per-size rows, aggregate speedup)``; parity is asserted
+    on every timed graph so the speedup compares equal outputs.
+    """
+    rows = []
+    reference_total = 0.0
+    vectorized_total = 0.0
+    for size in SPEEDUP_GRAPH_SIZES:
+        adjacency = _random_adjacency(size, seed=size)
+
+        start = time.perf_counter()
+        vectorized = centrality_matrix(adjacency)
+        vectorized_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        reference = reference_centrality_matrix(adjacency)
+        reference_seconds = time.perf_counter() - start
+
+        np.testing.assert_allclose(
+            vectorized, reference, rtol=1e-9, atol=1e-9
+        )
+        reference_total += reference_seconds
+        vectorized_total += vectorized_seconds
+        rows.append(
+            {
+                "num_nodes": size,
+                "reference_seconds": reference_seconds,
+                "vectorized_seconds": vectorized_seconds,
+                "speedup": reference_seconds / vectorized_seconds,
+            }
+        )
+    return rows, reference_total / vectorized_total
+
+
+def test_bench_pipeline_throughput():
+    world = generate_world(WORLD_CONFIG)
+    dataset = build_dataset(world, min_transactions=4, seed=SEED)
+    addresses = sorted(
+        dataset.addresses,
+        key=lambda a: -world.index.transaction_count(a),
+    )[:NUM_ADDRESSES]
+    assert addresses, "benchmark world produced no eligible addresses"
+
+    config = GraphPipelineConfig(slice_size=SLICE_SIZE)
+    pipeline = GraphConstructionPipeline(config)
+    fingerprint = config.fingerprint()
+
+    # --- cold: construct + encode every slice graph ------------------- #
+    start = time.perf_counter()
+    graphs_by_address = pipeline.build_many(world.index, addresses)
+    encoded = {
+        address: [encode_graph(graph) for graph in graphs]
+        for address, graphs in graphs_by_address.items()
+    }
+    cold_seconds = time.perf_counter() - start
+    total_graphs = sum(len(graphs) for graphs in encoded.values())
+    stage_rows = pipeline.stage_report()
+
+    # --- warm: every encoded slice graph served from cache ------------ #
+    cache = SliceGraphCache(capacity=max(total_graphs, 1))
+    for address, graphs in encoded.items():
+        for graph in graphs:
+            cache.put((address, graph.slice_index, fingerprint), graph)
+    start = time.perf_counter()
+    for address, graphs in encoded.items():
+        for graph in graphs:
+            assert (
+                cache.get((address, graph.slice_index, fingerprint))
+                is not None
+            )
+    warm_seconds = time.perf_counter() - start
+
+    speedup_rows, stage4_speedup = _stage4_speedup()
+    if MIN_SPEEDUP is not None:
+        assert stage4_speedup >= MIN_SPEEDUP, (
+            f"vectorized Stage-4 augmentation only {stage4_speedup:.1f}x "
+            f"faster than the reference kernels (need >= {MIN_SPEEDUP}x)"
+        )
+
+    n = len(addresses)
+    payload = {
+        "benchmark": "pipeline_throughput",
+        "mode": "smoke" if SMOKE else "full",
+        "slice_size": SLICE_SIZE,
+        "num_addresses": n,
+        "num_slice_graphs": total_graphs,
+        "cold_seconds": cold_seconds,
+        "cold_addresses_per_second": n / cold_seconds,
+        "cold_graphs_per_second": total_graphs / cold_seconds,
+        "warm_seconds": warm_seconds,
+        "warm_addresses_per_second": (
+            n / warm_seconds if warm_seconds > 0 else float("inf")
+        ),
+        "stages": stage_rows,
+        "stage4_speedup_vs_reference": stage4_speedup,
+        "stage4_speedup_rows": speedup_rows,
+    }
+    # Merge under a per-mode key: a tier-1 smoke run must not clobber
+    # the full-mode trajectory (and vice versa).
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    try:
+        existing = json.loads(RESULTS_PATH.read_text())
+        if not isinstance(existing, dict) or "benchmark" in existing:
+            existing = {}
+    except (OSError, ValueError):
+        existing = {}
+    existing[payload["mode"]] = payload
+    RESULTS_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+
+    lines = [
+        f"Pipeline throughput — {n} addresses, {total_graphs} slice graphs"
+        f" ({payload['mode']} mode)",
+        f"{'stage':<28}{'total s':>10}{'share':>8}{'graphs/s':>12}",
+    ]
+    for row in stage_rows:
+        lines.append(
+            f"{row['stage']:<28}{row['total_seconds']:>10.3f}"
+            f"{row['ratio']:>8.1%}{row['graphs_per_second']:>12.1f}"
+        )
+    lines.append(
+        f"cold: {payload['cold_addresses_per_second']:.1f} addr/s, "
+        f"warm: {payload['warm_addresses_per_second']:.1f} addr/s"
+    )
+    lines.append(
+        f"stage-4 vectorized vs reference: {stage4_speedup:.1f}x "
+        f"on {SPEEDUP_GRAPH_SIZES}-node graphs"
+    )
+    print("\n" + "\n".join(lines) + "\n")

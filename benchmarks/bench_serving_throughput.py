@@ -33,8 +33,8 @@ from repro import (
     build_dataset,
     generate_world,
 )
-from repro.chain import Transaction, TxInput, TxOutput
 from repro.serve import AddressScoringService, ScoringServiceConfig
+from repro.testing import append_self_spend as _append_self_spend
 
 from conftest import save_result
 
@@ -93,22 +93,6 @@ def serving_setup():
         key=lambda a: -world.index.transaction_count(a),
     )[:NUM_ADDRESSES]
     return world, addresses, classifier
-
-
-def _append_self_spend(chain, address: str) -> None:
-    """Mine one block whose transactions touch only ``address``."""
-    entry = chain.utxo_set.entries_for(address)[0]
-    timestamp = chain.tip.timestamp + chain.params.block_interval
-    tx = Transaction.create(
-        inputs=[
-            TxInput(
-                outpoint=entry.outpoint, address=address, value=entry.value
-            )
-        ],
-        outputs=[TxOutput(address=address, value=entry.value)],
-        timestamp=timestamp,
-    )
-    chain.mine_block([tx], reward_address=address, timestamp=timestamp)
 
 
 def _slices_of(index, address: str) -> int:

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the full unit/integration suite plus the smoke-mode
-# serving-throughput benchmark, so perf regressions in the serving layer
-# surface in-repo without waiting for the full benchmark harness.
+# throughput benchmarks, so perf regressions in the serving layer and the
+# graph-construction pipeline surface in-repo without waiting for the full
+# benchmark harness.  The pipeline benchmark refreshes
+# benchmarks/results/BENCH_pipeline.json — the tracked stage-timing
+# trajectory future PRs diff against.
 #
 # Usage: scripts/tier1.sh [extra pytest args for the unit suite]
 set -euo pipefail
@@ -14,3 +17,6 @@ python -m pytest -x -q "$@"
 
 echo "== tier-1: serving throughput smoke benchmark =="
 REPRO_BENCH_SMOKE=1 python -m pytest -q benchmarks/bench_serving_throughput.py
+
+echo "== tier-1: pipeline throughput smoke benchmark =="
+REPRO_BENCH_SMOKE=1 python -m pytest -q benchmarks/bench_pipeline_throughput.py

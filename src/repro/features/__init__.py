@@ -7,6 +7,7 @@ Graph flattening for classical models lives in
 from repro.features.sfe import (
     SFE_DIM,
     SFE_FEATURE_NAMES,
+    sfe_matrix,
     sfe_vector,
     signed_log1p,
 )
@@ -19,6 +20,7 @@ from repro.features.address_features import (
 __all__ = [
     "SFE_DIM",
     "SFE_FEATURE_NAMES",
+    "sfe_matrix",
     "sfe_vector",
     "signed_log1p",
     "LEE_FEATURE_DIM",

@@ -16,6 +16,12 @@ the mean off the bulk of the distribution.
 All statistics are population (not sample) moments and are defined for
 every input size: an empty input maps to the zero vector, a singleton has
 zero dispersion and zero-defined shape statistics.
+
+:func:`sfe_vector` summarises one bag; :func:`sfe_matrix` summarises many
+bags at once in a single segmented ndarray pass (one sort plus a handful
+of ``ufunc.reduceat`` reductions over the concatenated bags) — the hot
+path for assembling per-node feature matrices, where a slice graph
+carries one value bag per node.
 """
 
 from __future__ import annotations
@@ -24,7 +30,13 @@ from typing import Iterable, List, Sequence
 
 import numpy as np
 
-__all__ = ["SFE_DIM", "SFE_FEATURE_NAMES", "sfe_vector", "signed_log1p"]
+__all__ = [
+    "SFE_DIM",
+    "SFE_FEATURE_NAMES",
+    "sfe_vector",
+    "sfe_matrix",
+    "signed_log1p",
+]
 
 SFE_FEATURE_NAMES: Sequence[str] = (
     "max",
@@ -112,6 +124,94 @@ def sfe_vector(values: Iterable[float]) -> np.ndarray:
         ],
         dtype=np.float64,
     )
+
+
+def sfe_matrix(bags: Sequence[Iterable[float]]) -> np.ndarray:
+    """SFE statistics of many value bags at once: shape ``(len(bags), 15)``.
+
+    Row ``i`` equals ``sfe_vector(bags[i])`` up to floating-point
+    summation order (segmented ``reduceat`` reductions accumulate
+    sequentially where :func:`numpy.sum` is pairwise; the test suite
+    bounds the drift at 1e-9 relative).  Empty bags map to zero rows.
+    Work is one ``O(N log N)`` sort of the concatenated bags plus a
+    fixed number of ``O(N)`` segmented reductions, replacing a Python
+    loop of per-bag :func:`sfe_vector` calls.
+    """
+    k = len(bags)
+    if k == 0:
+        return np.zeros((0, SFE_DIM), dtype=np.float64)
+    arrays = [
+        np.asarray(
+            bag if isinstance(bag, np.ndarray) else list(bag),
+            dtype=np.float64,
+        ).ravel()
+        for bag in bags
+    ]
+    lengths = np.fromiter((a.size for a in arrays), dtype=np.int64, count=k)
+    nonempty = np.flatnonzero(lengths)
+    out = np.zeros((k, SFE_DIM), dtype=np.float64)
+    if nonempty.size == 0:
+        return out
+
+    flat = np.concatenate([arrays[i] for i in nonempty])
+    seg_lengths = lengths[nonempty]
+    starts = np.zeros(nonempty.size, dtype=np.int64)
+    np.cumsum(seg_lengths[:-1], out=starts[1:])
+    segment_ids = np.repeat(np.arange(nonempty.size), seg_lengths)
+
+    maximum = np.maximum.reduceat(flat, starts)
+    minimum = np.minimum.reduceat(flat, starts)
+    total = np.add.reduceat(flat, starts)
+    count = seg_lengths.astype(np.float64)
+    mean = total / count
+
+    # Median via one segmented sort: bags are contiguous in ``flat``, so
+    # a lexsort keyed by (segment, value) orders each bag in place.
+    ordered = flat[np.lexsort((flat, segment_ids))]
+    low = ordered[starts + (seg_lengths - 1) // 2]
+    high = ordered[starts + seg_lengths // 2]
+    median = 0.5 * (low + high)
+
+    deviation = flat - mean[segment_ids]
+    variance = np.add.reduceat(deviation * deviation, starts) / count
+    std = np.sqrt(variance)
+    mad = np.add.reduceat(np.abs(deviation), starts) / count
+    cv = np.where(mean != 0.0, std / np.where(mean != 0.0, np.abs(mean), 1.0), 0.0)
+
+    # Same degeneracy threshold as sfe_vector: shape statistics of a
+    # numerically-constant bag are rounding noise and are zeroed.
+    magnitude = np.maximum(np.maximum(np.abs(maximum), np.abs(minimum)), 1e-300)
+    shaped = std > 1e-12 * magnitude
+    safe_std = np.where(shaped, std, 1.0)
+    z = deviation / safe_std[segment_ids]
+    z2 = z * z
+    skewness = np.where(
+        shaped, np.add.reduceat(z2 * z, starts) / count, 0.0
+    )
+    kurtosis = np.where(
+        shaped, np.add.reduceat(z2 * z2, starts) / count - 3.0, 0.0
+    )
+
+    out[nonempty] = np.column_stack(
+        [
+            maximum,
+            minimum,
+            total,
+            mean,
+            count,
+            maximum - minimum,
+            (maximum + minimum) / 2.0,
+            median,
+            variance,
+            std,
+            mad,
+            cv,
+            kurtosis,
+            skewness,
+            mean - median,
+        ]
+    )
+    return out
 
 
 def signed_log1p(array: np.ndarray) -> np.ndarray:

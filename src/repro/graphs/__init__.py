@@ -11,6 +11,7 @@ from repro.graphs.augmentation import augment_graph
 from repro.graphs.centrality import (
     betweenness_centrality,
     centrality_matrix,
+    centrality_matrix_csr,
     closeness_centrality,
     degree_centrality,
     pagerank_centrality,
@@ -53,6 +54,7 @@ __all__ = [
     "augment_graph",
     "betweenness_centrality",
     "centrality_matrix",
+    "centrality_matrix_csr",
     "closeness_centrality",
     "degree_centrality",
     "pagerank_centrality",

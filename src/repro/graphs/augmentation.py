@@ -4,11 +4,16 @@ Attaches the four network centralities (degree, closeness, betweenness,
 PageRank) to every node of a compressed address graph, so node features
 carry "not only the semantic information of address transactions but also
 the augmented graph structural characteristics".
+
+The centralities run directly on the graph's CSR adjacency
+(:func:`repro.graphs.centrality.centrality_matrix_csr`), skipping the
+Python-set adjacency-list round trip the original per-node kernels
+required.
 """
 
 from __future__ import annotations
 
-from repro.graphs.centrality import centrality_matrix
+from repro.graphs.centrality import centrality_matrix_csr
 from repro.graphs.model import AddressGraph
 
 __all__ = ["augment_graph"]
@@ -18,7 +23,7 @@ def augment_graph(graph: AddressGraph) -> AddressGraph:
     """Compute and attach centrality features in place; returns the graph."""
     if graph.num_nodes == 0:
         return graph
-    matrix = centrality_matrix(graph.adjacency_lists())
+    matrix = centrality_matrix_csr(graph.adjacency_matrix())
     for node in graph.nodes:
         node.centrality = matrix[node.node_id]
     return graph

@@ -15,11 +15,23 @@ the transfer statistics of merged nodes through SFE:
 
 The centre address node is never merged — it is the classification
 subject.  Transaction nodes are never merged.
+
+**Vectorized formulation.**  Both passes and the shared rebuild step run
+on ndarray edge columns instead of per-edge/per-member Python sets:
+distinct degrees come from unique undirected node pairs, per-(tx, side)
+candidate grouping from sorted integer pair keys, and the merge itself
+is an array union-find — every old node id resolves through a single
+``resolve`` lookup array (members point at their hyper node, survivors
+at their re-densified id), so edge remapping is one fancy-indexing pass
+and parallel-edge aggregation one ``bincount`` over first-seen-ordered
+keys.  Output graphs are element-for-element identical to the original
+set-based machinery (asserted against :mod:`repro.graphs.reference` in
+the test suite).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -33,39 +45,84 @@ __all__ = [
 ]
 
 
-def _distinct_neighbors(graph: AddressGraph) -> List[Set[int]]:
-    neighbors: List[Set[int]] = [set() for _ in range(graph.num_nodes)]
-    for edge in graph.edges:
-        neighbors[edge.src].add(edge.dst)
-        neighbors[edge.dst].add(edge.src)
-    return neighbors
+def _edge_columns(
+    graph: AddressGraph,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(src, dst, value)`` ndarray columns of the edge list."""
+    src, dst = graph.edge_arrays()
+    value = np.fromiter(
+        (e.value for e in graph.edges), dtype=np.float64, count=graph.num_edges
+    )
+    return src, dst, value
+
+
+def _unique_pairs(
+    src: np.ndarray, dst: np.ndarray, num_nodes: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Distinct undirected ``(lo, hi)`` node pairs touched by any edge."""
+    lo = np.minimum(src, dst)
+    hi = np.maximum(src, dst)
+    keys = np.unique(lo * num_nodes + hi)
+    return keys // num_nodes, keys % num_nodes
+
+
+def _distinct_degrees(
+    src: np.ndarray, dst: np.ndarray, num_nodes: int
+) -> np.ndarray:
+    """Distinct-neighbour count per node (self loops counted once)."""
+    lo, hi = _unique_pairs(src, dst, num_nodes)
+    endpoints = np.concatenate([lo, hi[hi != lo]])
+    return np.bincount(endpoints, minlength=num_nodes)
+
+
+def _kind_flags(graph: AddressGraph) -> Tuple[np.ndarray, np.ndarray]:
+    """``(is_address, is_transaction)`` boolean masks over node ids."""
+    is_address = np.fromiter(
+        (node.kind == NodeKind.ADDRESS for node in graph.nodes),
+        dtype=bool,
+        count=graph.num_nodes,
+    )
+    is_transaction = np.fromiter(
+        (node.kind == NodeKind.TRANSACTION for node in graph.nodes),
+        dtype=bool,
+        count=graph.num_nodes,
+    )
+    return is_address, is_transaction
 
 
 def _rebuild_with_merges(
     graph: AddressGraph,
     merge_groups: List[Tuple[str, str, List[int]]],
+    src: np.ndarray,
+    dst: np.ndarray,
+    value: np.ndarray,
 ) -> AddressGraph:
     """Rebuild ``graph`` with each ``(kind, ref, member_ids)`` group merged.
 
     Member edges to the rest of the graph are aggregated per
     ``(other node, direction)`` with summed values; member value bags are
-    concatenated (the input to SFE at feature-assembly time).
+    concatenated (the input to SFE at feature-assembly time).  The merge
+    is resolved through flat lookup arrays (a one-level union-find whose
+    path compression is precomputed): survivors map to densely
+    re-assigned ids, members to their group's hyper-node id.
     """
-    member_to_group: Dict[int, int] = {}
+    n = graph.num_nodes
+    group_of = np.full(n, -1, dtype=np.int64)
     for group_index, (_, _, members) in enumerate(merge_groups):
-        for member in members:
-            member_to_group[member] = group_index
+        group_of[members] = group_index
+
+    keep = group_of < 0
+    num_kept = int(keep.sum())
+    old_to_new = np.cumsum(keep) - 1  # densified ids for survivors
+    resolve = np.where(keep, old_to_new, num_kept + group_of)
 
     new_nodes: List[GraphNode] = []
-    old_to_new: Dict[int, int] = {}
     for node in graph.nodes:
-        if node.node_id in member_to_group:
+        if not keep[node.node_id]:
             continue
-        new_id = len(new_nodes)
-        old_to_new[node.node_id] = new_id
         new_nodes.append(
             GraphNode(
-                node_id=new_id,
+                node_id=len(new_nodes),
                 kind=node.kind,
                 ref=node.ref,
                 values=list(node.values),
@@ -73,10 +130,7 @@ def _rebuild_with_merges(
                 centrality=node.centrality,
             )
         )
-    group_new_ids: List[int] = []
     for kind, ref, members in merge_groups:
-        new_id = len(new_nodes)
-        group_new_ids.append(new_id)
         bag: List[float] = []
         merged_count = 0
         for member in members:
@@ -84,7 +138,7 @@ def _rebuild_with_merges(
             merged_count += graph.nodes[member].merged_count
         new_nodes.append(
             GraphNode(
-                node_id=new_id,
+                node_id=len(new_nodes),
                 kind=kind,
                 ref=ref,
                 values=bag,
@@ -92,24 +146,24 @@ def _rebuild_with_merges(
             )
         )
 
-    def resolve(old_id: int) -> int:
-        group = member_to_group.get(old_id)
-        if group is not None:
-            return group_new_ids[group]
-        return old_to_new[old_id]
-
-    aggregated: Dict[Tuple[int, int], float] = {}
-    order: List[Tuple[int, int]] = []
-    for edge in graph.edges:
-        key = (resolve(edge.src), resolve(edge.dst))
-        if key not in aggregated:
-            aggregated[key] = 0.0
-            order.append(key)
-        aggregated[key] += edge.value
-
+    num_new = num_kept + len(merge_groups)
+    new_src = resolve[src]
+    new_dst = resolve[dst]
+    keys = new_src * num_new + new_dst
+    # np.unique with return_index sorts stably, so ``first`` marks each
+    # key's first occurrence; ordering by it reproduces the first-seen
+    # edge order of the pre-vectorization dict accumulation, and
+    # bincount accumulates parallel-edge values in the same edge order.
+    unique_keys, first, inverse = np.unique(
+        keys, return_index=True, return_inverse=True
+    )
+    sums = np.bincount(inverse, weights=value)
+    order = np.argsort(first, kind="stable")
     new_edges = [
-        GraphEdge(src=src, dst=dst, value=aggregated[(src, dst)])
-        for src, dst in order
+        GraphEdge(
+            src=int(key // num_new), dst=int(key % num_new), value=float(total)
+        )
+        for key, total in zip(unique_keys[order], sums[order])
     ]
     return graph.rebuild(new_nodes, new_edges)
 
@@ -117,6 +171,32 @@ def _rebuild_with_merges(
 # --------------------------------------------------------------------- #
 # Stage 2 — single-transaction address compression
 # --------------------------------------------------------------------- #
+
+
+def _side_groups(
+    tx: np.ndarray,
+    addr: np.ndarray,
+    candidate: np.ndarray,
+    num_nodes: int,
+) -> List[Tuple[int, np.ndarray]]:
+    """``(tx_id, member addr ids)`` per transaction for one side.
+
+    ``tx``/``addr`` are the per-edge columns of that side in edge order;
+    transactions are returned in first-edge order and members sorted
+    ascending — the ordering of the original dict/set accumulation.
+    """
+    if tx.size == 0:
+        return []
+    tx_order, first = np.unique(tx, return_index=True)
+    ordered_txs = tx_order[np.argsort(first, kind="stable")]
+    eligible = candidate[addr]
+    keys = np.unique(tx[eligible] * num_nodes + addr[eligible])
+    group_txs = keys // num_nodes
+    members = keys % num_nodes
+    # ``keys`` is sorted, so members lie contiguously per transaction.
+    unique_txs, starts = np.unique(group_txs, return_index=True)
+    by_tx = dict(zip(map(int, unique_txs), np.split(members, starts[1:])))
+    return [(int(t), by_tx[int(t)]) for t in ordered_txs if int(t) in by_tx]
 
 
 def compress_single_transaction_addresses(graph: AddressGraph) -> AddressGraph:
@@ -128,44 +208,46 @@ def compress_single_transaction_addresses(graph: AddressGraph) -> AddressGraph:
     Address nodes appearing on *both* sides of their single transaction
     (self-change) are left unmerged — they carry a distinct signature.
     """
-    neighbors = _distinct_neighbors(graph)
+    if not graph.edges:
+        return graph
+    n = graph.num_nodes
+    src, dst, value = _edge_columns(graph)
+    is_address, is_transaction = _kind_flags(graph)
+    degrees = _distinct_degrees(src, dst, n)
     center_id = graph.center_node_id()
 
-    in_side: Dict[int, Set[int]] = {}
-    out_side: Dict[int, Set[int]] = {}
-    for edge in graph.edges:
-        src_node = graph.nodes[edge.src]
-        dst_node = graph.nodes[edge.dst]
-        if src_node.kind == NodeKind.ADDRESS and dst_node.kind == NodeKind.TRANSACTION:
-            in_side.setdefault(edge.dst, set()).add(edge.src)
-        elif src_node.kind == NodeKind.TRANSACTION and dst_node.kind == NodeKind.ADDRESS:
-            out_side.setdefault(edge.src, set()).add(edge.dst)
+    in_mask = is_address[src] & is_transaction[dst]  # address → tx
+    out_mask = is_transaction[src] & is_address[dst]  # tx → address
+
+    # Addresses appearing on both sides of a transaction (self-change)
+    # are excluded; membership is tested on (tx, addr) pair keys.
+    in_keys = np.unique(dst[in_mask] * n + src[in_mask])
+    out_keys = np.unique(src[out_mask] * n + dst[out_mask])
+    both_keys = np.intersect1d(in_keys, out_keys, assume_unique=True)
+
+    candidate = is_address & (degrees == 1)
+    if center_id is not None:
+        candidate[center_id] = False
 
     merge_groups: List[Tuple[str, str, List[int]]] = []
-    for tx_id, side_map, tag in (
-        *((tx, in_side, "in") for tx in in_side),
-        *((tx, out_side, "out") for tx in out_side),
+    for (tx_col, addr_col, tag) in (
+        (dst[in_mask], src[in_mask], "in"),
+        (src[out_mask], dst[out_mask], "out"),
     ):
-        members = []
-        other = out_side if tag == "in" else in_side
-        for addr_id in sorted(side_map[tx_id]):
-            node = graph.nodes[addr_id]
-            if addr_id == center_id or node.kind != NodeKind.ADDRESS:
-                continue
-            if len(neighbors[addr_id]) != 1:
-                continue  # multi-transaction address
-            if addr_id in other.get(tx_id, ()):  # appears on both sides
-                continue
-            members.append(addr_id)
-        if len(members) >= 2:
-            tx_ref = graph.nodes[tx_id].ref
-            merge_groups.append(
-                (NodeKind.SINGLE_HYPER, f"s:{tx_ref}:{tag}", members)
-            )
+        for tx_id, members in _side_groups(tx_col, addr_col, candidate, n):
+            pair_keys = tx_id * n + members
+            members = members[
+                ~np.isin(pair_keys, both_keys, assume_unique=True)
+            ]
+            if members.size >= 2:
+                tx_ref = graph.nodes[tx_id].ref
+                merge_groups.append(
+                    (NodeKind.SINGLE_HYPER, f"s:{tx_ref}:{tag}", list(members))
+                )
 
     if not merge_groups:
         return graph
-    return _rebuild_with_merges(graph, merge_groups)
+    return _rebuild_with_merges(graph, merge_groups, src, dst, value)
 
 
 # --------------------------------------------------------------------- #
@@ -185,29 +267,35 @@ def similarity_matrices(
     s_jj`` — the fraction of j's transactions shared with i, exactly the
     paper's worked example ``m31 = s31 / s11 = 0.7``).
     """
-    neighbors = _distinct_neighbors(graph)
+    n = graph.num_nodes
+    src, dst, _ = _edge_columns(graph)
+    is_address, is_transaction = _kind_flags(graph)
+    degrees = _distinct_degrees(src, dst, n)
     center_id = graph.center_node_id()
-    tx_ids = [n.node_id for n in graph.nodes if n.kind == NodeKind.TRANSACTION]
-    tx_index = {tx: i for i, tx in enumerate(tx_ids)}
-    multi_ids = [
-        node.node_id
-        for node in graph.nodes
-        if node.kind == NodeKind.ADDRESS
-        and node.node_id != center_id
-        and len(neighbors[node.node_id]) >= 2
-    ]
-    n, d = len(multi_ids), len(tx_ids)
-    incidence = np.zeros((n, d), dtype=np.float64)
-    for row, addr_id in enumerate(multi_ids):
-        for neighbor in neighbors[addr_id]:
-            col = tx_index.get(neighbor)
-            if col is not None:
-                incidence[row, col] = 1.0
+
+    multi_mask = is_address & (degrees >= 2)
+    if center_id is not None:
+        multi_mask[center_id] = False
+    multi_ids = np.flatnonzero(multi_mask)
+    tx_ids = np.flatnonzero(is_transaction)
+
+    row_of = np.full(n, -1, dtype=np.int64)
+    row_of[multi_ids] = np.arange(multi_ids.size)
+    col_of = np.full(n, -1, dtype=np.int64)
+    col_of[tx_ids] = np.arange(tx_ids.size)
+
+    incidence = np.zeros((multi_ids.size, tx_ids.size), dtype=np.float64)
+    if src.size:
+        lo, hi = _unique_pairs(src, dst, n)
+        for a, b in ((lo, hi), (hi, lo)):
+            hit = (row_of[a] >= 0) & (col_of[b] >= 0)
+            incidence[row_of[a[hit]], col_of[b[hit]]] = 1.0
+
     shared = incidence @ incidence.T
     diagonal = np.diag(shared).copy()
     safe = np.where(diagonal > 0, diagonal, 1.0)
     similarity = shared / safe[np.newaxis, :]
-    return multi_ids, tx_ids, shared, similarity
+    return list(map(int, multi_ids)), list(map(int, tx_ids)), shared, similarity
 
 
 def compress_multi_transaction_addresses(
@@ -232,26 +320,24 @@ def compress_multi_transaction_addresses(
         return graph
 
     thresholded = np.maximum(0.0, similarity - psi)  # Eq. (5)
-    nonzero_counts = (thresholded > 0.0).sum(axis=1)
+    positive = thresholded > 0.0
+    nonzero_counts = positive.sum(axis=1)
 
-    merged: Set[int] = set()
+    merged = np.zeros(len(multi_ids), dtype=bool)
     merge_groups: List[Tuple[str, str, List[int]]] = []
     for row in np.argsort(-nonzero_counts):
         row = int(row)
-        if nonzero_counts[row] <= sigma or row in merged:
+        if nonzero_counts[row] <= sigma or merged[row]:
             continue
-        similar_rows = [
-            int(col)
-            for col in np.flatnonzero(thresholded[row] > 0.0)
-            if int(col) not in merged
-        ]
-        if len(similar_rows) < 2:
+        similar_rows = np.flatnonzero(positive[row] & ~merged)
+        if similar_rows.size < 2:
             continue
-        merged.update(similar_rows)
-        members = [multi_ids[col] for col in similar_rows]
+        merged[similar_rows] = True
+        members = [multi_ids[int(col)] for col in similar_rows]
         anchor_ref = graph.nodes[multi_ids[row]].ref
         merge_groups.append((NodeKind.MULTI_HYPER, f"m:{anchor_ref}", members))
 
     if not merge_groups:
         return graph
-    return _rebuild_with_merges(graph, merge_groups)
+    src, dst, value = _edge_columns(graph)
+    return _rebuild_with_merges(graph, merge_groups, src, dst, value)

@@ -20,7 +20,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.errors import GraphConstructionError
-from repro.features.sfe import SFE_DIM, sfe_vector, signed_log1p
+from repro.features.sfe import SFE_DIM, sfe_matrix, sfe_vector, signed_log1p
 
 __all__ = [
     "NodeKind",
@@ -202,6 +202,17 @@ class AddressGraph:
         """Node id of the centre address (if present)."""
         return self._node_by_ref.get((NodeKind.ADDRESS, self.center_address))
 
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(src, dst)`` ndarray columns of the directed edge list."""
+        count = self.num_edges
+        src = np.fromiter(
+            (e.src for e in self.edges), dtype=np.int64, count=count
+        )
+        dst = np.fromiter(
+            (e.dst for e in self.edges), dtype=np.int64, count=count
+        )
+        return src, dst
+
     def adjacency_lists(self) -> List[List[int]]:
         """Undirected adjacency lists (deduplicated neighbours)."""
         neighbors: List[set] = [set() for _ in range(self.num_nodes)]
@@ -212,21 +223,17 @@ class AddressGraph:
 
     def degrees(self) -> np.ndarray:
         """Undirected degree (distinct neighbours) per node."""
-        return np.array(
-            [len(n) for n in self.adjacency_lists()], dtype=np.float64
-        )
+        return np.diff(self.adjacency_matrix().indptr).astype(np.float64)
 
     def adjacency_matrix(self) -> sp.csr_matrix:
         """Symmetric unweighted adjacency as a CSR sparse matrix."""
         n = self.num_nodes
         if not self.edges:
             return sp.csr_matrix((n, n), dtype=np.float64)
-        rows = []
-        cols = []
-        for edge in self.edges:
-            rows.extend((edge.src, edge.dst))
-            cols.extend((edge.dst, edge.src))
-        data = np.ones(len(rows), dtype=np.float64)
+        src, dst = self.edge_arrays()
+        rows = np.concatenate([src, dst])
+        cols = np.concatenate([dst, src])
+        data = np.ones(rows.size, dtype=np.float64)
         matrix = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
         matrix.data[:] = 1.0  # collapse parallel edges
         return matrix
@@ -234,17 +241,32 @@ class AddressGraph:
     def feature_matrix(self, raw: bool = False) -> np.ndarray:
         """Final node-feature matrix, shape ``(num_nodes, NODE_FEATURE_DIM)``.
 
-        See :meth:`GraphNode.feature_vector` for the ``raw`` switch.
+        One segmented SFE pass over all node value bags plus columnar
+        centrality/kind/centre assembly; see :meth:`GraphNode.feature_vector`
+        for the ``raw`` switch and the per-node layout.
         """
-        if self.num_nodes == 0:
+        n = self.num_nodes
+        if n == 0:
             return np.zeros((0, NODE_FEATURE_DIM), dtype=np.float64)
-        center = self.center_node_id()
-        return np.stack(
-            [
-                node.feature_vector(is_center=(node.node_id == center), raw=raw)
-                for node in self.nodes
-            ]
+        stats = sfe_matrix([node.values for node in self.nodes])
+        if not raw:
+            stats = signed_log1p(stats)
+        centrality = np.zeros((n, _CENTRALITY_DIMS), dtype=np.float64)
+        for node in self.nodes:
+            if node.centrality is not None:
+                centrality[node.node_id] = node.centrality
+        kind_onehot = np.zeros((n, len(NODE_KIND_ORDER)), dtype=np.float64)
+        kind_index = np.fromiter(
+            (NODE_KIND_ORDER.index(node.kind) for node in self.nodes),
+            dtype=np.int64,
+            count=n,
         )
+        kind_onehot[np.arange(n), kind_index] = 1.0
+        center_flag = np.zeros((n, 1), dtype=np.float64)
+        center = self.center_node_id()
+        if center is not None:
+            center_flag[center, 0] = 1.0
+        return np.hstack([stats, centrality, kind_onehot, center_flag])
 
     def total_edge_value(self) -> float:
         """Sum of transferred amounts over all edges (conservation checks)."""

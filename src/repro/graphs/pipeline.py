@@ -178,17 +178,22 @@ class GraphConstructionPipeline:
         timer entry covers exactly one slice graph (extraction time is
         amortised over the graphs it produced), so ``mean_seconds`` is
         the per-graph cost Table V reports — not a per-address figure.
+        ``graphs_per_second`` is its reciprocal throughput, the quantity
+        tracked by ``benchmarks/bench_pipeline_throughput.py``.
         """
         ratios = self.timer.ratios()
         report = []
         for name in self.timer.stage_names:
+            total = self.timer.totals[name]
+            count = self.timer.counts[name]
             report.append(
                 {
                     "stage": name,
-                    "total_seconds": self.timer.totals[name],
+                    "total_seconds": total,
                     "ratio": ratios[name],
                     "mean_seconds": self.timer.mean(name),
-                    "entries": self.timer.counts[name],
+                    "entries": count,
+                    "graphs_per_second": count / total if total > 0 else 0.0,
                 }
             )
         return report

@@ -1,0 +1,493 @@
+"""Reference (pre-vectorization) graph-construction kernels.
+
+These are the original pure-Python implementations of the centrality
+measures (Eq. 8–11), the two compression passes (Eq. 1–7), and the Lee
+et al. 80-feature extractor, kept verbatim from before the CSR/ndarray
+rewrite of :mod:`repro.graphs.centrality`,
+:mod:`repro.graphs.compression` and
+:mod:`repro.features.address_features`.
+
+They serve two purposes:
+
+- **Parity oracles** — ``tests/test_vectorized_parity.py`` asserts the
+  vectorized kernels reproduce these to 1e-9 on randomized graphs.
+- **Benchmark baselines** — ``benchmarks/bench_pipeline_throughput.py``
+  measures the vectorized kernels' speedup against them, the repo's
+  tracked Stage-4 perf trajectory.
+
+They are deliberately *not* exported from :mod:`repro.graphs`; nothing
+in the production pipeline should call them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.features.sfe import SFE_DIM, sfe_vector, signed_log1p
+from repro.graphs.model import AddressGraph, GraphEdge, GraphNode, NodeKind
+
+__all__ = [
+    "reference_degree_centrality",
+    "reference_closeness_centrality",
+    "reference_betweenness_centrality",
+    "reference_pagerank_centrality",
+    "reference_centrality_matrix",
+    "reference_compress_single_transaction_addresses",
+    "reference_compress_multi_transaction_addresses",
+    "reference_similarity_matrices",
+    "reference_extract_address_features",
+]
+
+Adjacency = Sequence[Sequence[int]]
+
+
+# --------------------------------------------------------------------- #
+# Centrality (original per-node BFS / Brandes / edge-loop PageRank)
+# --------------------------------------------------------------------- #
+
+
+def _validate(adjacency: Adjacency) -> int:
+    n = len(adjacency)
+    for node, neighbors in enumerate(adjacency):
+        for neighbor in neighbors:
+            if not 0 <= neighbor < n:
+                raise ValidationError(
+                    f"adjacency[{node}] references unknown node {neighbor}"
+                )
+    return n
+
+
+def reference_degree_centrality(adjacency: Adjacency) -> np.ndarray:
+    """Degree divided by ``n − 1`` (1.0 = connected to everyone)."""
+    n = _validate(adjacency)
+    if n <= 1:
+        return np.zeros(n, dtype=np.float64)
+    degrees = np.array([len(nbrs) for nbrs in adjacency], dtype=np.float64)
+    return degrees / (n - 1)
+
+
+def _bfs_distances(adjacency: Adjacency, source: int) -> np.ndarray:
+    n = len(adjacency)
+    dist = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in adjacency[node]:
+            if dist[neighbor] < 0:
+                dist[neighbor] = dist[node] + 1
+                queue.append(neighbor)
+    return dist
+
+
+def reference_closeness_centrality(adjacency: Adjacency) -> np.ndarray:
+    """Per-component closeness ``(r − 1) / Σ d`` (Eq. 9)."""
+    n = _validate(adjacency)
+    scores = np.zeros(n, dtype=np.float64)
+    for node in range(n):
+        dist = _bfs_distances(adjacency, node)
+        reachable = dist >= 0
+        r = int(reachable.sum())
+        if r <= 1:
+            continue
+        total = float(dist[reachable].sum())
+        if total > 0:
+            scores[node] = (r - 1) / total
+    return scores
+
+
+def reference_betweenness_centrality(
+    adjacency: Adjacency, normalized: bool = True
+) -> np.ndarray:
+    """Shortest-path betweenness via Brandes' accumulation (Eq. 10)."""
+    n = _validate(adjacency)
+    scores = np.zeros(n, dtype=np.float64)
+    for source in range(n):
+        stack: List[int] = []
+        predecessors: List[List[int]] = [[] for _ in range(n)]
+        sigma = np.zeros(n, dtype=np.float64)
+        sigma[source] = 1.0
+        dist = np.full(n, -1, dtype=np.int64)
+        dist[source] = 0
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            stack.append(node)
+            for neighbor in adjacency[node]:
+                if dist[neighbor] < 0:
+                    dist[neighbor] = dist[node] + 1
+                    queue.append(neighbor)
+                if dist[neighbor] == dist[node] + 1:
+                    sigma[neighbor] += sigma[node]
+                    predecessors[neighbor].append(node)
+        delta = np.zeros(n, dtype=np.float64)
+        while stack:
+            node = stack.pop()
+            for pred in predecessors[node]:
+                delta[pred] += sigma[pred] / sigma[node] * (1.0 + delta[node])
+            if node != source:
+                scores[node] += delta[node]
+    scores /= 2.0  # each undirected pair counted twice
+    if normalized and n > 2:
+        scores *= 2.0 / ((n - 1) * (n - 2))
+    return scores
+
+
+def reference_pagerank_centrality(
+    adjacency: Adjacency,
+    alpha: float = 0.85,
+    max_iterations: int = 200,
+    tolerance: float = 1e-10,
+) -> np.ndarray:
+    """Power-iteration PageRank with dangling redistribution (Eq. 11)."""
+    n = _validate(adjacency)
+    if n == 0:
+        return np.zeros(0, dtype=np.float64)
+    if not 0.0 < alpha < 1.0:
+        raise ValidationError(f"alpha must be in (0, 1), got {alpha}")
+    out_degree = np.array([len(nbrs) for nbrs in adjacency], dtype=np.float64)
+    dangling = out_degree == 0
+    rank = np.full(n, 1.0 / n, dtype=np.float64)
+    for _ in range(max_iterations):
+        new_rank = np.full(n, (1.0 - alpha) / n, dtype=np.float64)
+        dangling_mass = alpha * float(rank[dangling].sum()) / n
+        new_rank += dangling_mass
+        for node, neighbors in enumerate(adjacency):
+            if not neighbors:
+                continue
+            share = alpha * rank[node] / out_degree[node]
+            for neighbor in neighbors:
+                new_rank[neighbor] += share
+        if float(np.abs(new_rank - rank).sum()) < tolerance:
+            rank = new_rank
+            break
+        rank = new_rank
+    return rank
+
+
+def reference_centrality_matrix(adjacency: Adjacency) -> np.ndarray:
+    """All four centralities stacked: shape ``(n, 4)``."""
+    return np.column_stack(
+        [
+            reference_degree_centrality(adjacency),
+            reference_closeness_centrality(adjacency),
+            reference_betweenness_centrality(adjacency),
+            reference_pagerank_centrality(adjacency),
+        ]
+    )
+
+
+# --------------------------------------------------------------------- #
+# Compression (original per-edge / per-member set machinery)
+# --------------------------------------------------------------------- #
+
+
+def _distinct_neighbors(graph: AddressGraph) -> List[Set[int]]:
+    neighbors: List[Set[int]] = [set() for _ in range(graph.num_nodes)]
+    for edge in graph.edges:
+        neighbors[edge.src].add(edge.dst)
+        neighbors[edge.dst].add(edge.src)
+    return neighbors
+
+
+def _rebuild_with_merges(
+    graph: AddressGraph,
+    merge_groups: List[Tuple[str, str, List[int]]],
+) -> AddressGraph:
+    member_to_group: Dict[int, int] = {}
+    for group_index, (_, _, members) in enumerate(merge_groups):
+        for member in members:
+            member_to_group[member] = group_index
+
+    new_nodes: List[GraphNode] = []
+    old_to_new: Dict[int, int] = {}
+    for node in graph.nodes:
+        if node.node_id in member_to_group:
+            continue
+        new_id = len(new_nodes)
+        old_to_new[node.node_id] = new_id
+        new_nodes.append(
+            GraphNode(
+                node_id=new_id,
+                kind=node.kind,
+                ref=node.ref,
+                values=list(node.values),
+                merged_count=node.merged_count,
+                centrality=node.centrality,
+            )
+        )
+    group_new_ids: List[int] = []
+    for kind, ref, members in merge_groups:
+        new_id = len(new_nodes)
+        group_new_ids.append(new_id)
+        bag: List[float] = []
+        merged_count = 0
+        for member in members:
+            bag.extend(graph.nodes[member].values)
+            merged_count += graph.nodes[member].merged_count
+        new_nodes.append(
+            GraphNode(
+                node_id=new_id,
+                kind=kind,
+                ref=ref,
+                values=bag,
+                merged_count=merged_count,
+            )
+        )
+
+    def resolve(old_id: int) -> int:
+        group = member_to_group.get(old_id)
+        if group is not None:
+            return group_new_ids[group]
+        return old_to_new[old_id]
+
+    aggregated: Dict[Tuple[int, int], float] = {}
+    order: List[Tuple[int, int]] = []
+    for edge in graph.edges:
+        key = (resolve(edge.src), resolve(edge.dst))
+        if key not in aggregated:
+            aggregated[key] = 0.0
+            order.append(key)
+        aggregated[key] += edge.value
+
+    new_edges = [
+        GraphEdge(src=src, dst=dst, value=aggregated[(src, dst)])
+        for src, dst in order
+    ]
+    return graph.rebuild(new_nodes, new_edges)
+
+
+def reference_compress_single_transaction_addresses(
+    graph: AddressGraph,
+) -> AddressGraph:
+    """Merge degree-1 address nodes per transaction and side (Fig. 3)."""
+    neighbors = _distinct_neighbors(graph)
+    center_id = graph.center_node_id()
+
+    in_side: Dict[int, Set[int]] = {}
+    out_side: Dict[int, Set[int]] = {}
+    for edge in graph.edges:
+        src_node = graph.nodes[edge.src]
+        dst_node = graph.nodes[edge.dst]
+        if src_node.kind == NodeKind.ADDRESS and dst_node.kind == NodeKind.TRANSACTION:
+            in_side.setdefault(edge.dst, set()).add(edge.src)
+        elif src_node.kind == NodeKind.TRANSACTION and dst_node.kind == NodeKind.ADDRESS:
+            out_side.setdefault(edge.src, set()).add(edge.dst)
+
+    merge_groups: List[Tuple[str, str, List[int]]] = []
+    for tx_id, side_map, tag in (
+        *((tx, in_side, "in") for tx in in_side),
+        *((tx, out_side, "out") for tx in out_side),
+    ):
+        members = []
+        other = out_side if tag == "in" else in_side
+        for addr_id in sorted(side_map[tx_id]):
+            node = graph.nodes[addr_id]
+            if addr_id == center_id or node.kind != NodeKind.ADDRESS:
+                continue
+            if len(neighbors[addr_id]) != 1:
+                continue  # multi-transaction address
+            if addr_id in other.get(tx_id, ()):  # appears on both sides
+                continue
+            members.append(addr_id)
+        if len(members) >= 2:
+            tx_ref = graph.nodes[tx_id].ref
+            merge_groups.append(
+                (NodeKind.SINGLE_HYPER, f"s:{tx_ref}:{tag}", members)
+            )
+
+    if not merge_groups:
+        return graph
+    return _rebuild_with_merges(graph, merge_groups)
+
+
+def reference_similarity_matrices(
+    graph: AddressGraph,
+) -> Tuple[List[int], List[int], np.ndarray, np.ndarray]:
+    """The incidence and similarity matrices of Eq. (3)–(4)."""
+    neighbors = _distinct_neighbors(graph)
+    center_id = graph.center_node_id()
+    tx_ids = [n.node_id for n in graph.nodes if n.kind == NodeKind.TRANSACTION]
+    tx_index = {tx: i for i, tx in enumerate(tx_ids)}
+    multi_ids = [
+        node.node_id
+        for node in graph.nodes
+        if node.kind == NodeKind.ADDRESS
+        and node.node_id != center_id
+        and len(neighbors[node.node_id]) >= 2
+    ]
+    n, d = len(multi_ids), len(tx_ids)
+    incidence = np.zeros((n, d), dtype=np.float64)
+    for row, addr_id in enumerate(multi_ids):
+        for neighbor in neighbors[addr_id]:
+            col = tx_index.get(neighbor)
+            if col is not None:
+                incidence[row, col] = 1.0
+    shared = incidence @ incidence.T
+    diagonal = np.diag(shared).copy()
+    safe = np.where(diagonal > 0, diagonal, 1.0)
+    similarity = shared / safe[np.newaxis, :]
+    return multi_ids, tx_ids, shared, similarity
+
+
+def reference_compress_multi_transaction_addresses(
+    graph: AddressGraph,
+    psi: float = 0.6,
+    sigma: int = 2,
+) -> AddressGraph:
+    """Merge co-occurring multi-transaction address nodes (Eq. 3–7)."""
+    if not 0.0 < psi <= 1.0:
+        raise ValidationError(f"psi must be in (0, 1], got {psi}")
+    if sigma < 1:
+        raise ValidationError(f"sigma must be >= 1, got {sigma}")
+
+    multi_ids, _, _, similarity = reference_similarity_matrices(graph)
+    if len(multi_ids) < 2:
+        return graph
+
+    thresholded = np.maximum(0.0, similarity - psi)  # Eq. (5)
+    nonzero_counts = (thresholded > 0.0).sum(axis=1)
+
+    merged: Set[int] = set()
+    merge_groups: List[Tuple[str, str, List[int]]] = []
+    for row in np.argsort(-nonzero_counts):
+        row = int(row)
+        if nonzero_counts[row] <= sigma or row in merged:
+            continue
+        similar_rows = [
+            int(col)
+            for col in np.flatnonzero(thresholded[row] > 0.0)
+            if int(col) not in merged
+        ]
+        if len(similar_rows) < 2:
+            continue
+        merged.update(similar_rows)
+        members = [multi_ids[col] for col in similar_rows]
+        anchor_ref = graph.nodes[multi_ids[row]].ref
+        merge_groups.append((NodeKind.MULTI_HYPER, f"m:{anchor_ref}", members))
+
+    if not merge_groups:
+        return graph
+    return _rebuild_with_merges(graph, merge_groups)
+
+
+# --------------------------------------------------------------------- #
+# Lee et al. features (original per-transaction Python loops)
+# --------------------------------------------------------------------- #
+
+_BASIC_DIMS = 8
+_STRUCTURE_DIMS = 12
+_SECONDS_PER_DAY = 86_400.0
+
+
+def reference_extract_address_features(
+    index, address: str, raw: bool = False
+) -> np.ndarray:
+    """The 80-dimensional Lee et al. feature vector (original loops)."""
+    records = index.records_for(address)
+    transactions = index.transactions_of(address)
+
+    received: List[float] = []
+    spent: List[float] = []
+    net_flows: List[float] = []
+    n_in = n_out = n_self = n_coinbase = 0
+    for record, tx in zip(records, transactions):
+        net_flows.append(float(record.net_value))
+        if record.net_value > 0:
+            n_in += 1
+            received.append(float(record.net_value))
+        elif record.net_value < 0:
+            n_out += 1
+            spent.append(float(-record.net_value))
+        else:
+            n_self += 1
+        if tx.is_coinbase:
+            n_coinbase += 1
+
+    n_tx = len(records)
+    timestamps = np.array([r.timestamp for r in records], dtype=np.float64)
+    lifetime = float(timestamps[-1] - timestamps[0]) if n_tx > 1 else 0.0
+    intervals = np.diff(timestamps) if n_tx > 1 else np.zeros(0)
+
+    basic = np.array(
+        [
+            n_tx,
+            n_in,
+            n_out,
+            n_self,
+            n_coinbase,
+            n_in / n_tx if n_tx else 0.0,
+            n_out / n_tx if n_tx else 0.0,
+            lifetime,
+        ],
+        dtype=np.float64,
+    )
+
+    structure = _reference_structure_features(transactions, address, lifetime)
+
+    vector = np.concatenate(
+        [
+            basic,
+            sfe_vector(received),
+            sfe_vector(spent),
+            sfe_vector(net_flows),
+            sfe_vector(intervals),
+            structure,
+        ]
+    )
+    if raw:
+        return vector
+    return signed_log1p(vector)
+
+
+def _reference_structure_features(
+    transactions: Sequence, address: str, lifetime: float
+) -> np.ndarray:
+    """12 structural aggregates over the address's transactions."""
+    if not transactions:
+        return np.zeros(_STRUCTURE_DIMS, dtype=np.float64)
+
+    input_counts = []
+    output_counts = []
+    fees = []
+    counterparties = set()
+    fanout_txs = 0
+    fanin_txs = 0
+    sender_txs = 0
+    for tx in transactions:
+        input_counts.append(len(tx.inputs))
+        output_counts.append(len(tx.outputs))
+        counterparties.update(tx.addresses())
+        is_sender = any(inp.address == address for inp in tx.inputs)
+        if is_sender:
+            sender_txs += 1
+            fees.append(float(tx.fee))
+            if len(tx.outputs) > 5:
+                fanout_txs += 1
+        if any(out.address == address for out in tx.outputs) and len(tx.inputs) > 5:
+            fanin_txs += 1
+    counterparties.discard(address)
+
+    n_tx = len(transactions)
+    lifetime_days = max(lifetime / _SECONDS_PER_DAY, 1e-9)
+    return np.array(
+        [
+            float(np.mean(input_counts)),
+            float(np.max(input_counts)),
+            float(np.mean(output_counts)),
+            float(np.max(output_counts)),
+            float(len(counterparties)),
+            len(counterparties) / n_tx,
+            float(np.sum(fees)) if fees else 0.0,
+            float(np.mean(fees)) if fees else 0.0,
+            sender_txs / n_tx,
+            fanout_txs / max(sender_txs, 1),
+            fanin_txs / n_tx,
+            n_tx / lifetime_days,
+        ],
+        dtype=np.float64,
+    )

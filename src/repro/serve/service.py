@@ -151,9 +151,14 @@ class AddressScoringService:
         grew (see :meth:`score`), at the cost of incrementality.
         Coverage accumulated while *not* listening cannot be trusted
         (appends may have gone unobserved), so connecting drops any
-        existing cache contents.  Re-connecting (to the same chain or a
-        different one) first detaches the previous subscription.
+        existing cache contents.  Connecting to the chain already
+        listened to is a no-op — every append since the original
+        ``connect`` was observed, so the warm cache stays valid.
+        Re-connecting to a *different* chain first detaches the previous
+        subscription.
         """
+        if self._chain is chain:
+            return
         if self._chain is not None:
             self.disconnect()
         if self._covered:

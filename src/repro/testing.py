@@ -1,0 +1,34 @@
+"""Shared helpers for the test suite and the benchmark harness.
+
+Small chain-manipulation utilities that both ``tests/`` and
+``benchmarks/`` need; importing them from one place keeps the two
+suites' fixtures from drifting apart.  Nothing here is part of the
+production serving or training paths.
+"""
+
+from __future__ import annotations
+
+from repro.chain import Transaction, TxInput, TxOutput
+
+__all__ = ["append_self_spend"]
+
+
+def append_self_spend(chain, address: str) -> None:
+    """Mine one block whose transactions touch only ``address``.
+
+    Spends the address's first UTXO back to itself and collects the
+    block reward at the same address — the minimal append that dirties
+    exactly one address's cached slices.
+    """
+    entry = chain.utxo_set.entries_for(address)[0]
+    timestamp = chain.tip.timestamp + chain.params.block_interval
+    tx = Transaction.create(
+        inputs=[
+            TxInput(
+                outpoint=entry.outpoint, address=address, value=entry.value
+            )
+        ],
+        outputs=[TxOutput(address=address, value=entry.value)],
+        timestamp=timestamp,
+    )
+    chain.mine_block([tx], reward_address=address, timestamp=timestamp)

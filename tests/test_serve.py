@@ -21,6 +21,7 @@ from repro.chain import (
     btc,
 )
 from repro.core import BAClassifier, BAClassifierConfig
+from repro.testing import append_self_spend as _append_self_spend
 from repro.errors import NotFittedError, ValidationError
 from repro.graphs import GraphPipelineConfig
 from repro.serve import (
@@ -68,22 +69,6 @@ def _build_chain(num_wallets: int = 3, rounds: int = 10):
         )
     index = attach_index(chain)
     return chain, index, [w.addresses[0] for w in wallets]
-
-
-def _append_self_spend(chain, address: str) -> None:
-    """Mine one block whose transactions touch only ``address``."""
-    entry = chain.utxo_set.entries_for(address)[0]
-    timestamp = chain.tip.timestamp + chain.params.block_interval
-    tx = Transaction.create(
-        inputs=[
-            TxInput(
-                outpoint=entry.outpoint, address=address, value=entry.value
-            )
-        ],
-        outputs=[TxOutput(address=address, value=entry.value)],
-        timestamp=timestamp,
-    )
-    chain.mine_block([tx], reward_address=address, timestamp=timestamp)
 
 
 @pytest.fixture(scope="module")
@@ -446,6 +431,23 @@ class TestInvalidation:
         before = service.stats.invalidations
         _append_self_spend(chain, target)
         assert service.stats.invalidations == before
+
+    def test_reconnect_same_chain_keeps_warm_cache(self, setup):
+        """connect() with the already-connected chain is a no-op: every
+        append since the original connect was observed, so the warm
+        cache must survive instead of being dropped."""
+        chain, index, addresses = setup
+        _, service = _service(setup, chain=chain)
+        service.score(addresses)
+        cached = len(service.cache)
+        assert cached > 0
+        service.connect(chain)  # same chain: must not drop coverage
+        assert len(service.cache) == cached
+        before = service.stats.snapshot()
+        service.score(addresses)
+        after = service.stats.snapshot()
+        assert after["misses"] == before["misses"]  # served fully warm
+        service.disconnect()
 
     def test_close_releases_worker_pool(self, setup):
         _, _, addresses = setup
