@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-2 verification: everything tier 1 runs PLUS the full-depth
+# randomized property sweeps (`-m slow`) that pin ArrayGraph/reference
+# pipeline invariance over many seeds.  Slower by design; run before
+# merging pipeline-touching changes.
+#
+# Usage: scripts/tier2.sh [extra pytest args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-2: full unit + integration suite (slow markers included) =="
+python -m pytest -x -q -m "slow or not slow" "$@"
+
+echo "== tier-2: serving throughput smoke benchmark =="
+REPRO_BENCH_SMOKE=1 python -m pytest -q benchmarks/bench_serving_throughput.py
+
+echo "== tier-2: pipeline throughput smoke benchmark =="
+REPRO_BENCH_SMOKE=1 python -m pytest -q benchmarks/bench_pipeline_throughput.py

@@ -9,7 +9,7 @@ coinbase minting, and the wallet change mechanism — with full validation
 from repro.chain.address import AddressFactory, KeyPair, is_valid_address
 from repro.chain.block import Block, merkle_root
 from repro.chain.chain import Blockchain, ChainParams, GENESIS_PREV_HASH
-from repro.chain.explorer import ChainIndex, TxRecord, attach_index
+from repro.chain.explorer import ChainIndex, TxArrays, TxRecord, attach_index
 from repro.chain.mempool import Mempool, PendingView
 from repro.chain.serialize import (
     load_chain,
@@ -38,6 +38,7 @@ __all__ = [
     "ChainParams",
     "GENESIS_PREV_HASH",
     "ChainIndex",
+    "TxArrays",
     "TxRecord",
     "attach_index",
     "Mempool",

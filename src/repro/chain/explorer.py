@@ -11,11 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.chain.block import Block
 from repro.chain.chain import Blockchain
 from repro.chain.transaction import Transaction
 
-__all__ = ["TxRecord", "ChainIndex", "attach_index"]
+__all__ = ["TxRecord", "TxArrays", "ChainIndex", "attach_index"]
 
 
 @dataclass(frozen=True)
@@ -41,6 +43,44 @@ class TxRecord:
         return "self"
 
 
+class TxArrays:
+    """One transaction's graph-facing columns, address-independent.
+
+    The columnar counterpart of walking ``tx.inputs`` / ``tx.outputs``:
+    participant *node keys* (interned integers — see
+    :meth:`ChainIndex.node_names` for the encoding) plus the transferred
+    values, ready for ndarray assembly.  Instances are immutable and
+    cached per txid on the :class:`ChainIndex`, so the cost of touching
+    a transaction's Python objects is paid once no matter how many
+    address graphs include it.
+    """
+
+    __slots__ = (
+        "key",
+        "timestamp",
+        "input_keys",
+        "input_values",
+        "output_keys",
+        "output_values",
+    )
+
+    def __init__(
+        self,
+        key: int,
+        timestamp: float,
+        input_keys: np.ndarray,
+        input_values: np.ndarray,
+        output_keys: np.ndarray,
+        output_values: np.ndarray,
+    ):
+        self.key = key
+        self.timestamp = timestamp
+        self.input_keys = input_keys
+        self.input_values = input_values
+        self.output_keys = output_keys
+        self.output_values = output_values
+
+
 class ChainIndex:
     """Incremental address→transactions index over an append-only chain."""
 
@@ -49,6 +89,13 @@ class ChainIndex:
         self._tx_height: Dict[str, int] = {}
         self._records: Dict[str, List[TxRecord]] = {}
         self._first_seen: Dict[str, float] = {}
+        # Interned node-key columns (lazy; transactions are immutable so
+        # cached entries never invalidate on append).
+        self._address_ids: Dict[str, int] = {}
+        self._address_names: List[str] = []
+        self._tx_ids: Dict[str, int] = {}
+        self._tx_names: List[str] = []
+        self._tx_arrays: Dict[str, TxArrays] = {}
 
     # ------------------------------------------------------------------ #
     # Ingestion
@@ -103,6 +150,83 @@ class ChainIndex:
     def first_seen(self, address: str) -> Optional[float]:
         """Timestamp of the first transaction touching ``address``."""
         return self._first_seen.get(address)
+
+    # ------------------------------------------------------------------ #
+    # Columnar access (graph construction fast path)
+    # ------------------------------------------------------------------ #
+
+    def address_key(self, address: str) -> int:
+        """The interned node key of ``address`` (stable per index).
+
+        Address keys are even (``2 * id``) and transaction keys odd
+        (``2 * id + 1``), so one integer column can mix both node kinds
+        without collisions — the layout consumed by the Stage-1 array
+        extractor.
+        """
+        key = self._address_ids.get(address)
+        if key is None:
+            key = 2 * len(self._address_names)
+            self._address_ids[address] = key
+            self._address_names.append(address)
+        return key
+
+    def transaction_arrays(self, tx: Transaction) -> TxArrays:
+        """The cached :class:`TxArrays` columns of ``tx``.
+
+        Built on first request and memoised by txid; shared across every
+        address graph that includes the transaction.  The memo lives for
+        the lifetime of the index and is unbounded (transactions are
+        immutable, so entries never invalidate) — a long-lived index
+        driving column-path construction over a huge chain should call
+        :meth:`clear_transaction_arrays` between corpus sweeps to bound
+        memory.
+        """
+        columns = self._tx_arrays.get(tx.txid)
+        if columns is None:
+            tx_key = self._tx_ids.get(tx.txid)
+            if tx_key is None:
+                tx_key = 2 * len(self._tx_names) + 1
+                self._tx_ids[tx.txid] = tx_key
+                self._tx_names.append(tx.txid)
+            address_key = self.address_key
+            columns = TxArrays(
+                key=tx_key,
+                timestamp=tx.timestamp,
+                input_keys=np.array(
+                    [address_key(inp.address) for inp in tx.inputs],
+                    dtype=np.int64,
+                ),
+                input_values=np.array(
+                    [inp.value for inp in tx.inputs], dtype=np.float64
+                ),
+                output_keys=np.array(
+                    [address_key(out.address) for out in tx.outputs],
+                    dtype=np.int64,
+                ),
+                output_values=np.array(
+                    [out.value for out in tx.outputs], dtype=np.float64
+                ),
+            )
+            self._tx_arrays[tx.txid] = columns
+        return columns
+
+    def clear_transaction_arrays(self) -> None:
+        """Drop the per-transaction column memo (interning is kept —
+        node keys handed out earlier stay valid)."""
+        self._tx_arrays.clear()
+
+    def node_names(self, keys: Sequence[int]) -> List[str]:
+        """Decode interned node keys back to reference strings.
+
+        Even keys decode to addresses, odd keys to txids — the inverse
+        of :meth:`address_key` / :meth:`transaction_arrays`.
+        """
+        address_names = self._address_names
+        tx_names = self._tx_names
+        return [
+            tx_names[key >> 1] if key & 1 else address_names[key >> 1]
+            for key in keys
+        ]
 
     def counterparties(self, address: str) -> Set[str]:
         """Distinct addresses that co-occur in transactions with ``address``."""

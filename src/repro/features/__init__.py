@@ -8,6 +8,7 @@ from repro.features.sfe import (
     SFE_DIM,
     SFE_FEATURE_NAMES,
     sfe_matrix,
+    sfe_matrix_segments,
     sfe_vector,
     signed_log1p,
 )
@@ -21,6 +22,7 @@ __all__ = [
     "SFE_DIM",
     "SFE_FEATURE_NAMES",
     "sfe_matrix",
+    "sfe_matrix_segments",
     "sfe_vector",
     "signed_log1p",
     "LEE_FEATURE_DIM",

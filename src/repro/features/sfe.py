@@ -35,6 +35,7 @@ __all__ = [
     "SFE_FEATURE_NAMES",
     "sfe_vector",
     "sfe_matrix",
+    "sfe_matrix_segments",
     "signed_log1p",
 ]
 
@@ -148,15 +149,37 @@ def sfe_matrix(bags: Sequence[Iterable[float]]) -> np.ndarray:
         for bag in bags
     ]
     lengths = np.fromiter((a.size for a in arrays), dtype=np.int64, count=k)
+    indptr = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(lengths, out=indptr[1:])
+    if indptr[-1] == 0:
+        return np.zeros((k, SFE_DIM), dtype=np.float64)
+    flat = np.concatenate([a for a in arrays if a.size])
+    return sfe_matrix_segments(flat, indptr)
+
+
+def sfe_matrix_segments(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """SFE statistics of CSR-style segmented value bags — zero-copy.
+
+    ``values`` holds ``k`` concatenated bags and ``indptr`` (length
+    ``k + 1``) their boundaries: bag ``i`` is
+    ``values[indptr[i]:indptr[i + 1]]``.  This is the native bag layout
+    of :class:`~repro.graphs.arrays.ArrayGraph`, so per-node feature
+    assembly runs straight over the stored arrays without materialising
+    per-bag lists.  Numerically identical to :func:`sfe_matrix` on the
+    equivalent list of bags (empty bags map to zero rows).
+    """
+    values = np.ascontiguousarray(values, dtype=np.float64)
+    indptr = np.asarray(indptr, dtype=np.int64)
+    k = indptr.shape[0] - 1
+    lengths = np.diff(indptr)
     nonempty = np.flatnonzero(lengths)
     out = np.zeros((k, SFE_DIM), dtype=np.float64)
     if nonempty.size == 0:
         return out
 
-    flat = np.concatenate([arrays[i] for i in nonempty])
+    flat = values
     seg_lengths = lengths[nonempty]
-    starts = np.zeros(nonempty.size, dtype=np.int64)
-    np.cumsum(seg_lengths[:-1], out=starts[1:])
+    starts = indptr[nonempty]
     segment_ids = np.repeat(np.arange(nonempty.size), seg_lengths)
 
     maximum = np.maximum.reduceat(flat, starts)

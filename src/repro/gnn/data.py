@@ -10,16 +10,22 @@ vector mapping nodes back to graphs for readout).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Union
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.errors import ValidationError
+from repro.graphs.arrays import ArrayGraph
 from repro.graphs.matrices import normalized_adjacency
 from repro.graphs.model import AddressGraph
 
 __all__ = ["EncodedGraph", "GraphBatch", "encode_graph", "encode_sequences"]
+
+#: Both graph flavours encode identically (same ``feature_matrix`` /
+#: ``adjacency_matrix`` contract); the pipeline natively yields
+#: :class:`~repro.graphs.arrays.ArrayGraph`.
+AnyGraph = Union[AddressGraph, ArrayGraph]
 
 
 @dataclass
@@ -47,9 +53,30 @@ class EncodedGraph:
         """Per-node feature width."""
         return self.features.shape[1]
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the feature/adjacency tensors *and* any
+        model-specific precomputations in ``cache`` (e.g. GFN's
+        propagated feature matrix, which often dominates a warm entry).
+        Recomputed on access, so it stays accurate after models add to
+        ``cache`` post-construction."""
+        adjacency = self.adjacency
+        return int(
+            self.features.nbytes
+            + adjacency.data.nbytes
+            + adjacency.indices.nbytes
+            + adjacency.indptr.nbytes
+            + sum(array.nbytes for array in self.cache.values())
+        )
 
-def encode_graph(graph: AddressGraph, label: int = -1) -> EncodedGraph:
-    """Freeze an :class:`~repro.graphs.model.AddressGraph` for training."""
+
+def encode_graph(graph: AnyGraph, label: int = -1) -> EncodedGraph:
+    """Freeze a slice graph (either flavour) for training/inference.
+
+    On :class:`~repro.graphs.arrays.ArrayGraph` input the feature matrix
+    is assembled straight from the stored bag/centrality columns — no
+    per-node objects are touched anywhere on the encode path.
+    """
     if graph.num_nodes == 0:
         raise ValidationError(
             f"cannot encode empty graph for {graph.center_address[:12]}"
@@ -64,7 +91,7 @@ def encode_graph(graph: AddressGraph, label: int = -1) -> EncodedGraph:
 
 
 def encode_sequences(
-    graphs_by_address: Dict[str, List[AddressGraph]],
+    graphs_by_address: Dict[str, List[AnyGraph]],
     labels_by_address: Dict[str, int],
 ) -> Dict[str, List[EncodedGraph]]:
     """Encode every slice graph of every address, preserving slice order."""

@@ -5,8 +5,29 @@ address become chronological slice graphs; node compression (Eq. 1–7)
 bounds their size; centrality augmentation (Eq. 8–11) enriches node
 features; :class:`GraphConstructionPipeline` chains the stages with the
 per-stage timing of Table V.
+
+Two graph representations coexist:
+
+- :class:`ArrayGraph` — the columnar (ndarray-backed) substrate the
+  pipeline natively produces and transforms: node kind/ref/merge
+  columns, CSR-style segmented value bags, and flat edge
+  src/dst/value/timestamp columns (see :mod:`repro.graphs.arrays` for
+  the exact layout).  Everything hot — extraction, both compression
+  passes, augmentation, feature assembly, GNN encoding — stays in
+  array land end to end.
+- :class:`AddressGraph` — the per-node/per-edge object model, kept for
+  inspection, the reference kernels, and any consumer that prefers
+  objects.  Convert freely with ``AddressGraph.from_arrays(graph)`` /
+  ``graph.to_arrays()`` (equivalently ``ArrayGraph.to_address_graph`` /
+  ``.from_address_graph``); the conversions preserve every structural
+  column exactly — the one exception is ``edge_times``, which the
+  object model does not carry (it reads back as 0.0 after a round
+  trip) — and the two flavours share the read API that downstream code
+  uses (``feature_matrix``, ``adjacency_matrix``, ``edge_arrays``,
+  ``center_node_id``...).
 """
 
+from repro.graphs.arrays import ArrayGraph, KIND_CODES
 from repro.graphs.augmentation import augment_graph
 from repro.graphs.centrality import (
     betweenness_centrality,
@@ -22,7 +43,10 @@ from repro.graphs.compression import (
     similarity_matrices,
 )
 from repro.graphs.extraction import (
+    build_arrays_from_index,
+    build_original_arrays,
     build_original_graph,
+    extract_array_graphs,
     extract_graphs,
     slice_transactions,
 )
@@ -51,6 +75,8 @@ from repro.graphs.pipeline import (
 )
 
 __all__ = [
+    "ArrayGraph",
+    "KIND_CODES",
     "augment_graph",
     "betweenness_centrality",
     "centrality_matrix",
@@ -61,7 +87,10 @@ __all__ = [
     "compress_multi_transaction_addresses",
     "compress_single_transaction_addresses",
     "similarity_matrices",
+    "build_arrays_from_index",
+    "build_original_arrays",
     "build_original_graph",
+    "extract_array_graphs",
     "extract_graphs",
     "slice_transactions",
     "FLAT_FEATURE_DIM",

@@ -1,0 +1,376 @@
+"""``ArrayGraph`` — the columnar (ndarray-backed) slice-graph substrate.
+
+The object model (:class:`~repro.graphs.model.AddressGraph` holding one
+:class:`~repro.graphs.model.GraphNode` / ``GraphEdge`` per node/edge) is
+convenient for inspection but dominates the cost of the per-address
+serving path: building, compressing, and re-building tens of thousands
+of small Python objects per query (paper Table V: graph construction
+dominates end-to-end latency).  ``ArrayGraph`` keeps the *same graph* in
+a handful of flat arrays so every pipeline stage can stay in array land
+from Stage-1 extraction through GNN encoding.
+
+Layout
+------
+
+Node columns (all length ``num_nodes``):
+
+``kind_codes``
+    ``int64`` index into :data:`~repro.graphs.model.NODE_KIND_ORDER`
+    (0=address, 1=tx, 2=s_hyper, 3=m_hyper).
+``refs``
+    ``object`` array of reference strings (address, txid, or hyper-node
+    tag) — object dtype so compression can gather survivors with one
+    fancy-indexing pass.
+``merged_counts``
+    ``int64`` — how many original nodes each node absorbed (1 for
+    unmerged nodes).
+``bag_values`` / ``bag_indptr``
+    CSR-style segmented value bags: node ``i``'s transferred-amount bag
+    (the input to SFE, Eq. 1–2) is
+    ``bag_values[bag_indptr[i]:bag_indptr[i + 1]]``.
+``centrality``
+    ``None`` before Stage 4; afterwards the ``(num_nodes, 4)`` matrix of
+    degree/closeness/betweenness/PageRank centralities (Eq. 8–11).
+
+Edge columns (all length ``num_edges``, directed; input-side edges run
+address → tx, output-side edges tx → address):
+
+``edge_src`` / ``edge_dst``
+    ``int64`` node ids.
+``edge_values``
+    ``float64`` transferred satoshis.  Compression aggregates parallel
+    edges by summing values (Eq. 7's edge union).
+``edge_times``
+    ``float64`` timestamp of the transaction that produced each edge
+    (0.0 for graphs converted from objects, which carry no edge times);
+    an aggregated edge keeps its first-seen member's timestamp.  No
+    current feature consumes this column — it exists for the
+    time-window workloads the chain-scale datasets need (temporal edge
+    features, per-window slicing) so those can land without another
+    Stage-1 rewrite.
+
+Conversion API
+--------------
+
+``ArrayGraph.from_address_graph`` / ``ArrayGraph.to_address_graph``
+round-trip exactly on every structural column (kinds, refs, merge
+counts, value bags, edges, centrality) — only ``edge_times`` is lost,
+because the object model has no edge-timestamp field (it reads back as
+0.0).  ``AddressGraph.from_arrays`` / ``AddressGraph.to_arrays`` are
+the mirror-image wrappers — so reference kernels, baselines, and
+examples that want per-node objects keep working on pipeline output at
+the cost of one conversion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ValidationError
+from repro.features.sfe import sfe_matrix_segments, signed_log1p
+from repro.graphs.model import (
+    _CENTRALITY_DIMS,
+    NODE_FEATURE_DIM,
+    NODE_KIND_ORDER,
+    AddressGraph,
+    GraphEdge,
+    GraphNode,
+)
+
+__all__ = ["ArrayGraph", "KIND_CODES"]
+
+
+def _segment_ranges(lengths: np.ndarray, total: int) -> np.ndarray:
+    """``[0..l0), [0..l1), ...`` concatenated — the ragged-range helper
+    behind every segmented gather/scatter on this substrate."""
+    starts = np.cumsum(lengths) - lengths
+    return np.arange(total, dtype=np.int64) - np.repeat(starts, lengths)
+
+
+#: ``{kind string: int code}`` — the column encoding of node kinds.
+KIND_CODES: Dict[str, int] = {
+    kind: code for code, kind in enumerate(NODE_KIND_ORDER)
+}
+
+
+class ArrayGraph:
+    """One transaction-slice graph of an address, stored columnar.
+
+    See the module docstring for the exact array layout.  Instances are
+    cheap to construct (no per-node/per-edge objects) and are what the
+    :class:`~repro.graphs.pipeline.GraphConstructionPipeline` natively
+    produces and transforms.
+    """
+
+    __slots__ = (
+        "center_address",
+        "slice_index",
+        "time_range",
+        "kind_codes",
+        "refs",
+        "merged_counts",
+        "bag_values",
+        "bag_indptr",
+        "edge_src",
+        "edge_dst",
+        "edge_values",
+        "edge_times",
+        "centrality",
+        "_center_id",
+    )
+
+    def __init__(
+        self,
+        center_address: str,
+        slice_index: int,
+        time_range: Tuple[float, float],
+        kind_codes: np.ndarray,
+        refs: np.ndarray,
+        merged_counts: np.ndarray,
+        bag_values: np.ndarray,
+        bag_indptr: np.ndarray,
+        edge_src: np.ndarray,
+        edge_dst: np.ndarray,
+        edge_values: np.ndarray,
+        edge_times: np.ndarray,
+        centrality: Optional[np.ndarray] = None,
+        center_id: Optional[int] = None,
+    ):
+        n = kind_codes.shape[0]
+        if not (refs.shape[0] == merged_counts.shape[0] == n):
+            raise ValidationError(
+                f"inconsistent node columns: kinds={n}, refs={refs.shape[0]}, "
+                f"merged={merged_counts.shape[0]}"
+            )
+        if bag_indptr.shape[0] != n + 1:
+            raise ValidationError(
+                f"bag_indptr must have {n + 1} entries, got {bag_indptr.shape[0]}"
+            )
+        if bag_indptr[0] != 0 or bag_indptr[-1] != bag_values.shape[0]:
+            raise ValidationError(
+                f"bag_indptr must span [0, {bag_values.shape[0]}], got "
+                f"[{bag_indptr[0]}, {bag_indptr[-1]}]"
+            )
+        if n and np.any(np.diff(bag_indptr) < 0):
+            raise ValidationError("bag_indptr must be non-decreasing")
+        e = edge_src.shape[0]
+        if not (edge_dst.shape[0] == edge_values.shape[0] == edge_times.shape[0] == e):
+            raise ValidationError("inconsistent edge columns")
+        self.center_address = center_address
+        self.slice_index = slice_index
+        self.time_range = time_range
+        self.kind_codes = kind_codes
+        self.refs = refs
+        self.merged_counts = merged_counts
+        self.bag_values = bag_values
+        self.bag_indptr = bag_indptr
+        self.edge_src = edge_src
+        self.edge_dst = edge_dst
+        self.edge_values = edge_values
+        self.edge_times = edge_times
+        self.centrality = centrality
+        self._center_id = center_id
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return self.kind_codes.shape[0]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return self.edge_src.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the node/edge columns (cache accounting)."""
+        total = (
+            self.kind_codes.nbytes
+            + self.refs.nbytes
+            + self.merged_counts.nbytes
+            + self.bag_values.nbytes
+            + self.bag_indptr.nbytes
+            + self.edge_src.nbytes
+            + self.edge_dst.nbytes
+            + self.edge_values.nbytes
+            + self.edge_times.nbytes
+        )
+        if self.centrality is not None:
+            total += self.centrality.nbytes
+        return int(total)
+
+    def center_node_id(self) -> Optional[int]:
+        """Node id of the centre address (if present)."""
+        return self._center_id
+
+    def nodes_of_kind(self, kind: str) -> np.ndarray:
+        """Node ids of the given kind (ascending)."""
+        return np.flatnonzero(self.kind_codes == KIND_CODES[kind])
+
+    def node_values(self, node_id: int) -> np.ndarray:
+        """The value bag of one node (a zero-copy view)."""
+        return self.bag_values[
+            self.bag_indptr[node_id] : self.bag_indptr[node_id + 1]
+        ]
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(src, dst)`` ndarray columns of the directed edge list."""
+        return self.edge_src, self.edge_dst
+
+    def total_edge_value(self) -> float:
+        """Sum of transferred amounts over all edges (conservation checks)."""
+        return float(self.edge_values.sum())
+
+    def adjacency_matrix(self) -> sp.csr_matrix:
+        """Symmetric unweighted adjacency as a CSR sparse matrix."""
+        n = self.num_nodes
+        if self.num_edges == 0:
+            return sp.csr_matrix((n, n), dtype=np.float64)
+        rows = np.concatenate([self.edge_src, self.edge_dst])
+        cols = np.concatenate([self.edge_dst, self.edge_src])
+        data = np.ones(rows.size, dtype=np.float64)
+        matrix = sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+        matrix.data[:] = 1.0  # collapse parallel edges
+        return matrix
+
+    def adjacency_lists(self) -> List[List[int]]:
+        """Undirected adjacency lists (deduplicated neighbours)."""
+        matrix = self.adjacency_matrix()
+        indices, indptr = matrix.indices, matrix.indptr
+        return [
+            sorted(indices[indptr[i] : indptr[i + 1]].tolist())
+            for i in range(self.num_nodes)
+        ]
+
+    def degrees(self) -> np.ndarray:
+        """Undirected degree (distinct neighbours) per node."""
+        return np.diff(self.adjacency_matrix().indptr).astype(np.float64)
+
+    def feature_matrix(self, raw: bool = False) -> np.ndarray:
+        """Final node-feature matrix, shape ``(num_nodes, NODE_FEATURE_DIM)``.
+
+        One segmented SFE pass directly over the stored bag arrays (no
+        per-node bag materialisation) plus columnar centrality / kind /
+        centre-flag assembly; identical to
+        :meth:`AddressGraph.feature_matrix` on the converted graph.
+        ``raw=True`` keeps SFE statistics at satoshi magnitude.
+        """
+        n = self.num_nodes
+        if n == 0:
+            return np.zeros((0, NODE_FEATURE_DIM), dtype=np.float64)
+        stats = sfe_matrix_segments(self.bag_values, self.bag_indptr)
+        if not raw:
+            stats = signed_log1p(stats)
+        if self.centrality is not None:
+            centrality = self.centrality
+        else:
+            centrality = np.zeros((n, _CENTRALITY_DIMS), dtype=np.float64)
+        kind_onehot = np.zeros((n, len(NODE_KIND_ORDER)), dtype=np.float64)
+        kind_onehot[np.arange(n), self.kind_codes] = 1.0
+        center_flag = np.zeros((n, 1), dtype=np.float64)
+        if self._center_id is not None:
+            center_flag[self._center_id, 0] = 1.0
+        return np.hstack([stats, centrality, kind_onehot, center_flag])
+
+    # ------------------------------------------------------------------ #
+    # Conversion
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_address_graph(cls, graph: AddressGraph) -> "ArrayGraph":
+        """Columnar copy of an object-model graph (lossless)."""
+        n = graph.num_nodes
+        e = graph.num_edges
+        kind_codes = np.fromiter(
+            (KIND_CODES[node.kind] for node in graph.nodes),
+            dtype=np.int64,
+            count=n,
+        )
+        refs = np.empty(n, dtype=object)
+        for i, node in enumerate(graph.nodes):
+            refs[i] = node.ref
+        merged_counts = np.fromiter(
+            (node.merged_count for node in graph.nodes),
+            dtype=np.int64,
+            count=n,
+        )
+        bag_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(
+            [len(node.values) for node in graph.nodes], out=bag_indptr[1:]
+        )
+        bag_values = np.array(
+            [v for node in graph.nodes for v in node.values], dtype=np.float64
+        )
+        edge_src = np.fromiter(
+            (edge.src for edge in graph.edges), dtype=np.int64, count=e
+        )
+        edge_dst = np.fromiter(
+            (edge.dst for edge in graph.edges), dtype=np.int64, count=e
+        )
+        edge_values = np.fromiter(
+            (edge.value for edge in graph.edges), dtype=np.float64, count=e
+        )
+        centrality: Optional[np.ndarray] = None
+        if any(node.centrality is not None for node in graph.nodes):
+            centrality = np.zeros((n, _CENTRALITY_DIMS), dtype=np.float64)
+            for node in graph.nodes:
+                if node.centrality is not None:
+                    centrality[node.node_id] = node.centrality
+        return cls(
+            center_address=graph.center_address,
+            slice_index=graph.slice_index,
+            time_range=graph.time_range,
+            kind_codes=kind_codes,
+            refs=refs,
+            merged_counts=merged_counts,
+            bag_values=bag_values,
+            bag_indptr=bag_indptr,
+            edge_src=edge_src,
+            edge_dst=edge_dst,
+            edge_values=edge_values,
+            edge_times=np.zeros(e, dtype=np.float64),
+            centrality=centrality,
+            center_id=graph.center_node_id(),
+        )
+
+    def to_address_graph(self) -> AddressGraph:
+        """Object-model copy of this graph (lossless except edge times)."""
+        out = AddressGraph(
+            center_address=self.center_address,
+            slice_index=self.slice_index,
+            time_range=self.time_range,
+        )
+        indptr = self.bag_indptr
+        for i in range(self.num_nodes):
+            kind = NODE_KIND_ORDER[self.kind_codes[i]]
+            node = GraphNode(
+                node_id=i,
+                kind=kind,
+                ref=self.refs[i],
+                values=self.bag_values[indptr[i] : indptr[i + 1]].tolist(),
+                merged_count=int(self.merged_counts[i]),
+                centrality=(
+                    self.centrality[i] if self.centrality is not None else None
+                ),
+            )
+            out.nodes.append(node)
+            out._node_by_ref[(kind, node.ref)] = i
+        out.edges = [
+            GraphEdge(src=int(s), dst=int(d), value=float(v))
+            for s, d, v in zip(self.edge_src, self.edge_dst, self.edge_values)
+        ]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ArrayGraph(center={self.center_address[:10]}…, "
+            f"slice={self.slice_index}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges})"
+        )

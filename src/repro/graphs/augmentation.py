@@ -6,24 +6,34 @@ carry "not only the semantic information of address transactions but also
 the augmented graph structural characteristics".
 
 The centralities run directly on the graph's CSR adjacency
-(:func:`repro.graphs.centrality.centrality_matrix_csr`), skipping the
-Python-set adjacency-list round trip the original per-node kernels
-required.
+(:func:`repro.graphs.centrality.centrality_matrix_csr`).  On the
+columnar :class:`~repro.graphs.arrays.ArrayGraph` substrate the whole
+``(num_nodes, 4)`` matrix is attached zero-copy as the graph's
+``centrality`` column; object-model graphs receive one row view per
+node.
 """
 
 from __future__ import annotations
 
+from typing import Union
+
+from repro.graphs.arrays import ArrayGraph
 from repro.graphs.centrality import centrality_matrix_csr
 from repro.graphs.model import AddressGraph
 
 __all__ = ["augment_graph"]
 
 
-def augment_graph(graph: AddressGraph) -> AddressGraph:
+def augment_graph(
+    graph: "Union[AddressGraph, ArrayGraph]",
+) -> "Union[AddressGraph, ArrayGraph]":
     """Compute and attach centrality features in place; returns the graph."""
     if graph.num_nodes == 0:
         return graph
     matrix = centrality_matrix_csr(graph.adjacency_matrix())
+    if isinstance(graph, ArrayGraph):
+        graph.centrality = matrix
+        return graph
     for node in graph.nodes:
         node.centrality = matrix[node.node_id]
     return graph

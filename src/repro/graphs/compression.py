@@ -16,27 +16,33 @@ the transfer statistics of merged nodes through SFE:
 The centre address node is never merged — it is the classification
 subject.  Transaction nodes are never merged.
 
-**Vectorized formulation.**  Both passes and the shared rebuild step run
-on ndarray edge columns instead of per-edge/per-member Python sets:
-distinct degrees come from unique undirected node pairs, per-(tx, side)
-candidate grouping from sorted integer pair keys, and the merge itself
-is an array union-find — every old node id resolves through a single
-``resolve`` lookup array (members point at their hyper node, survivors
-at their re-densified id), so edge remapping is one fancy-indexing pass
-and parallel-edge aggregation one ``bincount`` over first-seen-ordered
-keys.  Output graphs are element-for-element identical to the original
-set-based machinery (asserted against :mod:`repro.graphs.reference` in
-the test suite).
+**Array-native formulation.**  Both passes operate on the columnar
+:class:`~repro.graphs.arrays.ArrayGraph` substrate end to end: distinct
+degrees come from unique undirected node pairs, per-(tx, side) candidate
+grouping from sorted integer pair keys, and the merge itself is an array
+union-find — every old node id resolves through a single ``resolve``
+lookup array (members point at their hyper node, survivors at their
+re-densified id), so node columns and value bags are re-gathered with
+fancy indexing, edge remapping is one indexing pass, and parallel-edge
+aggregation one ``bincount`` over first-seen-ordered keys.  No per-node
+or per-edge Python objects are created anywhere in the rebuild.
+
+:class:`~repro.graphs.model.AddressGraph` inputs are accepted for
+compatibility (reference oracles, examples): they are converted to
+arrays, compressed, and converted back — element-for-element identical
+to the historic object-set machinery (asserted against
+:mod:`repro.graphs.reference` in the test suite).
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Tuple, Union
 
 import numpy as np
 
 from repro.errors import ValidationError
-from repro.graphs.model import AddressGraph, GraphEdge, GraphNode, NodeKind
+from repro.graphs.arrays import KIND_CODES, ArrayGraph, _segment_ranges
+from repro.graphs.model import AddressGraph, NodeKind
 
 __all__ = [
     "compress_single_transaction_addresses",
@@ -44,16 +50,22 @@ __all__ = [
     "similarity_matrices",
 ]
 
+_ADDRESS_CODE = KIND_CODES[NodeKind.ADDRESS]
+_TRANSACTION_CODE = KIND_CODES[NodeKind.TRANSACTION]
+_SINGLE_HYPER_CODE = KIND_CODES[NodeKind.SINGLE_HYPER]
+_MULTI_HYPER_CODE = KIND_CODES[NodeKind.MULTI_HYPER]
 
-def _edge_columns(
-    graph: AddressGraph,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """``(src, dst, value)`` ndarray columns of the edge list."""
-    src, dst = graph.edge_arrays()
-    value = np.fromiter(
-        (e.value for e in graph.edges), dtype=np.float64, count=graph.num_edges
-    )
-    return src, dst, value
+AnyGraph = Union[AddressGraph, ArrayGraph]
+
+#: ``(hyper kind code, hyper ref, member node ids ascending)``.
+_MergeGroup = Tuple[int, str, np.ndarray]
+
+
+def _as_arrays(graph: AnyGraph) -> Tuple[ArrayGraph, bool]:
+    """``(columnar view, was_object_model)`` for either graph flavour."""
+    if isinstance(graph, ArrayGraph):
+        return graph, False
+    return ArrayGraph.from_address_graph(graph), True
 
 
 def _unique_pairs(
@@ -75,28 +87,9 @@ def _distinct_degrees(
     return np.bincount(endpoints, minlength=num_nodes)
 
 
-def _kind_flags(graph: AddressGraph) -> Tuple[np.ndarray, np.ndarray]:
-    """``(is_address, is_transaction)`` boolean masks over node ids."""
-    is_address = np.fromiter(
-        (node.kind == NodeKind.ADDRESS for node in graph.nodes),
-        dtype=bool,
-        count=graph.num_nodes,
-    )
-    is_transaction = np.fromiter(
-        (node.kind == NodeKind.TRANSACTION for node in graph.nodes),
-        dtype=bool,
-        count=graph.num_nodes,
-    )
-    return is_address, is_transaction
-
-
 def _rebuild_with_merges(
-    graph: AddressGraph,
-    merge_groups: List[Tuple[str, str, List[int]]],
-    src: np.ndarray,
-    dst: np.ndarray,
-    value: np.ndarray,
-) -> AddressGraph:
+    graph: ArrayGraph, merge_groups: List[_MergeGroup]
+) -> ArrayGraph:
     """Rebuild ``graph`` with each ``(kind, ref, member_ids)`` group merged.
 
     Member edges to the rest of the graph are aggregated per
@@ -104,7 +97,8 @@ def _rebuild_with_merges(
     concatenated (the input to SFE at feature-assembly time).  The merge
     is resolved through flat lookup arrays (a one-level union-find whose
     path compression is precomputed): survivors map to densely
-    re-assigned ids, members to their group's hyper-node id.
+    re-assigned ids, members to their group's hyper-node id.  Node
+    columns, bags, and edges are all re-gathered with array kernels.
     """
     n = graph.num_nodes
     group_of = np.full(n, -1, dtype=np.int64)
@@ -112,43 +106,70 @@ def _rebuild_with_merges(
         group_of[members] = group_index
 
     keep = group_of < 0
-    num_kept = int(keep.sum())
+    keep_ids = np.flatnonzero(keep)
+    num_kept = keep_ids.size
     old_to_new = np.cumsum(keep) - 1  # densified ids for survivors
     resolve = np.where(keep, old_to_new, num_kept + group_of)
-
-    new_nodes: List[GraphNode] = []
-    for node in graph.nodes:
-        if not keep[node.node_id]:
-            continue
-        new_nodes.append(
-            GraphNode(
-                node_id=len(new_nodes),
-                kind=node.kind,
-                ref=node.ref,
-                values=list(node.values),
-                merged_count=node.merged_count,
-                centrality=node.centrality,
-            )
-        )
-    for kind, ref, members in merge_groups:
-        bag: List[float] = []
-        merged_count = 0
-        for member in members:
-            bag.extend(graph.nodes[member].values)
-            merged_count += graph.nodes[member].merged_count
-        new_nodes.append(
-            GraphNode(
-                node_id=len(new_nodes),
-                kind=kind,
-                ref=ref,
-                values=bag,
-                merged_count=merged_count,
-            )
-        )
-
     num_new = num_kept + len(merge_groups)
-    new_src = resolve[src]
-    new_dst = resolve[dst]
+
+    # --- node columns -------------------------------------------------- #
+    member_ids = np.concatenate([members for _, _, members in merge_groups])
+    group_sizes = np.fromiter(
+        (members.size for _, _, members in merge_groups),
+        dtype=np.int64,
+        count=len(merge_groups),
+    )
+    group_starts = np.zeros(len(merge_groups), dtype=np.int64)
+    np.cumsum(group_sizes[:-1], out=group_starts[1:])
+
+    kind_codes = np.concatenate(
+        [
+            graph.kind_codes[keep_ids],
+            np.fromiter(
+                (code for code, _, _ in merge_groups),
+                dtype=np.int64,
+                count=len(merge_groups),
+            ),
+        ]
+    )
+    refs = np.concatenate(
+        [
+            graph.refs[keep_ids],
+            np.array([ref for _, ref, _ in merge_groups], dtype=object),
+        ]
+    )
+    merged_counts = np.concatenate(
+        [
+            graph.merged_counts[keep_ids],
+            np.add.reduceat(graph.merged_counts[member_ids], group_starts),
+        ]
+    )
+
+    # --- value bags (survivors keep theirs; groups concatenate members') #
+    bag_len = np.diff(graph.bag_indptr)
+    sources = np.concatenate([keep_ids, member_ids])
+    lens = bag_len[sources]
+    bag_indptr = np.zeros(num_new + 1, dtype=np.int64)
+    np.cumsum(
+        np.concatenate(
+            [lens[:num_kept], np.add.reduceat(lens[num_kept:], group_starts)]
+        )
+        if num_kept
+        else np.add.reduceat(lens, group_starts),
+        out=bag_indptr[1:],
+    )
+    total = int(lens.sum())
+    if total:
+        positions = np.repeat(
+            graph.bag_indptr[sources], lens
+        ) + _segment_ranges(lens, total)
+        bag_values = graph.bag_values[positions]
+    else:
+        bag_values = np.empty(0, dtype=np.float64)
+
+    # --- edges (remap through ``resolve``, aggregate parallel edges) --- #
+    new_src = resolve[graph.edge_src]
+    new_dst = resolve[graph.edge_dst]
     keys = new_src * num_new + new_dst
     # np.unique with return_index sorts stably, so ``first`` marks each
     # key's first occurrence; ordering by it reproduces the first-seen
@@ -157,15 +178,41 @@ def _rebuild_with_merges(
     unique_keys, first, inverse = np.unique(
         keys, return_index=True, return_inverse=True
     )
-    sums = np.bincount(inverse, weights=value)
+    sums = np.bincount(inverse, weights=graph.edge_values)
     order = np.argsort(first, kind="stable")
-    new_edges = [
-        GraphEdge(
-            src=int(key // num_new), dst=int(key % num_new), value=float(total)
+    ordered_keys = unique_keys[order]
+
+    centrality = None
+    if graph.centrality is not None:
+        centrality = np.vstack(
+            [
+                graph.centrality[keep_ids],
+                np.zeros(
+                    (len(merge_groups), graph.centrality.shape[1]),
+                    dtype=np.float64,
+                ),
+            ]
         )
-        for key, total in zip(unique_keys[order], sums[order])
-    ]
-    return graph.rebuild(new_nodes, new_edges)
+
+    center_id = graph.center_node_id()
+    return ArrayGraph(
+        center_address=graph.center_address,
+        slice_index=graph.slice_index,
+        time_range=graph.time_range,
+        kind_codes=kind_codes,
+        refs=refs,
+        merged_counts=merged_counts,
+        bag_values=bag_values,
+        bag_indptr=bag_indptr,
+        edge_src=ordered_keys // num_new,
+        edge_dst=ordered_keys % num_new,
+        edge_values=sums[order],
+        edge_times=graph.edge_times[first[order]],
+        centrality=centrality,
+        center_id=(
+            int(resolve[center_id]) if center_id is not None else None
+        ),
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -177,42 +224,51 @@ def _side_groups(
     tx: np.ndarray,
     addr: np.ndarray,
     candidate: np.ndarray,
+    both_keys: np.ndarray,
     num_nodes: int,
 ) -> List[Tuple[int, np.ndarray]]:
-    """``(tx_id, member addr ids)`` per transaction for one side.
+    """``(tx_id, mergeable member addr ids)`` per transaction for one side.
 
-    ``tx``/``addr`` are the per-edge columns of that side in edge order;
-    transactions are returned in first-edge order and members sorted
-    ascending — the ordering of the original dict/set accumulation.
+    ``tx``/``addr`` are the per-edge columns of that side in edge order.
+    Self-change pairs (``both_keys``) are removed and only groups of two
+    or more members survive; groups come back in first-edge order of
+    their transaction with members sorted ascending — the ordering of
+    the original dict/set accumulation.
     """
     if tx.size == 0:
         return []
-    tx_order, first = np.unique(tx, return_index=True)
-    ordered_txs = tx_order[np.argsort(first, kind="stable")]
     eligible = candidate[addr]
     keys = np.unique(tx[eligible] * num_nodes + addr[eligible])
+    if both_keys.size:
+        keys = keys[~np.isin(keys, both_keys, assume_unique=True)]
+    if keys.size < 2:
+        return []
     group_txs = keys // num_nodes
     members = keys % num_nodes
     # ``keys`` is sorted, so members lie contiguously per transaction.
     unique_txs, starts = np.unique(group_txs, return_index=True)
-    by_tx = dict(zip(map(int, unique_txs), np.split(members, starts[1:])))
-    return [(int(t), by_tx[int(t)]) for t in ordered_txs if int(t) in by_tx]
+    sizes = np.diff(np.append(starts, keys.size))
+    big = sizes >= 2
+    if not big.any():
+        return []
+    # Emit groups ordered by their transaction's first edge on this side.
+    tx_values, first_edge = np.unique(tx, return_index=True)
+    first_of_group = first_edge[np.searchsorted(tx_values, unique_txs[big])]
+    starts, sizes, group_txs = starts[big], sizes[big], unique_txs[big]
+    return [
+        (int(group_txs[i]), members[starts[i] : starts[i] + sizes[i]])
+        for i in np.argsort(first_of_group, kind="stable")
+    ]
 
 
-def compress_single_transaction_addresses(graph: AddressGraph) -> AddressGraph:
-    """Merge degree-1 address nodes per transaction and side (Fig. 3).
-
-    After this pass a transaction node links to at most one
-    single-transaction hyper node on its input side and one on its output
-    side (plus any remaining multi-transaction or centre address nodes).
-    Address nodes appearing on *both* sides of their single transaction
-    (self-change) are left unmerged — they carry a distinct signature.
-    """
-    if not graph.edges:
+def _compress_single(graph: ArrayGraph) -> ArrayGraph:
+    """Array-native single-transaction pass; returns input when no-op."""
+    if graph.num_edges == 0:
         return graph
     n = graph.num_nodes
-    src, dst, value = _edge_columns(graph)
-    is_address, is_transaction = _kind_flags(graph)
+    src, dst = graph.edge_src, graph.edge_dst
+    is_address = graph.kind_codes == _ADDRESS_CODE
+    is_transaction = graph.kind_codes == _TRANSACTION_CODE
     degrees = _distinct_degrees(src, dst, n)
     center_id = graph.center_node_id()
 
@@ -229,25 +285,40 @@ def compress_single_transaction_addresses(graph: AddressGraph) -> AddressGraph:
     if center_id is not None:
         candidate[center_id] = False
 
-    merge_groups: List[Tuple[str, str, List[int]]] = []
+    merge_groups: List[_MergeGroup] = []
     for (tx_col, addr_col, tag) in (
         (dst[in_mask], src[in_mask], "in"),
         (src[out_mask], dst[out_mask], "out"),
     ):
-        for tx_id, members in _side_groups(tx_col, addr_col, candidate, n):
-            pair_keys = tx_id * n + members
-            members = members[
-                ~np.isin(pair_keys, both_keys, assume_unique=True)
-            ]
-            if members.size >= 2:
-                tx_ref = graph.nodes[tx_id].ref
-                merge_groups.append(
-                    (NodeKind.SINGLE_HYPER, f"s:{tx_ref}:{tag}", list(members))
-                )
+        for tx_id, members in _side_groups(
+            tx_col, addr_col, candidate, both_keys, n
+        ):
+            tx_ref = graph.refs[tx_id]
+            merge_groups.append(
+                (_SINGLE_HYPER_CODE, f"s:{tx_ref}:{tag}", members)
+            )
 
     if not merge_groups:
         return graph
-    return _rebuild_with_merges(graph, merge_groups, src, dst, value)
+    return _rebuild_with_merges(graph, merge_groups)
+
+
+def compress_single_transaction_addresses(graph: AnyGraph) -> AnyGraph:
+    """Merge degree-1 address nodes per transaction and side (Fig. 3).
+
+    After this pass a transaction node links to at most one
+    single-transaction hyper node on its input side and one on its output
+    side (plus any remaining multi-transaction or centre address nodes).
+    Address nodes appearing on *both* sides of their single transaction
+    (self-change) are left unmerged — they carry a distinct signature.
+    Accepts (and returns) either graph flavour; no-op passes return the
+    input graph itself.
+    """
+    arrays, was_object = _as_arrays(graph)
+    out = _compress_single(arrays)
+    if out is arrays:
+        return graph
+    return out.to_address_graph() if was_object else out
 
 
 # --------------------------------------------------------------------- #
@@ -255,21 +326,13 @@ def compress_single_transaction_addresses(graph: AddressGraph) -> AddressGraph:
 # --------------------------------------------------------------------- #
 
 
-def similarity_matrices(
-    graph: AddressGraph,
-) -> Tuple[List[int], List[int], np.ndarray, np.ndarray]:
-    """The incidence and similarity matrices of Eq. (3)–(4).
-
-    Returns ``(multi_ids, tx_ids, S, M)`` where ``multi_ids`` are the
-    candidate multi-transaction address node ids (degree ≥ 2 address
-    nodes, centre excluded), ``S = A·Aᵀ`` counts shared transactions and
-    ``M = S·D⁻¹`` is the column-normalised similarity (``m_ij = s_ij /
-    s_jj`` — the fraction of j's transactions shared with i, exactly the
-    paper's worked example ``m31 = s31 / s11 = 0.7``).
-    """
+def _similarity_columns(
+    graph: ArrayGraph,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Array-native core of :func:`similarity_matrices`."""
     n = graph.num_nodes
-    src, dst, _ = _edge_columns(graph)
-    is_address, is_transaction = _kind_flags(graph)
+    src, dst = graph.edge_src, graph.edge_dst
+    is_address = graph.kind_codes == _ADDRESS_CODE
     degrees = _distinct_degrees(src, dst, n)
     center_id = graph.center_node_id()
 
@@ -277,7 +340,7 @@ def similarity_matrices(
     if center_id is not None:
         multi_mask[center_id] = False
     multi_ids = np.flatnonzero(multi_mask)
-    tx_ids = np.flatnonzero(is_transaction)
+    tx_ids = np.flatnonzero(graph.kind_codes == _TRANSACTION_CODE)
 
     row_of = np.full(n, -1, dtype=np.int64)
     row_of[multi_ids] = np.arange(multi_ids.size)
@@ -295,36 +358,40 @@ def similarity_matrices(
     diagonal = np.diag(shared).copy()
     safe = np.where(diagonal > 0, diagonal, 1.0)
     similarity = shared / safe[np.newaxis, :]
+    return multi_ids, tx_ids, shared, similarity
+
+
+def similarity_matrices(
+    graph: AnyGraph,
+) -> Tuple[List[int], List[int], np.ndarray, np.ndarray]:
+    """The incidence and similarity matrices of Eq. (3)–(4).
+
+    Returns ``(multi_ids, tx_ids, S, M)`` where ``multi_ids`` are the
+    candidate multi-transaction address node ids (degree ≥ 2 address
+    nodes, centre excluded), ``S = A·Aᵀ`` counts shared transactions and
+    ``M = S·D⁻¹`` is the column-normalised similarity (``m_ij = s_ij /
+    s_jj`` — the fraction of j's transactions shared with i, exactly the
+    paper's worked example ``m31 = s31 / s11 = 0.7``).
+    """
+    arrays, _ = _as_arrays(graph)
+    multi_ids, tx_ids, shared, similarity = _similarity_columns(arrays)
     return list(map(int, multi_ids)), list(map(int, tx_ids)), shared, similarity
 
 
-def compress_multi_transaction_addresses(
-    graph: AddressGraph,
-    psi: float = 0.6,
-    sigma: int = 2,
-) -> AddressGraph:
-    """Merge co-occurring multi-transaction address nodes (Eq. 3–7).
-
-    ``Q = ReLU(M − Ψ)`` thresholds the similarity; a node whose row has
-    more than ``sigma`` non-zeros is merged with its similar set.  Groups
-    are formed greedily from the densest rows; each node joins at most
-    one hyper node.
-    """
-    if not 0.0 < psi <= 1.0:
-        raise ValidationError(f"psi must be in (0, 1], got {psi}")
-    if sigma < 1:
-        raise ValidationError(f"sigma must be >= 1, got {sigma}")
-
-    multi_ids, _, _, similarity = similarity_matrices(graph)
-    if len(multi_ids) < 2:
+def _compress_multi(
+    graph: ArrayGraph, psi: float, sigma: int
+) -> ArrayGraph:
+    """Array-native multi-transaction pass; returns input when no-op."""
+    multi_ids, _, _, similarity = _similarity_columns(graph)
+    if multi_ids.size < 2:
         return graph
 
     thresholded = np.maximum(0.0, similarity - psi)  # Eq. (5)
     positive = thresholded > 0.0
     nonzero_counts = positive.sum(axis=1)
 
-    merged = np.zeros(len(multi_ids), dtype=bool)
-    merge_groups: List[Tuple[str, str, List[int]]] = []
+    merged = np.zeros(multi_ids.size, dtype=bool)
+    merge_groups: List[_MergeGroup] = []
     for row in np.argsort(-nonzero_counts):
         row = int(row)
         if nonzero_counts[row] <= sigma or merged[row]:
@@ -333,11 +400,35 @@ def compress_multi_transaction_addresses(
         if similar_rows.size < 2:
             continue
         merged[similar_rows] = True
-        members = [multi_ids[int(col)] for col in similar_rows]
-        anchor_ref = graph.nodes[multi_ids[row]].ref
-        merge_groups.append((NodeKind.MULTI_HYPER, f"m:{anchor_ref}", members))
+        members = multi_ids[similar_rows]
+        anchor_ref = graph.refs[multi_ids[row]]
+        merge_groups.append((_MULTI_HYPER_CODE, f"m:{anchor_ref}", members))
 
     if not merge_groups:
         return graph
-    src, dst, value = _edge_columns(graph)
-    return _rebuild_with_merges(graph, merge_groups, src, dst, value)
+    return _rebuild_with_merges(graph, merge_groups)
+
+
+def compress_multi_transaction_addresses(
+    graph: AnyGraph,
+    psi: float = 0.6,
+    sigma: int = 2,
+) -> AnyGraph:
+    """Merge co-occurring multi-transaction address nodes (Eq. 3–7).
+
+    ``Q = ReLU(M − Ψ)`` thresholds the similarity; a node whose row has
+    more than ``sigma`` non-zeros is merged with its similar set.  Groups
+    are formed greedily from the densest rows; each node joins at most
+    one hyper node.  Accepts (and returns) either graph flavour; no-op
+    passes return the input graph itself.
+    """
+    if not 0.0 < psi <= 1.0:
+        raise ValidationError(f"psi must be in (0, 1], got {psi}")
+    if sigma < 1:
+        raise ValidationError(f"sigma must be >= 1, got {sigma}")
+
+    arrays, was_object = _as_arrays(graph)
+    out = _compress_multi(arrays, psi, sigma)
+    if out is arrays:
+        return graph
+    return out.to_address_graph() if was_object else out

@@ -27,11 +27,14 @@ __all__ = ["FLAT_FEATURE_DIM", "flatten_graph", "flatten_graphs", "flatten_datas
 FLAT_FEATURE_DIM = 3 * NODE_FEATURE_DIM
 
 
-def flatten_graph(graph: AddressGraph, raw: bool = False) -> np.ndarray:
+def flatten_graph(graph, raw: bool = False) -> np.ndarray:
     """``[mean(input-side), centre, mean(output-side)]`` for one graph.
 
     ``raw=True`` keeps satoshi-magnitude SFE statistics (the paper's
     Table II protocol); the default applies signed-log compression.
+    Accepts either graph flavour (object model or
+    :class:`~repro.graphs.arrays.ArrayGraph`) — neighbour sets come from
+    the shared ``edge_arrays()`` columns.
     """
     center = graph.center_node_id()
     if center is None:
@@ -39,17 +42,16 @@ def flatten_graph(graph: AddressGraph, raw: bool = False) -> np.ndarray:
             f"graph for {graph.center_address[:12]} lacks its centre node"
         )
     features = graph.feature_matrix(raw=raw)
-    input_ids = sorted({e.src for e in graph.edges if e.dst == center})
-    output_ids = sorted({e.dst for e in graph.edges if e.src == center})
+    src, dst = graph.edge_arrays()
+    input_ids = np.unique(src[dst == center])
+    output_ids = np.unique(dst[src == center])
     zero = np.zeros(NODE_FEATURE_DIM, dtype=np.float64)
-    input_agg = features[input_ids].mean(axis=0) if input_ids else zero
-    output_agg = features[output_ids].mean(axis=0) if output_ids else zero
+    input_agg = features[input_ids].mean(axis=0) if input_ids.size else zero
+    output_agg = features[output_ids].mean(axis=0) if output_ids.size else zero
     return np.concatenate([input_agg, features[center], output_agg])
 
 
-def flatten_graphs(
-    graphs: Sequence[AddressGraph], raw: bool = False
-) -> np.ndarray:
+def flatten_graphs(graphs: Sequence, raw: bool = False) -> np.ndarray:
     """Average of per-slice flattened vectors for one address."""
     if not graphs:
         raise GraphConstructionError("flatten_graphs needs at least one graph")

@@ -11,7 +11,6 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.errors import ValidationError
-from repro.graphs.model import AddressGraph
 
 __all__ = ["normalized_adjacency", "normalized_adjacency_from_matrix"]
 
@@ -30,6 +29,7 @@ def normalized_adjacency_from_matrix(adjacency: sp.spmatrix) -> sp.csr_matrix:
     return (scale @ with_loops @ scale).tocsr()
 
 
-def normalized_adjacency(graph: AddressGraph) -> sp.csr_matrix:
-    """The renormalised adjacency of an address graph."""
+def normalized_adjacency(graph) -> sp.csr_matrix:
+    """The renormalised adjacency of an address graph (either flavour:
+    :class:`AddressGraph` or :class:`~repro.graphs.arrays.ArrayGraph`)."""
     return normalized_adjacency_from_matrix(graph.adjacency_matrix())

@@ -181,6 +181,27 @@ class AddressGraph:
         return out
 
     # ------------------------------------------------------------------ #
+    # Conversion (columnar substrate)
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_arrays(cls, arrays) -> "AddressGraph":
+        """Object-model copy of an :class:`~repro.graphs.arrays.ArrayGraph`.
+
+        The thin compatibility bridge for consumers that want per-node
+        objects over pipeline output (reference kernels, notebooks);
+        see :meth:`ArrayGraph.to_address_graph`.
+        """
+        return arrays.to_address_graph()
+
+    def to_arrays(self):
+        """Columnar :class:`~repro.graphs.arrays.ArrayGraph` copy of this
+        graph; see :meth:`ArrayGraph.from_address_graph`."""
+        from repro.graphs.arrays import ArrayGraph
+
+        return ArrayGraph.from_address_graph(self)
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
 

@@ -5,6 +5,14 @@ single-transaction compression, multi-transaction compression, structure
 augmentation — with per-stage wall-clock accounting, so Table V's
 stage-cost breakdown can be regenerated directly from the pipeline's
 timer.
+
+The pipeline runs natively on the columnar
+:class:`~repro.graphs.arrays.ArrayGraph` substrate: Stage 1 builds edge
+and value-bag arrays directly from the transaction slices, Stages 2–3
+compress those arrays in place (array union-find + ``bincount``
+aggregation, no per-node object rebuilds), and Stage 4 attaches the
+centrality matrix as one column.  Callers that want the object model
+convert with :meth:`~repro.graphs.model.AddressGraph.from_arrays`.
 """
 
 from __future__ import annotations
@@ -23,8 +31,8 @@ from repro.graphs.compression import (
     compress_multi_transaction_addresses,
     compress_single_transaction_addresses,
 )
-from repro.graphs.extraction import build_original_graph, slice_transactions
-from repro.graphs.model import AddressGraph
+from repro.graphs.arrays import ArrayGraph
+from repro.graphs.extraction import build_original_arrays, slice_transactions
 from repro.utils.timer import StageTimer
 
 __all__ = ["GraphPipelineConfig", "GraphConstructionPipeline", "STAGE_NAMES"]
@@ -80,7 +88,7 @@ class GraphConstructionPipeline:
         self.config = config or GraphPipelineConfig()
         self.timer = StageTimer()
 
-    def build(self, index: ChainIndex, address: str) -> List[AddressGraph]:
+    def build(self, index: ChainIndex, address: str) -> List[ArrayGraph]:
         """All slice graphs of ``address``, fully compressed and augmented."""
         return self.build_slices(index, address, None)
 
@@ -89,7 +97,7 @@ class GraphConstructionPipeline:
         index: ChainIndex,
         address: str,
         slice_indices: Optional[Sequence[int]] = None,
-    ) -> List[AddressGraph]:
+    ) -> List[ArrayGraph]:
         """Slice graphs of ``address`` for the given slice indices only.
 
         The incremental path of the serving layer: when new blocks touch
@@ -118,7 +126,7 @@ class GraphConstructionPipeline:
         prep_seconds = time.perf_counter() - start
         start = time.perf_counter()
         graphs = [
-            build_original_graph(address, slices[i], slice_index=i)
+            build_original_arrays(address, slices[i], slice_index=i)
             for i in wanted
         ]
         build_seconds = time.perf_counter() - start
@@ -136,8 +144,8 @@ class GraphConstructionPipeline:
         return self._compress_and_augment(graphs)
 
     def _compress_and_augment(
-        self, graphs: List[AddressGraph]
-    ) -> List[AddressGraph]:
+        self, graphs: List[ArrayGraph]
+    ) -> List[ArrayGraph]:
         """Stages 2–4 over extracted graphs, timed per graph."""
         cfg = self.config
         stages = [
@@ -167,7 +175,7 @@ class GraphConstructionPipeline:
 
     def build_many(
         self, index: ChainIndex, addresses: Sequence[str]
-    ) -> Dict[str, List[AddressGraph]]:
+    ) -> Dict[str, List[ArrayGraph]]:
         """Graphs for many addresses: ``{address: [slice graphs...]}``."""
         return {address: self.build(index, address) for address in addresses}
 

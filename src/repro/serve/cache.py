@@ -1,26 +1,40 @@
-"""LRU cache of encoded slice graphs for the scoring service.
+"""LRU cache of slice-graph payloads for the scoring service.
 
 Graph construction dominates the cost of scoring an address (paper
 Table V), and completed transaction slices never change on an
-append-only chain — so the serving layer caches :class:`EncodedGraph`
-slices keyed by ``(address, slice_index, pipeline-config fingerprint)``.
-The fingerprint component guarantees that services built over different
+append-only chain — so the serving layer caches per-slice payloads
+keyed by ``(address, slice_index, pipeline-config fingerprint)``.  The
+fingerprint component guarantees that services built over different
 construction parameters never share entries.
+
+The cache is payload-agnostic: entries may be compact columnar
+:class:`~repro.graphs.arrays.ArrayGraph` slices, fully encoded
+:class:`~repro.gnn.data.EncodedGraph` tensors (what
+:class:`~repro.serve.service.AddressScoringService` stores, built
+zero-copy from the arrays), or anything else keyed the same way.
+Payloads exposing an ``nbytes`` attribute (both graph flavours do) are
+byte-accounted for *observability*: ``cache.nbytes`` tracks the tensor
+bytes of live entries so operators can see what a given ``capacity``
+costs in memory.  Eviction itself remains entry-count LRU, and the
+figure counts array buffers only (an object-dtype ``refs`` column
+contributes its pointers, not the string contents).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Generic, Optional, Set, Tuple, TypeVar
 
 from repro.errors import ValidationError
-from repro.gnn.data import EncodedGraph
 
 __all__ = ["CacheKey", "CacheStats", "SliceGraphCache"]
 
 #: ``(address, slice_index, pipeline fingerprint)``.
 CacheKey = Tuple[str, int, str]
+
+#: The cached payload type (ArrayGraph, EncodedGraph, ...).
+P = TypeVar("P")
 
 
 @dataclass
@@ -58,13 +72,22 @@ class CacheStats:
         }
 
 
-class SliceGraphCache:
-    """Bounded LRU cache of encoded slice graphs.
+def _payload_nbytes(payload) -> int:
+    """Best-effort byte size of a payload (0 when it does not report one)."""
+    return int(getattr(payload, "nbytes", 0) or 0)
+
+
+class SliceGraphCache(Generic[P]):
+    """Bounded LRU cache of per-slice graph payloads.
 
     Lookups refresh recency; inserts beyond ``capacity`` evict the least
     recently used entry.  A per-address key index makes invalidation
     O(cached slices of that address), which is what keeps block-append
-    invalidation incremental.
+    invalidation incremental.  ``nbytes`` reports the tensor bytes held
+    by the live payloads — recomputed per access (O(entries)) because
+    payloads may legitimately grow *after* insertion (models memoise
+    propagated features into cached entries); it informs sizing but
+    does not drive eviction, which is entry-count LRU.
     """
 
     def __init__(self, capacity: int = 4096):
@@ -72,7 +95,7 @@ class SliceGraphCache:
             raise ValidationError(f"capacity must be > 0, got {capacity}")
         self.capacity = capacity
         self.stats = CacheStats()
-        self._entries: "OrderedDict[CacheKey, EncodedGraph]" = OrderedDict()
+        self._entries: "OrderedDict[CacheKey, P]" = OrderedDict()
         self._by_address: Dict[str, Set[CacheKey]] = {}
 
     def __len__(self) -> int:
@@ -81,8 +104,15 @@ class SliceGraphCache:
     def __contains__(self, key: CacheKey) -> bool:
         return key in self._entries
 
-    def get(self, key: CacheKey) -> Optional[EncodedGraph]:
-        """The cached graph at ``key`` (refreshing recency), or None."""
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by live payloads (0 for payloads without ``nbytes``)."""
+        return sum(
+            _payload_nbytes(entry) for entry in self._entries.values()
+        )
+
+    def get(self, key: CacheKey) -> Optional[P]:
+        """The cached payload at ``key`` (refreshing recency), or None."""
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
@@ -95,11 +125,11 @@ class SliceGraphCache:
         """Count ``count`` lookups the caller skipped as known-stale."""
         self.stats.misses += count
 
-    def put(self, key: CacheKey, graph: EncodedGraph) -> None:
+    def put(self, key: CacheKey, payload: P) -> None:
         """Insert (or refresh) ``key``, evicting LRU entries over capacity."""
         if key in self._entries:
             self._entries.move_to_end(key)
-        self._entries[key] = graph
+        self._entries[key] = payload
         self._by_address.setdefault(key[0], set()).add(key)
         while len(self._entries) > self.capacity:
             evicted_key, _ = self._entries.popitem(last=False)

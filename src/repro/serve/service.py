@@ -6,7 +6,13 @@ is the serving-path counterpart:
 
 - **Slice-graph caching** — encoded slice graphs are reused across
   queries via :class:`~repro.serve.cache.SliceGraphCache`, keyed by
-  ``(address, slice_index, pipeline fingerprint)``.
+  ``(address, slice_index, pipeline fingerprint)``.  The construction
+  pipeline yields columnar :class:`~repro.graphs.arrays.ArrayGraph`
+  slices; each is encoded once (features assembled straight from the
+  array columns) and the encoded tensors — which also memoise the GFN
+  propagation across warm queries — are what the cache holds, with
+  tensor-byte ``nbytes`` accounting for observability (eviction stays
+  entry-count LRU).
 - **Incremental invalidation** — when blocks are appended to a connected
   chain, only the trailing slices of the touched addresses are dropped;
   completed slices of an append-only history never change.
@@ -121,7 +127,9 @@ class AddressScoringService:
         self.pipeline_config = classifier.config.pipeline_config()
         self.fingerprint = self.pipeline_config.fingerprint()
         self.pipeline = GraphConstructionPipeline(self.pipeline_config)
-        self.cache = SliceGraphCache(self.config.cache_capacity)
+        self.cache: SliceGraphCache[EncodedGraph] = SliceGraphCache(
+            self.config.cache_capacity
+        )
         if class_names is None:
             self.class_names: Dict[int, str] = {}
         elif isinstance(class_names, Mapping):

@@ -4,13 +4,37 @@ Small chain-manipulation utilities that both ``tests/`` and
 ``benchmarks/`` need; importing them from one place keeps the two
 suites' fixtures from drifting apart.  Nothing here is part of the
 production serving or training paths.
+
+:func:`random_chain` is the randomized-economy generator behind the
+pipeline-invariance property tests: seeded, deterministic, and
+deliberately messy (multi-output fanouts, self-spends, zero fees,
+duplicate timestamps, receive-only addresses) so the ArrayGraph and
+reference object pipelines are compared on awkward histories, not just
+tidy ones.
 """
 
 from __future__ import annotations
 
-from repro.chain import Transaction, TxInput, TxOutput
+from typing import List, Tuple
 
-__all__ = ["append_self_spend"]
+import numpy as np
+
+from repro.chain import (
+    AddressFactory,
+    Blockchain,
+    ChainParams,
+    Mempool,
+    Transaction,
+    TxInput,
+    TxOutput,
+    Wallet,
+    attach_index,
+    btc,
+)
+from repro.chain.explorer import ChainIndex
+from repro.errors import ReproError
+
+__all__ = ["append_self_spend", "random_chain", "golden_chain"]
 
 
 def append_self_spend(chain, address: str) -> None:
@@ -32,3 +56,125 @@ def append_self_spend(chain, address: str) -> None:
         timestamp=timestamp,
     )
     chain.mine_block([tx], reward_address=address, timestamp=timestamp)
+
+
+def random_chain(
+    seed: int,
+    num_wallets: int = 3,
+    rounds: int = 8,
+) -> Tuple[Blockchain, ChainIndex, List[str]]:
+    """A small seeded random economy: ``(chain, index, addresses)``.
+
+    ``addresses`` are the wallet primary addresses plus any receive-only
+    addresses the run produced (addresses that only ever appear on
+    transaction outputs).  Deterministic per ``seed``; history includes
+    coinbase funding, random multi-output payments with random fees,
+    occasional self-spends, and bursts of transactions sharing one
+    timestamp — the edge shapes the graph pipeline must survive.
+    """
+    rng = np.random.default_rng(seed)
+    factory = AddressFactory(seed)
+    chain = Blockchain(ChainParams(initial_subsidy=btc(50)))
+    index = attach_index(chain)
+    mempool = Mempool(chain.utxo_set)
+    wallets = [
+        Wallet(mempool.view(), factory, name=f"w{i}")
+        for i in range(num_wallets)
+    ]
+    for wallet in wallets:
+        wallet.new_address()
+    sinks = [factory.new_address() for _ in range(2)]  # receive-only
+    clock = 0.0
+    for wallet in wallets:
+        clock += 600.0
+        chain.mine_block(
+            mempool.drain(),
+            reward_address=wallet.addresses[0],
+            timestamp=clock,
+        )
+    for round_index in range(rounds):
+        clock += 600.0
+        same_stamp = bool(rng.random() < 0.25)
+        for i, wallet in enumerate(wallets):
+            if wallet.balance() < btc(0.5):
+                continue
+            fanout = int(rng.integers(1, 4))
+            payments = []
+            for _ in range(fanout):
+                if rng.random() < 0.2:
+                    target = sinks[int(rng.integers(len(sinks)))]
+                elif rng.random() < 0.15:
+                    target = wallet.addresses[0]  # self-spend
+                else:
+                    target = wallets[
+                        int(rng.integers(num_wallets))
+                    ].addresses[0]
+                payments.append((target, btc(0.1)))
+            timestamp = clock if same_stamp else clock + i
+            try:
+                mempool.submit(
+                    wallet.create_transaction(
+                        payments,
+                        timestamp=timestamp,
+                        fee=int(rng.integers(0, 3)) * 500,
+                    )
+                )
+            except ReproError:
+                continue  # insufficient funds this round: skip
+        chain.mine_block(
+            mempool.drain(),
+            reward_address=wallets[round_index % num_wallets].addresses[0],
+            timestamp=clock + num_wallets,
+        )
+    addresses = [w.addresses[0] for w in wallets]
+    addresses += [s for s in sinks if index.transaction_count(s) > 0]
+    return chain, index, addresses
+
+
+def golden_chain() -> Tuple[Blockchain, ChainIndex, List[str]]:
+    """The fixed tiny economy behind the golden regression fixture.
+
+    **Do not alter this history** — ``tests/data/golden_pipeline.npz``
+    stores the encoded-graph tensors and model scores it produces, and
+    the golden regression test diffs fresh pipeline output against that
+    artifact.  Every payment, fee, and timestamp is explicit (no rng),
+    including a fan-out, a self-spend, a receive-only address, and a
+    same-timestamp burst, so the fixture exercises each structural
+    branch of the four construction stages.  If pipeline *semantics*
+    ever change deliberately, regenerate with
+    ``python tests/data/make_golden.py``.
+    """
+    factory = AddressFactory(2023)
+    chain = Blockchain(ChainParams(initial_subsidy=btc(50)))
+    index = attach_index(chain)
+    mempool = Mempool(chain.utxo_set)
+    wallet_a = Wallet(mempool.view(), factory, name="a")
+    wallet_b = Wallet(mempool.view(), factory, name="b")
+    alice = wallet_a.new_address()
+    bob = wallet_b.new_address()
+    sink = factory.new_address()  # receive-only, never spends
+    chain.mine_block([], reward_address=alice, timestamp=600.0)
+    chain.mine_block([], reward_address=bob, timestamp=1200.0)
+    mempool.submit(
+        wallet_a.create_transaction(
+            [(bob, btc(5)), (sink, btc(1))], timestamp=1800.0, fee=1000
+        )
+    )
+    chain.mine_block(mempool.drain(), reward_address=alice, timestamp=1800.0)
+    # Same-timestamp burst: slice membership falls back to txid order.
+    mempool.submit(
+        wallet_b.create_transaction(
+            [(alice, btc(2)), (sink, btc(1))], timestamp=2400.0
+        )
+    )
+    mempool.submit(
+        wallet_a.create_transaction(
+            [(alice, btc(1))], timestamp=2400.0, fee=500  # self-spend
+        )
+    )
+    chain.mine_block(mempool.drain(), reward_address=bob, timestamp=2400.0)
+    mempool.submit(
+        wallet_b.create_transaction([(alice, btc(3))], timestamp=3000.0)
+    )
+    chain.mine_block(mempool.drain(), reward_address=alice, timestamp=3000.0)
+    return chain, index, [alice, bob, sink]

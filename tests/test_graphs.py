@@ -422,7 +422,13 @@ class TestPipeline:
         graphs = pipeline.build(index, center)
         assert STAGE_NAMES[0] in pipeline.timer.totals
         assert STAGE_NAMES[1] not in pipeline.timer.totals
-        assert all(node.centrality is None for g in graphs for node in g.nodes)
+        assert all(g.centrality is None for g in graphs)
+        # ... and the object-model conversion mirrors that state.
+        assert all(
+            node.centrality is None
+            for g in graphs
+            for node in g.to_address_graph().nodes
+        )
 
     def test_unknown_address_raises(self, mini_world_index):
         index, _ = mini_world_index

@@ -150,6 +150,110 @@ class TestCacheUnit:
             SliceGraphCache(capacity=0)
 
 
+class TestCacheArrayPayloads:
+    """The payload-agnostic cache holding compact ArrayGraph entries."""
+
+    def _array_graphs(self, setup, address):
+        _, index, _ = setup
+        from repro.graphs import GraphConstructionPipeline
+
+        pipeline = GraphConstructionPipeline(
+            GraphPipelineConfig(slice_size=SLICE_SIZE)
+        )
+        return pipeline.build(index, address)
+
+    def test_put_get_and_stats_accurate(self, setup):
+        _, index, addresses = setup
+        address = addresses[0]
+        graphs = self._array_graphs(setup, address)
+        fingerprint = GraphPipelineConfig(slice_size=SLICE_SIZE).fingerprint()
+        cache = SliceGraphCache(capacity=16)
+        for graph in graphs:
+            assert cache.get((address, graph.slice_index, fingerprint)) is None
+        for graph in graphs:
+            cache.put((address, graph.slice_index, fingerprint), graph)
+        for graph in graphs:
+            assert (
+                cache.get((address, graph.slice_index, fingerprint)) is graph
+            )
+        assert cache.stats.hits == len(graphs)
+        assert cache.stats.misses == len(graphs)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+        assert len(cache) == len(graphs)
+
+    def test_fingerprint_change_invalidates(self, setup):
+        """Entries keyed under one pipeline fingerprint must be invisible
+        to a service built over different construction parameters."""
+        _, _, addresses = setup
+        address = addresses[0]
+        graphs = self._array_graphs(setup, address)
+        old = GraphPipelineConfig(slice_size=SLICE_SIZE).fingerprint()
+        new = GraphPipelineConfig(slice_size=SLICE_SIZE, psi=0.9).fingerprint()
+        assert old != new
+        cache = SliceGraphCache(capacity=16)
+        cache.put((address, 0, old), graphs[0])
+        assert cache.get((address, 0, new)) is None  # miss, not a stale hit
+        assert cache.get((address, 0, old)) is graphs[0]
+
+    def test_address_invalidation_drops_array_entries(self, setup):
+        _, _, addresses = setup
+        address = addresses[0]
+        graphs = self._array_graphs(setup, address)
+        cache = SliceGraphCache(capacity=16)
+        for graph in graphs:
+            cache.put((address, graph.slice_index, "fp"), graph)
+        dropped = cache.invalidate_address(address, from_slice=1)
+        assert dropped == len(graphs) - 1
+        assert (address, 0, "fp") in cache
+        assert cache.stats.invalidations == dropped
+
+    def test_nbytes_tracks_entries(self, setup):
+        """Byte accounting rises on put, falls on invalidate, zeroes on
+        clear — and matches the payloads' own nbytes exactly."""
+        _, _, addresses = setup
+        address = addresses[0]
+        graphs = self._array_graphs(setup, address)
+        cache = SliceGraphCache(capacity=16)
+        assert cache.nbytes == 0
+        for graph in graphs:
+            cache.put((address, graph.slice_index, "fp"), graph)
+        assert cache.nbytes == sum(g.nbytes for g in graphs)
+        cache.invalidate_address(address, from_slice=1)
+        assert cache.nbytes == graphs[0].nbytes
+        cache.clear()
+        assert cache.nbytes == 0
+
+    def test_encoded_nbytes_includes_model_cache(self, setup):
+        """Warm entries grow when a model memoises propagated features
+        into EncodedGraph.cache; nbytes must keep counting them."""
+        _, index, addresses = setup
+        from repro.gnn.data import encode_graph
+        from repro.graphs import GraphConstructionPipeline
+
+        pipeline = GraphConstructionPipeline(
+            GraphPipelineConfig(slice_size=SLICE_SIZE)
+        )
+        encoded = encode_graph(pipeline.build(index, addresses[0])[0])
+        cache = SliceGraphCache(capacity=4)
+        cache.put((addresses[0], 0, "fp"), encoded)
+        before = cache.nbytes
+        encoded.cache["gfn"] = np.zeros((4, 4))  # post-put mutation
+        assert cache.nbytes == before + 128
+
+    def test_nbytes_eviction_and_replacement(self, setup):
+        _, _, addresses = setup
+        address = addresses[0]
+        graphs = self._array_graphs(setup, address)
+        cache = SliceGraphCache(capacity=1)
+        cache.put((address, 0, "fp"), graphs[0])
+        cache.put((address, 1, "fp"), graphs[-1])  # evicts slice 0
+        assert cache.stats.evictions == 1
+        assert cache.nbytes == graphs[-1].nbytes
+        cache.put((address, 1, "fp"), graphs[0])  # replace same key
+        assert cache.nbytes == graphs[0].nbytes
+        assert len(cache) == 1
+
+
 class TestFingerprint:
     def test_stable_and_distinct(self):
         a = GraphPipelineConfig(slice_size=40)
@@ -459,6 +563,26 @@ class TestInvalidation:
         service.close()
         assert service._executor is None
         service.close()  # idempotent
+
+    def test_cache_byte_accounting_with_encoded_entries(self, setup):
+        """The service's encoded entries are byte-accounted end to end:
+        warming fills nbytes, append invalidation shrinks it."""
+        chain, index, addresses = setup
+        _, service = _service(setup, chain=chain)
+        service.score(addresses)
+        warmed = service.cache.nbytes
+        assert warmed > 0
+        target = next(
+            a for a in addresses
+            if chain.utxo_set.balance_of(a) > 0
+            and index.transaction_count(a) % SLICE_SIZE != 0
+        )
+        _append_self_spend(chain, target)
+        assert service.stats.invalidations >= 1
+        assert service.cache.nbytes < warmed
+        service.score(addresses)  # rebuild: accounting recovers
+        assert service.cache.nbytes > 0
+        service.disconnect()
 
     def test_covered_tracking_without_chain_connection(self, setup):
         """Even unconnected, score() detects tx-count growth and rebuilds."""
