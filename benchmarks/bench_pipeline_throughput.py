@@ -12,6 +12,13 @@ Measures, on one synthetic economy:
   kernels against the original per-node implementations
   (:mod:`repro.graphs.reference`) on random graphs of ≥200 nodes, the
   acceptance gate for the vectorized rewrite (≥10× in full mode).
+- **Stage-4 cross-graph batching speedup** — the block-diagonal batched
+  Stage-4 path (``augment_graphs``, the pipeline default since PR 4)
+  against the per-graph PR-3 path (``augment_graph`` in a loop) over
+  every slice graph of the run, with 1e-9 parity asserted graph by
+  graph.  The acceptance gate for the batched rewrite (≥1.5× in full
+  mode; the PR-3 full-mode rate is kept as
+  ``stage4_pr3_graphs_per_second`` so the trajectory stays visible).
 - **Stage-1–3 construction speedup** — the ArrayGraph-native extraction
   + compression stages against the reference object pipeline
   (``build_original_graph`` + reference set-based compressions) on the
@@ -46,6 +53,8 @@ from repro.gnn.data import encode_graph
 from repro.graphs import (
     GraphConstructionPipeline,
     GraphPipelineConfig,
+    augment_graph,
+    augment_graphs,
     build_original_graph,
     centrality_matrix,
     slice_transactions,
@@ -74,6 +83,7 @@ if SMOKE:
     SPEEDUP_GRAPH_SIZES = (80,)
     MIN_SPEEDUP = None  # timing noise dominates at smoke scale
     MIN_CONSTRUCTION_SPEEDUP = None
+    MIN_STAGE4_BATCH_SPEEDUP = None
 else:
     # Full mode measures the same economy the table/figure benchmarks
     # share, so stage timings stay comparable across the harness.
@@ -83,12 +93,20 @@ else:
     SPEEDUP_GRAPH_SIZES = (200, 320)
     MIN_SPEEDUP = 10.0  # acceptance gate for the vectorized Stage 4
     MIN_CONSTRUCTION_SPEEDUP = 1.2  # floor vs pure-Python reference (noise margin)
+    MIN_STAGE4_BATCH_SPEEDUP = 1.5  # batched vs per-graph Stage 4 (PR-4 gate)
 
 # PR-2 trajectory point (full mode): Stages 1–3 ran at 357.3 graphs/s
 # (2.0207 s over 722 slice graphs).  Kept as a constant so the tracked
 # ≥3× ArrayGraph acceptance stays visible in the results file even
 # though each run overwrites the per-mode entry.
 PR2_STAGE123_GRAPHS_PER_SECOND = 357.3
+
+# PR-3 trajectory point (full mode): the per-graph Stage-4 path ran at
+# 495.9 graphs/s (1.4559 s over 722 slice graphs).  The batched
+# block-diagonal path must beat it; the hard gate is the in-run
+# per-graph-vs-batched speedup (machine-independent), this constant
+# keeps the cross-PR ratio visible in the results file.
+PR3_STAGE4_GRAPHS_PER_SECOND = 495.9
 
 
 def _random_adjacency(n: int, seed: int):
@@ -138,6 +156,30 @@ def _stage4_speedup():
             }
         )
     return rows, reference_total / vectorized_total
+
+
+def _stage4_batch_comparison(graphs, max_batch_nodes):
+    """Batched vs per-graph Stage 4 over the run's real slice graphs.
+
+    Re-augments the already-built graphs both ways (augmentation is a
+    pure overwrite of the centrality column, so reuse is safe), asserts
+    1e-9 parity graph by graph, and returns
+    ``(per_graph_seconds, batched_seconds)``.
+    """
+    start = time.perf_counter()
+    for graph in graphs:
+        augment_graph(graph)
+    per_graph_seconds = time.perf_counter() - start
+    expected = [graph.centrality.copy() for graph in graphs]
+
+    start = time.perf_counter()
+    augment_graphs(graphs, max_batch_nodes=max_batch_nodes)
+    batched_seconds = time.perf_counter() - start
+    for graph, reference in zip(graphs, expected):
+        np.testing.assert_allclose(
+            graph.centrality, reference, rtol=1e-9, atol=1e-9
+        )
+    return per_graph_seconds, batched_seconds
 
 
 def _stage123_reference_seconds(index, addresses):
@@ -208,6 +250,25 @@ def test_bench_pipeline_throughput():
             f"faster than the reference kernels (need >= {MIN_SPEEDUP}x)"
         )
 
+    # --- Stage 4: block-diagonal batching vs the per-graph PR-3 path -- #
+    flat_graphs = [
+        graph
+        for address in addresses
+        for graph in graphs_by_address[address]
+    ]
+    stage4_per_graph_seconds, stage4_batched_seconds = (
+        _stage4_batch_comparison(
+            flat_graphs, config.stage4_max_batch_nodes
+        )
+    )
+    stage4_batch_speedup = stage4_per_graph_seconds / stage4_batched_seconds
+    if MIN_STAGE4_BATCH_SPEEDUP is not None:
+        assert stage4_batch_speedup >= MIN_STAGE4_BATCH_SPEEDUP, (
+            f"batched Stage-4 augmentation only {stage4_batch_speedup:.2f}x "
+            f"faster than the per-graph path "
+            f"(need >= {MIN_STAGE4_BATCH_SPEEDUP}x)"
+        )
+
     # --- Stages 1–3: ArrayGraph construction vs the object pipeline --- #
     stage123_seconds = sum(
         row["total_seconds"] for row in stage_rows[:3]
@@ -254,6 +315,22 @@ def test_bench_pipeline_throughput():
         ),
         "stage4_speedup_vs_reference": stage4_speedup,
         "stage4_speedup_rows": speedup_rows,
+        "stage4_per_graph_seconds": stage4_per_graph_seconds,
+        "stage4_batched_seconds": stage4_batched_seconds,
+        "stage4_batch_speedup": stage4_batch_speedup,
+        "stage4_graphs_per_second": total_graphs / stage4_batched_seconds,
+        "stage4_per_graph_graphs_per_second": (
+            total_graphs / stage4_per_graph_seconds
+        ),
+        "stage4_pr3_graphs_per_second": (
+            None if SMOKE else PR3_STAGE4_GRAPHS_PER_SECOND
+        ),
+        "stage4_speedup_vs_pr3": (
+            None
+            if SMOKE
+            else (total_graphs / stage4_batched_seconds)
+            / PR3_STAGE4_GRAPHS_PER_SECOND
+        ),
     }
     # Merge under a per-mode key: a tier-1 smoke run must not clobber
     # the full-mode trajectory (and vice versa).
@@ -288,5 +365,10 @@ def test_bench_pipeline_throughput():
     lines.append(
         f"stage-4 vectorized vs reference: {stage4_speedup:.1f}x "
         f"on {SPEEDUP_GRAPH_SIZES}-node graphs"
+    )
+    lines.append(
+        f"stage-4 batched vs per-graph: {stage4_batch_speedup:.2f}x "
+        f"({payload['stage4_graphs_per_second']:.0f} vs "
+        f"{payload['stage4_per_graph_graphs_per_second']:.0f} graphs/s)"
     )
     print("\n" + "\n".join(lines) + "\n")

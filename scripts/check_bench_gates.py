@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Fail loudly when the recorded benchmark trajectory regresses a gate.
+
+``benchmarks/results/BENCH_pipeline.json`` holds the tracked full-mode
+perf trajectory.  Tier-1 runs only refresh the *smoke* entry (gates
+disabled there — timing a seconds-scale workload is noise), so a perf
+regression could silently ride along until someone re-runs the full
+benchmark.  This check closes that gap: ``scripts/tier1.sh`` calls it
+after the smoke benchmarks to re-assert the gated speedups of the
+recorded full-mode entry.
+
+Gates (mirroring ``benchmarks/bench_pipeline_throughput.py`` full mode):
+
+- ``stage4_batch_speedup``      >= 1.5  (block-diagonal batching, PR 4)
+- ``stage4_speedup_vs_reference`` >= 10 (vectorized kernels, PR 2)
+- ``stage123_speedup_vs_reference`` >= 1.2 (ArrayGraph stages, PR 3)
+
+A missing file or missing full-mode entry is reported but does not
+fail (fresh checkouts have no recorded trajectory until someone runs
+``python -m pytest benchmarks/bench_pipeline_throughput.py``); a
+recorded entry that violates a gate exits non-zero.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+RESULTS_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "results"
+    / "BENCH_pipeline.json"
+)
+
+#: ``field -> minimum`` over the recorded full-mode entry.
+GATES = {
+    "stage4_batch_speedup": 1.5,
+    "stage4_speedup_vs_reference": 10.0,
+    "stage123_speedup_vs_reference": 1.2,
+}
+
+
+def main() -> int:
+    if not RESULTS_PATH.exists():
+        print(f"bench gates: no {RESULTS_PATH.name} yet — nothing to check")
+        return 0
+    try:
+        recorded = json.loads(RESULTS_PATH.read_text())
+    except ValueError as error:
+        print(f"bench gates: {RESULTS_PATH.name} is not valid JSON: {error}")
+        return 1
+    full = recorded.get("full")
+    if not isinstance(full, dict):
+        print(
+            "bench gates: no recorded full-mode entry — run "
+            "`PYTHONPATH=src python -m pytest "
+            "benchmarks/bench_pipeline_throughput.py` to record one"
+        )
+        return 0
+    failures = []
+    for field, minimum in GATES.items():
+        value = full.get(field)
+        if value is None:
+            failures.append(f"  {field}: missing from the full-mode entry")
+        elif value < minimum:
+            failures.append(f"  {field}: {value:.2f} < required {minimum}")
+        else:
+            print(f"bench gates: {field} = {value:.2f} (>= {minimum}) ok")
+    if failures:
+        print("bench gates REGRESSED in the recorded full-mode entry:")
+        print("\n".join(failures))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

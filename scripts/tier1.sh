@@ -29,3 +29,9 @@ REPRO_BENCH_SMOKE=1 python -m pytest -q benchmarks/bench_serving_throughput.py
 
 echo "== tier-1: pipeline throughput smoke benchmark =="
 REPRO_BENCH_SMOKE=1 python -m pytest -q benchmarks/bench_pipeline_throughput.py
+
+echo "== tier-1: recorded benchmark gates (full-mode trajectory) =="
+python scripts/check_bench_gates.py
+
+echo "== tier-1: documentation references =="
+scripts/docs_check.sh

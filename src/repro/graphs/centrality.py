@@ -123,26 +123,36 @@ Level = Tuple[np.ndarray, np.ndarray]
 
 
 def _forward_sweep(
-    transpose: sp.csr_matrix, sources: np.ndarray, n: int
+    transpose: sp.csr_matrix,
+    seed_rows: np.ndarray,
+    seed_cols: np.ndarray,
+    num_rows: int,
+    n: int,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[Level]]:
     """Level-synchronous BFS + path counting for one source block.
 
+    Sources are given as ``(seed_rows, seed_cols)`` index pairs into the
+    ``num_rows × n`` work arrays.  The per-graph kernels seed one source
+    per row (``seed_rows = arange(b)``); the block-diagonal batched
+    kernel (:mod:`repro.graphs.batched_centrality`) seeds one source
+    *per graph* per row, which is sound because BFS regions of the
+    block-diagonal graphs never overlap.
+
     Returns ``(sigma, dist, visited, levels)`` where ``sigma``/``dist``/
-    ``visited`` have a row per source and ``levels[L]`` holds the
+    ``visited`` have a row per source row and ``levels[L]`` holds the
     ``(source row, node)`` index pairs at BFS depth ``L``.  Each level
     costs one sparse mat-mat product; every (source, node) pair appears
     in exactly one level, so the level lists total ``O(B·n)`` memory —
     the same bound as the dense work arrays.
     """
-    b = sources.size
-    rows = np.arange(b)
+    b = num_rows
     sigma = np.zeros((b, n), dtype=np.float64)
-    sigma[rows, sources] = 1.0
+    sigma[seed_rows, seed_cols] = 1.0
     visited = np.zeros((b, n), dtype=bool)
-    visited[rows, sources] = True
+    visited[seed_rows, seed_cols] = True
     dist = np.full((b, n), -1, dtype=np.int64)
-    dist[rows, sources] = 0
-    levels: List[Level] = [(rows, sources)]
+    dist[seed_rows, seed_cols] = 0
+    levels: List[Level] = [(seed_rows, seed_cols)]
     frontier = np.zeros((b, n), dtype=np.float64)
     level = 0
     while True:
@@ -165,14 +175,17 @@ def _backward_sweep(
     matrix: sp.csr_matrix,
     sigma: np.ndarray,
     levels: List[Level],
-    sources: np.ndarray,
+    seed_rows: np.ndarray,
+    seed_cols: np.ndarray,
 ) -> np.ndarray:
     """Brandes' dependency accumulation for one source block.
 
     A node at level L−1 receives ``σ_u · Σ_{v ∈ Γ(u) ∩ level L}
     (1 + δ_v)/σ_v``; same-level and back edges are masked out, which is
     exactly Brandes' shortest-path-DAG restriction.  Returns the summed
-    per-node dependency of the block (source self-dependencies zeroed).
+    per-node dependency of the block (source self-dependencies, seeded
+    at the ``(seed_rows, seed_cols)`` pairs of the forward sweep,
+    zeroed).
     """
     delta = np.zeros_like(sigma)
     coefficient = np.zeros_like(sigma)
@@ -185,7 +198,7 @@ def _backward_sweep(
         delta[prev_rows, prev_cols] += (
             sigma[prev_rows, prev_cols] * contribution[prev_rows, prev_cols]
         )
-    delta[np.arange(sources.size), sources] = 0.0
+    delta[seed_rows, seed_cols] = 0.0
     return delta.sum(axis=0)
 
 
@@ -211,7 +224,10 @@ def closeness_centrality(adjacency: Adjacency) -> np.ndarray:
     scores = np.zeros(n, dtype=np.float64)
     for start in _source_blocks(n):
         sources = np.arange(start, min(start + BFS_BLOCK, n))
-        _, dist, visited, _ = _forward_sweep(transpose, sources, n)
+        rows = np.arange(sources.size)
+        _, dist, visited, _ = _forward_sweep(
+            transpose, rows, sources, sources.size, n
+        )
         valid, block_scores = _closeness_from_sweep(dist, visited)
         scores[sources[valid]] = block_scores[valid]
     return scores
@@ -227,8 +243,11 @@ def betweenness_centrality(
     scores = np.zeros(n, dtype=np.float64)
     for start in _source_blocks(n):
         sources = np.arange(start, min(start + BFS_BLOCK, n))
-        sigma, _, _, levels = _forward_sweep(transpose, sources, n)
-        scores += _backward_sweep(matrix, sigma, levels, sources)
+        rows = np.arange(sources.size)
+        sigma, _, _, levels = _forward_sweep(
+            transpose, rows, sources, sources.size, n
+        )
+        scores += _backward_sweep(matrix, sigma, levels, rows, sources)
     scores /= 2.0  # each undirected pair counted twice
     if normalized and n > 2:
         scores *= 2.0 / ((n - 1) * (n - 2))
@@ -319,10 +338,13 @@ def centrality_matrix_csr(
     betweenness = np.zeros(n, dtype=np.float64)
     for start in _source_blocks(n):
         sources = np.arange(start, min(start + BFS_BLOCK, n))
-        sigma, dist, visited, levels = _forward_sweep(transpose, sources, n)
+        rows = np.arange(sources.size)
+        sigma, dist, visited, levels = _forward_sweep(
+            transpose, rows, sources, sources.size, n
+        )
         valid, block_scores = _closeness_from_sweep(dist, visited)
         closeness[sources[valid]] = block_scores[valid]
-        betweenness += _backward_sweep(matrix, sigma, levels, sources)
+        betweenness += _backward_sweep(matrix, sigma, levels, rows, sources)
     betweenness /= 2.0
     if n > 2:
         betweenness *= 2.0 / ((n - 1) * (n - 2))

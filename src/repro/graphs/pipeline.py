@@ -11,8 +11,11 @@ The pipeline runs natively on the columnar
 and value-bag arrays directly from the transaction slices, Stages 2–3
 compress those arrays in place (array union-find + ``bincount``
 aggregation, no per-node object rebuilds), and Stage 4 attaches the
-centrality matrix as one column.  Callers that want the object model
-convert with :meth:`~repro.graphs.model.AddressGraph.from_arrays`.
+centrality matrix as one column — by default computed for *all* slice
+graphs of the call in one block-diagonal batched sweep
+(:func:`~repro.graphs.augmentation.augment_graphs`; see
+``GraphPipelineConfig.batch_stage4``).  Callers that want the object
+model convert with :meth:`~repro.graphs.model.AddressGraph.from_arrays`.
 """
 
 from __future__ import annotations
@@ -26,7 +29,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.chain.explorer import ChainIndex
 from repro.errors import GraphConstructionError, ValidationError
-from repro.graphs.augmentation import augment_graph
+from repro.graphs.augmentation import augment_graph, augment_graphs
 from repro.graphs.compression import (
     compress_multi_transaction_addresses,
     compress_single_transaction_addresses,
@@ -45,6 +48,12 @@ STAGE_NAMES = (
 )
 
 
+#: Config fields that tune *how fast* Stage 4 runs, not *what* it
+#: builds — excluded from :meth:`GraphPipelineConfig.fingerprint` so
+#: cache entries stay shareable across batching settings.
+_PERF_ONLY_FIELDS = ("batch_stage4", "stage4_max_batch_nodes")
+
+
 @dataclass(frozen=True)
 class GraphPipelineConfig:
     """Construction parameters.
@@ -53,6 +62,15 @@ class GraphPipelineConfig:
     (Ψ) and ``sigma`` (σ) are the multi-transaction compression
     thresholds.  The two ``enable_*`` switches exist for the compression
     ablation benchmark.
+
+    ``batch_stage4`` selects the default cross-graph Stage-4 path: all
+    slice graphs of a pipeline call share one block-diagonal centrality
+    sweep (:func:`~repro.graphs.augmentation.augment_graphs`) instead
+    of running the kernels per graph — output-identical, but with the
+    per-graph scipy/Python overhead amortised across the batch.
+    ``stage4_max_batch_nodes`` bounds the nodes packed per sweep (the
+    dense BFS scratch is ``64 × nodes`` float64).  Both are performance
+    knobs only and therefore excluded from :meth:`fingerprint`.
     """
 
     slice_size: int = 100
@@ -61,6 +79,8 @@ class GraphPipelineConfig:
     enable_single_compression: bool = True
     enable_multi_compression: bool = True
     enable_augmentation: bool = True
+    batch_stage4: bool = True
+    stage4_max_batch_nodes: int = 8192
 
     def __post_init__(self) -> None:
         if self.slice_size <= 0:
@@ -69,16 +89,27 @@ class GraphPipelineConfig:
             raise ValidationError(f"psi must be in (0, 1], got {self.psi}")
         if self.sigma < 1:
             raise ValidationError(f"sigma must be >= 1, got {self.sigma}")
+        if self.stage4_max_batch_nodes <= 0:
+            raise ValidationError(
+                "stage4_max_batch_nodes must be > 0, got "
+                f"{self.stage4_max_batch_nodes}"
+            )
 
     def fingerprint(self) -> str:
         """Stable digest of the construction parameters.
 
         Two configs with equal fingerprints build identical graphs from
         identical transaction histories, so the digest is safe to use as
-        a cache-key component (see :mod:`repro.serve`).
+        a cache-key component (see :mod:`repro.serve`).  Performance-only
+        knobs (Stage-4 batching) are excluded: they change wall-clock,
+        never output, so flipping them must not invalidate warm caches.
         """
-        payload = json.dumps(dataclasses.asdict(self), sort_keys=True)
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+        payload = dataclasses.asdict(self)
+        for field in _PERF_ONLY_FIELDS:
+            payload.pop(field)
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode("utf-8")
+        ).hexdigest()[:16]
 
 
 class GraphConstructionPipeline:
@@ -106,6 +137,18 @@ class GraphConstructionPipeline:
         every slice (equivalent to :meth:`build`).  Graphs are returned
         in ascending slice order.
         """
+        graphs = self._build_compressed(index, address, slice_indices)
+        if self.config.enable_augmentation:
+            graphs = self._augment(graphs)
+        return graphs
+
+    def _build_compressed(
+        self,
+        index: ChainIndex,
+        address: str,
+        slice_indices: Optional[Sequence[int]],
+    ) -> List[ArrayGraph]:
+        """Stages 1–3 for one address (extraction + both compressions)."""
         start = time.perf_counter()
         transactions = index.transactions_of(address)
         if not transactions:
@@ -141,12 +184,10 @@ class GraphConstructionPipeline:
                 prep_share + build_seconds,
                 count=len(graphs),
             )
-        return self._compress_and_augment(graphs)
+        return self._compress(graphs)
 
-    def _compress_and_augment(
-        self, graphs: List[ArrayGraph]
-    ) -> List[ArrayGraph]:
-        """Stages 2–4 over extracted graphs, timed per graph."""
+    def _compress(self, graphs: List[ArrayGraph]) -> List[ArrayGraph]:
+        """Stages 2–3 over extracted graphs, timed per graph."""
         cfg = self.config
         stages = [
             (
@@ -161,7 +202,6 @@ class GraphConstructionPipeline:
                     g, psi=cfg.psi, sigma=cfg.sigma
                 ),
             ),
-            (cfg.enable_augmentation, STAGE_NAMES[3], augment_graph),
         ]
         for enabled, name, transform in stages:
             if not enabled:
@@ -173,11 +213,68 @@ class GraphConstructionPipeline:
             graphs = processed
         return graphs
 
+    def _augment(self, graphs: List[ArrayGraph]) -> List[ArrayGraph]:
+        """Stage 4, batched across ``graphs`` unless configured off.
+
+        The batched path times the whole block-diagonal sweep once and
+        amortises it over the batch (``count=len(graphs)``), so
+        ``stage_report()`` keeps its per-graph mean semantics either
+        way.
+        """
+        name = STAGE_NAMES[3]
+        if not graphs:
+            return graphs
+        if self.config.batch_stage4:
+            start = time.perf_counter()
+            graphs = augment_graphs(
+                graphs, max_batch_nodes=self.config.stage4_max_batch_nodes
+            )
+            self.timer.add(
+                name, time.perf_counter() - start, count=len(graphs)
+            )
+            return graphs
+        processed = []
+        for graph in graphs:
+            with self.timer.stage(name):
+                processed.append(augment_graph(graph))
+        return processed
+
     def build_many(
         self, index: ChainIndex, addresses: Sequence[str]
     ) -> Dict[str, List[ArrayGraph]]:
-        """Graphs for many addresses: ``{address: [slice graphs...]}``."""
-        return {address: self.build(index, address) for address in addresses}
+        """Graphs for many addresses: ``{address: [slice graphs...]}``.
+
+        Delegates to :meth:`build_many_slices`, so Stage-4 centrality
+        batches across *every* address of the call, not per address.
+        """
+        return self.build_many_slices(
+            index, {address: None for address in addresses}
+        )
+
+    def build_many_slices(
+        self,
+        index: ChainIndex,
+        requests: "Dict[str, Optional[Sequence[int]]]",
+    ) -> Dict[str, List[ArrayGraph]]:
+        """Requested slice graphs of many addresses, one Stage-4 batch.
+
+        ``requests`` maps each address to the slice indices wanted
+        (``None`` = every slice, like :meth:`build`).  Stages 1–3 run
+        per address; the Stage-4 centrality sweep then runs once over
+        the union of all slice graphs of the call — the cross-address
+        batching the serving layer uses to amortise the hottest kernel
+        over a whole ``score()`` query.  Results are identical to
+        calling :meth:`build_slices` per address.
+        """
+        prepared = {
+            address: self._build_compressed(index, address, slice_indices)
+            for address, slice_indices in requests.items()
+        }
+        if self.config.enable_augmentation:
+            self._augment(
+                [graph for graphs in prepared.values() for graph in graphs]
+            )
+        return prepared
 
     def stage_report(self) -> List[Dict[str, float]]:
         """Per-stage rows: name, total seconds, share, mean, entry count.

@@ -18,6 +18,14 @@ is the serving-path counterpart:
   completed slices of an append-only history never change.
 - **Parallel construction** — cache misses fan out over a
   ``concurrent.futures`` thread pool, one task per address.
+- **Cross-address Stage-4 batching** — on the single-threaded miss path
+  every missing slice graph of the query is built through one
+  :meth:`~repro.graphs.pipeline.GraphConstructionPipeline.build_many_slices`
+  call, so the Stage-4 centrality kernels run as block-diagonal sweeps
+  over *all* addresses of the query instead of per graph (the threaded
+  path batches per address — each worker's pipeline call covers that
+  address's slices).  Disable via
+  ``GraphPipelineConfig(batch_stage4=False)``.
 - **Batched inference** — all slice graphs of a query are embedded in
   block-diagonal batches and the sequence head runs over padded
   sequence batches, instead of per-graph / per-address forwards.
@@ -84,7 +92,13 @@ class ScoringServiceConfig:
 
 @dataclass
 class AddressScore:
-    """One scored address: predicted class plus the full distribution."""
+    """One scored address: predicted class plus the full distribution.
+
+    ``probabilities`` is the ``(num_classes,) float64`` softmax row for
+    the address (sums to 1); ``label`` is its argmax and ``class_name``
+    the human-readable mapping supplied at service construction (or
+    ``class_<label>``).
+    """
 
     address: str
     label: int
@@ -365,9 +379,8 @@ class AddressScoringService:
             }
             for address, future in futures.items():
                 built[address] = future.result()
-        else:
-            for address, idxs in to_build.items():
-                built[address] = self._build_address(address, idxs)
+        elif to_build:
+            built = self._build_addresses(to_build)
 
         sequences: Dict[str, List[EncodedGraph]] = {}
         for address in addresses:
@@ -385,12 +398,36 @@ class AddressScoringService:
     ) -> List[EncodedGraph]:
         """Build + encode the missing slices of one address.
 
-        Each call uses a private pipeline so worker threads never share
-        a timer; the accumulations are merged back under a lock.
+        The thread-pool task body: each call uses a private pipeline so
+        worker threads never share a timer; the accumulations are
+        merged back under a lock.  Stage 4 batches across the
+        address's own slices (per the pipeline config).
         """
         pipeline = GraphConstructionPipeline(self.pipeline_config)
         graphs = pipeline.build_slices(self.index, address, slice_indices)
         encoded = [encode_graph(graph) for graph in graphs]
+        with self._timer_lock:
+            self.pipeline.timer.merge(pipeline.timer)
+        return encoded
+
+    def _build_addresses(
+        self, requests: Dict[str, List[int]]
+    ) -> Dict[str, List[EncodedGraph]]:
+        """Build + encode missing slices of many addresses at once.
+
+        The single-threaded miss path: one
+        :meth:`~repro.graphs.pipeline.GraphConstructionPipeline.build_many_slices`
+        call, so the Stage-4 centrality sweep is block-diagonal across
+        every address of the query.  Uses a private pipeline and merges
+        the timer like :meth:`_build_address`, keeping
+        :meth:`construction_report` accounting identical between paths.
+        """
+        pipeline = GraphConstructionPipeline(self.pipeline_config)
+        graphs_by_address = pipeline.build_many_slices(self.index, requests)
+        encoded = {
+            address: [encode_graph(graph) for graph in graphs]
+            for address, graphs in graphs_by_address.items()
+        }
         with self._timer_lock:
             self.pipeline.timer.merge(pipeline.timer)
         return encoded

@@ -1,0 +1,310 @@
+"""Cross-graph block-diagonal Stage-4 batching: parity + edge cases.
+
+The batched path must be a pure performance optimisation: a batch of
+size one is bit-for-bit the per-graph path, mixed batches (empty,
+single-node, disconnected, dangling-node graphs) are pinned to 1e-9
+against both the per-graph CSR kernels and the pure-Python reference
+oracles, batching is order-invariant, and chunking never changes
+results.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graphs import (
+    ArrayGraph,
+    GraphConstructionPipeline,
+    GraphPipelineConfig,
+    augment_graph,
+    augment_graphs,
+    batched_centrality_matrices,
+    centrality_matrix_block_diagonal,
+    centrality_matrix_csr,
+    pack_block_diagonal,
+)
+from repro.graphs.reference import reference_centrality_matrix
+from repro.testing import random_chain
+
+
+def _random_csr(n: int, seed: int, isolate: int = 0) -> sp.csr_matrix:
+    """A random symmetric adjacency; ``isolate`` forces dangling nodes."""
+    if n == 0:
+        return sp.csr_matrix((0, 0), dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    m = max(0, int(0.06 * n * n))
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    if isolate:
+        mask = (src >= isolate) & (dst >= isolate)
+        src, dst = src[mask], dst[mask]
+    if src.size == 0:
+        return sp.csr_matrix((n, n), dtype=np.float64)
+    rows = np.concatenate([src, dst])
+    cols = np.concatenate([dst, src])
+    matrix = sp.csr_matrix((np.ones(rows.size), (rows, cols)), shape=(n, n))
+    matrix.data[:] = 1.0
+    return matrix
+
+
+def _adjacency_lists(matrix: sp.csr_matrix):
+    return [
+        sorted(matrix.indices[matrix.indptr[i] : matrix.indptr[i + 1]].tolist())
+        for i in range(matrix.shape[0])
+    ]
+
+
+#: Sizes mixing empty, single-node, block-boundary (64/65), and
+#: larger-than-one-source-block graphs; every third has forced
+#: dangling (isolated) nodes and the sparse draw leaves some graphs
+#: disconnected.
+MIXED_SIZES = (0, 1, 7, 33, 64, 65, 130, 2, 0, 50, 3)
+
+
+@pytest.fixture(scope="module")
+def mixed_matrices():
+    return [
+        _random_csr(n, seed=1000 + i, isolate=(2 if i % 3 == 0 else 0))
+        for i, n in enumerate(MIXED_SIZES)
+    ]
+
+
+@pytest.fixture(scope="module")
+def pipeline_graphs():
+    """Real (un-augmented) slice graphs out of Stages 1–3."""
+    _, index, addresses = random_chain(seed=11)
+    pipeline = GraphConstructionPipeline(
+        GraphPipelineConfig(slice_size=15, enable_augmentation=False)
+    )
+    graphs = [
+        graph
+        for address in addresses
+        for graph in pipeline.build(index, address)
+    ]
+    assert graphs
+    return graphs
+
+
+class TestKernelParity:
+    def test_mixed_batch_matches_per_graph_and_reference(self, mixed_matrices):
+        batched = batched_centrality_matrices(
+            mixed_matrices, max_batch_nodes=120
+        )
+        for i, (matrix, got) in enumerate(zip(mixed_matrices, batched)):
+            assert got.shape == (matrix.shape[0], 4)
+            np.testing.assert_allclose(
+                got,
+                centrality_matrix_csr(matrix),
+                rtol=1e-9,
+                atol=1e-9,
+                err_msg=f"graph {i} vs per-graph CSR path",
+            )
+            np.testing.assert_allclose(
+                got,
+                reference_centrality_matrix(_adjacency_lists(matrix)),
+                rtol=1e-9,
+                atol=1e-9,
+                err_msg=f"graph {i} vs pure-Python reference",
+            )
+
+    def test_singleton_batch_bit_for_bit(self, mixed_matrices):
+        for i, matrix in enumerate(mixed_matrices):
+            got = batched_centrality_matrices([matrix])[0]
+            expected = centrality_matrix_csr(matrix)
+            assert np.array_equal(got, expected), f"graph {i} not bitwise"
+
+    def test_empty_batch(self):
+        assert batched_centrality_matrices([]) == []
+
+    def test_order_invariance(self, mixed_matrices):
+        rng = np.random.default_rng(3)
+        baseline = batched_centrality_matrices(
+            mixed_matrices, max_batch_nodes=120
+        )
+        permutation = rng.permutation(len(mixed_matrices))
+        permuted = batched_centrality_matrices(
+            [mixed_matrices[j] for j in permutation], max_batch_nodes=120
+        )
+        for position, j in enumerate(permutation):
+            assert np.array_equal(permuted[position], baseline[j]), (
+                f"permuting the batch changed graph {j}"
+            )
+
+    def test_chunking_invariance(self, mixed_matrices):
+        one_pack = batched_centrality_matrices(
+            mixed_matrices, max_batch_nodes=None
+        )
+        tiny_packs = batched_centrality_matrices(
+            mixed_matrices, max_batch_nodes=1
+        )
+        for i, (a, b) in enumerate(zip(one_pack, tiny_packs)):
+            assert np.array_equal(a, b), f"chunking changed graph {i}"
+
+    def test_pack_block_diagonal_structure(self, mixed_matrices):
+        packed, offsets = pack_block_diagonal(mixed_matrices)
+        assert offsets[0] == 0
+        assert offsets[-1] == packed.shape[0] == sum(MIXED_SIZES)
+        for matrix, lo, hi in zip(mixed_matrices, offsets[:-1], offsets[1:]):
+            block = packed[lo:hi, lo:hi]
+            assert (block != matrix).nnz == 0
+        # nothing off the diagonal blocks
+        assert packed.nnz == sum(m.nnz for m in mixed_matrices)
+
+    def test_offsets_validated(self):
+        matrix = _random_csr(5, seed=0)
+        with pytest.raises(Exception):
+            centrality_matrix_block_diagonal(
+                matrix, np.array([0, 3], dtype=np.int64)
+            )
+
+
+class TestAugmentGraphs:
+    def test_empty_batch_is_noop(self):
+        assert augment_graphs([]) == []
+
+    def test_singleton_equals_per_graph_bit_for_bit(self, pipeline_graphs):
+        for graph in pipeline_graphs[:6]:
+            expected = augment_graph(_copy_arrays(graph)).centrality
+            got = augment_graphs([_copy_arrays(graph)])[0].centrality
+            assert np.array_equal(got, expected)
+
+    def test_batch_matches_per_graph(self, pipeline_graphs):
+        per_graph = [
+            augment_graph(_copy_arrays(graph)).centrality
+            for graph in pipeline_graphs
+        ]
+        batched = augment_graphs(
+            [_copy_arrays(graph) for graph in pipeline_graphs],
+            max_batch_nodes=100,
+        )
+        for expected, graph in zip(per_graph, batched):
+            assert np.array_equal(graph.centrality, expected)
+
+    def test_results_own_their_memory(self, pipeline_graphs):
+        batched = augment_graphs(
+            [_copy_arrays(graph) for graph in pipeline_graphs[:4]]
+        )
+        assert all(
+            graph.centrality.base is None for graph in batched
+        ), "centrality must not view the pack"
+
+    def test_empty_graph_left_unaugmented(self):
+        empty = ArrayGraph(
+            center_address="nobody",
+            slice_index=0,
+            time_range=(0.0, 0.0),
+            kind_codes=np.zeros(0, dtype=np.int64),
+            refs=np.zeros(0, dtype=object),
+            merged_counts=np.zeros(0, dtype=np.int64),
+            bag_values=np.zeros(0, dtype=np.float64),
+            bag_indptr=np.zeros(1, dtype=np.int64),
+            edge_src=np.zeros(0, dtype=np.int64),
+            edge_dst=np.zeros(0, dtype=np.int64),
+            edge_values=np.zeros(0, dtype=np.float64),
+            edge_times=np.zeros(0, dtype=np.float64),
+        )
+        (got,) = augment_graphs([empty])
+        assert got is empty
+        assert got.centrality is None  # matches augment_graph's no-op
+
+    def test_object_model_graphs_supported(self, pipeline_graphs):
+        objects = [
+            graph.to_address_graph() for graph in pipeline_graphs[:5]
+        ]
+        expected = [
+            augment_graph(_copy_arrays(graph)).centrality
+            for graph in pipeline_graphs[:5]
+        ]
+        augment_graphs(objects, max_batch_nodes=64)
+        for graph, matrix in zip(objects, expected):
+            for node in graph.nodes:
+                np.testing.assert_array_equal(
+                    node.centrality, matrix[node.node_id]
+                )
+
+
+class TestPipelineIntegration:
+    def test_batch_switch_is_output_identical(self):
+        _, index, addresses = random_chain(seed=23)
+        batched = GraphConstructionPipeline(
+            GraphPipelineConfig(slice_size=15)
+        )
+        per_graph = GraphConstructionPipeline(
+            GraphPipelineConfig(slice_size=15, batch_stage4=False)
+        )
+        built_b = batched.build_many(index, addresses)
+        built_p = per_graph.build_many(index, addresses)
+        for address in addresses:
+            assert len(built_b[address]) == len(built_p[address])
+            for a, b in zip(built_b[address], built_p[address]):
+                assert np.array_equal(a.centrality, b.centrality)
+
+    def test_build_many_slices_matches_per_address_builds(self):
+        _, index, addresses = random_chain(seed=31)
+        pipeline = GraphConstructionPipeline(
+            GraphPipelineConfig(slice_size=10)
+        )
+        requests = {
+            addresses[0]: None,
+            addresses[1]: [0],
+        }
+        combined = pipeline.build_many_slices(index, requests)
+        solo = GraphConstructionPipeline(GraphPipelineConfig(slice_size=10))
+        for address, slice_indices in requests.items():
+            expected = solo.build_slices(index, address, slice_indices)
+            assert len(combined[address]) == len(expected)
+            for a, b in zip(combined[address], expected):
+                assert a.slice_index == b.slice_index
+                assert np.array_equal(a.centrality, b.centrality)
+
+    def test_stage_report_counts_batched_graphs(self):
+        _, index, addresses = random_chain(seed=5)
+        pipeline = GraphConstructionPipeline(
+            GraphPipelineConfig(slice_size=15)
+        )
+        built = pipeline.build_many(index, addresses)
+        total = sum(len(graphs) for graphs in built.values())
+        stage4 = [
+            row
+            for row in pipeline.stage_report()
+            if row["stage"] == "stage4_augmentation"
+        ][0]
+        assert stage4["entries"] == total
+
+    def test_perf_knobs_do_not_change_fingerprint(self):
+        base = GraphPipelineConfig(slice_size=15)
+        assert (
+            base.fingerprint()
+            == GraphPipelineConfig(
+                slice_size=15, batch_stage4=False
+            ).fingerprint()
+            == GraphPipelineConfig(
+                slice_size=15, stage4_max_batch_nodes=64
+            ).fingerprint()
+        )
+        assert (
+            base.fingerprint()
+            != GraphPipelineConfig(slice_size=16).fingerprint()
+        )
+
+
+def _copy_arrays(graph: ArrayGraph) -> ArrayGraph:
+    """A deep structural copy (fresh columns, centrality cleared)."""
+    return ArrayGraph(
+        center_address=graph.center_address,
+        slice_index=graph.slice_index,
+        time_range=graph.time_range,
+        kind_codes=graph.kind_codes.copy(),
+        refs=graph.refs.copy(),
+        merged_counts=graph.merged_counts.copy(),
+        bag_values=graph.bag_values.copy(),
+        bag_indptr=graph.bag_indptr.copy(),
+        edge_src=graph.edge_src.copy(),
+        edge_dst=graph.edge_dst.copy(),
+        edge_values=graph.edge_values.copy(),
+        edge_times=graph.edge_times.copy(),
+        centrality=None,
+        center_id=graph.center_node_id(),
+    )
