@@ -1,4 +1,4 @@
-"""Serving throughput — cold / warm / incremental address scoring.
+"""Serving throughput — cold / warm / incremental / clustered scoring.
 
 Compares the :class:`~repro.serve.AddressScoringService` against the
 naive loop the offline pipeline implies (rebuild every graph, one
@@ -7,21 +7,38 @@ forward per address) on the same synthetic chain:
 - **naive**: per-address graph rebuild + per-address inference;
 - **cold**: empty cache — batched construction + batched inference;
 - **warm**: fully cached slices — batched inference only;
-- **incremental**: one appended block — only affected addresses rebuilt.
+- **incremental**: one appended block — only affected addresses rebuilt;
+- **cluster cold / warm**: the sharded multi-process
+  :class:`~repro.serve.ClusterScoringService` over the same corpus
+  (``CLUSTER_SHARDS`` shards × ``CLUSTER_WORKERS`` construction
+  processes, inference in the parent);
+- **warm restart**: ``save_warm`` → fresh cluster → ``load_warm`` →
+  re-score, asserting *zero* construction misses
+  (``warm_restart_hit_rate == 1``).
 
-Asserted contract (the serving layer's reason to exist): warm-cache
-batched scoring is at least 5× faster than the naive loop, and a block
-append re-scores only the touched addresses (checked via cache
-statistics).
+Asserted contracts: warm-cache batched scoring is at least 5× faster
+than the naive loop; a block append re-scores only the touched
+addresses; cluster scores are 1e-9-parity with the naive loop; a warm
+restart rebuilds nothing.  In full mode on a multi-core host the
+cluster cold path must additionally beat the single-process cold path
+by ≥ ``MIN_CLUSTER_SPEEDUP`` (process-parallel construction is
+physically pointless to gate on one core, so single-core hosts record
+``cluster_gate_enforced: false`` instead).
 
+Results land in ``benchmarks/results/BENCH_serving.json`` under a
+per-mode key (``smoke`` / ``full``) — same layout as
+``BENCH_pipeline.json`` — and the recorded full-mode entry is
+re-asserted by ``scripts/check_bench_gates.py`` on every tier-1 run.
 Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the world to seconds-scale
 so the same assertions can run in CI; see ``scripts/tier1.sh``.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -33,13 +50,19 @@ from repro import (
     build_dataset,
     generate_world,
 )
-from repro.serve import AddressScoringService, ScoringServiceConfig
+from repro.serve import (
+    AddressScoringService,
+    ClusterConfig,
+    ClusterScoringService,
+    ScoringServiceConfig,
+)
 from repro.testing import append_self_spend as _append_self_spend
 
 from conftest import save_result
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in {"", "0"}
 SEED = 2023
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_serving.json"
 
 if SMOKE:
     WORLD_CONFIG = WorldConfig(
@@ -50,6 +73,9 @@ if SMOKE:
     SLICE_SIZE = 20
     NUM_ADDRESSES = 20
     TRAIN_ADDRESSES = 24
+    CLUSTER_SHARDS = 2
+    CLUSTER_WORKERS = 2
+    MIN_CLUSTER_SPEEDUP = None  # timing noise dominates at smoke scale
 else:
     WORLD_CONFIG = WorldConfig(
         seed=SEED, num_blocks=220, num_retail=90, num_gamblers=32,
@@ -59,6 +85,10 @@ else:
     SLICE_SIZE = 40
     NUM_ADDRESSES = 60
     TRAIN_ADDRESSES = 48
+    CLUSTER_SHARDS = 4
+    CLUSTER_WORKERS = 4
+    # Enforced only on hosts where process parallelism can exist.
+    MIN_CLUSTER_SPEEDUP = 1.5 if (os.cpu_count() or 1) >= 2 else None
 
 
 @pytest.fixture(scope="module")
@@ -99,7 +129,7 @@ def _slices_of(index, address: str) -> int:
     return -(-index.transaction_count(address) // SLICE_SIZE)
 
 
-def test_bench_serving_throughput(serving_setup):
+def test_bench_serving_throughput(serving_setup, tmp_path):
     world, addresses, classifier = serving_setup
     n = len(addresses)
 
@@ -143,6 +173,58 @@ def test_bench_serving_throughput(serving_setup):
         f"naive rebuild loop (need >= 5x)"
     )
 
+    # --- cluster: sharded multi-process construction ------------------ #
+    cluster_config = ClusterConfig(
+        num_shards=CLUSTER_SHARDS, num_workers=CLUSTER_WORKERS
+    )
+    cluster = ClusterScoringService(
+        classifier, world.index, chain=world.chain, config=cluster_config
+    )
+    start = time.perf_counter()
+    cluster_scores = cluster.score(addresses)
+    cluster_cold_seconds = time.perf_counter() - start
+    assert cluster.stats.misses == total_slices
+    for a in addresses:
+        np.testing.assert_allclose(
+            cluster_scores[a].probabilities, naive[a], rtol=1e-9, atol=1e-9
+        )
+    cluster_speedup = cold_seconds / cluster_cold_seconds
+    if MIN_CLUSTER_SPEEDUP is not None:
+        assert cluster_speedup >= MIN_CLUSTER_SPEEDUP, (
+            f"cluster cold path only {cluster_speedup:.2f}x the "
+            f"single-process cold path (need >= {MIN_CLUSTER_SPEEDUP}x "
+            f"on this {os.cpu_count()}-cpu host)"
+        )
+
+    start = time.perf_counter()
+    cluster.score(addresses)
+    cluster_warm_seconds = time.perf_counter() - start
+
+    # --- warm restart: save -> fresh replica -> load -> zero misses --- #
+    warm_dir = tmp_path / "warm_store"
+    cluster.save_warm(warm_dir)
+    cluster.close()
+    restarted = ClusterScoringService(
+        classifier, world.index, chain=world.chain, config=cluster_config
+    )
+    restored = restarted.load_warm(warm_dir)
+    assert restored == total_slices
+    start = time.perf_counter()
+    restarted_scores = restarted.score(addresses)
+    warm_restart_seconds = time.perf_counter() - start
+    restart_stats = restarted.stats
+    assert restart_stats.misses == 0, restart_stats.snapshot()
+    warm_restart_hit_rate = restart_stats.hit_rate
+    assert warm_restart_hit_rate == 1.0
+    for a in addresses:
+        np.testing.assert_allclose(
+            restarted_scores[a].probabilities,
+            naive[a],
+            rtol=1e-9,
+            atol=1e-9,
+        )
+    restarted.close()
+
     # --- incremental: append one block, re-score everything ----------- #
     # Prefer a target whose history is not slice-aligned: appending after
     # an exact slice boundary legitimately dirties no cached slice, which
@@ -175,20 +257,75 @@ def test_bench_serving_throughput(serving_setup):
     assert rebuilt <= _slices_of(world.index, target)
     assert served >= other_slices
 
+    mode = "smoke" if SMOKE else "full"
+    payload = {
+        "benchmark": "serving_throughput",
+        "mode": mode,
+        "slice_size": SLICE_SIZE,
+        "num_addresses": n,
+        "num_slice_graphs": total_slices,
+        "available_cpus": os.cpu_count(),
+        "naive_seconds": naive_seconds,
+        "naive_addr_per_second": n / naive_seconds,
+        "cold_seconds": cold_seconds,
+        "cold_addr_per_second": n / cold_seconds,
+        "warm_seconds": warm_seconds,
+        "warm_addr_per_second": n / warm_seconds,
+        "warm_speedup_vs_naive": speedup,
+        "incremental_seconds": incremental_seconds,
+        "cluster_shards": CLUSTER_SHARDS,
+        "cluster_workers": CLUSTER_WORKERS,
+        "cluster_cold_seconds": cluster_cold_seconds,
+        "workers_addr_per_second": n / cluster_cold_seconds,
+        "cluster_warm_seconds": cluster_warm_seconds,
+        "cluster_speedup": cluster_speedup,
+        "cluster_gate_enforced": MIN_CLUSTER_SPEEDUP is not None,
+        "warm_restart_seconds": warm_restart_seconds,
+        "warm_restart_hit_rate": warm_restart_hit_rate,
+        "warm_restart_entries": restored,
+    }
+    # Merge under a per-mode key: a tier-1 smoke run must not clobber
+    # the full-mode trajectory (and vice versa).
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    try:
+        existing = json.loads(RESULTS_PATH.read_text())
+        if not isinstance(existing, dict) or "benchmark" in existing:
+            existing = {}
+    except (OSError, ValueError):
+        existing = {}
+    existing[mode] = payload
+    RESULTS_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+
     rows = [
         ("naive rebuild loop", naive_seconds, n / naive_seconds),
         ("cold cache (batched)", cold_seconds, n / cold_seconds),
         ("warm cache (batched)", warm_seconds, n / warm_seconds),
+        (
+            f"cluster cold ({CLUSTER_SHARDS}sx{CLUSTER_WORKERS}w)",
+            cluster_cold_seconds,
+            n / cluster_cold_seconds,
+        ),
+        ("cluster warm", cluster_warm_seconds, n / cluster_warm_seconds),
+        ("warm restart (store)", warm_restart_seconds, n / warm_restart_seconds),
         ("incremental (1 block)", incremental_seconds, n / incremental_seconds),
     ]
     lines = [
         f"Serving throughput — {n} addresses, {total_slices} slice graphs"
-        f" ({'smoke' if SMOKE else 'full'} mode)",
-        f"{'path':<24}{'seconds':>10}{'addr/s':>10}",
+        f" ({mode} mode)",
+        f"{'path':<26}{'seconds':>10}{'addr/s':>10}",
     ]
     for name, seconds, rate in rows:
-        lines.append(f"{name:<24}{seconds:>10.3f}{rate:>10.1f}")
+        lines.append(f"{name:<26}{seconds:>10.3f}{rate:>10.1f}")
     lines.append(f"warm speedup over naive: {speedup:.1f}x")
+    lines.append(
+        f"cluster cold vs single cold: {cluster_speedup:.2f}x "
+        f"(gate {'on' if MIN_CLUSTER_SPEEDUP else 'off'}, "
+        f"{os.cpu_count()} cpus)"
+    )
+    lines.append(
+        f"warm restart: {restored} slices restored, "
+        f"hit rate {warm_restart_hit_rate:.0%}, zero rebuilds"
+    )
     lines.append(
         "cache: hits={hits} misses={misses} evictions={evictions} "
         "invalidations={invalidations}".format(**after)

@@ -1,24 +1,35 @@
 #!/usr/bin/env python
 """Fail loudly when the recorded benchmark trajectory regresses a gate.
 
-``benchmarks/results/BENCH_pipeline.json`` holds the tracked full-mode
-perf trajectory.  Tier-1 runs only refresh the *smoke* entry (gates
+``benchmarks/results/BENCH_pipeline.json`` and
+``benchmarks/results/BENCH_serving.json`` hold the tracked full-mode
+perf trajectories.  Tier-1 runs only refresh the *smoke* entries (gates
 disabled there — timing a seconds-scale workload is noise), so a perf
 regression could silently ride along until someone re-runs the full
-benchmark.  This check closes that gap: ``scripts/tier1.sh`` calls it
+benchmarks.  This check closes that gap: ``scripts/tier1.sh`` calls it
 after the smoke benchmarks to re-assert the gated speedups of the
-recorded full-mode entry.
+recorded full-mode entries.
 
-Gates (mirroring ``benchmarks/bench_pipeline_throughput.py`` full mode):
+Pipeline gates (mirroring ``benchmarks/bench_pipeline_throughput.py``):
 
 - ``stage4_batch_speedup``      >= 1.5  (block-diagonal batching, PR 4)
 - ``stage4_speedup_vs_reference`` >= 10 (vectorized kernels, PR 2)
 - ``stage123_speedup_vs_reference`` >= 1.2 (ArrayGraph stages, PR 3)
 
+Serving gates (mirroring ``benchmarks/bench_serving_throughput.py``):
+
+- ``warm_speedup_vs_naive``  >= 5   (the serving layer's reason to exist)
+- ``warm_restart_hit_rate``  >= 1   (a warm-store restart rebuilds nothing)
+- ``cluster_speedup``        >= 1.5 (sharded multi-process cold path vs
+  the single-process cold path) — enforced only when the recorded entry
+  says ``cluster_gate_enforced`` (the full bench disables the gate on
+  single-core hosts, where process parallelism cannot exist; the entry
+  records ``available_cpus`` so the skip is auditable).
+
 A missing file or missing full-mode entry is reported but does not
 fail (fresh checkouts have no recorded trajectory until someone runs
-``python -m pytest benchmarks/bench_pipeline_throughput.py``); a
-recorded entry that violates a gate exits non-zero.
+the full benchmarks); a recorded entry that violates a gate exits
+non-zero.
 """
 
 from __future__ import annotations
@@ -27,49 +38,90 @@ import json
 import sys
 from pathlib import Path
 
-RESULTS_PATH = (
-    Path(__file__).resolve().parent.parent
-    / "benchmarks"
-    / "results"
-    / "BENCH_pipeline.json"
-)
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
 
-#: ``field -> minimum`` over the recorded full-mode entry.
+#: ``file -> {field -> minimum}`` over each recorded full-mode entry.
 GATES = {
-    "stage4_batch_speedup": 1.5,
-    "stage4_speedup_vs_reference": 10.0,
-    "stage123_speedup_vs_reference": 1.2,
+    "BENCH_pipeline.json": {
+        "stage4_batch_speedup": 1.5,
+        "stage4_speedup_vs_reference": 10.0,
+        "stage123_speedup_vs_reference": 1.2,
+    },
+    "BENCH_serving.json": {
+        "warm_speedup_vs_naive": 5.0,
+        "warm_restart_hit_rate": 1.0,
+    },
+}
+
+#: Serving gates that the recording host may legitimately disable
+#: (``field -> (enforcement flag, minimum)``).
+CONDITIONAL_GATES = {
+    "BENCH_serving.json": {
+        "cluster_speedup": ("cluster_gate_enforced", 1.5),
+    },
 }
 
 
-def main() -> int:
-    if not RESULTS_PATH.exists():
-        print(f"bench gates: no {RESULTS_PATH.name} yet — nothing to check")
-        return 0
+def check_file(filename: str) -> "list[str] | None":
+    """Gate one results file; returns failures, or None when absent."""
+    path = RESULTS_DIR / filename
+    if not path.exists():
+        print(f"bench gates: no {filename} yet — nothing to check")
+        return None
     try:
-        recorded = json.loads(RESULTS_PATH.read_text())
+        recorded = json.loads(path.read_text())
     except ValueError as error:
-        print(f"bench gates: {RESULTS_PATH.name} is not valid JSON: {error}")
-        return 1
+        return [f"  {filename} is not valid JSON: {error}"]
     full = recorded.get("full")
     if not isinstance(full, dict):
         print(
-            "bench gates: no recorded full-mode entry — run "
-            "`PYTHONPATH=src python -m pytest "
-            "benchmarks/bench_pipeline_throughput.py` to record one"
+            f"bench gates: {filename} has no recorded full-mode entry — "
+            "run the full benchmark to record one"
         )
-        return 0
+        return None
+    gates = [
+        (field, minimum, None)
+        for field, minimum in GATES.get(filename, {}).items()
+    ] + [
+        (field, minimum, flag)
+        for field, (flag, minimum) in CONDITIONAL_GATES.get(
+            filename, {}
+        ).items()
+    ]
     failures = []
-    for field, minimum in GATES.items():
+    for field, minimum, flag in gates:
         value = full.get(field)
+        if flag is not None and not full.get(flag):
+            print(
+                f"bench gates: {field} gate disabled by the recording "
+                f"host ({flag} false, "
+                f"{full.get('available_cpus')} cpus) — recorded "
+                f"{value if value is None else format(value, '.2f')}"
+            )
+            continue
         if value is None:
-            failures.append(f"  {field}: missing from the full-mode entry")
+            failures.append(
+                f"  {filename}: {field} missing from the full-mode entry"
+            )
         elif value < minimum:
-            failures.append(f"  {field}: {value:.2f} < required {minimum}")
+            failures.append(
+                f"  {filename}: {field} = {value:.2f} < required {minimum}"
+            )
         else:
-            print(f"bench gates: {field} = {value:.2f} (>= {minimum}) ok")
+            print(
+                f"bench gates: {field} = {value:.2f} (>= {minimum}) ok"
+            )
+    return failures
+
+
+def main() -> int:
+    failures = []
+    for filename in GATES:
+        result = check_file(filename)
+        if result:
+            failures.extend(result)
     if failures:
-        print("bench gates REGRESSED in the recorded full-mode entry:")
+        print("bench gates REGRESSED in the recorded full-mode entries:")
         print("\n".join(failures))
         return 1
     return 0

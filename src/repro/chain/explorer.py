@@ -9,7 +9,7 @@ used for Figure 1 (monthly active addresses).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -82,9 +82,19 @@ class TxArrays:
 
 
 class ChainIndex:
-    """Incremental address→transactions index over an append-only chain."""
+    """Incremental address→transactions index over an append-only chain.
 
-    def __init__(self) -> None:
+    ``address_filter`` restricts which addresses the index keeps
+    *records* for: transactions are always stored (any kept address
+    must be able to reach its full history), but per-address record
+    lists are only maintained for addresses the predicate accepts.
+    This is what a shard's index slice is — see :meth:`sharded`.
+    """
+
+    def __init__(
+        self, address_filter: Optional[Callable[[str], bool]] = None
+    ) -> None:
+        self.address_filter = address_filter
         self._tx_by_id: Dict[str, Transaction] = {}
         self._tx_height: Dict[str, int] = {}
         self._records: Dict[str, List[TxRecord]] = {}
@@ -110,6 +120,10 @@ class ChainIndex:
         self._tx_by_id[tx.txid] = tx
         self._tx_height[tx.txid] = height
         for address in tx.addresses():
+            if self.address_filter is not None and not self.address_filter(
+                address
+            ):
+                continue
             record = TxRecord(
                 txid=tx.txid,
                 block_height=height,
@@ -142,6 +156,66 @@ class ChainIndex:
     def transaction_count(self, address: str) -> int:
         """Number of transactions touching ``address``."""
         return len(self._records.get(address, ()))
+
+    def total_transactions(self) -> int:
+        """Number of distinct transactions the index has ingested.
+
+        Monotonic on an append-only chain, which makes it the cheap
+        staleness check the cluster serving layer uses to detect growth
+        that happened while it was not listening for block events.
+        """
+        return len(self._tx_by_id)
+
+    def transactions_since(self, start: int) -> List[Tuple[Transaction, int]]:
+        """``(transaction, height)`` pairs ingested after the first
+        ``start``, in ingestion (block) order.
+
+        The incremental replay feed for derived indexes: a shard slice
+        that recorded ``total_transactions()`` when it was last in sync
+        catches up by ingesting exactly this tail (see
+        :meth:`ingest_transactions`) instead of being rebuilt from
+        scratch.
+        """
+        from itertools import islice
+
+        return [
+            (tx, self._tx_height[txid])
+            for txid, tx in islice(self._tx_by_id.items(), start, None)
+        ]
+
+    def ingest_transactions(
+        self, transactions: "Sequence[Tuple[Transaction, int]]"
+    ) -> None:
+        """Ingest ``(transaction, height)`` pairs (a replay tail).
+
+        Transactions already known are skipped, so replaying an
+        overlapping tail is idempotent — re-ingesting would otherwise
+        duplicate per-address records.
+        """
+        for tx, height in transactions:
+            if tx.txid not in self._tx_by_id:
+                self._ingest(tx, height)
+
+    def sharded(
+        self, address_filter: Callable[[str], bool]
+    ) -> "ChainIndex":
+        """A filtered copy of this index: one shard's ``ChainIndex`` slice.
+
+        The copy keeps per-address records only for addresses accepted
+        by ``address_filter`` (a shard-membership predicate — see
+        :class:`~repro.serve.router.ShardRouter`), while sharing this
+        index's immutable :class:`~repro.chain.transaction.Transaction`
+        objects, so each kept address can still reach its *full*
+        history through :meth:`transactions_of`.  Records are replayed
+        in the original ingestion order, preserving the chronological
+        per-address record contract.  The copy is independent from this
+        index afterwards: feed it future blocks via :meth:`on_block`
+        (the cluster layer does) or rebuild it when it goes stale.
+        """
+        shard = ChainIndex(address_filter=address_filter)
+        for txid, tx in self._tx_by_id.items():
+            shard._ingest(tx, self._tx_height[txid])
+        return shard
 
     def known_addresses(self) -> List[str]:
         """Every address that has appeared on chain."""

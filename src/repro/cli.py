@@ -69,8 +69,19 @@ def build_parser() -> argparse.ArgumentParser:
     score.add_argument("--world", required=True)
     score.add_argument("--model", required=True)
     score.add_argument("--workers", type=int, default=0,
-                       help="construction worker threads (0 = inline)")
-    score.add_argument("--cache-capacity", type=int, default=4096)
+                       help="construction workers: threads for the "
+                            "single service, processes with --shards "
+                            "(0 = inline)")
+    score.add_argument("--shards", type=int, default=0,
+                       help="shard the scoring service into N shards "
+                            "via ClusterScoringService (0 = unsharded)")
+    score.add_argument("--warm-dir", default=None,
+                       help="warm-cache store directory: load before "
+                            "scoring, save after (keyed by pipeline "
+                            "fingerprint + model version)")
+    score.add_argument("--cache-capacity", type=int, default=4096,
+                       help="slice-cache entries (per shard when "
+                            "--shards > 0)")
     score.add_argument("--stats", action="store_true",
                        help="print cache statistics after scoring")
     score.add_argument("addresses", nargs="+")
@@ -157,19 +168,41 @@ def _cmd_classify(args) -> int:
 
 
 def _cmd_score(args) -> int:
-    from repro.serve import AddressScoringService, ScoringServiceConfig
+    from repro.serve import (
+        AddressScoringService,
+        ClusterConfig,
+        ClusterScoringService,
+        ScoringServiceConfig,
+    )
 
     chain, index, _, _ = load_world_chain(args.world)
     classifier = BAClassifier.load(args.model)
-    service = AddressScoringService(
-        classifier,
-        index,
-        chain=chain,
-        config=ScoringServiceConfig(
-            cache_capacity=args.cache_capacity, max_workers=args.workers
-        ),
-        class_names=CLASS_NAMES,
-    )
+    if args.shards > 0:
+        service = ClusterScoringService(
+            classifier,
+            index,
+            chain=chain,
+            config=ClusterConfig(
+                num_shards=args.shards,
+                num_workers=args.workers,
+                cache_capacity=args.cache_capacity,
+            ),
+            class_names=CLASS_NAMES,
+        )
+    else:
+        service = AddressScoringService(
+            classifier,
+            index,
+            chain=chain,
+            config=ScoringServiceConfig(
+                cache_capacity=args.cache_capacity,
+                max_workers=args.workers,
+            ),
+            class_names=CLASS_NAMES,
+        )
+    if args.warm_dir:
+        restored = service.load_warm(args.warm_dir)
+        print(f"warm store: restored {restored} cached slice graphs")
     known = [a for a in args.addresses if index.transaction_count(a) > 0]
     unknown = [a for a in args.addresses if index.transaction_count(a) == 0]
     for address in unknown:
@@ -182,6 +215,9 @@ def _cmd_score(args) -> int:
                 f"{p:.3f}" for p in result.probabilities
             )
             print(f"{address}  {result.class_name}  [{distribution}]")
+    if args.warm_dir:
+        service.save_warm(args.warm_dir)
+        print(f"warm store: saved to {args.warm_dir}")
     if args.stats:
         stats = service.stats
         print(
@@ -190,6 +226,15 @@ def _cmd_score(args) -> int:
             f"invalidations={stats.invalidations} "
             f"hit_rate={stats.hit_rate:.2%}"
         )
+        if args.shards > 0:
+            for row in service.shard_stats():
+                print(
+                    "  shard {shard}: entries={entries} "
+                    "nbytes={nbytes} hits={hits} misses={misses}".format(
+                        **row
+                    )
+                )
+    service.close()
     return 0
 
 

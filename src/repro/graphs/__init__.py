@@ -36,6 +36,7 @@ from repro.graphs.arrays import ArrayGraph, KIND_CODES
 from repro.graphs.augmentation import augment_graph, augment_graphs
 from repro.graphs.batched_centrality import (
     batched_centrality_matrices,
+    plan_packs,
     centrality_matrix_block_diagonal,
     pack_block_diagonal,
 )
@@ -92,6 +93,7 @@ __all__ = [
     "batched_centrality_matrices",
     "centrality_matrix_block_diagonal",
     "pack_block_diagonal",
+    "plan_packs",
     "betweenness_centrality",
     "centrality_matrix",
     "centrality_matrix_csr",

@@ -33,8 +33,8 @@ import scipy.sparse as sp
 from repro.graphs.arrays import ArrayGraph
 from repro.graphs.batched_centrality import (
     DEFAULT_MAX_BATCH_NODES,
-    _chunk_by_nodes,
     centrality_matrix_block_diagonal,
+    plan_packs,
 )
 from repro.graphs.centrality import centrality_matrix_csr
 from repro.graphs.model import AddressGraph
@@ -86,8 +86,10 @@ def augment_graphs(
     if not candidates:
         return graphs
     sizes = [graph.num_nodes for graph in candidates]
-    for start, end in _chunk_by_nodes(sizes, max_batch_nodes):
-        chunk = candidates[start:end]
+    # Skew-aware packing: similar-sized graphs share packs so one giant
+    # graph no longer serializes a chunk of small ones (see plan_packs).
+    for pack in plan_packs(sizes, max_batch_nodes):
+        chunk = [candidates[i] for i in pack]
         packed, offsets = _packed_adjacency(chunk)
         stacked = centrality_matrix_block_diagonal(packed, offsets)
         for graph, lo, hi in zip(chunk, offsets[:-1], offsets[1:]):

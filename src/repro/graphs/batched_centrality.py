@@ -46,6 +46,18 @@ Scratch memory is ``O(64 × N_batch)`` per sweep, so callers bound the
 pack size: :func:`batched_centrality_matrices` (and Stage 4's
 ``augment_graphs``) splits oversized batches into chunks of at most
 ``max_batch_nodes`` nodes.
+
+Packing is **skew-aware**: seed rows are per-source-index, so the
+number of frontier row blocks a pack pays for is ``ceil(max_g n_g /
+64)`` — one graph much larger than its packmates serializes the whole
+chunk through its own tail rows while every smaller graph sits idle.
+:func:`plan_packs` therefore size-sorts graphs (descending, stable)
+before the greedy node-budget chunking, so similar-sized graphs share
+packs and each chunk's ``max_g n_g`` hugs its average.  Sorting changes
+*which* graphs share a pack, never any result: per-graph outputs are
+independent of packmates (disconnected blocks), which
+``tests/test_batched_centrality.py`` pins with order-invariance tests.
+Results are always scattered back in input order.
 """
 
 from __future__ import annotations
@@ -65,6 +77,7 @@ from repro.graphs.centrality import (
 __all__ = [
     "DEFAULT_MAX_BATCH_NODES",
     "pack_block_diagonal",
+    "plan_packs",
     "centrality_matrix_block_diagonal",
     "batched_centrality_matrices",
 ]
@@ -153,6 +166,36 @@ def _chunk_by_nodes(
         nodes += size
     chunks.append((start, len(sizes)))
     return chunks
+
+
+def plan_packs(
+    sizes: Sequence[int],
+    max_batch_nodes: Optional[int] = DEFAULT_MAX_BATCH_NODES,
+    size_sort: bool = True,
+) -> List[np.ndarray]:
+    """Partition graphs into block-diagonal packs under the node budget.
+
+    Returns a list of ``int64`` index arrays into the caller's graph
+    sequence — each array is one pack.  With ``size_sort=True`` (the
+    default, and what Stage 4 uses) graphs are ordered by descending
+    node count (stable for ties) before the greedy budget chunking, so
+    one giant graph packs with its peers instead of serializing a
+    chunk of small graphs through its tail frontier rows.
+    ``size_sort=False`` preserves input-order packing (the pre-skew
+    behaviour, kept for the invariance tests).  Purely a performance
+    plan: every pack layout yields identical per-graph results.
+    """
+    sizes_array = np.asarray(list(sizes), dtype=np.int64)
+    if sizes_array.size == 0:
+        return []
+    if size_sort:
+        order = np.argsort(-sizes_array, kind="stable")
+    else:
+        order = np.arange(sizes_array.size, dtype=np.int64)
+    chunks = _chunk_by_nodes(
+        sizes_array[order].tolist(), max_batch_nodes
+    )
+    return [order[start:end] for start, end in chunks]
 
 
 def centrality_matrix_block_diagonal(
@@ -328,6 +371,7 @@ def _pagerank_block_diagonal(
 def batched_centrality_matrices(
     matrices: Sequence[sp.csr_matrix],
     max_batch_nodes: Optional[int] = DEFAULT_MAX_BATCH_NODES,
+    size_sort: bool = True,
 ) -> List[np.ndarray]:
     """Per-graph ``(n_g, 4)`` centrality matrices via block-diagonal packs.
 
@@ -335,7 +379,8 @@ def batched_centrality_matrices(
     :func:`~repro.graphs.centrality.centrality_matrix_csr` on each
     adjacency: graphs are packed into block-diagonal chunks of at most
     ``max_batch_nodes`` total nodes (``None`` packs everything into
-    one), each chunk runs one
+    one; packing is size-sorted skew-aware by default — see
+    :func:`plan_packs`), each chunk runs one
     :func:`centrality_matrix_block_diagonal` sweep, and the results are
     scattered back in input order.  Each returned matrix owns its
     memory (no views into the pack), is float64, and column order is
@@ -344,10 +389,12 @@ def batched_centrality_matrices(
     """
     sizes = [int(matrix.shape[0]) for matrix in matrices]
     results: List[np.ndarray] = [None] * len(sizes)  # type: ignore[list-item]
-    for start, end in _chunk_by_nodes(sizes, max_batch_nodes):
-        packed, offsets = pack_block_diagonal(matrices[start:end])
+    for pack in plan_packs(sizes, max_batch_nodes, size_sort=size_sort):
+        packed, offsets = pack_block_diagonal(
+            [matrices[i] for i in pack]
+        )
         stacked = centrality_matrix_block_diagonal(packed, offsets)
-        for local, graph_index in enumerate(range(start, end)):
+        for local, graph_index in enumerate(pack):
             lo, hi = int(offsets[local]), int(offsets[local + 1])
-            results[graph_index] = stacked[lo:hi].copy()
+            results[int(graph_index)] = stacked[lo:hi].copy()
     return results

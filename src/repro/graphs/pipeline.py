@@ -25,7 +25,7 @@ import hashlib
 import json
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.chain.explorer import ChainIndex
 from repro.errors import GraphConstructionError, ValidationError
@@ -38,7 +38,13 @@ from repro.graphs.arrays import ArrayGraph
 from repro.graphs.extraction import build_original_arrays, slice_transactions
 from repro.utils.timer import StageTimer
 
-__all__ = ["GraphPipelineConfig", "GraphConstructionPipeline", "STAGE_NAMES"]
+__all__ = [
+    "GraphPipelineConfig",
+    "GraphConstructionPipeline",
+    "STAGE_NAMES",
+    "stage_report_from_timer",
+    "worker_build_slices",
+]
 
 STAGE_NAMES = (
     "stage1_extraction",
@@ -286,19 +292,53 @@ class GraphConstructionPipeline:
         ``graphs_per_second`` is its reciprocal throughput, the quantity
         tracked by ``benchmarks/bench_pipeline_throughput.py``.
         """
-        ratios = self.timer.ratios()
-        report = []
-        for name in self.timer.stage_names:
-            total = self.timer.totals[name]
-            count = self.timer.counts[name]
-            report.append(
-                {
-                    "stage": name,
-                    "total_seconds": total,
-                    "ratio": ratios[name],
-                    "mean_seconds": self.timer.mean(name),
-                    "entries": count,
-                    "graphs_per_second": count / total if total > 0 else 0.0,
-                }
-            )
-        return report
+        return stage_report_from_timer(self.timer)
+
+
+def stage_report_from_timer(timer: StageTimer) -> List[Dict[str, float]]:
+    """Table-V-shaped stage rows from any :class:`StageTimer`.
+
+    The report body behind :meth:`GraphConstructionPipeline.stage_report`,
+    exposed separately so callers that *aggregate* timers — the cluster
+    serving layer merges per-shard pipelines and shipped-back worker
+    timers — can render the same rows without a pipeline instance.
+    """
+    ratios = timer.ratios()
+    report = []
+    for name in timer.stage_names:
+        total = timer.totals[name]
+        count = timer.counts[name]
+        report.append(
+            {
+                "stage": name,
+                "total_seconds": total,
+                "ratio": ratios[name],
+                "mean_seconds": timer.mean(name),
+                "entries": count,
+                "graphs_per_second": count / total if total > 0 else 0.0,
+            }
+        )
+    return report
+
+
+def worker_build_slices(
+    index: ChainIndex,
+    requests: "Dict[str, Optional[Sequence[int]]]",
+    config: GraphPipelineConfig,
+) -> "Tuple[Dict[str, List[ArrayGraph]], StageTimer]":
+    """Process-pool entry point: build requested slices, report timings.
+
+    The worker-side body of the cluster serving layer's miss path: a
+    private :class:`GraphConstructionPipeline` over ``config`` runs one
+    :meth:`~GraphConstructionPipeline.build_many_slices` call — so
+    Stage 4 batches across *every* address the worker owns — and the
+    pipeline's :class:`~repro.utils.timer.StageTimer` is returned
+    alongside the graphs so the parent process can merge construction
+    accounting across workers.  Everything returned is picklable
+    (ndarray-columned :class:`~repro.graphs.arrays.ArrayGraph` payloads
+    plus plain timer dicts), which is what lets the result travel back
+    over a ``multiprocessing`` pipe.
+    """
+    pipeline = GraphConstructionPipeline(config)
+    graphs = pipeline.build_many_slices(index, requests)
+    return graphs, pipeline.timer

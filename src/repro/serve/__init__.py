@@ -1,23 +1,39 @@
-"""The serving layer: cached, batched address scoring.
+"""The serving layer: cached, batched, sharded address scoring.
 
 Wraps a chain index, the graph-construction pipeline, and a trained
 classifier behind one ``score(addresses)`` API with slice-graph caching,
 incremental invalidation on block append, worker-pool construction, and
-block-diagonal batched inference.
+block-diagonal batched inference
+(:class:`~repro.serve.service.AddressScoringService`) — plus the
+scale-out layer above it
+(:class:`~repro.serve.cluster.ClusterScoringService`): deterministic
+address-prefix sharding (:class:`~repro.serve.router.ShardRouter`),
+multi-process miss construction, an asyncio front end, and warm-cache
+persistence keyed by pipeline fingerprint and encoder version
+(:class:`~repro.serve.store.CacheStore`).
 """
 
 from repro.serve.cache import CacheKey, CacheStats, SliceGraphCache
+from repro.serve.cluster import ClusterConfig, ClusterScoringService
+from repro.serve.router import ShardRouter
 from repro.serve.service import (
     AddressScore,
     AddressScoringService,
     ScoringServiceConfig,
 )
+from repro.serve.store import CacheStore, WarmState, encoder_version
 
 __all__ = [
     "AddressScore",
     "AddressScoringService",
     "CacheKey",
     "CacheStats",
+    "CacheStore",
+    "ClusterConfig",
+    "ClusterScoringService",
     "ScoringServiceConfig",
+    "ShardRouter",
     "SliceGraphCache",
+    "WarmState",
+    "encoder_version",
 ]

@@ -11,20 +11,39 @@ The cache is payload-agnostic: entries may be compact columnar
 :class:`~repro.graphs.arrays.ArrayGraph` slices, fully encoded
 :class:`~repro.gnn.data.EncodedGraph` tensors (what
 :class:`~repro.serve.service.AddressScoringService` stores, built
-zero-copy from the arrays), or anything else keyed the same way.
-Payloads exposing an ``nbytes`` attribute (both graph flavours do) are
-byte-accounted for *observability*: ``cache.nbytes`` tracks the tensor
-bytes of live entries so operators can see what a given ``capacity``
-costs in memory.  Eviction itself remains entry-count LRU, and the
-figure counts array buffers only (an object-dtype ``refs`` column
-contributes its pointers, not the string contents).
+zero-copy from the arrays), per-slice embedding rows (the
+encoder-version-keyed embedding cache of the serving layer), or
+anything else keyed the same way.  Payloads exposing an ``nbytes``
+attribute (both graph flavours and ndarrays do) are byte-accounted for
+*observability*: ``cache.nbytes`` tracks the tensor bytes of live
+entries so operators can see what a given ``capacity`` costs in
+memory.  Eviction itself remains entry-count LRU, and the figure counts
+array buffers only (an object-dtype ``refs`` column contributes its
+pointers, not the string contents).
+
+The byte total is maintained *incrementally*: each entry's size is
+recorded at insertion and refreshed whenever the entry is next looked
+up, so reading ``nbytes`` is O(1) no matter how many entries a large
+shard cache holds.  Payloads that grow after insertion (models memoise
+propagated features into cached entries) are therefore re-counted on
+their next :meth:`~SliceGraphCache.get` — which every serving path
+performs before using an entry.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Generic, Optional, Set, Tuple, TypeVar
+from typing import (
+    Dict,
+    Generic,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    TypeVar,
+)
 
 from repro.errors import ValidationError
 
@@ -71,6 +90,22 @@ class CacheStats:
             "invalidations": self.invalidations,
         }
 
+    @staticmethod
+    def combined(stats: "Iterable[CacheStats]") -> "CacheStats":
+        """Element-wise sum of several counters (shard-aware totals).
+
+        The cluster serving layer keeps one cache per shard; this is
+        how its aggregate ``stats`` view is produced without giving up
+        the per-shard breakdown.
+        """
+        total = CacheStats()
+        for item in stats:
+            total.hits += item.hits
+            total.misses += item.misses
+            total.evictions += item.evictions
+            total.invalidations += item.invalidations
+        return total
+
 
 def _payload_nbytes(payload) -> int:
     """Best-effort byte size of a payload (0 when it does not report one)."""
@@ -84,10 +119,12 @@ class SliceGraphCache(Generic[P]):
     recently used entry.  A per-address key index makes invalidation
     O(cached slices of that address), which is what keeps block-append
     invalidation incremental.  ``nbytes`` reports the tensor bytes held
-    by the live payloads — recomputed per access (O(entries)) because
-    payloads may legitimately grow *after* insertion (models memoise
-    propagated features into cached entries); it informs sizing but
-    does not drive eviction, which is entry-count LRU.
+    by the live payloads in O(1): per-entry sizes are recorded at
+    insertion, kept as a running total, and refreshed per entry on
+    lookup (so post-insertion payload growth — models memoising
+    propagated features — is picked up the next time the entry is
+    served).  The figure informs sizing but does not drive eviction,
+    which is entry-count LRU.
     """
 
     def __init__(self, capacity: int = 4096):
@@ -97,6 +134,8 @@ class SliceGraphCache(Generic[P]):
         self.stats = CacheStats()
         self._entries: "OrderedDict[CacheKey, P]" = OrderedDict()
         self._by_address: Dict[str, Set[CacheKey]] = {}
+        self._entry_nbytes: Dict[CacheKey, int] = {}
+        self._nbytes = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -106,10 +145,12 @@ class SliceGraphCache(Generic[P]):
 
     @property
     def nbytes(self) -> int:
-        """Bytes held by live payloads (0 for payloads without ``nbytes``)."""
-        return sum(
-            _payload_nbytes(entry) for entry in self._entries.values()
-        )
+        """Bytes held by live payloads (0 for payloads without ``nbytes``).
+
+        O(1): the running total of the recorded per-entry sizes, not a
+        sweep over the entries.
+        """
+        return self._nbytes
 
     def get(self, key: CacheKey) -> Optional[P]:
         """The cached payload at ``key`` (refreshing recency), or None."""
@@ -118,6 +159,7 @@ class SliceGraphCache(Generic[P]):
             self.stats.misses += 1
             return None
         self._entries.move_to_end(key)
+        self._record_nbytes(key, entry)
         self.stats.hits += 1
         return entry
 
@@ -130,9 +172,11 @@ class SliceGraphCache(Generic[P]):
         if key in self._entries:
             self._entries.move_to_end(key)
         self._entries[key] = payload
+        self._record_nbytes(key, payload)
         self._by_address.setdefault(key[0], set()).add(key)
         while len(self._entries) > self.capacity:
             evicted_key, _ = self._entries.popitem(last=False)
+            self._drop_accounting(evicted_key)
             self._discard_address_key(evicted_key)
             self.stats.evictions += 1
 
@@ -148,6 +192,7 @@ class SliceGraphCache(Generic[P]):
         stale = [key for key in keys if key[1] >= from_slice]
         for key in stale:
             del self._entries[key]
+            self._drop_accounting(key)
             keys.discard(key)
         if not keys:
             del self._by_address[address]
@@ -158,6 +203,41 @@ class SliceGraphCache(Generic[P]):
         """Drop every entry (counters are preserved)."""
         self._entries.clear()
         self._by_address.clear()
+        self._entry_nbytes.clear()
+        self._nbytes = 0
+
+    def export_entries(self) -> List[Tuple[CacheKey, P]]:
+        """Snapshot every live entry as ``(key, payload)`` pairs.
+
+        Ordered least- to most-recently used, so importing the list
+        elsewhere (:meth:`import_entries`) reproduces the recency
+        ranking — the persistence path of the warm-cache store.
+        """
+        return list(self._entries.items())
+
+    def import_entries(self, entries: Iterable[Tuple[CacheKey, P]]) -> int:
+        """Insert ``(key, payload)`` pairs (a prior :meth:`export_entries`).
+
+        Regular inserts: capacity eviction applies, recency follows
+        iteration order, and statistics count neither hits nor misses.
+        Returns the number of imported entries still *live* afterwards
+        — an import larger than ``capacity`` evicts its own oldest
+        entries, and reporting those as restored would overstate how
+        warm the cache actually is.
+        """
+        keys = []
+        for key, payload in entries:
+            self.put(key, payload)
+            keys.append(key)
+        return sum(1 for key in keys if key in self._entries)
+
+    def _record_nbytes(self, key: CacheKey, payload: P) -> None:
+        size = _payload_nbytes(payload)
+        self._nbytes += size - self._entry_nbytes.get(key, 0)
+        self._entry_nbytes[key] = size
+
+    def _drop_accounting(self, key: CacheKey) -> None:
+        self._nbytes -= self._entry_nbytes.pop(key, 0)
 
     def _discard_address_key(self, key: CacheKey) -> None:
         keys = self._by_address.get(key[0])

@@ -1,0 +1,693 @@
+"""``repro.serve.cluster`` — sharded multi-process scoring with warm caches.
+
+:class:`~repro.serve.service.AddressScoringService` amortises repeat
+queries beautifully, but its construction parallelism is thread-bound:
+under the GIL, the CPU-heavy miss path (Stages 1–4 plus encoding) runs
+one core no matter how many worker threads it owns.
+:class:`ClusterScoringService` is the scale-out layer above it:
+
+- **Sharding.**  A :class:`~repro.serve.router.ShardRouter`
+  deterministically partitions the address space by address-prefix hash
+  into N shards.  Each shard owns its own
+  :class:`~repro.chain.explorer.ChainIndex` slice
+  (:meth:`~repro.chain.explorer.ChainIndex.sharded`), its own
+  :class:`~repro.serve.cache.SliceGraphCache` + embedding cache, and
+  its own :class:`~repro.graphs.pipeline.GraphConstructionPipeline` —
+  the unit of replica scale-out and of warm-store bundling.
+- **Multi-process construction.**  Cache misses fan out over a
+  ``multiprocessing`` process pool, one task per shard with misses.
+  Workers rebuild the missing slice graphs in array form
+  (:func:`~repro.graphs.pipeline.worker_build_slices` — one
+  ``build_many_slices`` call per task, so Stage 4 batches across every
+  address the worker owns), encode them, pre-propagate the GFN feature
+  augmentation, and ship the
+  :class:`~repro.gnn.data.EncodedGraph` ndarray columns back as
+  picklable payloads.  **Inference stays in the parent**: the trained
+  model is loaded exactly once, and all shards' slice sequences share
+  one block-diagonal GNN batch + one padded sequence-head pass, so
+  results are 1e-9-parity with the single service.
+- **Invalidation.**  Block appends route each touched address to its
+  owning shard and drop exactly the dirtied trailing slices there
+  (same ``(timestamp, txid)`` insertion-point protocol as the single
+  service); worker processes are marked stale and re-forked with the
+  updated shard indexes on the next miss.  Growth observed *without*
+  block events re-slices the shard indexes from the parent index
+  before planning, so an unconnected cluster degrades to full rebuilds
+  of grown addresses instead of serving stale history.
+- **Warm persistence.**  :meth:`ClusterScoringService.save_warm`
+  writes one :class:`~repro.serve.store.CacheStore` bundle per shard,
+  keyed by ``(pipeline fingerprint, model version)``;
+  :meth:`~ClusterScoringService.load_warm` re-routes every stored
+  entry through the *current* router, so a store written with N shards
+  can warm a cluster resharded to M (or a plain single service).
+- **Async front end.**  :meth:`~ClusterScoringService.async_score`
+  lets concurrent asyncio callers share one cluster; queries serialise
+  on an internal lock (construction parallelism lives below the lock,
+  in the pool).
+
+The single-writer chain model still applies: ``score`` must not run
+concurrently with block appends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from collections.abc import Mapping
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.chain.block import Block
+from repro.chain.chain import Blockchain
+from repro.chain.explorer import ChainIndex
+from repro.errors import NotFittedError, ValidationError
+from repro.gnn.data import EncodedGraph, encode_graph
+from repro.gnn.gfn import augment_features
+from repro.graphs.pipeline import (
+    GraphConstructionPipeline,
+    GraphPipelineConfig,
+    stage_report_from_timer,
+    worker_build_slices,
+)
+from repro.serve.cache import CacheStats, SliceGraphCache
+from repro.serve.router import DEFAULT_PREFIX_LENGTH, ShardRouter
+from repro.serve.service import (
+    AddressScore,
+    _class_name_mapping,
+    _export_warm_state,
+    _import_warm_state,
+    _invalidate_address,
+    _plan_slices,
+    _score_sequences,
+)
+from repro.serve.store import CacheStore, encoder_version
+from repro.utils.timer import StageTimer
+
+__all__ = ["ClusterConfig", "ClusterScoringService"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Cluster serving knobs.
+
+    ``num_shards`` fixes the address-space partition (and the warm
+    store's bundle layout); ``num_workers`` sizes the construction
+    process pool (0 builds misses in the parent process, still
+    sharded); ``prefix_length`` feeds the router (see
+    :class:`~repro.serve.router.ShardRouter`).  ``cache_capacity`` and
+    ``embedding_cache_capacity`` are *per shard*.  ``start_method``
+    overrides the ``multiprocessing`` start method (default: ``fork``
+    when the platform offers it — workers then inherit the shard
+    indexes copy-on-write instead of pickling them).
+    """
+
+    num_shards: int = 2
+    num_workers: int = 0
+    prefix_length: Optional[int] = DEFAULT_PREFIX_LENGTH
+    cache_capacity: int = 4096
+    graph_batch_size: int = 256
+    sequence_batch_size: int = 64
+    embedding_cache: bool = True
+    embedding_cache_capacity: int = 65536
+    start_method: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValidationError(
+                f"num_shards must be >= 1, got {self.num_shards}"
+            )
+        if self.num_workers < 0:
+            raise ValidationError(
+                f"num_workers must be >= 0, got {self.num_workers}"
+            )
+        for field_name in (
+            "cache_capacity",
+            "graph_batch_size",
+            "sequence_batch_size",
+            "embedding_cache_capacity",
+        ):
+            value = getattr(self, field_name)
+            if value <= 0:
+                raise ValidationError(
+                    f"{field_name} must be > 0, got {value}"
+                )
+        if self.start_method is not None and (
+            self.start_method
+            not in multiprocessing.get_all_start_methods()
+        ):
+            raise ValidationError(
+                f"unknown multiprocessing start method "
+                f"{self.start_method!r}"
+            )
+
+
+class _ShardMembership:
+    """Picklable shard-membership predicate (a shard index's filter)."""
+
+    def __init__(self, router: ShardRouter, shard_id: int):
+        self.router = router
+        self.shard_id = shard_id
+
+    def __call__(self, address: str) -> bool:
+        return self.router.shard_of(address) == self.shard_id
+
+
+class _Shard:
+    """One shard's private serving state (caches, index slice, pipeline)."""
+
+    __slots__ = (
+        "shard_id",
+        "index",
+        "pipeline",
+        "cache",
+        "embeddings",
+        "covered",
+    )
+
+    def __init__(
+        self,
+        shard_id: int,
+        index: ChainIndex,
+        pipeline_config: GraphPipelineConfig,
+        config: ClusterConfig,
+    ):
+        self.shard_id = shard_id
+        self.index = index
+        self.pipeline = GraphConstructionPipeline(pipeline_config)
+        self.cache: SliceGraphCache[EncodedGraph] = SliceGraphCache(
+            config.cache_capacity
+        )
+        self.embeddings: Optional[SliceGraphCache[np.ndarray]] = (
+            SliceGraphCache(config.embedding_cache_capacity)
+            if config.embedding_cache
+            else None
+        )
+        self.covered: Dict[str, int] = {}
+
+
+# ---------------------------------------------------------------------- #
+# Worker-process side
+# ---------------------------------------------------------------------- #
+
+#: Per-worker context pinned by the pool initializer (shard indexes,
+#: pipeline config, GFN propagation depth).
+_WORKER_CONTEXT: Dict[str, object] = {}
+
+
+def _init_worker(
+    indexes: List[ChainIndex],
+    pipeline_config: GraphPipelineConfig,
+    gfn_k: Optional[int],
+) -> None:
+    """Pool initializer: pin the shard index slices in the worker.
+
+    Under the default ``fork`` start method the arguments arrive via
+    process inheritance (copy-on-write, no serialization); under
+    ``spawn`` they are pickled once per worker at pool start, never per
+    task.
+    """
+    _WORKER_CONTEXT["indexes"] = indexes
+    _WORKER_CONTEXT["pipeline_config"] = pipeline_config
+    _WORKER_CONTEXT["gfn_k"] = gfn_k
+
+
+def _build_shard_task(
+    shard_id: int, requests: Dict[str, List[int]]
+) -> Tuple[int, Dict[str, List[EncodedGraph]], StageTimer]:
+    """Process-pool task: build + encode one shard's cache misses.
+
+    Runs :func:`~repro.graphs.pipeline.worker_build_slices` over the
+    shard's own index slice (one pipeline call — Stage 4 batches
+    across every address of the task), encodes each slice graph, and
+    pre-propagates the GFN feature augmentation so the parent's warm
+    path skips those sparse matmuls too.  Returns picklable ndarray
+    payloads plus the worker's stage timer for parent-side accounting.
+    """
+    index: ChainIndex = _WORKER_CONTEXT["indexes"][shard_id]  # type: ignore[index]
+    pipeline_config: GraphPipelineConfig = _WORKER_CONTEXT[
+        "pipeline_config"
+    ]  # type: ignore[assignment]
+    gfn_k: Optional[int] = _WORKER_CONTEXT["gfn_k"]  # type: ignore[assignment]
+    graphs_by_address, timer = worker_build_slices(
+        index, dict(requests), pipeline_config
+    )
+    encoded: Dict[str, List[EncodedGraph]] = {}
+    for address, graphs in graphs_by_address.items():
+        rows = [encode_graph(graph) for graph in graphs]
+        if gfn_k is not None:
+            for row in rows:
+                augment_features(row, gfn_k)
+        encoded[address] = rows
+    return shard_id, encoded, timer
+
+
+# ---------------------------------------------------------------------- #
+# Parent-process side
+# ---------------------------------------------------------------------- #
+
+
+class ClusterScoringService:
+    """Sharded, multi-process ``score(addresses)`` over a fitted model.
+
+    Drop-in for :class:`~repro.serve.service.AddressScoringService` —
+    same constructor shape, same ``score`` / ``score_one`` /
+    ``connect`` / ``disconnect`` / ``close`` surface, same incremental
+    invalidation semantics — with construction spread over
+    ``config.num_workers`` processes and state spread over
+    ``config.num_shards`` shards.  See the module docstring for the
+    design.
+    """
+
+    def __init__(
+        self,
+        classifier,
+        index: ChainIndex,
+        chain: Optional[Blockchain] = None,
+        config: Optional[ClusterConfig] = None,
+        class_names: "Union[Mapping[int, str], Sequence[str], None]" = None,
+    ):
+        if not getattr(classifier, "is_fitted", False):
+            raise NotFittedError(
+                "ClusterScoringService needs a fitted (or loaded) classifier"
+            )
+        self.classifier = classifier
+        self.index = index
+        self.config = config or ClusterConfig()
+        self.router = ShardRouter(
+            self.config.num_shards, self.config.prefix_length
+        )
+        self.pipeline_config = classifier.config.pipeline_config()
+        self.fingerprint = self.pipeline_config.fingerprint()
+        #: See :func:`~repro.serve.store.encoder_version`.
+        self.model_version = encoder_version(classifier.encoder)
+        self.embedding_fingerprint = (
+            f"{self.fingerprint}:{self.model_version}"
+        )
+        self.class_names = _class_name_mapping(class_names)
+        self.shards: List[_Shard] = [
+            _Shard(
+                shard_id,
+                index.sharded(_ShardMembership(self.router, shard_id)),
+                self.pipeline_config,
+                self.config,
+            )
+            for shard_id in range(self.config.num_shards)
+        ]
+        self._synced_transactions = index.total_transactions()
+        self._worker_timer = StageTimer()
+        self._timer_lock = threading.Lock()
+        self._lock = threading.RLock()
+        self._chain: Optional[Blockchain] = None
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._pool_stale = False
+        if chain is not None:
+            self.connect(chain)
+
+    # ------------------------------------------------------------------ #
+    # Chain integration
+    # ------------------------------------------------------------------ #
+
+    def connect(self, chain: Blockchain) -> None:
+        """Subscribe to ``chain`` so appends invalidate shard caches.
+
+        Same trust semantics as the single service: coverage built
+        while not listening cannot be vouched for, so connecting drops
+        existing shard cache contents (a same-chain re-connect is a
+        no-op and keeps everything warm).  Shard index slices are
+        re-synced from the parent index first, in case it grew while
+        unconnected.
+        """
+        with self._lock:
+            if self._chain is chain:
+                return
+            if self._chain is not None:
+                self.disconnect()
+            if any(shard.covered for shard in self.shards):
+                for shard in self.shards:
+                    shard.cache.clear()
+                    if shard.embeddings is not None:
+                        shard.embeddings.clear()
+                    shard.covered.clear()
+            self._refresh_stale_shards()
+            chain.add_listener(self.on_block)
+            self._chain = chain
+
+    def disconnect(self) -> None:
+        """Unsubscribe from the connected chain (no-op when unconnected)."""
+        with self._lock:
+            if self._chain is not None:
+                self._chain.remove_listener(self.on_block)
+            self._chain = None
+
+    def close(self) -> None:
+        """Release resources: detach from the chain, stop the pool."""
+        self.disconnect()
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+
+    def on_block(self, block: Block) -> None:
+        """Feed the append to every shard index, then invalidate.
+
+        Each touched address routes to its owning shard, where exactly
+        the slices at or after the block's insertion point into that
+        address's history are dropped — the cross-shard form of the
+        single service's incremental invalidation.  The construction
+        pool is marked stale so the next miss re-forks workers over the
+        updated shard indexes.
+        """
+        with self._lock:
+            for shard in self.shards:
+                shard.index.on_block(block)
+            self._synced_transactions = self.shards[
+                0
+            ].index.total_transactions()
+            new_by_address: Dict[str, List[Tuple[float, str]]] = {}
+            for tx in block.transactions:
+                for address in tx.addresses():
+                    new_by_address.setdefault(address, []).append(
+                        (tx.timestamp, tx.txid)
+                    )
+            for address, keys in new_by_address.items():
+                self._invalidate_on_shard(address, earliest_new=min(keys))
+            self._pool_stale = True
+
+    def _invalidate_on_shard(
+        self, address: str, earliest_new: Optional[Tuple[float, str]]
+    ) -> None:
+        """Route one touched address to its shard's invalidation.
+
+        The protocol itself is the shared
+        :func:`~repro.serve.service._invalidate_address` body — one
+        implementation for the single service and every shard.
+        """
+        shard = self.shards[self.router.shard_of(address)]
+        _invalidate_address(
+            shard.cache,
+            shard.embeddings,
+            shard.covered,
+            shard.index.records_for,
+            address,
+            earliest_new,
+            self.pipeline_config.slice_size,
+        )
+
+    def _refresh_stale_shards(self) -> None:
+        """Catch shard indexes up when the parent index grew unobserved.
+
+        While connected, :meth:`on_block` keeps every shard index in
+        lock-step and this is a no-op.  Unobserved growth (appends
+        before :meth:`connect`, or an unconnected cluster) replays only
+        the parent index's *tail* into each shard
+        (:meth:`~repro.chain.explorer.ChainIndex.transactions_since` /
+        :meth:`~repro.chain.explorer.ChainIndex.ingest_transactions` —
+        O(new transactions), not a from-scratch re-slice) and marks the
+        pool stale; coverage trust is handled separately by the
+        planning protocol, exactly like the single service's
+        unconnected path.
+        """
+        if self.index.total_transactions() <= self._synced_transactions:
+            return
+        tail = self.index.transactions_since(self._synced_transactions)
+        for shard in self.shards:
+            shard.index.ingest_transactions(tail)
+        self._synced_transactions = self.index.total_transactions()
+        self._pool_stale = True
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+
+    def score(self, addresses: Sequence[str]) -> Dict[str, AddressScore]:
+        """Score addresses: ``{address: AddressScore}`` in input order.
+
+        Misses are planned per shard, built by the process pool (one
+        task per shard with misses), and inference runs once in the
+        parent over every shard's sequences — scores match the single
+        service to 1e-9.  Raises
+        :class:`~repro.errors.ValidationError` for addresses with no
+        transactions on chain.  Thread-safe: concurrent callers
+        serialise on the service lock.
+        """
+        with self._lock:
+            return self._score_locked(list(dict.fromkeys(addresses)))
+
+    def score_one(self, address: str) -> AddressScore:
+        """Score a single address."""
+        return self.score([address])[address]
+
+    async def async_score(
+        self, addresses: Sequence[str]
+    ) -> Dict[str, AddressScore]:
+        """Asyncio front end: await a :meth:`score` without blocking
+        the event loop (the query runs on a default-executor thread;
+        concurrent callers queue on the service lock while the process
+        pool below it does the heavy lifting)."""
+        loop = asyncio.get_running_loop()
+        addresses = list(addresses)
+        return await loop.run_in_executor(None, self.score, addresses)
+
+    def _score_locked(
+        self, addresses: List[str]
+    ) -> Dict[str, AddressScore]:
+        if not addresses:
+            return {}
+        unknown = [
+            a for a in addresses if self.index.transaction_count(a) == 0
+        ]
+        if unknown:
+            raise ValidationError(
+                "addresses with no transactions on chain: "
+                + ", ".join(a[:16] for a in unknown[:5])
+            )
+        self._refresh_stale_shards()
+        slice_size = self.pipeline_config.slice_size
+        reusable: Dict[str, Dict[int, EncodedGraph]] = {}
+        to_build: Dict[int, Dict[str, List[int]]] = {}
+        counts: Dict[str, int] = {}
+        fresh_until: Dict[str, int] = {}
+        for shard_id, members in self.router.partition(addresses).items():
+            shard = self.shards[shard_id]
+            for address in members:
+                count = self.index.transaction_count(address)
+                counts[address] = count
+                reusable[address], missing, fresh_until[address] = (
+                    _plan_slices(
+                        shard.cache,
+                        self.fingerprint,
+                        slice_size,
+                        address,
+                        count,
+                        shard.covered.get(address, 0),
+                        self._chain is not None,
+                    )
+                )
+                if missing:
+                    to_build.setdefault(shard_id, {})[address] = missing
+
+        built = self._build(to_build)
+
+        untrusted: Set[Tuple[str, int]] = set()
+        sequences: Dict[str, List[EncodedGraph]] = {}
+        for address in addresses:
+            shard = self.shards[self.router.shard_of(address)]
+            by_slice = dict(reusable[address])
+            for graph in built.get(address, ()):
+                shard.cache.put(
+                    (address, graph.slice_index, self.fingerprint), graph
+                )
+                by_slice[graph.slice_index] = graph
+                if graph.slice_index >= fresh_until[address]:
+                    untrusted.add((address, graph.slice_index))
+            sequences[address] = [by_slice[i] for i in sorted(by_slice)]
+            shard.covered[address] = counts[address]
+
+        # Inference — parent process only, model loaded once: the
+        # shared tail runs one block-diagonal GNN pass + one padded
+        # sequence-head pass over every shard's sequences, in input
+        # address order (the same body the single service scores
+        # through, which is what keeps the two identical).
+        return _score_sequences(
+            self.classifier,
+            addresses,
+            sequences,
+            untrusted,
+            lambda address: self.shards[
+                self.router.shard_of(address)
+            ].embeddings,
+            self.embedding_fingerprint,
+            self.config.graph_batch_size,
+            self.config.sequence_batch_size,
+            self.class_names,
+        )
+
+    def _build(
+        self, to_build: Dict[int, Dict[str, List[int]]]
+    ) -> Dict[str, List[EncodedGraph]]:
+        """Construct all missing slices, one task per shard with misses."""
+        built: Dict[str, List[EncodedGraph]] = {}
+        if not to_build:
+            return built
+        if self.config.num_workers > 0:
+            executor = self._ensure_pool()
+            futures = [
+                executor.submit(_build_shard_task, shard_id, requests)
+                for shard_id, requests in sorted(to_build.items())
+            ]
+            for future in futures:
+                _, encoded, timer = future.result()
+                with self._timer_lock:
+                    self._worker_timer.merge(timer)
+                built.update(encoded)
+            return built
+        for shard_id, requests in sorted(to_build.items()):
+            shard = self.shards[shard_id]
+            graphs_by_address = shard.pipeline.build_many_slices(
+                shard.index, requests
+            )
+            for address, graphs in graphs_by_address.items():
+                built[address] = [
+                    encode_graph(graph) for graph in graphs
+                ]
+        return built
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The live construction pool, re-forked after invalidations.
+
+        Workers snapshot the shard indexes at fork time, so any event
+        that changed them (block append, stale-shard refresh) marks the
+        pool stale and the next miss replaces it — the parent never
+        ships per-task index state, only the tiny request dicts.
+        """
+        if self._executor is not None and self._pool_stale:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._executor is None:
+            method = self.config.start_method
+            if method is None and (
+                "fork" in multiprocessing.get_all_start_methods()
+            ):
+                method = "fork"
+            context = multiprocessing.get_context(method)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.config.num_workers,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(
+                    [shard.index for shard in self.shards],
+                    self.pipeline_config,
+                    getattr(self.classifier.encoder, "k", None),
+                ),
+            )
+            self._pool_stale = False
+        return self._executor
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregate slice-cache counters across every shard."""
+        return CacheStats.combined(
+            shard.cache.stats for shard in self.shards
+        )
+
+    @property
+    def embedding_stats(self) -> Optional[CacheStats]:
+        """Aggregate embedding-cache counters (None when disabled)."""
+        if not self.config.embedding_cache:
+            return None
+        return CacheStats.combined(
+            shard.embeddings.stats
+            for shard in self.shards
+            if shard.embeddings is not None
+        )
+
+    def shard_stats(self) -> List[Dict[str, int]]:
+        """Per-shard breakdown: counters plus entry/byte occupancy."""
+        rows = []
+        for shard in self.shards:
+            row = dict(shard.cache.stats.snapshot())
+            row["shard"] = shard.shard_id
+            row["entries"] = len(shard.cache)
+            row["nbytes"] = shard.cache.nbytes
+            rows.append(row)
+        return rows
+
+    def construction_report(self) -> List[Dict[str, float]]:
+        """Stage-cost rows aggregated over shards *and* pool workers."""
+        timer = StageTimer()
+        with self._timer_lock:
+            timer.merge(self._worker_timer)
+        for shard in self.shards:
+            timer.merge(shard.pipeline.timer)
+        return stage_report_from_timer(timer)
+
+    # ------------------------------------------------------------------ #
+    # Warm persistence
+    # ------------------------------------------------------------------ #
+
+    def save_warm(self, directory: "str | Path") -> Path:
+        """Persist every shard's warm caches; returns the store directory.
+
+        One :class:`~repro.serve.store.CacheStore` bundle per shard
+        (``shard_0000`` …) under the ``(pipeline fingerprint, model
+        version)`` key — see :mod:`repro.serve.store` for the layout
+        and trust protocol.
+        """
+        with self._lock:
+            store = CacheStore(
+                directory, self.fingerprint, self.model_version
+            )
+            for shard in self.shards:
+                store.save_warm(
+                    f"shard_{shard.shard_id:04d}",
+                    _export_warm_state(
+                        shard.cache, shard.embeddings, shard.covered
+                    ),
+                )
+            return store.directory
+
+    def load_warm(self, directory: "str | Path") -> int:
+        """Restore warm shard caches saved under ``directory``.
+
+        Every bundle under this cluster's store key is loaded and each
+        entry re-routed through the *current* router, so restores
+        survive resharding (and stores written by an unsharded service
+        load fine).  Only addresses whose current transaction count
+        matches the recorded coverage are trusted; the rest rebuild
+        cold.  Call after :meth:`connect` (connecting drops coverage by
+        design).  Returns the number of slice entries restored.
+        """
+        with self._lock:
+            store = CacheStore(
+                directory, self.fingerprint, self.model_version
+            )
+
+            def resolve(address: str):
+                shard = self.shards[self.router.shard_of(address)]
+                return (shard.cache, shard.embeddings, shard.covered)
+
+            restored = 0
+            for name in store.bundle_names():
+                try:
+                    state = store.load_warm(name)
+                except ValidationError:
+                    continue  # unusable bundle: rebuild cold
+                if state is None:
+                    continue
+                restored += _import_warm_state(
+                    state,
+                    self.index.transaction_count,
+                    resolve,
+                    self.fingerprint,
+                    self.embedding_fingerprint,
+                )
+            return restored

@@ -17,15 +17,29 @@ is the serving-path counterpart:
   chain, only the trailing slices of the touched addresses are dropped;
   completed slices of an append-only history never change.
 - **Parallel construction** — cache misses fan out over a
-  ``concurrent.futures`` thread pool, one task per address.
-- **Cross-address Stage-4 batching** — on the single-threaded miss path
-  every missing slice graph of the query is built through one
-  :meth:`~repro.graphs.pipeline.GraphConstructionPipeline.build_many_slices`
-  call, so the Stage-4 centrality kernels run as block-diagonal sweeps
-  over *all* addresses of the query instead of per graph (the threaded
-  path batches per address — each worker's pipeline call covers that
-  address's slices).  Disable via
+  ``concurrent.futures`` thread pool; addresses are grouped into one
+  task per worker so every worker batches Stage 4 across all the
+  addresses it owns (the process-pool sibling lives in
+  :mod:`repro.serve.cluster`).
+- **Cross-address Stage-4 batching** — every miss path routes through
+  :meth:`~repro.graphs.pipeline.GraphConstructionPipeline.build_many_slices`,
+  so the Stage-4 centrality kernels run as block-diagonal sweeps over
+  all addresses a build call covers instead of per graph — the whole
+  query on the single-threaded path, each worker's address group on
+  the threaded path.  Disable via
   ``GraphPipelineConfig(batch_stage4=False)``.
+- **Embedding cache** — per-slice encoder embeddings are memoised in a
+  second :class:`~repro.serve.cache.SliceGraphCache` keyed by
+  ``(address, slice_index, pipeline fingerprint : model version)``
+  (:func:`~repro.serve.store.encoder_version`), so fully warm queries
+  skip even the GNN forward and go straight to the sequence head.
+  Rebuilt slices always recompute their rows; invalidation drops graph
+  and embedding entries together.
+- **Warm persistence** — :meth:`~AddressScoringService.save_warm` /
+  :meth:`~AddressScoringService.load_warm` round-trip both caches (and
+  the coverage bookkeeping) through a
+  :class:`~repro.serve.store.CacheStore`, so a restarted replica
+  serves its first query warm instead of rebuilding the corpus.
 - **Batched inference** — all slice graphs of a query are embedded in
   block-diagonal batches and the sequence head runs over padded
   sequence batches, instead of per-graph / per-address forwards.
@@ -40,7 +54,17 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from collections.abc import Mapping
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -51,7 +75,8 @@ from repro.errors import NotFittedError, ValidationError
 from repro.gnn.data import EncodedGraph, encode_graph
 from repro.graphs.pipeline import GraphConstructionPipeline
 from repro.seqmodels.trainer import predict_proba_sequences
-from repro.serve.cache import CacheStats, SliceGraphCache
+from repro.serve.cache import CacheKey, CacheStats, SliceGraphCache
+from repro.serve.store import CacheStore, WarmState, encoder_version
 
 __all__ = ["ScoringServiceConfig", "AddressScore", "AddressScoringService"]
 
@@ -61,15 +86,21 @@ class ScoringServiceConfig:
     """Serving knobs, independent of the model configuration.
 
     ``max_workers=0`` builds cache misses inline; any positive value
-    fans construction out over that many threads.  The two batch sizes
-    bound the block-diagonal GNN batches and the padded sequence
-    batches respectively.
+    fans construction out over that many threads (each thread builds a
+    *group* of addresses through one pipeline call, so Stage 4 batches
+    across the group).  The two batch sizes bound the block-diagonal
+    GNN batches and the padded sequence batches respectively.
+    ``embedding_cache`` enables the per-slice embedding memo (its own
+    LRU with ``embedding_cache_capacity`` entries — rows are tiny, so
+    the default capacity is generous).
     """
 
     cache_capacity: int = 4096
     max_workers: int = 0
     graph_batch_size: int = 256
     sequence_batch_size: int = 64
+    embedding_cache: bool = True
+    embedding_cache_capacity: int = 65536
 
     def __post_init__(self) -> None:
         if self.cache_capacity <= 0:
@@ -88,6 +119,11 @@ class ScoringServiceConfig:
             raise ValidationError(
                 f"sequence_batch_size must be > 0, got {self.sequence_batch_size}"
             )
+        if self.embedding_cache_capacity <= 0:
+            raise ValidationError(
+                f"embedding_cache_capacity must be > 0, got "
+                f"{self.embedding_cache_capacity}"
+            )
 
 
 @dataclass
@@ -104,6 +140,281 @@ class AddressScore:
     label: int
     class_name: str
     probabilities: np.ndarray
+
+
+#: One flat slice graph awaiting embedding: ``(graph, embedding cache
+#: or None, embedding cache key, trust_cached)`` — ``trust_cached`` is
+#: False for slices rebuilt this query, whose memoised rows are stale
+#: by construction.
+EmbedEntry = Tuple[
+    EncodedGraph, Optional[SliceGraphCache], CacheKey, bool
+]
+
+
+def _class_name_mapping(
+    class_names: "Union[Mapping[int, str], Sequence[str], None]",
+) -> Dict[int, str]:
+    """Normalise a ``{label: name}`` mapping or label-indexed sequence."""
+    if class_names is None:
+        return {}
+    if isinstance(class_names, Mapping):
+        return {int(k): str(v) for k, v in class_names.items()}
+    return {i: str(name) for i, name in enumerate(class_names)}
+
+
+def _plan_slices(
+    cache: SliceGraphCache,
+    fingerprint: str,
+    slice_size: int,
+    address: str,
+    count: int,
+    covered: int,
+    connected: bool,
+) -> Tuple[Dict[int, EncodedGraph], List[int], int]:
+    """Split one address's slices into cache-served and to-build.
+
+    The freshness protocol shared by :class:`AddressScoringService` and
+    the cluster's shards: coverage equal to the current transaction
+    count trusts every cached slice; growth under a connected service
+    trusts the slices invalidation left intact; growth without block
+    events trusts nothing (there is no way to know where the new
+    transactions sorted into the history).  Known-stale slices are
+    counted as misses without a lookup.
+
+    Returns ``(reusable, missing, fresh_until)``.  ``fresh_until``
+    marks the trusted region: a *missing* slice below it was merely
+    evicted — its rebuild is content-identical, so derived state
+    (embedding rows) keyed to it stays valid.
+    """
+    num_slices = -(-count // slice_size)
+    if covered > count:
+        covered = 0  # not append-only growth: distrust everything
+    if covered == count:
+        fresh_until = num_slices
+    elif connected:
+        # on_block already dropped every dirtied slice (computed from
+        # where the new transactions sort in), so whatever coverage
+        # remains is exact.
+        fresh_until = covered // slice_size
+    else:
+        fresh_until = 0
+    reusable: Dict[int, EncodedGraph] = {}
+    missing: List[int] = []
+    for i in range(num_slices):
+        if i < fresh_until:
+            entry = cache.get((address, i, fingerprint))
+            if entry is not None:
+                reusable[i] = entry
+                continue
+        else:
+            cache.note_miss()
+        missing.append(i)
+    return reusable, missing, fresh_until
+
+
+def _invalidate_address(
+    cache: SliceGraphCache,
+    embeddings: Optional[SliceGraphCache],
+    covered: Dict[str, int],
+    records_for,
+    address: str,
+    earliest_new: "Optional[Tuple[float, str]]",
+    slice_size: int,
+) -> None:
+    """Drop the cached slices a block append dirties for one address.
+
+    The invalidation half of the freshness protocol, shared by the
+    single service and every cluster shard: slices before the insertion
+    point of the earliest new transaction keep their membership (so
+    ``stale_from`` is computed from where the new transactions *sort
+    into* the ``(timestamp, txid)``-ordered history); without timestamp
+    information, assume append-at-end.  Both bounds are idempotent
+    across repeated appends: already slice-aligned coverage is never
+    eroded.  Graph entries and embedding rows drop together.
+    """
+    current = covered.get(address)
+    if not current:
+        return
+    stale_from = current // slice_size
+    if earliest_new is not None:
+        position = sum(
+            1
+            for record in records_for(address)
+            if (record.timestamp, record.txid) < earliest_new
+        )
+        stale_from = min(stale_from, position // slice_size)
+    cache.invalidate_address(address, from_slice=stale_from)
+    if embeddings is not None:
+        embeddings.invalidate_address(address, from_slice=stale_from)
+    covered[address] = min(current, stale_from * slice_size)
+
+
+def _embed_entries(
+    encoder, entries: Sequence[EmbedEntry], batch_size: int
+) -> np.ndarray:
+    """Embedding rows for flat slice graphs, embedding-cache-first.
+
+    Rows found in an entry's embedding cache (and trusted) are reused;
+    the remaining graphs run through ``encoder.embed_graphs`` in one
+    batched pass, in input order, and their rows are memoised back.
+    Returns the ``(len(entries), embedding_dim)`` float64 matrix.
+    """
+    rows = np.zeros((len(entries), encoder.embedding_dim), dtype=np.float64)
+    to_compute: List[int] = []
+    for position, (graph, cache, key, trust_cached) in enumerate(entries):
+        cached = None
+        if cache is not None:
+            if trust_cached:
+                cached = cache.get(key)
+            else:
+                cache.note_miss()
+        if cached is None:
+            to_compute.append(position)
+        else:
+            rows[position] = cached
+    if to_compute:
+        computed = encoder.embed_graphs(
+            [entries[i][0] for i in to_compute], batch_size=batch_size
+        )
+        for offset, position in enumerate(to_compute):
+            rows[position] = computed[offset]
+            cache = entries[position][1]
+            if cache is not None:
+                cache.put(entries[position][2], computed[offset].copy())
+    return rows
+
+
+def _score_sequences(
+    classifier,
+    addresses: Sequence[str],
+    sequences_by_address: Dict[str, List[EncodedGraph]],
+    untrusted: "Set[Tuple[str, int]]",
+    embedding_cache_of,
+    embedding_fingerprint: str,
+    graph_batch_size: int,
+    sequence_batch_size: int,
+    class_names: Dict[int, str],
+) -> Dict[str, "AddressScore"]:
+    """Shared inference tail: embed (cache-first), head, score dict.
+
+    One block-diagonal GNN pass plus one padded sequence-head pass over
+    the flattened slice sequences, in input address order — the single
+    service and every cluster configuration route through this one
+    body, which is what keeps their scores identical.
+    ``embedding_cache_of(address)`` supplies the owning embedding cache
+    (or ``None``); ``untrusted`` lists the ``(address, slice_index)``
+    pairs whose memoised rows must not be reused.
+    """
+    flat: List[EmbedEntry] = []
+    spans: List[Tuple[int, int]] = []
+    for address in addresses:
+        graphs = sequences_by_address[address]
+        spans.append((len(flat), len(flat) + len(graphs)))
+        cache = embedding_cache_of(address)
+        for graph in graphs:
+            flat.append(
+                (
+                    graph,
+                    cache,
+                    (address, graph.slice_index, embedding_fingerprint),
+                    (address, graph.slice_index) not in untrusted,
+                )
+            )
+    embeddings = _embed_entries(
+        classifier.encoder, flat, graph_batch_size
+    )
+    probabilities = predict_proba_sequences(
+        classifier.head,
+        [embeddings[start:end] for start, end in spans],
+        classifier.config.max_sequence_length,
+        batch_size=sequence_batch_size,
+    )
+    labels = probabilities.argmax(axis=1)
+    return {
+        address: AddressScore(
+            address=address,
+            label=int(label),
+            class_name=class_names.get(int(label), f"class_{int(label)}"),
+            probabilities=row,
+        )
+        for address, label, row in zip(addresses, labels, probabilities)
+    }
+
+
+def _export_warm_state(
+    cache: SliceGraphCache,
+    embeddings: Optional[SliceGraphCache],
+    covered: Dict[str, int],
+) -> WarmState:
+    """Snapshot one cache group (a service, or one shard) for the store."""
+    return WarmState(
+        entries=[
+            (key[0], key[1], payload)
+            for key, payload in cache.export_entries()
+        ],
+        embeddings=(
+            [
+                (key[0], key[1], row)
+                for key, row in embeddings.export_entries()
+            ]
+            if embeddings is not None
+            else []
+        ),
+        covered=dict(covered),
+    )
+
+
+def _import_warm_state(
+    state: WarmState,
+    transaction_count: Callable[[str], int],
+    resolve: Callable[
+        [str],
+        Optional[
+            Tuple[SliceGraphCache, Optional[SliceGraphCache], Dict[str, int]]
+        ],
+    ],
+    fingerprint: str,
+    embedding_fingerprint: str,
+) -> int:
+    """Import one warm bundle into live caches; returns entries restored.
+
+    Only addresses whose *current* transaction count still equals the
+    bundle's recorded coverage are trusted — growth while the replica
+    was down means unobserved appends, so those addresses rebuild cold.
+    ``resolve`` maps an address to its owning ``(slice cache, embedding
+    cache, covered dict)`` (``None`` to skip — the cluster's router
+    drops addresses belonging to no local shard).  The returned count
+    covers entries still *live* after the import: a bundle larger than
+    the target cache's capacity evicts its own oldest entries, which
+    must not be reported as restored.
+    """
+    trusted = {
+        address
+        for address, count in state.covered.items()
+        if count == transaction_count(address)
+    }
+    imported: List[Tuple[SliceGraphCache, CacheKey]] = []
+    for address, slice_index, payload in state.entries:
+        if address not in trusted:
+            continue
+        target = resolve(address)
+        if target is None:
+            continue
+        key = (address, slice_index, fingerprint)
+        target[0].put(key, payload)
+        imported.append((target[0], key))
+    for address, slice_index, row in state.embeddings:
+        if address not in trusted:
+            continue
+        target = resolve(address)
+        if target is None or target[1] is None:
+            continue
+        target[1].put((address, slice_index, embedding_fingerprint), row)
+    for address in trusted:
+        target = resolve(address)
+        if target is not None:
+            target[2][address] = state.covered[address]
+    return sum(1 for cache, key in imported if key in cache)
 
 
 class AddressScoringService:
@@ -144,14 +455,20 @@ class AddressScoringService:
         self.cache: SliceGraphCache[EncodedGraph] = SliceGraphCache(
             self.config.cache_capacity
         )
-        if class_names is None:
-            self.class_names: Dict[int, str] = {}
-        elif isinstance(class_names, Mapping):
-            self.class_names = {int(k): str(v) for k, v in class_names.items()}
-        else:
-            self.class_names = {
-                i: str(name) for i, name in enumerate(class_names)
-            }
+        #: Digest of the encoder weights — keys the embedding cache and
+        #: the warm store, so entries never outlive a retrain.
+        self.model_version = encoder_version(classifier.encoder)
+        #: Fingerprint component of embedding-cache keys: construction
+        #: parameters *and* encoder version.
+        self.embedding_fingerprint = (
+            f"{self.fingerprint}:{self.model_version}"
+        )
+        self.embeddings: Optional[SliceGraphCache[np.ndarray]] = (
+            SliceGraphCache(self.config.embedding_cache_capacity)
+            if self.config.embedding_cache
+            else None
+        )
+        self.class_names: Dict[int, str] = _class_name_mapping(class_names)
         #: Transaction count each address's cached slices were built from.
         self._covered: Dict[str, int] = {}
         self._timer_lock = threading.Lock()
@@ -185,6 +502,8 @@ class AddressScoringService:
             self.disconnect()
         if self._covered:
             self.cache.clear()
+            if self.embeddings is not None:
+                self.embeddings.clear()
             self._covered.clear()
         chain.add_listener(self.on_block)
         self._chain = chain
@@ -229,25 +548,15 @@ class AddressScoringService:
     def _invalidate(
         self, address: str, earliest_new: Optional[Tuple[float, str]] = None
     ) -> None:
-        covered = self._covered.get(address)
-        if not covered:
-            return
-        slice_size = self.pipeline_config.slice_size
-        # Slices before the insertion point of the earliest new
-        # transaction keep their membership; without timestamp
-        # information, assume append-at-end (only the trailing partial
-        # slice is dirty).  Both bounds are idempotent across repeated
-        # appends: already slice-aligned coverage is never eroded.
-        stale_from = covered // slice_size
-        if earliest_new is not None:
-            position = sum(
-                1
-                for record in self.index.records_for(address)
-                if (record.timestamp, record.txid) < earliest_new
-            )
-            stale_from = min(stale_from, position // slice_size)
-        self.cache.invalidate_address(address, from_slice=stale_from)
-        self._covered[address] = min(covered, stale_from * slice_size)
+        _invalidate_address(
+            self.cache,
+            self.embeddings,
+            self._covered,
+            self.index.records_for,
+            address,
+            earliest_new,
+            self.pipeline_config.slice_size,
+        )
 
     # ------------------------------------------------------------------ #
     # Scoring
@@ -271,36 +580,18 @@ class AddressScoringService:
                 "addresses with no transactions on chain: "
                 + ", ".join(a[:16] for a in unknown[:5])
             )
-        sequences_by_address = self._encoded_sequences(addresses)
-
-        flat: List[EncodedGraph] = []
-        spans: List[Tuple[int, int]] = []
-        for address in addresses:
-            graphs = sequences_by_address[address]
-            spans.append((len(flat), len(flat) + len(graphs)))
-            flat.extend(graphs)
-        embeddings = self.classifier.encoder.embed_graphs(
-            flat, batch_size=self.config.graph_batch_size
+        sequences_by_address, untrusted = self._encoded_sequences(addresses)
+        return _score_sequences(
+            self.classifier,
+            addresses,
+            sequences_by_address,
+            untrusted,
+            lambda address: self.embeddings,
+            self.embedding_fingerprint,
+            self.config.graph_batch_size,
+            self.config.sequence_batch_size,
+            self.class_names,
         )
-        sequences = [embeddings[start:end] for start, end in spans]
-        probabilities = predict_proba_sequences(
-            self.classifier.head,
-            sequences,
-            self.classifier.config.max_sequence_length,
-            batch_size=self.config.sequence_batch_size,
-        )
-        labels = probabilities.argmax(axis=1)
-        return {
-            address: AddressScore(
-                address=address,
-                label=int(label),
-                class_name=self.class_names.get(
-                    int(label), f"class_{int(label)}"
-                ),
-                probabilities=row,
-            )
-            for address, label, row in zip(addresses, labels, probabilities)
-        }
 
     def score_one(self, address: str) -> AddressScore:
         """Score a single address."""
@@ -315,9 +606,67 @@ class AddressScoringService:
         """The cache's running hit/miss/eviction/invalidation counters."""
         return self.cache.stats
 
+    @property
+    def embedding_stats(self) -> Optional[CacheStats]:
+        """Counters of the embedding cache (None when disabled)."""
+        return self.embeddings.stats if self.embeddings is not None else None
+
     def construction_report(self) -> List[Dict[str, float]]:
         """Per-stage construction cost accumulated across cache misses."""
         return self.pipeline.stage_report()
+
+    # ------------------------------------------------------------------ #
+    # Warm persistence
+    # ------------------------------------------------------------------ #
+
+    def save_warm(self, directory: "str | Path", name: str = "service") -> Path:
+        """Persist the warm caches under ``directory``; returns the path.
+
+        Writes one :class:`~repro.serve.store.CacheStore` bundle — the
+        slice-graph cache (including memoised model features), the
+        embedding cache, and the per-address coverage counts — keyed by
+        this service's ``(pipeline fingerprint, model version)``, so a
+        store can never warm a replica running different construction
+        parameters or encoder weights.
+        """
+        store = CacheStore(directory, self.fingerprint, self.model_version)
+        return store.save_warm(
+            name,
+            _export_warm_state(self.cache, self.embeddings, self._covered),
+        )
+
+    def load_warm(self, directory: "str | Path") -> int:
+        """Restore warm caches saved under ``directory``.
+
+        Loads every bundle stored under this service's ``(pipeline
+        fingerprint, model version)`` key — including per-shard bundles
+        written by a scoring cluster — and imports the entries of every
+        address whose current transaction count still equals the
+        recorded coverage (others rebuild cold; see
+        :mod:`repro.serve.store`).  A bundle that fails to load —
+        corrupt, truncated by a crashed save — is skipped, so an
+        unusable store degrades to a cold start instead of a crashed
+        one.  Call *after* :meth:`connect`: connecting drops existing
+        coverage by design.  Returns the number of slice entries
+        restored.
+        """
+        store = CacheStore(directory, self.fingerprint, self.model_version)
+        restored = 0
+        for name in store.bundle_names():
+            try:
+                state = store.load_warm(name)
+            except ValidationError:
+                continue  # unusable bundle: rebuild cold
+            if state is None:
+                continue
+            restored += _import_warm_state(
+                state,
+                self.index.transaction_count,
+                lambda address: (self.cache, self.embeddings, self._covered),
+                self.fingerprint,
+                self.embedding_fingerprint,
+            )
+        return restored
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -325,63 +674,65 @@ class AddressScoringService:
 
     def _encoded_sequences(
         self, addresses: Sequence[str]
-    ) -> Dict[str, List[EncodedGraph]]:
-        """Slice-ordered encoded graphs per address, cache-first."""
+    ) -> Tuple[Dict[str, List[EncodedGraph]], Set[Tuple[str, int]]]:
+        """Slice-ordered encoded graphs per address, cache-first.
+
+        Returns the sequences plus the set of ``(address, slice_index)``
+        pairs whose memoised embedding rows are stale: slices rebuilt
+        because they fell *outside* the trusted coverage region.  A
+        trusted slice rebuilt only because the LRU evicted it is
+        content-identical, so its embedding row stays reusable.
+        """
         slice_size = self.pipeline_config.slice_size
         reusable: Dict[str, Dict[int, EncodedGraph]] = {}
         missing: Dict[str, List[int]] = {}
         counts: Dict[str, int] = {}
+        fresh_until: Dict[str, int] = {}
         for address in addresses:
             count = self.index.transaction_count(address)
             counts[address] = count
-            num_slices = -(-count // slice_size)
-            covered = self._covered.get(address, 0)
-            if covered > count:
-                covered = 0  # not append-only growth: distrust everything
-            if covered == count:
-                fresh_until = num_slices
-            elif self._chain is not None:
-                # on_block already dropped every dirtied slice (computed
-                # from where the new transactions sort in), so whatever
-                # coverage remains is exact.
-                fresh_until = covered // slice_size
-            else:
-                # Growth observed without block events: there is no way
-                # to know where the new transactions sorted into the
-                # history, so nothing cached for this address is safe.
-                fresh_until = 0
-            reusable[address] = {}
-            missing[address] = []
-            for i in range(num_slices):
-                if i < fresh_until:
-                    cached = self.cache.get((address, i, self.fingerprint))
-                    if cached is not None:
-                        reusable[address][i] = cached
-                        continue
-                else:
-                    self.cache.note_miss()
-                missing[address].append(i)
+            reusable[address], missing[address], fresh_until[address] = (
+                _plan_slices(
+                    self.cache,
+                    self.fingerprint,
+                    slice_size,
+                    address,
+                    count,
+                    self._covered.get(address, 0),
+                    self._chain is not None,
+                )
+            )
 
         to_build = {a: idxs for a, idxs in missing.items() if idxs}
         built: Dict[str, List[EncodedGraph]] = {}
         if self.config.max_workers > 0 and len(to_build) > 1:
             # One long-lived pool per service: per-call executor setup
-            # is measurable against small warm queries.
+            # is measurable against small warm queries.  Addresses are
+            # grouped into one task per worker so each worker's
+            # pipeline call batches Stage 4 across its whole group, not
+            # per address.
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
                     max_workers=self.config.max_workers
                 )
-            futures = {
-                address: self._executor.submit(
-                    self._build_address, address, idxs
+            groups: List[Dict[str, List[int]]] = [
+                {}
+                for _ in range(
+                    min(self.config.max_workers, len(to_build))
                 )
-                for address, idxs in to_build.items()
-            }
-            for address, future in futures.items():
-                built[address] = future.result()
+            ]
+            for i, (address, idxs) in enumerate(to_build.items()):
+                groups[i % len(groups)][address] = idxs
+            futures = [
+                self._executor.submit(self._build_addresses, group)
+                for group in groups
+            ]
+            for future in futures:
+                built.update(future.result())
         elif to_build:
             built = self._build_addresses(to_build)
 
+        untrusted: Set[Tuple[str, int]] = set()
         sequences: Dict[str, List[EncodedGraph]] = {}
         for address in addresses:
             by_slice = dict(reusable[address])
@@ -389,38 +740,25 @@ class AddressScoringService:
                 key = (address, graph.slice_index, self.fingerprint)
                 self.cache.put(key, graph)
                 by_slice[graph.slice_index] = graph
+                if graph.slice_index >= fresh_until[address]:
+                    untrusted.add((address, graph.slice_index))
             sequences[address] = [by_slice[i] for i in sorted(by_slice)]
             self._covered[address] = counts[address]
-        return sequences
-
-    def _build_address(
-        self, address: str, slice_indices: List[int]
-    ) -> List[EncodedGraph]:
-        """Build + encode the missing slices of one address.
-
-        The thread-pool task body: each call uses a private pipeline so
-        worker threads never share a timer; the accumulations are
-        merged back under a lock.  Stage 4 batches across the
-        address's own slices (per the pipeline config).
-        """
-        pipeline = GraphConstructionPipeline(self.pipeline_config)
-        graphs = pipeline.build_slices(self.index, address, slice_indices)
-        encoded = [encode_graph(graph) for graph in graphs]
-        with self._timer_lock:
-            self.pipeline.timer.merge(pipeline.timer)
-        return encoded
+        return sequences, untrusted
 
     def _build_addresses(
         self, requests: Dict[str, List[int]]
     ) -> Dict[str, List[EncodedGraph]]:
         """Build + encode missing slices of many addresses at once.
 
-        The single-threaded miss path: one
+        The miss-path task body (the whole query on the single-threaded
+        path, one address group per worker on the threaded path): one
         :meth:`~repro.graphs.pipeline.GraphConstructionPipeline.build_many_slices`
         call, so the Stage-4 centrality sweep is block-diagonal across
-        every address of the query.  Uses a private pipeline and merges
-        the timer like :meth:`_build_address`, keeping
-        :meth:`construction_report` accounting identical between paths.
+        every address of the call.  Uses a private pipeline so workers
+        never share a timer; accumulations merge back under a lock,
+        keeping :meth:`construction_report` accounting identical
+        between paths.
         """
         pipeline = GraphConstructionPipeline(self.pipeline_config)
         graphs_by_address = pipeline.build_many_slices(self.index, requests)

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.core",
     "repro.baselines",
     "repro.eval",
+    "repro.serve",
     "repro.utils",
 ]
 
@@ -99,7 +100,16 @@ class TestDocumentedSurface:
     def test_serve_surface(self):
         import repro.serve as serve
 
-        for name in ("AddressScoringService", "SliceGraphCache"):
+        for name in (
+            "AddressScoringService",
+            "CacheStore",
+            "ClusterConfig",
+            "ClusterScoringService",
+            "ShardRouter",
+            "SliceGraphCache",
+            "WarmState",
+            "encoder_version",
+        ):
             assert name in serve.__all__, name
 
     def test_pipeline_batch_knobs(self):

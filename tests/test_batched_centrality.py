@@ -22,6 +22,7 @@ from repro.graphs import (
     centrality_matrix_block_diagonal,
     centrality_matrix_csr,
     pack_block_diagonal,
+    plan_packs,
 )
 from repro.graphs.reference import reference_centrality_matrix
 from repro.testing import random_chain
@@ -157,6 +158,72 @@ class TestKernelParity:
         with pytest.raises(Exception):
             centrality_matrix_block_diagonal(
                 matrix, np.array([0, 3], dtype=np.int64)
+            )
+
+
+class TestSkewAwarePacking:
+    """Size-sorted pack planning: a giant graph packs with its peers,
+    and the plan never changes results (pure performance)."""
+
+    def test_plan_covers_each_graph_once(self):
+        sizes = [5, 300, 7, 40, 40, 1, 0, 300]
+        packs = plan_packs(sizes, max_batch_nodes=100)
+        seen = sorted(int(i) for pack in packs for i in pack)
+        assert seen == list(range(len(sizes)))
+
+    def test_giant_separated_from_small_graphs(self):
+        """Input-order packing would trap the giant with the smalls;
+        the size-sorted plan gives it a pack of its own size class."""
+        sizes = [4, 4, 500, 4, 4]
+        packs = plan_packs(sizes, max_batch_nodes=64)
+        giant_pack = next(pack for pack in packs if 2 in pack)
+        assert list(giant_pack) == [2]
+        unsorted = plan_packs(sizes, max_batch_nodes=64, size_sort=False)
+        assert [list(pack) for pack in unsorted] == [[0, 1], [2], [3, 4]]
+
+    def test_size_sort_descending_and_stable(self):
+        packs = plan_packs([10, 30, 10, 30], max_batch_nodes=None)
+        assert [int(i) for i in packs[0]] == [1, 3, 0, 2]
+
+    def test_empty_and_budgetless_plans(self):
+        assert plan_packs([], max_batch_nodes=8) == []
+        (single,) = plan_packs([3, 9, 1], max_batch_nodes=None)
+        assert sorted(int(i) for i in single) == [0, 1, 2]
+
+    def test_skew_sorting_does_not_change_results(self, mixed_matrices):
+        """The order-invariance proof for the skew plan itself: sorted
+        and input-order packing produce identical matrices, matching
+        the per-graph kernel."""
+        sorted_results = batched_centrality_matrices(
+            mixed_matrices, max_batch_nodes=60, size_sort=True
+        )
+        unsorted_results = batched_centrality_matrices(
+            mixed_matrices, max_batch_nodes=60, size_sort=False
+        )
+        for i, (a, b) in enumerate(
+            zip(sorted_results, unsorted_results)
+        ):
+            assert np.array_equal(a, b), f"size_sort changed graph {i}"
+            expected = centrality_matrix_csr(mixed_matrices[i])
+            np.testing.assert_allclose(a, expected, rtol=1e-9, atol=1e-9)
+
+    def test_augment_graphs_skewed_batch_matches_per_graph(
+        self, pipeline_graphs
+    ):
+        """A deliberately skewed batch (one giant + the pipeline's real
+        slice graphs) augments identically to the per-graph path even
+        with a budget small enough to force multi-pack planning."""
+        graphs = [_copy_arrays(graph) for graph in pipeline_graphs]
+        expected = [
+            augment_graph(_copy_arrays(graph)).centrality
+            for graph in graphs
+        ]
+        sizes = sorted(graph.num_nodes for graph in graphs)
+        budget = max(sizes[-1], 2 * sizes[0])
+        augment_graphs(graphs, max_batch_nodes=budget)
+        for graph, reference in zip(graphs, expected):
+            np.testing.assert_allclose(
+                graph.centrality, reference, rtol=1e-9, atol=1e-9
             )
 
 

@@ -32,6 +32,17 @@ class TestParser:
         assert args.cache_capacity == 64
         assert args.stats is True
         assert args.addresses == ["addr1", "addr2"]
+        assert args.shards == 0  # unsharded by default
+        assert args.warm_dir is None
+
+    def test_score_cluster_args(self):
+        args = build_parser().parse_args(
+            ["score", "--world", "w", "--model", "m", "--shards", "4",
+             "--workers", "2", "--warm-dir", "/tmp/warm", "addr1"]
+        )
+        assert args.shards == 4
+        assert args.workers == 2
+        assert args.warm_dir == "/tmp/warm"
 
 
 class TestEndToEnd:
@@ -93,3 +104,18 @@ class TestEndToEnd:
         assert known in output
         assert "<no transactions on chain>" in output
         assert "cache:" in output and "hit_rate" in output
+
+        # Score through the sharded cluster with a warm store: the
+        # first run saves, the second restarts fully warm (no misses).
+        warm_dir = tmp_path / "warm"
+        cluster_args = [
+            "score", "--world", str(world_dir), "--model", str(model_dir),
+            "--shards", "2", "--warm-dir", str(warm_dir), "--stats", known,
+        ]
+        assert main(cluster_args) == 0
+        output = capsys.readouterr().out
+        assert "restored 0 cached slice graphs" in output
+        assert "shard 0:" in output and "shard 1:" in output
+        assert main(cluster_args) == 0
+        output = capsys.readouterr().out
+        assert "misses=0" in output

@@ -225,7 +225,9 @@ class TestCacheArrayPayloads:
 
     def test_encoded_nbytes_includes_model_cache(self, setup):
         """Warm entries grow when a model memoises propagated features
-        into EncodedGraph.cache; nbytes must keep counting them."""
+        into EncodedGraph.cache; the incremental byte total picks the
+        growth up the next time the entry is served (every serving path
+        get()s an entry before using it)."""
         _, index, addresses = setup
         from repro.gnn.data import encode_graph
         from repro.graphs import GraphConstructionPipeline
@@ -238,7 +240,29 @@ class TestCacheArrayPayloads:
         cache.put((addresses[0], 0, "fp"), encoded)
         before = cache.nbytes
         encoded.cache["gfn"] = np.zeros((4, 4))  # post-put mutation
+        assert cache.nbytes == before  # not yet re-served
+        assert cache.get((addresses[0], 0, "fp")) is encoded
         assert cache.nbytes == before + 128
+
+    def test_export_import_round_trip(self, setup):
+        """export_entries/import_entries reproduce entries and recency."""
+        _, _, addresses = setup
+        address = addresses[0]
+        graphs = self._array_graphs(setup, address)
+        source = SliceGraphCache(capacity=16)
+        for graph in graphs:
+            source.put((address, graph.slice_index, "fp"), graph)
+        target = SliceGraphCache(capacity=16)
+        assert target.import_entries(source.export_entries()) == len(graphs)
+        assert len(target) == len(source)
+        assert target.nbytes == source.nbytes
+        for graph in graphs:
+            assert (
+                target.get((address, graph.slice_index, "fp")) is graph
+            )
+        # Import counts neither hits nor misses.
+        assert target.stats.hits == len(graphs)
+        assert target.stats.misses == 0
 
     def test_nbytes_eviction_and_replacement(self, setup):
         _, _, addresses = setup
@@ -354,6 +378,22 @@ class TestScoringService:
         clf = BAClassifier(BAClassifierConfig(slice_size=SLICE_SIZE))
         with pytest.raises(NotFittedError):
             AddressScoringService(clf, index)
+
+    def test_evicted_trusted_slices_reuse_embeddings(self, setup):
+        """LRU slice-cache thrash must not defeat the embedding cache:
+        a trusted slice rebuilt after eviction is content-identical, so
+        its memoised embedding row is served instead of recomputed."""
+        _, index, addresses = setup
+        _, service = _service(
+            setup, config=ScoringServiceConfig(cache_capacity=2)
+        )
+        total = _total_slices(index, addresses)
+        service.score(addresses)  # cold: every row computed once
+        emb_before = service.embedding_stats.snapshot()
+        service.score(addresses)  # slice cache thrashes, rows survive
+        emb_after = service.embedding_stats.snapshot()
+        assert emb_after["hits"] - emb_before["hits"] == total
+        assert emb_after["misses"] == emb_before["misses"]
 
     def test_eviction_does_not_break_results(self, setup):
         _, _, addresses = setup
