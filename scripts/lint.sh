@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Static invariant lint: runs the repro.analysis AST linter over src/
+# against the committed baseline (scripts/lint_baseline.json).  Any
+# unbaselined finding, stale baseline entry, or baselined finding under
+# src/repro/serve or src/repro/graphs fails the run — see
+# docs/architecture.md ("Static invariants") for the rule set and the
+# `# repro: lint-ignore[rule-id]` suppression syntax.
+#
+# Usage: scripts/lint.sh [extra `repro lint` args, e.g. --list-rules]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m repro lint "$@"

@@ -33,5 +33,8 @@ REPRO_BENCH_SMOKE=1 python -m pytest -q benchmarks/bench_pipeline_throughput.py
 echo "== tier-1: recorded benchmark gates (full-mode trajectory) =="
 python scripts/check_bench_gates.py
 
+echo "== tier-1: static invariant lint (repro.analysis) =="
+scripts/lint.sh
+
 echo "== tier-1: documentation references =="
 scripts/docs_check.sh

@@ -1,0 +1,61 @@
+"""AST-based static analysis enforcing the repo's correctness invariants.
+
+Five PRs of growth left the serving/graph stack with contracts that used
+to live only in docstrings: cache keys must track
+:meth:`~repro.graphs.pipeline.GraphPipelineConfig.fingerprint`, shard
+routing must never touch the process-salted builtin ``hash()``, the
+Stage-1–4 kernels must stay deterministic so the
+:mod:`repro.graphs.reference` parity oracles remain meaningful, autograd
+ops must guard tape recording on
+:func:`~repro.nn.tensor.is_grad_enabled`, and the cluster's shared state
+must only be written under its lock.  This package turns those contracts
+into machine-checked rules.
+
+The pieces:
+
+- :mod:`repro.analysis.context` — per-file parse state (AST with parent
+  links, import-alias resolution, suppression comments),
+- :mod:`repro.analysis.registry` — the rule base classes
+  (:class:`FileRule`, :class:`ProjectRule`) and the registration
+  decorator,
+- :mod:`repro.analysis.rules` — the repo-specific rule set,
+- :mod:`repro.analysis.baseline` — the JSON baseline of grandfathered
+  findings (every entry carries a justification; stale entries fail),
+- :mod:`repro.analysis.engine` — file discovery, rule execution, report
+  formatting, and the ``repro lint`` command body.
+
+Run it with ``repro lint`` (or ``scripts/lint.sh``); suppress a single
+finding in place with a ``# repro: lint-ignore[rule-id]`` comment on the
+offending line.  ``scripts/tier1.sh`` runs the linter on every
+verification pass, so an invariant violation fails the build exactly
+like a failing test.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.context import FileContext
+from repro.analysis.engine import lint_paths, lint_sources, run_lint
+from repro.analysis.findings import Finding
+from repro.analysis.registry import (
+    FileRule,
+    ProjectRule,
+    Rule,
+    all_rules,
+    register,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "FileContext",
+    "FileRule",
+    "Finding",
+    "ProjectRule",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_sources",
+    "register",
+    "run_lint",
+]

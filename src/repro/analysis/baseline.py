@@ -1,0 +1,143 @@
+"""The JSON baseline of grandfathered findings.
+
+A baseline entry acknowledges one existing finding without fixing it.
+Three properties keep the file honest:
+
+- every entry must carry a non-empty one-line ``justification``,
+- an entry that no longer matches any finding is *stale* and fails the
+  run (the baseline can only shrink as code is fixed, never rot),
+- entries under the strict prefixes (``src/repro/serve``,
+  ``src/repro/graphs`` — the cache-key and determinism contracts) are
+  rejected outright: those trees must lint clean, not baselined.
+
+Matching uses :attr:`~repro.analysis.findings.Finding.baseline_key`
+(path, rule, message) so unrelated edits that shift line numbers do not
+un-baseline an acknowledged finding.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline", "BaselineError", "BASELINE_VERSION", "STRICT_PREFIXES"]
+
+BASELINE_VERSION = 1
+
+#: Path prefixes whose findings may never be baselined (posix-relative).
+STRICT_PREFIXES = ("src/repro/serve", "src/repro/graphs")
+
+
+class BaselineError(Exception):
+    """The baseline file itself is invalid (format, justification, policy)."""
+
+
+@dataclass
+class Baseline:
+    """Grandfathered findings loaded from (or saved to) JSON."""
+
+    entries: List[Dict[str, str]] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Baseline":
+        """Read and validate a baseline file."""
+        raw = Path(path).read_text()
+        try:
+            payload = json.loads(raw)
+        except ValueError as exc:
+            raise BaselineError(f"baseline {path} is not valid JSON: {exc}")
+        if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+            raise BaselineError(
+                f"baseline {path} must be an object with version="
+                f"{BASELINE_VERSION}"
+            )
+        entries = payload.get("entries", [])
+        if not isinstance(entries, list):
+            raise BaselineError(f"baseline {path}: 'entries' must be a list")
+        baseline = cls(entries=[dict(entry) for entry in entries])
+        baseline.validate(source=str(path))
+        return baseline
+
+    def validate(self, source: str = "<baseline>") -> None:
+        """Enforce entry shape, justifications, and the strict prefixes."""
+        for entry in self.entries:
+            for key in ("path", "rule", "message"):
+                if not isinstance(entry.get(key), str) or not entry[key]:
+                    raise BaselineError(
+                        f"{source}: entry {entry!r} lacks a {key!r} string"
+                    )
+            justification = entry.get("justification", "")
+            if not isinstance(justification, str) or not justification.strip():
+                raise BaselineError(
+                    f"{source}: entry for {entry['path']} [{entry['rule']}] "
+                    "has no justification — every baselined finding must "
+                    "say why it is acceptable"
+                )
+            normalized = entry["path"].replace("\\", "/")
+            if any(
+                normalized == prefix or normalized.startswith(prefix + "/")
+                for prefix in STRICT_PREFIXES
+            ):
+                raise BaselineError(
+                    f"{source}: {entry['path']} is under a strict prefix "
+                    f"({', '.join(STRICT_PREFIXES)}) — findings there must "
+                    "be fixed, not baselined"
+                )
+
+    def save(self, path: "str | Path") -> None:
+        """Write the baseline as stable, reviewable JSON."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": sorted(
+                self.entries,
+                key=lambda e: (e["path"], e["rule"], e["message"]),
+            ),
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], justification: str
+    ) -> "Baseline":
+        """A baseline acknowledging ``findings`` with one shared justification."""
+        return cls(
+            entries=[
+                {
+                    "path": finding.path,
+                    "rule": finding.rule_id,
+                    "message": finding.message,
+                    "justification": justification,
+                }
+                for finding in findings
+            ]
+        )
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[Dict[str, str]]]:
+        """Partition ``findings`` against the baseline.
+
+        Returns ``(new, baselined, stale_entries)`` where ``stale_entries``
+        are baseline rows that matched nothing — each one is an error,
+        so fixed code must also drop its baseline entry.
+        """
+        keys = {
+            (entry["path"], entry["rule"], entry["message"]): entry
+            for entry in self.entries
+        }
+        matched = set()
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            key = finding.baseline_key
+            if key in keys:
+                matched.add(key)
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        stale = [entry for key, entry in keys.items() if key not in matched]
+        return new, baselined, stale

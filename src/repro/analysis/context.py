@@ -1,0 +1,150 @@
+"""Per-file parse state shared by every rule.
+
+A :class:`FileContext` owns the AST (annotated with parent links),
+an import-alias table so rules can resolve calls like ``np.random.rand``
+to their canonical dotted name, and the line-level
+``# repro: lint-ignore[rule-id]`` suppression table.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from typing import Dict, Iterator, List, Optional, Set
+
+__all__ = ["FileContext", "parse_suppressions"]
+
+_PARENT_FIELD = "_repro_parent"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*lint-ignore\[([A-Za-z0-9_\-, ]+)\]"
+)
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule ids suppressed by a comment on that line.
+
+    The comment syntax is ``# repro: lint-ignore[rule-id]`` (several ids
+    comma-separated); it silences findings anchored to the same physical
+    line.  Tokenization keeps string literals that merely *look* like
+    suppression comments inert.
+    """
+    suppressed: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            rule_ids = {
+                part.strip()
+                for part in match.group(1).split(",")
+                if part.strip()
+            }
+            suppressed.setdefault(token.start[0], set()).update(rule_ids)
+    except tokenize.TokenError:  # unterminated construct: no comments past it
+        pass
+    return suppressed
+
+
+class FileContext:
+    """One parsed source file plus the lookup tables rules need."""
+
+    def __init__(self, path: str, source: str, module: Optional[str] = None):
+        self.path = path
+        self.source = source
+        self.module = module if module is not None else _module_of(path)
+        self.tree = ast.parse(source, filename=path)
+        self.suppressed = parse_suppressions(source)
+        self._link_parents()
+        self.aliases = self._collect_aliases()
+
+    # ------------------------------------------------------------------ #
+    # AST navigation
+    # ------------------------------------------------------------------ #
+
+    def _link_parents(self) -> None:
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                setattr(child, _PARENT_FIELD, parent)
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The syntactic parent of ``node`` (None for the module)."""
+        return getattr(node, _PARENT_FIELD, None)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Parents of ``node`` from nearest to the module root."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def enclosing_functions(self, node: ast.AST) -> List[ast.AST]:
+        """Function defs containing ``node``, nearest first."""
+        return [
+            ancestor
+            for ancestor in self.ancestors(node)
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+
+    def at_module_level(self, node: ast.AST) -> bool:
+        """True when ``node`` executes at import time (no enclosing def)."""
+        return not self.enclosing_functions(node)
+
+    # ------------------------------------------------------------------ #
+    # Name resolution
+    # ------------------------------------------------------------------ #
+
+    def _collect_aliases(self) -> Dict[str, str]:
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    local = name.asname or name.name.split(".")[0]
+                    target = name.name if name.asname else local
+                    aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:  # relative import: unresolvable here
+                    continue
+                for name in node.names:
+                    local = name.asname or name.name
+                    aliases[local] = f"{node.module}.{name.name}"
+        return aliases
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name of a Name/Attribute chain, or None.
+
+        Substitutes import aliases at the root, so with ``import numpy
+        as np`` the expression ``np.random.rand`` resolves to
+        ``numpy.random.rand``.
+        """
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        root = self.aliases.get(current.id, current.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        """Whether ``rule_id`` findings on ``line`` are ignored in place."""
+        return rule_id in self.suppressed.get(line, ())
+
+
+def _module_of(path: str) -> str:
+    """Dotted module name of a repo path (``src/repro/x/y.py`` -> ``repro.x.y``)."""
+    parts = path.replace("\\", "/").split("/")
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part)

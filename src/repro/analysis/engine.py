@@ -1,0 +1,174 @@
+"""File discovery, rule execution, and the ``repro lint`` command body.
+
+The flow: discover ``.py`` files, parse each into a
+:class:`~repro.analysis.context.FileContext`, run every registered rule
+whose scope matches the file's dotted module, drop findings silenced by
+in-place ``# repro: lint-ignore[...]`` comments, then partition what is
+left against the JSON baseline.  Exit status is non-zero for any
+unbaselined finding, any stale baseline entry, or an invalid baseline —
+``scripts/tier1.sh`` treats all three as build failures.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline, BaselineError
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import FileRule, ProjectRule, all_rules
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "build_contexts",
+    "lint_contexts",
+    "lint_paths",
+    "lint_sources",
+    "run_lint",
+]
+
+#: Where ``repro lint`` looks for the committed baseline by default.
+DEFAULT_BASELINE = "scripts/lint_baseline.json"
+
+
+def _display_path(path: Path) -> str:
+    """Stable repo-relative display form of a real file path.
+
+    Any path under a ``src/repro`` tree is rendered from its ``src``
+    component (``src/repro/serve/cluster.py``) regardless of the working
+    directory, so reports and baseline entries match across machines;
+    other files fall back to a cwd-relative or absolute posix path.
+    """
+    resolved = path.resolve()
+    parts = resolved.parts
+    for i in range(len(parts) - 1):
+        if parts[i] == "src" and parts[i + 1] == "repro":
+            return "/".join(parts[i:])
+    try:
+        return resolved.relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def discover_files(paths: Iterable["str | Path"]) -> List[Path]:
+    """Every ``.py`` file under ``paths`` (files pass through), sorted."""
+    files: List[Path] = []
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    unique: Dict[str, Path] = {}
+    for path in files:
+        unique.setdefault(str(path.resolve()), path)
+    return [unique[key] for key in sorted(unique)]
+
+
+def build_contexts(paths: Iterable["str | Path"]) -> List[FileContext]:
+    """Parse every discovered file into a :class:`FileContext`."""
+    contexts = []
+    for path in discover_files(paths):
+        source = path.read_text()
+        contexts.append(FileContext(_display_path(path), source))
+    return contexts
+
+
+def lint_contexts(contexts: Sequence[FileContext]) -> List[Finding]:
+    """Run every registered rule over ``contexts``; suppressions applied."""
+    findings: List[Finding] = []
+    for rule in all_rules():
+        if isinstance(rule, ProjectRule):
+            in_scope = [c for c in contexts if rule.applies_to(c.module)]
+            raw = rule.check_project(in_scope) if in_scope else ()
+            by_path = {c.path: c for c in contexts}
+            for finding in raw:
+                context = by_path.get(finding.path)
+                if context is not None and context.is_suppressed(
+                    finding.line, finding.rule_id
+                ):
+                    continue
+                findings.append(finding)
+        elif isinstance(rule, FileRule):
+            for context in contexts:
+                if not rule.applies_to(context.module):
+                    continue
+                for finding in rule.check(context):
+                    if context.is_suppressed(finding.line, finding.rule_id):
+                        continue
+                    findings.append(finding)
+    return sorted(findings)
+
+
+def lint_paths(paths: Iterable["str | Path"]) -> List[Finding]:
+    """Lint files/directories on disk (no baseline applied)."""
+    return lint_contexts(build_contexts(paths))
+
+
+def lint_sources(sources: Dict[str, str]) -> List[Finding]:
+    """Lint in-memory ``{path: source}`` pairs — the fixture-test entry.
+
+    Paths are taken verbatim; give them shapes like
+    ``src/repro/serve/fake.py`` to land in a rule's scope.
+    """
+    contexts = [
+        FileContext(path, source) for path, source in sorted(sources.items())
+    ]
+    return lint_contexts(contexts)
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Body of ``repro lint``; returns the process exit code."""
+    if getattr(args, "list_rules", False):
+        for rule in all_rules():
+            scopes = ", ".join(rule.scopes) if rule.scopes else "all modules"
+            print(f"{rule.rule_id}  [{scopes}]")
+            print(f"    {rule.description}")
+        return 0
+
+    paths = list(args.paths) if args.paths else ["src"]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"repro lint: no such path: {', '.join(missing)}")
+        return 2
+    findings = lint_paths(paths)
+
+    baseline_path = args.baseline
+    if baseline_path is None and Path(DEFAULT_BASELINE).exists():
+        baseline_path = DEFAULT_BASELINE
+
+    if getattr(args, "write_baseline", False):
+        target = baseline_path or DEFAULT_BASELINE
+        Baseline.from_findings(
+            findings, justification="TODO: justify or fix"
+        ).save(target)
+        print(
+            f"repro lint: wrote {len(findings)} finding(s) to {target} — "
+            "replace each TODO justification before committing"
+        )
+        return 0
+
+    baseline = Baseline()
+    if baseline_path is not None and Path(baseline_path).exists():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as exc:
+            print(f"repro lint: {exc}")
+            return 2
+
+    new, baselined, stale = baseline.split(findings)
+    for finding in new:
+        print(finding.render())
+    for entry in stale:
+        print(
+            f"repro lint: stale baseline entry {entry['path']} "
+            f"[{entry['rule']}] matches no finding — remove it "
+            f"({entry['message']!r})"
+        )
+    print(
+        f"repro lint: {len(new)} finding(s), {len(baselined)} baselined, "
+        f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'}"
+    )
+    return 1 if new or stale else 0

@@ -1,0 +1,46 @@
+"""The linter's result type and its rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["Finding", "SUPPRESS_TEMPLATE"]
+
+#: How to silence one finding in place; printed with every report line.
+SUPPRESS_TEMPLATE = "# repro: lint-ignore[{rule_id}]"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``path`` is repo-relative (posix separators) for real files so
+    reports and baseline entries are stable across machines and working
+    directories; fixture tests use virtual paths verbatim.
+    """
+
+    path: str
+    line: int
+    rule_id: str
+    message: str
+    col: int = 0
+
+    @property
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Identity used for baseline matching.
+
+        Deliberately excludes the line/column so unrelated edits that
+        shift a grandfathered finding do not un-baseline it; the message
+        carries the identifying detail (attribute, field, call name).
+        """
+        return (self.path, self.rule_id, self.message)
+
+    def render(self) -> str:
+        """``file:line:col: [rule-id] message`` plus the suppression hint."""
+        location = f"{self.path}:{self.line}:{self.col}"
+        hint = SUPPRESS_TEMPLATE.format(rule_id=self.rule_id)
+        return (
+            f"{location}: [{self.rule_id}] {self.message}\n"
+            f"    suppress in place with: {hint}"
+        )

@@ -1,0 +1,84 @@
+"""Rule base classes and the global rule registry.
+
+A rule declares an ``rule_id``, a one-line ``description`` (shown by
+``repro lint --list-rules`` and quoted in ``docs/architecture.md``), and
+the dotted-module ``scopes`` it patrols.  :class:`FileRule` checks one
+file at a time; :class:`ProjectRule` sees every in-scope file of the run
+at once (cross-file contracts such as oracle/kernel pairing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple, Type
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+
+__all__ = ["Rule", "FileRule", "ProjectRule", "register", "all_rules", "get_rule"]
+
+_REGISTRY: Dict[str, "Rule"] = {}
+
+
+class Rule:
+    """Common surface of every lint rule."""
+
+    #: Kebab-case identifier used in reports, suppressions, and baselines.
+    rule_id: str = ""
+    #: One line: the invariant this rule pins.
+    description: str = ""
+    #: Dotted module prefixes the rule applies to (``()`` = everywhere).
+    scopes: Tuple[str, ...] = ()
+
+    def applies_to(self, module: str) -> bool:
+        """Whether ``module`` (dotted) is inside this rule's scopes."""
+        if not self.scopes:
+            return True
+        return any(
+            module == scope or module.startswith(scope + ".")
+            for scope in self.scopes
+        )
+
+
+class FileRule(Rule):
+    """A rule evaluated independently on each in-scope file."""
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        """Yield findings for one parsed file."""
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule evaluated once over every in-scope file of the run."""
+
+    def check_project(
+        self, contexts: Sequence[FileContext]
+    ) -> Iterator[Finding]:
+        """Yield findings computed across ``contexts``."""
+        raise NotImplementedError
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one instance of ``rule_class`` to the registry."""
+    rule = rule_class()
+    if not rule.rule_id:
+        raise ValueError(f"{rule_class.__name__} lacks a rule_id")
+    if rule.rule_id in _REGISTRY and not isinstance(
+        _REGISTRY[rule.rule_id], rule_class
+    ):
+        raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+    _REGISTRY[rule.rule_id] = rule
+    return rule_class
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by id (imports the rule modules)."""
+    import repro.analysis.rules  # noqa: F401  (registration side effect)
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look one rule up by id (:func:`all_rules` semantics otherwise)."""
+    import repro.analysis.rules  # noqa: F401
+
+    return _REGISTRY[rule_id]

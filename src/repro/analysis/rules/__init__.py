@@ -1,0 +1,21 @@
+"""The repo-specific rule set; importing this package registers every rule."""
+
+from repro.analysis.rules import (  # noqa: F401  (registration side effects)
+    determinism,
+    exceptions,
+    fingerprint,
+    hashing,
+    locks,
+    oracle,
+    tape,
+)
+
+__all__ = [
+    "determinism",
+    "exceptions",
+    "fingerprint",
+    "hashing",
+    "locks",
+    "oracle",
+    "tape",
+]

@@ -1,0 +1,143 @@
+"""kernel-determinism: construction kernels must be reproducible.
+
+The Stage-1–4 kernels in :mod:`repro.graphs` and the feature extractors
+in :mod:`repro.features` are pinned by the pure-Python parity oracles in
+:mod:`repro.graphs.reference` and the golden-artifact regression
+fixture; both comparisons are only meaningful if the vectorized kernels
+are bit-deterministic.  This rule bans the classic nondeterminism
+sources: wall-clock reads that leak into outputs, the *global* (seedless)
+``random`` / ``numpy.random`` state, and iteration directly over sets
+(whose order is salted along with ``hash()``).
+
+``time.perf_counter``/``time.monotonic`` stay allowed — the pipeline
+times its stages, and timings never feed outputs.  Explicitly-seeded
+generators (``numpy.random.default_rng``, ``Generator``) are the
+sanctioned randomness and stay allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import FileRule, register
+
+__all__ = ["KernelDeterminismRule"]
+
+_BANNED_CALLS = {
+    "time.time": "wall-clock time.time()",
+    "time.time_ns": "wall-clock time.time_ns()",
+    "datetime.datetime.now": "wall-clock datetime.now()",
+    "datetime.datetime.utcnow": "wall-clock datetime.utcnow()",
+    "datetime.date.today": "wall-clock date.today()",
+    "os.urandom": "os.urandom()",
+    "uuid.uuid4": "uuid.uuid4()",
+}
+
+#: Constructors of explicitly-seeded randomness — the sanctioned API.
+_NUMPY_RANDOM_ALLOWED = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+}
+
+#: Wrappers whose single argument's set-ness leaks into ordered output.
+_ORDER_SENSITIVE_WRAPPERS = {"list", "tuple", "enumerate", "iter"}
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"set", "frozenset"}
+    )
+
+
+@register
+class KernelDeterminismRule(FileRule):
+    """Ban nondeterminism sources in ``repro.graphs`` / ``repro.features``."""
+
+    rule_id = "kernel-determinism"
+    description = (
+        "graph/feature kernels must be deterministic (no wall clock, no "
+        "global RNG, no set-iteration ordering) so the reference parity "
+        "oracles and golden fixtures stay meaningful"
+    )
+    scopes = ("repro.graphs", "repro.features")
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        """Flag banned calls and direct iteration over set expressions."""
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                message = self._banned_call(context, node)
+                if message is not None:
+                    yield Finding(
+                        path=context.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule_id=self.rule_id,
+                        message=message,
+                    )
+            iterable = self._unordered_iteration(node)
+            if iterable is not None:
+                yield Finding(
+                    path=context.path,
+                    line=iterable.lineno,
+                    col=iterable.col_offset,
+                    rule_id=self.rule_id,
+                    message=(
+                        "iteration order of a set is salted per process — "
+                        "wrap it in sorted(...) before iterating"
+                    ),
+                )
+
+    def _banned_call(
+        self, context: FileContext, node: ast.Call
+    ) -> Optional[str]:
+        dotted = context.resolve(node.func)
+        if dotted is None:
+            return None
+        if dotted in _BANNED_CALLS:
+            return (
+                f"{_BANNED_CALLS[dotted]} makes kernel output "
+                "run-dependent — thread explicit inputs instead "
+                "(time.perf_counter is fine for stage timing)"
+            )
+        if dotted.startswith("random."):
+            return (
+                f"{dotted}() uses the global stdlib RNG — take a seeded "
+                "numpy Generator as an argument instead"
+            )
+        if (
+            dotted.startswith("numpy.random.")
+            and dotted not in _NUMPY_RANDOM_ALLOWED
+        ):
+            return (
+                f"{dotted}() draws from numpy's global RNG — take a "
+                "seeded numpy.random.Generator as an argument instead"
+            )
+        return None
+
+    def _unordered_iteration(self, node: ast.AST) -> Optional[ast.AST]:
+        """The offending set expression when ``node`` iterates one directly."""
+        if isinstance(node, ast.For) and _is_set_expression(node.iter):
+            return node.iter
+        if isinstance(node, ast.comprehension) and _is_set_expression(
+            node.iter
+        ):
+            return node.iter
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _ORDER_SENSITIVE_WRAPPERS
+            and len(node.args) >= 1
+            and _is_set_expression(node.args[0])
+        ):
+            return node.args[0]
+        return None

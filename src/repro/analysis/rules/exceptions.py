@@ -1,0 +1,67 @@
+"""broad-except: handlers must name the failures they intend to absorb.
+
+``except Exception`` (or a bare ``except``) swallows programming errors
+along with the anticipated failure — a corrupt warm-store bundle and a
+typo in the loader look identical, and the typo ships.  Every handler in
+the library names its specific exception types (the
+:mod:`repro.errors` hierarchy exists for exactly this); catching
+``Exception``/``BaseException`` to *re-raise* unchanged is equally
+disallowed because ``try/finally`` expresses that intent without the
+risk of the re-raise being dropped in a later edit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import FileRule, register
+
+__all__ = ["BroadExceptRule"]
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _broad_name(node: ast.AST) -> bool:
+    return isinstance(node, ast.Name) and node.id in _BROAD_NAMES
+
+
+@register
+class BroadExceptRule(FileRule):
+    """Flag bare ``except:`` and ``except Exception/BaseException``."""
+
+    rule_id = "broad-except"
+    description = (
+        "except clauses must name specific exception types (see "
+        "repro.errors); bare/Exception handlers hide programming errors"
+    )
+    scopes = ("repro",)
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        """Flag each overly-broad except handler."""
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                offender = "bare except:"
+            elif _broad_name(node.type):
+                offender = f"except {node.type.id}"
+            elif isinstance(node.type, ast.Tuple) and any(
+                _broad_name(element) for element in node.type.elts
+            ):
+                offender = "except tuple containing Exception"
+            else:
+                continue
+            yield Finding(
+                path=context.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule_id=self.rule_id,
+                message=(
+                    f"{offender} absorbs unrelated programming errors — "
+                    "narrow it to the specific exception types this "
+                    "handler actually expects"
+                ),
+            )

@@ -1,0 +1,175 @@
+"""fingerprint-discipline: config knobs may never silently alias cache keys.
+
+Serving caches and warm stores are keyed by
+:meth:`~repro.graphs.pipeline.GraphPipelineConfig.fingerprint`.  The
+contract: every dataclass field either feeds the fingerprint (changing
+it invalidates caches) or is explicitly listed in the module's
+``_PERF_ONLY_FIELDS`` (changing it must *not* invalidate caches, because
+it can never change pipeline output).  A new knob that is neither would
+let two configs that build different graphs share cache entries — the
+worst kind of serving bug, silent wrong answers.
+
+The rule accepts two fingerprint shapes: the ``dataclasses.asdict(self)``
+pattern (all fields consumed by construction, perf-only fields popped)
+and explicit per-field enumeration (each ``self.<field>`` read counts as
+consumption).  Either way, every ``_PERF_ONLY_FIELDS`` entry must name a
+real field, so the exclusion list cannot rot.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import FileRule, register
+
+__all__ = ["FingerprintDisciplineRule"]
+
+_PERF_LIST_NAME = "_PERF_ONLY_FIELDS"
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _annotation_mentions_classvar(annotation: ast.AST) -> bool:
+    return "ClassVar" in ast.dump(annotation)
+
+
+def _string_elements(node: ast.AST) -> Optional[List[str]]:
+    if not isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return None
+    values = []
+    for element in node.elts:
+        if not (
+            isinstance(element, ast.Constant)
+            and isinstance(element.value, str)
+        ):
+            return None
+        values.append(element.value)
+    return values
+
+
+@register
+class FingerprintDisciplineRule(FileRule):
+    """Audit ``fingerprint()``-bearing dataclasses in ``repro.graphs``."""
+
+    rule_id = "fingerprint-discipline"
+    description = (
+        "every field of a fingerprint()-bearing config dataclass must "
+        "either feed fingerprint() or be listed in _PERF_ONLY_FIELDS, so "
+        "new knobs can never silently alias serving-cache keys"
+    )
+    scopes = ("repro.graphs",)
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        """Check each dataclass in the file that defines ``fingerprint``."""
+        perf_only, perf_only_node = self._perf_only_fields(context)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _is_dataclass_decorated(node):
+                continue
+            fingerprint = self._method(node, "fingerprint")
+            if fingerprint is None:
+                continue
+            fields = self._dataclass_fields(node)
+            consumed = self._consumed_fields(context, fingerprint, fields)
+            for name, line in fields:
+                if name in consumed or name in perf_only:
+                    continue
+                yield Finding(
+                    path=context.path,
+                    line=line,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"{node.name}.{name} is neither consumed by "
+                        f"fingerprint() nor listed in {_PERF_LIST_NAME} — "
+                        "an unkeyed knob would alias serving-cache entries"
+                    ),
+                )
+            field_names = {name for name, _ in fields}
+            for name in perf_only:
+                if name in field_names:
+                    continue
+                yield Finding(
+                    path=context.path,
+                    line=(
+                        perf_only_node.lineno
+                        if perf_only_node is not None
+                        else node.lineno
+                    ),
+                    rule_id=self.rule_id,
+                    message=(
+                        f"{_PERF_LIST_NAME} lists {name!r}, which is not a "
+                        f"field of {node.name} — stale exclusions make the "
+                        "fingerprint contract unreadable"
+                    ),
+                )
+
+    def _perf_only_fields(
+        self, context: FileContext
+    ) -> Tuple[List[str], Optional[ast.AST]]:
+        for node in context.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == _PERF_LIST_NAME
+                ):
+                    return _string_elements(node.value) or [], node
+        return [], None
+
+    def _method(
+        self, node: ast.ClassDef, name: str
+    ) -> Optional[ast.FunctionDef]:
+        for item in node.body:
+            if isinstance(item, ast.FunctionDef) and item.name == name:
+                return item
+        return None
+
+    def _dataclass_fields(self, node: ast.ClassDef) -> List[Tuple[str, int]]:
+        fields = []
+        for item in node.body:
+            if not isinstance(item, ast.AnnAssign):
+                continue
+            if not isinstance(item.target, ast.Name):
+                continue
+            if _annotation_mentions_classvar(item.annotation):
+                continue
+            fields.append((item.target.id, item.lineno))
+        return fields
+
+    def _consumed_fields(
+        self,
+        context: FileContext,
+        fingerprint: ast.FunctionDef,
+        fields: List[Tuple[str, int]],
+    ) -> Set[str]:
+        consumed: Set[str] = set()
+        field_names = {name for name, _ in fields}
+        for node in ast.walk(fingerprint):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in field_names
+            ):
+                consumed.add(node.attr)
+            if isinstance(node, ast.Call):
+                dotted = context.resolve(node.func)
+                if dotted in {"dataclasses.asdict", "asdict"} or (
+                    dotted is not None and dotted.endswith(".asdict")
+                ):
+                    # asdict(self) serialises every field.
+                    consumed.update(field_names)
+        return consumed

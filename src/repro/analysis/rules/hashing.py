@@ -1,0 +1,50 @@
+"""stable-hash: the builtin ``hash()`` is banned from keyed subsystems.
+
+Python salts ``hash()`` per process (PYTHONHASHSEED), so any value it
+produces is unstable across runs, replicas, and pool workers.  The shard
+router (:mod:`repro.serve.router`) and the warm store derive their keys
+from blake2b/sha256 digests precisely so that a restarted replica routes
+and warms identically; a stray ``hash()`` in :mod:`repro.serve` or
+:mod:`repro.graphs` would silently break that contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import FileRule, register
+
+__all__ = ["StableHashRule"]
+
+
+@register
+class StableHashRule(FileRule):
+    """Forbid builtin ``hash()`` calls in ``repro.serve`` / ``repro.graphs``."""
+
+    rule_id = "stable-hash"
+    description = (
+        "builtin hash() is process-salted; cache keys, shard routing, and "
+        "store versioning must use hashlib digests (blake2b/sha256)"
+    )
+    scopes = ("repro.serve", "repro.graphs")
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        """Flag every call whose callee is the bare name ``hash``."""
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "hash":
+                yield Finding(
+                    path=context.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule_id=self.rule_id,
+                    message=(
+                        "builtin hash() is salted per process — derive "
+                        "stable keys with hashlib.blake2b/sha256 instead"
+                    ),
+                )

@@ -1,0 +1,124 @@
+"""oracle-sync: every parity oracle keeps a same-signature fast kernel.
+
+:mod:`repro.graphs.reference` preserves the pure-Python Eq. 1–11 kernels
+as parity oracles for the vectorized implementations.  The tests that
+compare them (``tests/test_vectorized_parity.py``) pair functions by
+convention: ``reference_<name>`` against ``<name>`` somewhere in
+:mod:`repro.graphs` / :mod:`repro.features`.  If a vectorized kernel is
+renamed or its signature drifts, the pairing silently loses meaning —
+this rule fails instead, anchored at the orphaned oracle.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ProjectRule, register
+
+__all__ = ["OracleSyncRule"]
+
+_REFERENCE_MODULE = "repro.graphs.reference"
+_REFERENCE_PREFIX = "reference_"
+_COUNTERPART_SCOPES = ("repro.graphs", "repro.features")
+
+
+def _positional_params(node: ast.FunctionDef) -> List[str]:
+    args = node.args
+    return [a.arg for a in args.posonlyargs + args.args]
+
+
+def _top_level_functions(tree: ast.Module) -> Dict[str, ast.FunctionDef]:
+    return {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, ast.FunctionDef)
+    }
+
+
+def _declared_all(tree: ast.Module) -> Optional[List[str]]:
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(target, ast.Name) and target.id == "__all__"
+            for target in node.targets
+        ):
+            continue
+        if isinstance(node.value, (ast.List, ast.Tuple)):
+            names = []
+            for element in node.value.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    names.append(element.value)
+            return names
+    return None
+
+
+@register
+class OracleSyncRule(ProjectRule):
+    """Pair each public ``reference_*`` kernel with its vectorized twin."""
+
+    rule_id = "oracle-sync"
+    description = (
+        "every public reference_* kernel in repro.graphs.reference must "
+        "have a same-name, same-arity vectorized counterpart in "
+        "repro.graphs / repro.features, so parity oracles cannot drift"
+    )
+    scopes = _COUNTERPART_SCOPES
+
+    def check_project(
+        self, contexts: Sequence[FileContext]
+    ) -> Iterator[Finding]:
+        """Runs only when the reference module is part of the lint set."""
+        reference = next(
+            (c for c in contexts if c.module == _REFERENCE_MODULE), None
+        )
+        if reference is None:
+            return
+        counterparts: Dict[str, Tuple[FileContext, ast.FunctionDef]] = {}
+        for context in contexts:
+            if context is reference:
+                continue
+            for name, node in _top_level_functions(context.tree).items():
+                counterparts.setdefault(name, (context, node))
+
+        exported = _declared_all(reference.tree)
+        for name, node in _top_level_functions(reference.tree).items():
+            if not name.startswith(_REFERENCE_PREFIX):
+                continue
+            if exported is not None and name not in exported:
+                continue
+            expected = name[len(_REFERENCE_PREFIX) :]
+            paired = counterparts.get(expected)
+            if paired is None:
+                yield Finding(
+                    path=reference.path,
+                    line=node.lineno,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"parity oracle {name} has no vectorized "
+                        f"counterpart named {expected!r} in "
+                        f"{' / '.join(_COUNTERPART_SCOPES)} — the oracle "
+                        "no longer pins anything"
+                    ),
+                )
+                continue
+            _, twin = paired
+            oracle_params = _positional_params(node)
+            twin_params = _positional_params(twin)
+            if oracle_params != twin_params:
+                yield Finding(
+                    path=reference.path,
+                    line=node.lineno,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"parity oracle {name}{tuple(oracle_params)} and "
+                        f"counterpart {expected}{tuple(twin_params)} have "
+                        "drifted apart — keep signatures identical so "
+                        "parity tests compare like with like"
+                    ),
+                )

@@ -1,0 +1,99 @@
+"""tape-discipline: autograd ops must guard tape recording.
+
+Every differentiable op in :mod:`repro.nn` ultimately constructs
+``Tensor(..., _parents=..., _backward=...)`` — the tape edge.  The
+contract (and the precondition for the ROADMAP's inference-only
+execution mode) is that no op records unconditionally: the enclosing
+function must branch on :func:`~repro.nn.tensor.is_grad_enabled` so that
+``no_grad()`` inference builds plain tensors with no closures, parents,
+or gradient buffers attached.  ``repro.nn.functional._build`` is the
+canonical shape; this rule keeps every future op honest.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import FileRule, register
+
+__all__ = ["TapeDisciplineRule"]
+
+_GUARD_NAME = "is_grad_enabled"
+_TAPE_KEYWORDS = {"_backward", "_parents"}
+
+
+def _mentions_guard(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id == _GUARD_NAME:
+            return True
+        if isinstance(child, ast.Attribute) and child.attr == _GUARD_NAME:
+            return True
+    return False
+
+
+@register
+class TapeDisciplineRule(FileRule):
+    """Require an ``is_grad_enabled()`` branch around tape construction."""
+
+    rule_id = "tape-discipline"
+    description = (
+        "ops constructing Tensor(..., _backward=...) must branch on "
+        "is_grad_enabled() so no_grad() inference records no tape"
+    )
+    scopes = ("repro.nn",)
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        """Flag unguarded ``Tensor(..., _backward=/_parents=...)`` calls."""
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not self._constructs_tape_edge(node):
+                continue
+            if self._guarded(context, node):
+                continue
+            yield Finding(
+                path=context.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule_id=self.rule_id,
+                message=(
+                    "Tensor(..., _backward=...) records the autograd tape "
+                    "unconditionally — branch on is_grad_enabled() (see "
+                    "repro.nn.functional._build) so no_grad() inference "
+                    "stays allocation-lean"
+                ),
+            )
+
+    def _constructs_tape_edge(self, node: ast.Call) -> bool:
+        func = node.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name != "Tensor":
+            return False
+        return any(
+            keyword.arg in _TAPE_KEYWORDS for keyword in node.keywords
+        )
+
+    def _guarded(self, context: FileContext, node: ast.Call) -> bool:
+        """Whether any enclosing function branches on the guard.
+
+        The tape-edge construction in ``tensor.Tensor.__init__`` itself
+        is exempt by construction: the rule looks at *call sites*, and
+        the ``If`` may appear anywhere in the enclosing function (the
+        canonical form returns the tape-free tensor early).
+        """
+        for function in context.enclosing_functions(node):
+            for child in ast.walk(function):
+                if isinstance(child, ast.If) and _mentions_guard(child.test):
+                    return True
+                if isinstance(child, ast.IfExp) and _mentions_guard(
+                    child.test
+                ):
+                    return True
+        return False

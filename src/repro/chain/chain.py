@@ -20,7 +20,7 @@ from typing import Callable, List, Optional, Sequence
 from repro.chain.block import Block
 from repro.chain.transaction import SATOSHIS_PER_BTC, Transaction
 from repro.chain.utxo import UTXOSet
-from repro.errors import InvalidBlockError, ValidationError
+from repro.errors import ChainError, InvalidBlockError, ValidationError
 
 __all__ = ["ChainParams", "Blockchain", "GENESIS_PREV_HASH"]
 
@@ -128,7 +128,11 @@ class Blockchain:
                     )
                 self.utxo_set.apply_transaction(tx)
                 applied.append(tx)
-        except Exception:
+        except ChainError:
+            # Validation failures (InvalidTransactionError from the UTXO
+            # rules, the non-leading-coinbase InvalidBlockError above)
+            # are the failures this rollback exists for; a non-chain
+            # exception here is a bug and should surface as one.
             for tx in reversed(applied):
                 self.utxo_set.unapply_transaction(tx)
             raise

@@ -85,6 +85,22 @@ def build_parser() -> argparse.ArgumentParser:
     score.add_argument("--stats", action="store_true",
                        help="print cache statistics after scoring")
     score.add_argument("addresses", nargs="+")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the AST invariant linter (repro.analysis) over the tree",
+    )
+    lint.add_argument("paths", nargs="*", default=None,
+                      help="files/directories to lint (default: src)")
+    lint.add_argument("--baseline", default=None,
+                      help="baseline JSON of grandfathered findings "
+                           "(default: scripts/lint_baseline.json when "
+                           "present)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="write current findings to the baseline file "
+                           "with TODO justifications, then exit")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print every registered rule and its scope")
     return parser
 
 
@@ -238,12 +254,19 @@ def _cmd_score(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.engine import run_lint
+
+    return run_lint(args)
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "classify": _cmd_classify,
     "score": _cmd_score,
+    "lint": _cmd_lint,
 }
 
 

@@ -19,7 +19,7 @@ import numpy as np
 from repro.chain.mempool import Mempool
 from repro.chain.transaction import Transaction
 from repro.chain.wallet import Wallet
-from repro.errors import InsufficientFundsError
+from repro.errors import InsufficientFundsError, InvalidTransactionError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.chain.chain import Blockchain
@@ -61,7 +61,10 @@ class WorldContext:
         """Submit ``tx`` to the mempool; False if it was rejected."""
         try:
             self.mempool.submit(tx)
-        except Exception:
+        except InvalidTransactionError:
+            # The only rejection Mempool.submit issues (double spend,
+            # unknown outpoint, coinbase, overspend); anything else
+            # would be a simulator bug worth crashing on.
             return False
         return True
 

@@ -263,6 +263,16 @@ class ClusterScoringService:
     design.
     """
 
+    #: Shared mutable state and the lock that guards it, enforced by the
+    #: ``lock-discipline`` rule of :mod:`repro.analysis`: writes (and
+    #: mutating calls) on these attributes must sit inside ``with
+    #: self.<lock>``, except in ``__init__`` and in ``*_locked`` methods
+    #: whose callers already hold the lock.
+    _LOCK_GUARDED = {
+        "_lock": ("_chain", "_executor", "_pool_stale", "_synced_transactions"),
+        "_timer_lock": ("_worker_timer",),
+    }
+
     def __init__(
         self,
         classifier,
@@ -333,7 +343,7 @@ class ClusterScoringService:
                     if shard.embeddings is not None:
                         shard.embeddings.clear()
                     shard.covered.clear()
-            self._refresh_stale_shards()
+            self._refresh_stale_shards_locked()
             chain.add_listener(self.on_block)
             self._chain = chain
 
@@ -398,7 +408,7 @@ class ClusterScoringService:
             self.pipeline_config.slice_size,
         )
 
-    def _refresh_stale_shards(self) -> None:
+    def _refresh_stale_shards_locked(self) -> None:
         """Catch shard indexes up when the parent index grew unobserved.
 
         While connected, :meth:`on_block` keeps every shard index in
@@ -466,7 +476,7 @@ class ClusterScoringService:
                 "addresses with no transactions on chain: "
                 + ", ".join(a[:16] for a in unknown[:5])
             )
-        self._refresh_stale_shards()
+        self._refresh_stale_shards_locked()
         slice_size = self.pipeline_config.slice_size
         reusable: Dict[str, Dict[int, EncodedGraph]] = {}
         to_build: Dict[int, Dict[str, List[int]]] = {}
@@ -535,7 +545,7 @@ class ClusterScoringService:
         if not to_build:
             return built
         if self.config.num_workers > 0:
-            executor = self._ensure_pool()
+            executor = self._ensure_pool_locked()
             futures = [
                 executor.submit(_build_shard_task, shard_id, requests)
                 for shard_id, requests in sorted(to_build.items())
@@ -557,7 +567,7 @@ class ClusterScoringService:
                 ]
         return built
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
+    def _ensure_pool_locked(self) -> ProcessPoolExecutor:
         """The live construction pool, re-forked after invalidations.
 
         Workers snapshot the shard indexes at fork time, so any event

@@ -40,6 +40,7 @@ import hashlib
 import io
 import json
 import os
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -336,9 +337,12 @@ class CacheStore:
                         )
         except ValidationError:
             raise
-        except Exception as exc:
-            # zipfile.BadZipFile (truncated npz), missing array names,
-            # shape mismatches: all mean an unusable bundle.
+        except (OSError, zipfile.BadZipFile, KeyError, TypeError, ValueError) as exc:
+            # The ways a torn/foreign bundle actually fails: BadZipFile /
+            # OSError (truncated npz), KeyError (missing array names),
+            # ValueError (shape or hex mismatches), TypeError (manifest
+            # fields of the wrong JSON type).  All mean an unusable
+            # bundle; anything else is a bug and should surface.
             raise ValidationError(
                 f"warm-store bundle {name!r} is corrupt: {exc}"
             ) from exc

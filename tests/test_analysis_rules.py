@@ -1,0 +1,599 @@
+"""Per-rule fixture tests for the ``repro.analysis`` invariant linter.
+
+Each rule gets one minimal violating snippet (asserting the exact rule
+id and line) and one clean snippet, so disabling any single check fails
+its test.  Framework behaviours — suppression comments, scoping,
+baseline matching — are covered at the bottom.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    BaselineError,
+    Finding,
+    all_rules,
+    lint_sources,
+)
+
+SERVE = "src/repro/serve/fixture.py"
+GRAPHS = "src/repro/graphs/fixture.py"
+FEATURES = "src/repro/features/fixture.py"
+NN = "src/repro/nn/fixture.py"
+CHAIN = "src/repro/chain/fixture.py"
+REFERENCE = "src/repro/graphs/reference.py"
+
+
+def lint_one(path, source, rule_id=None):
+    findings = lint_sources({path: textwrap.dedent(source)})
+    if rule_id is not None:
+        findings = [f for f in findings if f.rule_id == rule_id]
+    return findings
+
+
+def assert_single(findings, rule_id, line):
+    assert len(findings) == 1, findings
+    assert findings[0].rule_id == rule_id
+    assert findings[0].line == line
+
+
+class TestStableHash:
+    def test_violation(self):
+        findings = lint_one(
+            SERVE,
+            """\
+            def shard_of(address):
+                return hash(address) % 4
+            """,
+        )
+        assert_single(findings, "stable-hash", 2)
+
+    def test_clean_hashlib(self):
+        findings = lint_one(
+            SERVE,
+            """\
+            import hashlib
+
+            def shard_of(address):
+                digest = hashlib.blake2b(address.encode()).digest()
+                return digest[0] % 4
+            """,
+        )
+        assert findings == []
+
+    def test_out_of_scope_not_flagged(self):
+        findings = lint_one(
+            CHAIN,
+            """\
+            def bucket(x):
+                return hash(x) % 4
+            """,
+        )
+        assert findings == []
+
+
+class TestKernelDeterminism:
+    def test_wall_clock_violation(self):
+        findings = lint_one(
+            GRAPHS,
+            """\
+            import time
+
+            def stamp(graph):
+                return time.time()
+            """,
+        )
+        assert_single(findings, "kernel-determinism", 4)
+
+    def test_global_numpy_rng_violation(self):
+        findings = lint_one(
+            FEATURES,
+            """\
+            import numpy as np
+
+            def jitter(rows):
+                return rows + np.random.rand(len(rows))
+            """,
+        )
+        assert_single(findings, "kernel-determinism", 4)
+
+    def test_stdlib_rng_violation(self):
+        findings = lint_one(
+            GRAPHS,
+            """\
+            import random
+
+            def pick(nodes):
+                return random.choice(nodes)
+            """,
+        )
+        assert_single(findings, "kernel-determinism", 4)
+
+    def test_set_iteration_violation(self):
+        findings = lint_one(
+            GRAPHS,
+            """\
+            def neighbors(pairs):
+                return [node for node in set(pairs)]
+            """,
+        )
+        assert_single(findings, "kernel-determinism", 2)
+
+    def test_clean_kernel(self):
+        findings = lint_one(
+            GRAPHS,
+            """\
+            import time
+
+            import numpy as np
+
+            def centrality(adjacency, rng: np.random.Generator):
+                start = time.perf_counter()
+                order = sorted(set(adjacency))
+                seeded = np.random.default_rng(7)
+                return order, time.perf_counter() - start, seeded
+            """,
+        )
+        assert findings == []
+
+
+class TestFingerprintDiscipline:
+    def test_unkeyed_field_violation(self):
+        findings = lint_one(
+            GRAPHS,
+            """\
+            import hashlib
+            from dataclasses import dataclass
+
+            _PERF_ONLY_FIELDS = ("batch",)
+
+            @dataclass(frozen=True)
+            class Config:
+                slice_size: int = 100
+                batch: bool = True
+                new_knob: float = 0.5
+
+                def fingerprint(self):
+                    return hashlib.sha256(
+                        str(self.slice_size).encode()
+                    ).hexdigest()
+            """,
+            rule_id="fingerprint-discipline",
+        )
+        assert_single(findings, "fingerprint-discipline", 10)
+        assert "new_knob" in findings[0].message
+
+    def test_stale_perf_entry_violation(self):
+        findings = lint_one(
+            GRAPHS,
+            """\
+            import dataclasses
+            from dataclasses import dataclass
+
+            _PERF_ONLY_FIELDS = ("gone",)
+
+            @dataclass(frozen=True)
+            class Config:
+                slice_size: int = 100
+
+                def fingerprint(self):
+                    payload = dataclasses.asdict(self)
+                    return str(sorted(payload))
+            """,
+            rule_id="fingerprint-discipline",
+        )
+        assert_single(findings, "fingerprint-discipline", 4)
+        assert "gone" in findings[0].message
+
+    def test_clean_asdict_pattern(self):
+        findings = lint_one(
+            GRAPHS,
+            """\
+            import dataclasses
+            from dataclasses import dataclass
+
+            _PERF_ONLY_FIELDS = ("batch",)
+
+            @dataclass(frozen=True)
+            class Config:
+                slice_size: int = 100
+                batch: bool = True
+
+                def fingerprint(self):
+                    payload = dataclasses.asdict(self)
+                    for field in _PERF_ONLY_FIELDS:
+                        payload.pop(field)
+                    return str(sorted(payload))
+            """,
+            rule_id="fingerprint-discipline",
+        )
+        assert findings == []
+
+    def test_real_pipeline_config_is_clean(self):
+        import pathlib
+
+        source = (
+            pathlib.Path(__file__).parent.parent
+            / "src"
+            / "repro"
+            / "graphs"
+            / "pipeline.py"
+        ).read_text()
+        findings = [
+            f
+            for f in lint_sources({"src/repro/graphs/pipeline.py": source})
+            if f.rule_id == "fingerprint-discipline"
+        ]
+        assert findings == []
+
+
+class TestTapeDiscipline:
+    def test_unguarded_violation(self):
+        findings = lint_one(
+            NN,
+            """\
+            from repro.nn.tensor import Tensor
+
+            def double(a):
+                def backward(grad):
+                    a.accumulate_grad(2.0 * grad)
+                return Tensor(a.data * 2, _parents=(a,), _backward=backward)
+            """,
+        )
+        assert_single(findings, "tape-discipline", 6)
+
+    def test_guarded_clean(self):
+        findings = lint_one(
+            NN,
+            """\
+            from repro.nn.tensor import Tensor, is_grad_enabled
+
+            def double(a):
+                if not is_grad_enabled() or not a.requires_grad:
+                    return Tensor(a.data * 2)
+
+                def backward(grad):
+                    a.accumulate_grad(2.0 * grad)
+                return Tensor(a.data * 2, _parents=(a,), _backward=backward)
+            """,
+        )
+        assert findings == []
+
+    def test_plain_tensor_clean(self):
+        findings = lint_one(
+            NN,
+            """\
+            from repro.nn.tensor import Tensor
+
+            def detach(a):
+                return Tensor(a.data)
+            """,
+        )
+        assert findings == []
+
+
+class TestLockDiscipline:
+    def test_unguarded_write_violation(self):
+        findings = lint_one(
+            SERVE,
+            """\
+            import threading
+
+            class Service:
+                _LOCK_GUARDED = {"_lock": ("_pool_stale",)}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._pool_stale = False
+
+                def on_block(self, block):
+                    self._pool_stale = True
+            """,
+        )
+        assert_single(findings, "lock-discipline", 11)
+        assert "_pool_stale" in findings[0].message
+
+    def test_unguarded_mutating_call_violation(self):
+        findings = lint_one(
+            SERVE,
+            """\
+            import threading
+
+            class Service:
+                _LOCK_GUARDED = {"_timer_lock": ("_timer",)}
+
+                def __init__(self):
+                    self._timer_lock = threading.Lock()
+                    self._timer = {}
+
+                def merge(self, other):
+                    self._timer.update(other)
+            """,
+        )
+        assert_single(findings, "lock-discipline", 11)
+
+    def test_with_lock_and_locked_suffix_clean(self):
+        findings = lint_one(
+            SERVE,
+            """\
+            import threading
+
+            class Service:
+                _LOCK_GUARDED = {"_lock": ("_pool_stale",)}
+
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._pool_stale = False
+
+                def on_block(self, block):
+                    with self._lock:
+                        self._refresh_locked()
+
+                def _refresh_locked(self):
+                    self._pool_stale = True
+            """,
+        )
+        assert findings == []
+
+    def test_import_time_pool_violation(self):
+        findings = lint_one(
+            SERVE,
+            """\
+            from concurrent.futures import ThreadPoolExecutor
+
+            _POOL = ThreadPoolExecutor(max_workers=2)
+            """,
+        )
+        assert_single(findings, "lock-discipline", 3)
+
+    def test_method_scoped_pool_clean(self):
+        findings = lint_one(
+            SERVE,
+            """\
+            from concurrent.futures import ThreadPoolExecutor
+
+            class Service:
+                def start(self):
+                    return ThreadPoolExecutor(max_workers=2)
+            """,
+        )
+        assert findings == []
+
+
+class TestOracleSync:
+    def test_missing_counterpart_violation(self):
+        findings = lint_sources(
+            {
+                REFERENCE: textwrap.dedent(
+                    """\
+                    __all__ = ["reference_degree_centrality"]
+
+                    def reference_degree_centrality(adjacency):
+                        return [len(n) for n in adjacency]
+                    """
+                ),
+                GRAPHS: "def closeness_centrality(adjacency):\n    return []\n",
+            }
+        )
+        assert_single(findings, "oracle-sync", 3)
+        assert "degree_centrality" in findings[0].message
+
+    def test_arity_drift_violation(self):
+        findings = lint_sources(
+            {
+                REFERENCE: textwrap.dedent(
+                    """\
+                    __all__ = ["reference_pagerank_centrality"]
+
+                    def reference_pagerank_centrality(adjacency, alpha=0.85):
+                        return []
+                    """
+                ),
+                GRAPHS: (
+                    "def pagerank_centrality(adjacency, alpha=0.85, "
+                    "extra=None):\n    return []\n"
+                ),
+            }
+        )
+        assert_single(findings, "oracle-sync", 3)
+        assert "drifted" in findings[0].message
+
+    def test_paired_clean(self):
+        findings = lint_sources(
+            {
+                REFERENCE: textwrap.dedent(
+                    """\
+                    __all__ = ["reference_degree_centrality"]
+
+                    def reference_degree_centrality(adjacency):
+                        return [len(n) for n in adjacency]
+                    """
+                ),
+                GRAPHS: "def degree_centrality(adjacency):\n    return []\n",
+            }
+        )
+        assert findings == []
+
+    def test_skipped_without_reference_module(self):
+        findings = lint_sources(
+            {GRAPHS: "def degree_centrality(adjacency):\n    return []\n"}
+        )
+        assert findings == []
+
+
+class TestBroadExcept:
+    def test_except_exception_violation(self):
+        findings = lint_one(
+            CHAIN,
+            """\
+            def apply(tx):
+                try:
+                    return tx.apply()
+                except Exception:
+                    return None
+            """,
+        )
+        assert_single(findings, "broad-except", 4)
+
+    def test_bare_except_violation(self):
+        findings = lint_one(
+            CHAIN,
+            """\
+            def apply(tx):
+                try:
+                    return tx.apply()
+                except:
+                    return None
+            """,
+        )
+        assert_single(findings, "broad-except", 4)
+
+    def test_narrow_clean(self):
+        findings = lint_one(
+            CHAIN,
+            """\
+            from repro.errors import ChainError
+
+            def apply(tx):
+                try:
+                    return tx.apply()
+                except (ChainError, ValueError):
+                    return None
+            """,
+        )
+        assert findings == []
+
+
+class TestFramework:
+    def test_suppression_comment_silences_finding(self):
+        findings = lint_one(
+            SERVE,
+            """\
+            def shard_of(address):
+                return hash(address) % 4  # repro: lint-ignore[stable-hash]
+            """,
+        )
+        assert findings == []
+
+    def test_suppression_is_rule_specific(self):
+        findings = lint_one(
+            SERVE,
+            """\
+            def shard_of(address):
+                return hash(address) % 4  # repro: lint-ignore[broad-except]
+            """,
+        )
+        assert_single(findings, "stable-hash", 2)
+
+    def test_rule_ids_unique_and_described(self):
+        rules = all_rules()
+        ids = [rule.rule_id for rule in rules]
+        assert len(ids) == len(set(ids))
+        assert all(rule.description for rule in rules)
+        assert set(ids) == {
+            "broad-except",
+            "fingerprint-discipline",
+            "kernel-determinism",
+            "lock-discipline",
+            "oracle-sync",
+            "stable-hash",
+            "tape-discipline",
+        }
+
+    def test_syntax_error_is_a_parse_failure(self):
+        with pytest.raises(SyntaxError):
+            lint_sources({SERVE: "def broken(:\n"})
+
+
+class TestBaseline:
+    FINDING = Finding(
+        path="src/repro/chain/fixture.py",
+        line=4,
+        rule_id="broad-except",
+        message="some message",
+    )
+
+    def test_split_matches_ignoring_line(self):
+        baseline = Baseline(
+            entries=[
+                {
+                    "path": self.FINDING.path,
+                    "rule": self.FINDING.rule_id,
+                    "message": self.FINDING.message,
+                    "justification": "legacy handler, tracked in ISSUE 6",
+                }
+            ]
+        )
+        moved = Finding(
+            path=self.FINDING.path,
+            line=99,
+            rule_id=self.FINDING.rule_id,
+            message=self.FINDING.message,
+        )
+        new, baselined, stale = baseline.split([moved])
+        assert new == [] and baselined == [moved] and stale == []
+
+    def test_stale_entries_reported(self):
+        baseline = Baseline(
+            entries=[
+                {
+                    "path": "src/repro/chain/gone.py",
+                    "rule": "broad-except",
+                    "message": "fixed long ago",
+                    "justification": "was acceptable",
+                }
+            ]
+        )
+        new, baselined, stale = baseline.split([])
+        assert new == [] and baselined == []
+        assert len(stale) == 1
+
+    def test_justification_required(self):
+        baseline = Baseline(
+            entries=[
+                {
+                    "path": "src/repro/chain/fixture.py",
+                    "rule": "broad-except",
+                    "message": "m",
+                    "justification": "  ",
+                }
+            ]
+        )
+        with pytest.raises(BaselineError):
+            baseline.validate()
+
+    @pytest.mark.parametrize(
+        "path",
+        ["src/repro/serve/store.py", "src/repro/graphs/pipeline.py"],
+    )
+    def test_strict_prefixes_rejected(self, path):
+        baseline = Baseline(
+            entries=[
+                {
+                    "path": path,
+                    "rule": "stable-hash",
+                    "message": "m",
+                    "justification": "definitely fine",
+                }
+            ]
+        )
+        with pytest.raises(BaselineError):
+            baseline.validate()
+
+    def test_round_trip(self, tmp_path):
+        baseline = Baseline(
+            entries=[
+                {
+                    "path": "src/repro/chain/fixture.py",
+                    "rule": "broad-except",
+                    "message": "m",
+                    "justification": "grandfathered",
+                }
+            ]
+        )
+        target = tmp_path / "baseline.json"
+        baseline.save(target)
+        loaded = Baseline.load(target)
+        assert loaded.entries == baseline.entries

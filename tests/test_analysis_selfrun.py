@@ -1,0 +1,42 @@
+"""Self-application: the invariant linter must pass on this repo.
+
+This is the test that turns ``repro.analysis`` from a library into an
+enforced contract — any future change that breaks the cache-key,
+determinism, tape, or concurrency invariants fails here (and in
+``scripts/tier1.sh`` via ``scripts/lint.sh``) rather than in review.
+"""
+
+import json
+import pathlib
+
+from repro.analysis import Baseline, lint_paths
+from repro.analysis.baseline import STRICT_PREFIXES
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+SRC = REPO_ROOT / "src"
+BASELINE_PATH = REPO_ROOT / "scripts" / "lint_baseline.json"
+
+
+def test_src_is_clean_modulo_baseline():
+    findings = lint_paths([str(SRC)])
+    baseline = Baseline.load(BASELINE_PATH)
+    new, _baselined, stale = baseline.split(findings)
+    assert new == [], "unbaselined lint findings:\n" + "\n".join(
+        f.render() for f in new
+    )
+    assert stale == [], "stale baseline entries:\n" + "\n".join(
+        json.dumps(entry) for entry in stale
+    )
+
+
+def test_baseline_is_valid_and_empty_for_strict_prefixes():
+    baseline = Baseline.load(BASELINE_PATH)
+    baseline.validate()
+    for entry in baseline.entries:
+        for prefix in STRICT_PREFIXES:
+            assert not entry["path"].startswith(prefix)
+
+
+def test_lint_script_is_wired_into_tier1():
+    tier1 = (REPO_ROOT / "scripts" / "tier1.sh").read_text()
+    assert "scripts/lint.sh" in tier1

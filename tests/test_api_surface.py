@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.eval",
     "repro.serve",
     "repro.utils",
+    "repro.analysis",
 ]
 
 

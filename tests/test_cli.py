@@ -44,6 +44,65 @@ class TestParser:
         assert args.workers == 2
         assert args.warm_dir == "/tmp/warm"
 
+    def test_lint_args(self):
+        args = build_parser().parse_args(
+            ["lint", "src", "--baseline", "b.json", "--list-rules"]
+        )
+        assert args.command == "lint"
+        assert args.paths == ["src"]
+        assert args.baseline == "b.json"
+        assert args.list_rules is True
+        assert args.write_baseline is False
+
+
+class TestLintCommand:
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        output = capsys.readouterr().out
+        assert "stable-hash" in output
+        assert "lock-discipline" in output
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "src" / "repro" / "serve" / "clean.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("def shard_of(n):\n    return n % 4\n")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "0 finding" in capsys.readouterr().out
+
+    def test_violation_exits_one_and_renders(self, tmp_path, capsys):
+        target = tmp_path / "src" / "repro" / "serve" / "dirty.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("def shard_of(n):\n    return hash(n) % 4\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        output = capsys.readouterr().out
+        assert "[stable-hash]" in output
+        assert "dirty.py:2" in output
+        assert "lint-ignore[stable-hash]" in output
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "missing")]) == 2
+
+    def test_write_baseline_round_trip(self, tmp_path, capsys):
+        target = tmp_path / "src" / "repro" / "chain" / "dirty.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "def apply(tx):\n"
+            "    try:\n"
+            "        return tx.apply()\n"
+            "    except Exception:\n"
+            "        return None\n"
+        )
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["lint", str(tmp_path), "--baseline", str(baseline),
+             "--write-baseline"]
+        ) == 0
+        capsys.readouterr()
+        # With the written baseline the same tree now passes.
+        assert main(
+            ["lint", str(tmp_path), "--baseline", str(baseline)]
+        ) == 0
+
 
 class TestEndToEnd:
     @pytest.fixture(scope="class")
