@@ -7,6 +7,12 @@ forward per address) on the same synthetic chain:
 - **naive**: per-address graph rebuild + per-address inference;
 - **cold**: empty cache — batched construction + batched inference;
 - **warm**: fully cached slices — batched inference only;
+- **infer**: the warm-miss inference tail (embedding cache off) timed
+  with compiled forward plans vs pinned to the autograd tape, at
+  per-request granularity (one address per ``score`` call — how a live
+  scoring request arrives) plus an ungated bulk-batch variant — scores
+  must be bit-identical and in full mode the per-request plan path
+  must be ≥ ``MIN_INFER_SPEEDUP`` faster;
 - **incremental**: one appended block — only affected addresses rebuilt;
 - **cluster cold / warm**: the sharded multi-process
   :class:`~repro.serve.ClusterScoringService` over the same corpus
@@ -50,6 +56,7 @@ from repro import (
     build_dataset,
     generate_world,
 )
+from repro.nn.inference import plan_execution
 from repro.serve import (
     AddressScoringService,
     ClusterConfig,
@@ -76,6 +83,8 @@ if SMOKE:
     CLUSTER_SHARDS = 2
     CLUSTER_WORKERS = 2
     MIN_CLUSTER_SPEEDUP = None  # timing noise dominates at smoke scale
+    INFER_REPEATS = 3
+    MIN_INFER_SPEEDUP = None  # ditto: sub-ms forwards, noise dominates
 else:
     WORLD_CONFIG = WorldConfig(
         seed=SEED, num_blocks=220, num_retail=90, num_gamblers=32,
@@ -89,6 +98,8 @@ else:
     CLUSTER_WORKERS = 4
     # Enforced only on hosts where process parallelism can exist.
     MIN_CLUSTER_SPEEDUP = 1.5 if (os.cpu_count() or 1) >= 2 else None
+    INFER_REPEATS = 5
+    MIN_INFER_SPEEDUP = 1.5
 
 
 @pytest.fixture(scope="module")
@@ -172,6 +183,77 @@ def test_bench_serving_throughput(serving_setup, tmp_path):
         f"warm-cache batched scoring only {speedup:.1f}x faster than the "
         f"naive rebuild loop (need >= 5x)"
     )
+
+    # --- infer: compiled forward plans vs the autograd tape ----------- #
+    # Embedding cache off = the warm-miss inference tail: slice graphs
+    # come from cache but every call re-runs the GNN encoder and the
+    # sequence head.  That is exactly the work the tapeless plan engine
+    # accelerates.  The gated measurement scores one address per call —
+    # the granularity a live scoring request arrives at — because that
+    # is the serving hot path; a bulk all-addresses batch (where BLAS
+    # and memory bandwidth dominate and per-op overhead amortizes away)
+    # is recorded alongside, ungated.  Sweeps alternate and take the
+    # median over repeats so a noisy neighbour on a 1-CPU host cannot
+    # decide the gate.
+    infer_service = AddressScoringService(
+        classifier,
+        world.index,
+        chain=world.chain,
+        config=ScoringServiceConfig(max_workers=0, embedding_cache=False),
+    )
+    infer_service.score(addresses)  # warm slice cache
+
+    def _request_sweep():
+        scores = {}
+        start = time.perf_counter()
+        for a in addresses:
+            scores.update(infer_service.score([a]))
+        return time.perf_counter() - start, scores
+
+    def _bulk_sweep():
+        start = time.perf_counter()
+        scores = infer_service.score(addresses)
+        return time.perf_counter() - start, scores
+
+    _request_sweep()  # compile per-request plans
+    with plan_execution(False):
+        _request_sweep()  # one-off tape warmup
+    plan_times, tape_times = [], []
+    plan_bulk_times, tape_bulk_times = [], []
+    for _ in range(INFER_REPEATS):
+        seconds, plan_scores = _request_sweep()
+        plan_times.append(seconds)
+        seconds, plan_bulk_scores = _bulk_sweep()
+        plan_bulk_times.append(seconds)
+        with plan_execution(False):
+            seconds, tape_scores = _request_sweep()
+            tape_times.append(seconds)
+            seconds, tape_bulk_scores = _bulk_sweep()
+            tape_bulk_times.append(seconds)
+    infer_seconds = float(np.median(plan_times))
+    infer_tape_seconds = float(np.median(tape_times))
+    infer_bulk_seconds = float(np.median(plan_bulk_times))
+    infer_bulk_tape_seconds = float(np.median(tape_bulk_times))
+    # The plan path must be bit-identical to the tape, not merely close.
+    for a in addresses:
+        assert np.array_equal(
+            plan_scores[a].probabilities, tape_scores[a].probabilities
+        ), f"plan-path probabilities diverge from the tape for {a}"
+        assert np.array_equal(
+            plan_bulk_scores[a].probabilities,
+            tape_bulk_scores[a].probabilities,
+        ), f"bulk plan-path probabilities diverge from the tape for {a}"
+        np.testing.assert_allclose(
+            plan_scores[a].probabilities, naive[a], rtol=1e-9, atol=1e-9
+        )
+    infer_speedup = infer_tape_seconds / infer_seconds
+    infer_bulk_speedup = infer_bulk_tape_seconds / infer_bulk_seconds
+    if MIN_INFER_SPEEDUP is not None:
+        assert infer_speedup >= MIN_INFER_SPEEDUP, (
+            f"compiled forward plans only {infer_speedup:.2f}x the tape "
+            f"on the per-request warm-miss path "
+            f"(need >= {MIN_INFER_SPEEDUP}x)"
+        )
 
     # --- cluster: sharded multi-process construction ------------------ #
     cluster_config = ClusterConfig(
@@ -272,6 +354,14 @@ def test_bench_serving_throughput(serving_setup, tmp_path):
         "warm_seconds": warm_seconds,
         "warm_addr_per_second": n / warm_seconds,
         "warm_speedup_vs_naive": speedup,
+        "infer_seconds": infer_seconds,
+        "infer_addr_per_second": n / infer_seconds,
+        "infer_tape_seconds": infer_tape_seconds,
+        "infer_speedup_vs_tape": infer_speedup,
+        "infer_bulk_seconds": infer_bulk_seconds,
+        "infer_bulk_tape_seconds": infer_bulk_tape_seconds,
+        "infer_bulk_speedup_vs_tape": infer_bulk_speedup,
+        "infer_gate_enforced": MIN_INFER_SPEEDUP is not None,
         "incremental_seconds": incremental_seconds,
         "cluster_shards": CLUSTER_SHARDS,
         "cluster_workers": CLUSTER_WORKERS,
@@ -300,6 +390,14 @@ def test_bench_serving_throughput(serving_setup, tmp_path):
         ("naive rebuild loop", naive_seconds, n / naive_seconds),
         ("cold cache (batched)", cold_seconds, n / cold_seconds),
         ("warm cache (batched)", warm_seconds, n / warm_seconds),
+        ("infer: forward plans", infer_seconds, n / infer_seconds),
+        ("infer: autograd tape", infer_tape_seconds, n / infer_tape_seconds),
+        ("infer bulk: plans", infer_bulk_seconds, n / infer_bulk_seconds),
+        (
+            "infer bulk: tape",
+            infer_bulk_tape_seconds,
+            n / infer_bulk_tape_seconds,
+        ),
         (
             f"cluster cold ({CLUSTER_SHARDS}sx{CLUSTER_WORKERS}w)",
             cluster_cold_seconds,
@@ -317,6 +415,11 @@ def test_bench_serving_throughput(serving_setup, tmp_path):
     for name, seconds, rate in rows:
         lines.append(f"{name:<26}{seconds:>10.3f}{rate:>10.1f}")
     lines.append(f"warm speedup over naive: {speedup:.1f}x")
+    lines.append(
+        f"forward plans vs tape: {infer_speedup:.2f}x per-request, "
+        f"{infer_bulk_speedup:.2f}x bulk "
+        f"(gate {'on' if MIN_INFER_SPEEDUP else 'off'}, bit-identical)"
+    )
     lines.append(
         f"cluster cold vs single cold: {cluster_speedup:.2f}x "
         f"(gate {'on' if MIN_CLUSTER_SPEEDUP else 'off'}, "

@@ -20,6 +20,8 @@ Serving gates (mirroring ``benchmarks/bench_serving_throughput.py``):
 
 - ``warm_speedup_vs_naive``  >= 5   (the serving layer's reason to exist)
 - ``warm_restart_hit_rate``  >= 1   (a warm-store restart rebuilds nothing)
+- ``infer_speedup_vs_tape``  >= 1.5 (compiled forward plans vs the
+  autograd tape on the per-request warm-miss inference tail, PR 7)
 - ``cluster_speedup``        >= 1.5 (sharded multi-process cold path vs
   the single-process cold path) — enforced only when the recorded entry
   says ``cluster_gate_enforced`` (the full bench disables the gate on
@@ -50,6 +52,7 @@ GATES = {
     "BENCH_serving.json": {
         "warm_speedup_vs_naive": 5.0,
         "warm_restart_hit_rate": 1.0,
+        "infer_speedup_vs_tape": 1.5,
     },
 }
 

@@ -7,6 +7,7 @@ from repro.analysis.rules import (  # noqa: F401  (registration side effects)
     hashing,
     locks,
     oracle,
+    plans,
     tape,
 )
 
@@ -17,5 +18,6 @@ __all__ = [
     "hashing",
     "locks",
     "oracle",
+    "plans",
     "tape",
 ]

@@ -1,0 +1,192 @@
+"""plan-sync: every concrete forward keeps a registered inference plan.
+
+:mod:`repro.nn.inference` compiles module forwards into tapeless plans;
+the serving hot path silently falls back to the autograd tape for any
+module without a registered lowering.  That fallback is correct but
+slow, and nothing else would flag a new ``Module`` subclass (or a new
+forward on an old one) that quietly misses the fast path.  This rule
+fails instead, anchored at the unregistered ``forward``, unless the
+class opts out explicitly with an ``inference_fallback = True`` class
+attribute (the marker that says "the tape path is deliberate here").
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ProjectRule, register
+
+__all__ = ["PlanSyncRule"]
+
+_LOWERINGS_MODULE = "repro.nn.inference.lowerings"
+_MODULE_BASE = "Module"
+_REGISTRARS = {"register_lowering", "register_emitter"}
+_FALLBACK_MARKER = "inference_fallback"
+
+
+def _base_names(node: ast.ClassDef) -> List[str]:
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _registered_classes(tree: ast.Module) -> Set[str]:
+    """Class names passed to ``register_lowering`` / ``register_emitter``.
+
+    Both the decorator form (``@register_lowering(GFN, "embed", ...)``)
+    and the direct-call form used by registration loops are plain
+    ``Call`` nodes whose first argument names the class.
+    """
+    registered: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name not in _REGISTRARS or not node.args:
+            continue
+        target = node.args[0]
+        if isinstance(target, ast.Name):
+            registered.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            registered.add(target.attr)
+    return registered
+
+
+def _is_abstract_forward(node: ast.FunctionDef) -> bool:
+    """A forward that only raises ``NotImplementedError`` (or is ``...``)."""
+    body = node.body
+    if body and isinstance(body[0], ast.Expr) and isinstance(
+        body[0].value, ast.Constant
+    ):
+        body = body[1:]  # docstring
+    if len(body) != 1:
+        return False
+    statement = body[0]
+    if isinstance(statement, ast.Expr) and isinstance(
+        statement.value, ast.Constant
+    ):
+        return statement.value.value is Ellipsis
+    if not isinstance(statement, ast.Raise) or statement.exc is None:
+        return False
+    exc = statement.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    return isinstance(exc, ast.Name) and exc.id == "NotImplementedError"
+
+
+def _marks_fallback(node: ast.ClassDef) -> bool:
+    for statement in node.body:
+        targets: List[ast.expr] = []
+        value = None
+        if isinstance(statement, ast.Assign):
+            targets, value = statement.targets, statement.value
+        elif isinstance(statement, ast.AnnAssign):
+            targets, value = [statement.target], statement.value
+        if value is None:
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == _FALLBACK_MARKER
+                and isinstance(value, ast.Constant)
+                and value.value is True
+            ):
+                return True
+    return False
+
+
+@register
+class PlanSyncRule(ProjectRule):
+    """Each concrete Module forward is planned, descended, or opted out."""
+
+    rule_id = "plan-sync"
+    description = (
+        "every Module subclass with a concrete custom forward must have "
+        "a registered inference-plan lowering (itself or a registered "
+        "descendant) or declare inference_fallback = True, so new ops "
+        "cannot silently drop the serving path back onto the tape"
+    )
+    scopes = ("repro.nn", "repro.gnn", "repro.seqmodels")
+
+    def check_project(
+        self, contexts: Sequence[FileContext]
+    ) -> Iterator[Finding]:
+        """Runs only when the lowerings module is part of the lint set."""
+        if not any(c.module == _LOWERINGS_MODULE for c in contexts):
+            return
+        registered: Set[str] = set()
+        classes: Dict[str, Tuple[FileContext, ast.ClassDef]] = {}
+        for context in contexts:
+            registered |= _registered_classes(context.tree)
+            for node in context.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    classes.setdefault(node.name, (context, node))
+
+        # Transitive closure: which classes descend from Module, and
+        # which have a registered class somewhere below them.
+        module_kin: Set[str] = {_MODULE_BASE}
+        changed = True
+        while changed:
+            changed = False
+            for name, (_, node) in classes.items():
+                if name in module_kin:
+                    continue
+                if any(base in module_kin for base in _base_names(node)):
+                    module_kin.add(name)
+                    changed = True
+        covered: Set[str] = set(registered)
+        changed = True
+        while changed:
+            changed = False
+            for name, (_, node) in classes.items():
+                if name in covered:
+                    continue
+                # covered descendants vouch for their bases: the base's
+                # forward runs through each registered subclass's plan
+                if any(
+                    name in _base_names(child)
+                    for child_name, (_, child) in classes.items()
+                    if child_name in covered
+                ):
+                    covered.add(name)
+                    changed = True
+
+        for name, (context, node) in sorted(classes.items()):
+            if name not in module_kin or name == _MODULE_BASE:
+                continue
+            forward = next(
+                (
+                    item
+                    for item in node.body
+                    if isinstance(item, ast.FunctionDef)
+                    and item.name == "forward"
+                ),
+                None,
+            )
+            if forward is None or _is_abstract_forward(forward):
+                continue
+            if name in covered or _marks_fallback(node):
+                continue
+            yield Finding(
+                path=context.path,
+                line=forward.lineno,
+                rule_id=self.rule_id,
+                message=(
+                    f"Module subclass {name} defines a custom forward "
+                    "with no registered inference-plan lowering — "
+                    "register one (register_lowering / register_emitter "
+                    "in the plan modules) or mark the class with "
+                    "inference_fallback = True to pin the tape fallback "
+                    "as deliberate"
+                ),
+            )

@@ -10,6 +10,7 @@ from repro.gnn.data import EncodedGraph, GraphBatch, encode_graph, encode_sequen
 from repro.gnn.diffpool import DiffPool
 from repro.gnn.gcn import GCN
 from repro.gnn.gfn import GFN, augment_features
+from repro.gnn import plans  # noqa: F401  (registers inference-plan lowerings)
 from repro.gnn.readout import mean_readout, sum_readout
 from repro.gnn.training import (
     GraphTrainingConfig,

@@ -7,6 +7,7 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.gnn.data import EncodedGraph
+from repro.nn.inference import plan_call
 from repro.nn.module import Module
 from repro.nn.tensor import Tensor, no_grad
 
@@ -43,26 +44,50 @@ class GraphClassifier(Module):
     def predict(
         self, graphs: Sequence[EncodedGraph], batch_size: int = 64
     ) -> np.ndarray:
-        """Predicted class per graph."""
+        """Predicted class per graph.
+
+        Batches run through a compiled forward plan when the model has a
+        registered lowering (bit-identical to the tape), falling back to
+        the ordinary tape forward otherwise.
+        """
         self.eval()
         outputs: List[np.ndarray] = []
         with no_grad():
             for start in range(0, len(graphs), batch_size):
-                payload = self.prepare_batch(graphs[start : start + batch_size])
-                logits = self.forward(payload)
-                outputs.append(np.argmax(logits.data, axis=1))
+                batch = graphs[start : start + batch_size]
+                # Batch-level lowerings assemble inputs straight into
+                # engine staging buffers, skipping prepare_batch's
+                # per-call allocation; payload-level plans and the tape
+                # remain as (bit-identical) fallbacks.
+                logits = plan_call(self, "forward_batch", batch)
+                if logits is None:
+                    payload = self.prepare_batch(batch)
+                    logits = plan_call(self, "forward", payload)
+                    if logits is None:
+                        logits = self.forward(payload).data
+                outputs.append(np.argmax(logits, axis=1))
         return np.concatenate(outputs) if outputs else np.zeros(0, dtype=np.int64)
 
     def embed_graphs(
         self, graphs: Sequence[EncodedGraph], batch_size: int = 64
     ) -> np.ndarray:
-        """Embeddings for every graph, row-aligned with the input order."""
+        """Embeddings for every graph, row-aligned with the input order.
+
+        Like :meth:`predict`, prefers the tapeless plan path (the serving
+        hot path runs through here once per cache-missing batch).
+        """
         self.eval()
         outputs: List[np.ndarray] = []
         with no_grad():
             for start in range(0, len(graphs), batch_size):
-                payload = self.prepare_batch(graphs[start : start + batch_size])
-                outputs.append(self.embed(payload).data)
+                batch = graphs[start : start + batch_size]
+                embedded = plan_call(self, "embed_batch", batch)
+                if embedded is None:
+                    payload = self.prepare_batch(batch)
+                    embedded = plan_call(self, "embed", payload)
+                    if embedded is None:
+                        embedded = self.embed(payload).data
+                outputs.append(embedded)
         if not outputs:
             return np.zeros((0, self.embedding_dim))
         return np.concatenate(outputs, axis=0)

@@ -32,7 +32,11 @@ batched kernels exploit that in two ways:
   — computed with segment reductions over the node offsets, so results
   match running :func:`~repro.graphs.centrality.centrality_matrix_csr`
   per graph.  PageRank freezes each graph's segment at its own first
-  iteration under tolerance, mirroring the per-graph early return.
+  iteration under tolerance, mirroring the per-graph early return, and
+  once frozen segments hold the majority of pack nodes the power
+  iteration compacts its working matrix to the still-active blocks —
+  exact, because disconnected blocks never exchange mass (see
+  :func:`_pagerank_block_diagonal`).
 
 Every floating-point operation a node participates in has the same
 operands in the same order as the per-graph path (sums over extra
@@ -305,6 +309,31 @@ def centrality_matrix_block_diagonal(
     return np.column_stack([degree, closeness, betweenness, pagerank])
 
 
+def _extract_active_blocks(
+    matrix: sp.csr_matrix, keep: np.ndarray
+) -> sp.csr_matrix:
+    """Rows *and* columns of a block-diagonal CSR cut down to kept blocks.
+
+    ``keep`` flags the nodes of surviving blocks.  Because blocks are
+    disconnected, every stored entry of a kept row points at a kept
+    node, so the extraction drops no entries of kept rows and copies
+    each row's entries in stored order — a mat-vec on the shrunk matrix
+    adds the same numbers in the same order as the full-pack one.
+    """
+    rows = np.flatnonzero(keep)
+    counts = np.diff(matrix.indptr)[rows]
+    indptr = np.zeros(rows.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    gather = np.arange(int(indptr[-1]), dtype=np.int64) + np.repeat(
+        matrix.indptr[rows] - indptr[:-1], counts
+    )
+    column_map = np.cumsum(keep, dtype=np.int64) - 1
+    return sp.csr_matrix(
+        (matrix.data[gather], column_map[matrix.indices[gather]], indptr),
+        shape=(rows.size, rows.size),
+    )
+
+
 def _pagerank_block_diagonal(
     transpose: sp.csr_matrix,
     out_degree: np.ndarray,
@@ -322,8 +351,20 @@ def _pagerank_block_diagonal(
     per-graph segment quantities; a graph's segment freezes at its own
     first iteration under ``tolerance``, exactly like the per-graph
     early return of the unbatched kernel.
+
+    The iteration runs over a *working pack* that starts as the full
+    matrix and shrinks: once frozen graphs hold the majority of working
+    nodes, their (final) ranks are scattered back and the pack — matrix
+    plus every per-node/per-graph array — is compacted to the active
+    blocks via :func:`_extract_active_blocks`.  On convergence-skewed
+    packs this stops the slowest graph from dragging everyone else's
+    rows through the mat-vec.  The shrink is exact, not approximate:
+    blocks are disconnected, frozen segments are never read by active
+    ones, and the surviving rows keep their stored entry order, so
+    every iterate of every graph is bit-identical to the full-pack loop
+    (``tests/test_batched_centrality.py`` pins this against the
+    unbatched kernel and the pure-Python oracle).
     """
-    n_total = out_degree.size
     num_graphs = sizes.size
     dangling = out_degree == 0.0
     inverse_out = np.where(
@@ -335,36 +376,64 @@ def _pagerank_block_diagonal(
     rank = inv_n[graph_of_node]
     base = np.zeros(num_graphs, dtype=np.float64)
     base[nonempty] = (1.0 - alpha) / sizes[nonempty]
-    base_nodes = base[graph_of_node]
 
-    dangling_nodes = np.flatnonzero(dangling)
-    dangling_graph = graph_of_node[dangling_nodes]
-    node_sizes = sizes[nonempty]
-    active = np.ones(int(nonempty.sum()), dtype=bool)
-    mass = np.zeros(num_graphs, dtype=np.float64)
-    # Frozen graphs keep riding the full-pack mat-vec until the slowest
-    # graph converges (their updates are discarded below) — wasted FLOPs
-    # on convergence-skewed packs; shrinking to active segments is a
-    # tracked follow-up (ROADMAP), correctness is unaffected.
+    # Working-pack state, one entry per still-working node/graph.
+    w_matrix = transpose
+    w_nodes = np.arange(out_degree.size, dtype=np.int64)  # row -> node
+    w_rank = rank.copy()
+    w_inverse_out = inverse_out
+    w_base = base[graph_of_node]
+    w_dangling = dangling
+    w_sizes = sizes[nonempty].astype(np.int64)
+    w_active = np.ones(w_sizes.size, dtype=bool)
+    w_graph_of = np.repeat(np.arange(w_sizes.size), w_sizes)
+    w_starts = np.zeros(w_sizes.size, dtype=np.int64)
+    np.cumsum(w_sizes[:-1], out=w_starts[1:])
+    w_dang_idx = np.flatnonzero(w_dangling)
+
     for _ in range(max_iterations):
-        if not active.any():
+        if not w_active.any():
             break
-        if dangling_nodes.size:
+        if w_dang_idx.size:
             mass = np.bincount(
-                dangling_graph,
-                weights=rank[dangling_nodes],
-                minlength=num_graphs,
+                w_graph_of[w_dang_idx],
+                weights=w_rank[w_dang_idx],
+                minlength=w_sizes.size,
             )
-            mass[nonempty] = alpha * mass[nonempty] / sizes[nonempty]
+            mass = alpha * mass / w_sizes
+        else:
+            mass = np.zeros(w_sizes.size, dtype=np.float64)
         new_rank = (
-            base_nodes
-            + mass[graph_of_node]
-            + alpha * (transpose @ (rank * inverse_out))
+            w_base
+            + mass[w_graph_of]
+            + alpha * (w_matrix @ (w_rank * w_inverse_out))
         )
-        residuals = np.add.reduceat(np.abs(new_rank - rank), seg_starts)
-        update_nodes = np.repeat(active, node_sizes)
-        rank = np.where(update_nodes, new_rank, rank)
-        active &= ~(residuals < tolerance)
+        residuals = np.add.reduceat(np.abs(new_rank - w_rank), w_starts)
+        update_nodes = np.repeat(w_active, w_sizes)
+        w_rank = np.where(update_nodes, new_rank, w_rank)
+        w_active &= ~(residuals < tolerance)
+        keep = np.repeat(w_active, w_sizes)
+        if (
+            w_active.any()
+            and not w_active.all()
+            and int(keep.sum()) * 2 <= keep.size
+        ):
+            # Frozen blocks are the majority of working rows: scatter
+            # their final ranks back and shrink the pack to the rest.
+            rank[w_nodes] = w_rank
+            w_matrix = _extract_active_blocks(w_matrix, keep)
+            w_nodes = w_nodes[keep]
+            w_rank = w_rank[keep]
+            w_inverse_out = w_inverse_out[keep]
+            w_base = w_base[keep]
+            w_dangling = w_dangling[keep]
+            w_sizes = w_sizes[w_active]
+            w_active = np.ones(w_sizes.size, dtype=bool)
+            w_graph_of = np.repeat(np.arange(w_sizes.size), w_sizes)
+            w_starts = np.zeros(w_sizes.size, dtype=np.int64)
+            np.cumsum(w_sizes[:-1], out=w_starts[1:])
+            w_dang_idx = np.flatnonzero(w_dangling)
+    rank[w_nodes] = w_rank
     return rank
 
 

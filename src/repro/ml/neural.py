@@ -13,6 +13,7 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.ml.base import Classifier, check_fit_inputs
 from repro.ml.preprocessing import StandardScaler
+from repro.nn.inference import plan_call
 from repro.nn.layers import MLP
 from repro.nn.loss import cross_entropy
 from repro.nn.optim import Adam
@@ -75,7 +76,9 @@ class MLPClassifier(Classifier):
             x = self._scaler.transform(x)
         self._model.eval()
         with no_grad():
-            logits = self._model(Tensor(x)).data
+            logits = plan_call(self._model, "forward", x)
+            if logits is None:
+                logits = self._model(Tensor(x)).data
         shifted = logits - logits.max(axis=1, keepdims=True)
         exps = np.exp(shifted)
         return exps / exps.sum(axis=1, keepdims=True)

@@ -6,7 +6,7 @@ the paper's models need: Linear/MLP, LSTM/BiLSTM (Eq. 16–21), attention
 pooling, cross-entropy, SGD and Adam.
 """
 
-from repro.nn import functional
+from repro.nn import functional, inference
 from repro.nn.attention import AttentionPooling
 from repro.nn.init import kaiming_uniform, xavier_normal, xavier_uniform, zeros
 from repro.nn.layers import MLP, Activation, Dropout, LayerNorm, Linear, Sequential
@@ -19,6 +19,7 @@ from repro.nn.tensor import Tensor, as_tensor, is_grad_enabled, no_grad
 
 __all__ = [
     "functional",
+    "inference",
     "AttentionPooling",
     "kaiming_uniform",
     "xavier_normal",

@@ -1,0 +1,55 @@
+"""Tapeless inference engine: compiled forward plans for ``Module``.
+
+Serving-path forwards spend most of their time allocating ``Tensor``
+wrappers and fresh float64 arrays per op, even under ``no_grad()``.
+This subsystem compiles a module's forward into a :class:`ForwardPlan`
+— a flat sequence of raw-ndarray kernels executing into a preallocated
+:class:`BufferArena` — so repeated calls with the same shape signature
+are steady-state zero-allocation, while producing values bit-identical
+to the tape path.
+
+Typical use is indirect: ``GraphClassifier.embed_graphs``,
+``predict_proba_sequences`` and ``MLPClassifier.predict_proba`` call
+:func:`plan_call` and fall back to the tape when it returns ``None``.
+``plan_execution(False)`` pins a context to the tape path (used by the
+serving benchmark to time both).  Plans are invalidated automatically
+when optimizer steps or ``load_state_dict`` bump the parameter version
+counters.
+"""
+
+from repro.nn.inference.arena import BufferArena
+from repro.nn.inference.engine import (
+    UnsupportedLowering,
+    clear_plans,
+    get_lowering,
+    plan_call,
+    plan_execution,
+    plan_stats,
+    plans_enabled,
+    register_lowering,
+    registered_lowerings,
+    staging_input,
+)
+from repro.nn.inference.kernels import ObjectSlot
+from repro.nn.inference.plan import ForwardPlan, PlanBuilder
+from repro.nn.inference import lowerings  # noqa: F401  (registers core lowerings)
+from repro.nn.inference.lowerings import emit, register_emitter
+
+__all__ = [
+    "BufferArena",
+    "ForwardPlan",
+    "PlanBuilder",
+    "ObjectSlot",
+    "UnsupportedLowering",
+    "plan_call",
+    "plan_execution",
+    "plans_enabled",
+    "clear_plans",
+    "plan_stats",
+    "register_lowering",
+    "get_lowering",
+    "registered_lowerings",
+    "register_emitter",
+    "emit",
+    "staging_input",
+]

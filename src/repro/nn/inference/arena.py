@@ -1,0 +1,74 @@
+"""Preallocated buffer pool backing compiled forward plans.
+
+Plans execute kernels into arena-owned ndarrays, so a steady-state
+forward performs no allocation at all.  Buffers are pooled per
+``(dtype, trailing shape)`` with the leading dimension bucketed up to
+the next power of two: a plan compiled for batch 17 and one for batch 23
+share the same capacity-32 backing array, sliced to their own length.
+
+Sharing is safe because plans of one module run serialized (the engine
+holds a per-module lock) and every pooled buffer is written before it is
+read within a single plan execution.  Buffers whose *initial* contents
+matter (e.g. LSTM ``h0 = 0``) must live outside the arena as plan-owned
+constants — see :meth:`PlanBuilder.const`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["BufferArena"]
+
+
+def _bucket(n: int) -> int:
+    """Smallest power of two >= ``n`` (minimum 1)."""
+    return 1 << max(0, int(n) - 1).bit_length() if n > 1 else 1
+
+
+class BufferArena:
+    """Pool of reusable ndarrays keyed by dtype and trailing shape.
+
+    One arena belongs to one module's plan state.  Compilation calls
+    :meth:`begin` once, then :meth:`take` per buffer; the i-th request
+    for a given key always maps to the i-th pooled array, so buffers
+    within one plan never alias each other while plans compiled later
+    reuse the same storage.
+    """
+
+    def __init__(self) -> None:
+        self._pools: Dict[Tuple[str, Tuple[int, ...]], List[np.ndarray]] = {}
+        self._cursor: Dict[Tuple[str, Tuple[int, ...]], int] = {}
+
+    def begin(self) -> None:
+        """Start a compile session: reset the per-key allocation cursors."""
+        self._cursor = {}
+
+    def take(self, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """A pooled buffer of exactly ``shape`` (a view of a bucketed array).
+
+        The backing array's leading dimension is grown to the next power
+        of two when the current pooled array is too small; existing plans
+        keep their (still valid) views of the old array.
+        """
+        dtype = np.dtype(dtype)
+        shape = tuple(int(s) for s in shape)
+        lead = shape[0] if shape else 1
+        tail = shape[1:] if shape else ()
+        key = (dtype.str, tail)
+        index = self._cursor.get(key, 0)
+        self._cursor[key] = index + 1
+        pool = self._pools.setdefault(key, [])
+        if index == len(pool):
+            pool.append(np.empty((_bucket(lead),) + tail, dtype))
+        elif pool[index].shape[0] < lead:
+            pool[index] = np.empty((_bucket(lead),) + tail, dtype)
+        view = pool[index][:lead]
+        return view if shape else view.reshape(())
+
+    def allocated_bytes(self) -> int:
+        """Total bytes currently held by the pool (diagnostics)."""
+        return sum(
+            arr.nbytes for pool in self._pools.values() for arr in pool
+        )

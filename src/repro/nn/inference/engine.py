@@ -1,0 +1,315 @@
+"""Plan compilation/caching engine behind the ``Module`` API.
+
+Entry point is :func:`plan_call`: given a module, a method name and the
+method's normal arguments, it returns the raw ndarray result computed by
+a compiled :class:`~repro.nn.inference.plan.ForwardPlan` — or ``None``
+when no plan applies (no registered lowering, training mode, plans
+disabled), in which case the caller falls back to the ordinary tape
+forward.  Fallback is always sound because plans are bit-identical to
+the tape by construction.
+
+Lowerings are registered per ``(module class, method)`` with two
+callables:
+
+- ``prepare(module, args)`` runs on *every* call and extracts the flat
+  per-call state: ``(arrays, objects, extras)``.  Array shapes/dtypes
+  plus ``extras`` form the plan signature.
+- ``build(module, builder, views, objects, extras)`` runs only on a
+  signature miss and emits the kernel steps.
+
+Plans are cached per module per signature (small LRU), guarded by each
+referenced parameter's ``plan_version``, and executed under a
+per-module lock so concurrent scorer threads cannot interleave writes
+into the shared buffer arena.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import OrderedDict
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Dict, Iterator, NamedTuple, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.nn.inference.arena import BufferArena, _bucket
+from repro.nn.inference.plan import ForwardPlan, PlanBuilder
+from repro.nn.module import Module
+
+__all__ = [
+    "UnsupportedLowering",
+    "register_lowering",
+    "get_lowering",
+    "registered_lowerings",
+    "plan_call",
+    "plan_execution",
+    "plans_enabled",
+    "clear_plans",
+    "plan_stats",
+    "staging_input",
+]
+
+
+class UnsupportedLowering(Exception):
+    """Raised by a ``build`` that meets a module it cannot lower.
+
+    The engine treats the signature as unplannable (negative-cached) and
+    the caller falls back to the tape path.
+    """
+
+# Context-local like the grad flag: a benchmark or test can pin one
+# thread/task to the tape path without affecting concurrent scorers.
+_PLANS_ENABLED: ContextVar[bool] = ContextVar("plans_enabled", default=True)
+
+# Plans are cheap to retain: their buffers live in the shared bucketed
+# arena, so cached plans cost step lists, not storage.  Per-request
+# serving produces one signature per distinct batch geometry (e.g. one
+# per address node count), so the cache must comfortably exceed the
+# working set of a shard — too small and the hot path recompiles
+# every call.
+_PLAN_CACHE_SIZE = 128
+
+# Exact-shape staging views kept per module; backing arrays are bucketed
+# like the arena, so this bounds view bookkeeping, not raw memory.
+_STAGING_CACHE_SIZE = 256
+
+
+class Lowering(NamedTuple):
+    """A registered (prepare, build) pair for one module method."""
+
+    prepare: Callable
+    build: Callable
+
+
+_LOWERINGS: Dict[Tuple[Type[Module], str], Lowering] = {}
+
+
+def register_lowering(cls: Type[Module], method: str = "forward", *, prepare):
+    """Decorator registering a plan lowering for ``cls.method``.
+
+    ``prepare(module, args) -> (arrays, objects, extras) | None`` runs
+    per call (returning ``None`` opts out, falling back to the tape);
+    the decorated ``build(module, builder, views, objects, extras)``
+    emits the plan and returns the output view(s).
+    """
+
+    def decorator(build: Callable) -> Callable:
+        _LOWERINGS[(cls, method)] = Lowering(prepare, build)
+        return build
+
+    return decorator
+
+
+def get_lowering(cls: Type[Module], method: str = "forward") -> Optional[Lowering]:
+    """The lowering registered for exactly ``(cls, method)``, if any."""
+    return _LOWERINGS.get((cls, method))
+
+
+def registered_lowerings() -> Tuple[Tuple[Type[Module], str], ...]:
+    """All ``(class, method)`` pairs with a registered lowering."""
+    return tuple(_LOWERINGS)
+
+
+@contextmanager
+def plan_execution(enabled: bool) -> Iterator[None]:
+    """Context manager enabling/disabling plan execution in this context.
+
+    ``plan_execution(False)`` forces every :func:`plan_call` to return
+    ``None`` so callers take the tape path — used by the serving
+    benchmark to time the two paths over identical inputs.
+    """
+    token = _PLANS_ENABLED.set(bool(enabled))
+    try:
+        yield
+    finally:
+        _PLANS_ENABLED.reset(token)
+
+
+def plans_enabled() -> bool:
+    """Whether plan execution is enabled in the current context."""
+    return _PLANS_ENABLED.get()
+
+
+class _ModuleState:
+    """Per-module plan cache, arena, staging buffers, and execution lock."""
+
+    __slots__ = (
+        "lock",
+        "arena",
+        "plans",
+        "compiles",
+        "hits",
+        "staging",
+        "staging_backing",
+    )
+
+    def __init__(self) -> None:
+        self.lock = threading.RLock()
+        self.arena = BufferArena()
+        self.plans: "OrderedDict[tuple, ForwardPlan]" = OrderedDict()
+        self.compiles = 0
+        self.hits = 0
+        # (name, shape, dtype) -> exact-shape view handed to prepare
+        # hooks; (name, tail, dtype) -> bucketed backing array.  Both
+        # are written only under ``lock`` (prepare runs inside it).
+        self.staging: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self.staging_backing: Dict[tuple, np.ndarray] = {}
+
+
+_STATES: "weakref.WeakKeyDictionary[Module, _ModuleState]" = (
+    weakref.WeakKeyDictionary()
+)
+_STATES_LOCK = threading.Lock()
+
+
+def _state_for(module: Module) -> _ModuleState:
+    with _STATES_LOCK:
+        state = _STATES.get(module)
+        if state is None:
+            state = _ModuleState()
+            _STATES[module] = state
+        return state
+
+
+def clear_plans(module: Module) -> None:
+    """Drop every compiled plan for ``module`` (arena storage is kept)."""
+    with _STATES_LOCK:
+        state = _STATES.get(module)
+    if state is not None:
+        with state.lock:
+            state.plans.clear()
+
+
+def plan_stats(module: Module) -> Dict[str, int]:
+    """Compile/hit counters for ``module`` (diagnostics and tests)."""
+    with _STATES_LOCK:
+        state = _STATES.get(module)
+    if state is None:
+        return {"plans": 0, "compiles": 0, "hits": 0, "arena_bytes": 0}
+    with state.lock:
+        return {
+            "plans": len(state.plans),
+            "compiles": state.compiles,
+            "hits": state.hits,
+            "arena_bytes": state.arena.allocated_bytes(),
+        }
+
+
+def staging_input(
+    module: Module, name: str, shape: Tuple[int, ...], dtype=np.float64
+) -> np.ndarray:
+    """Engine-owned reusable buffer for assembling a plan input in place.
+
+    ``prepare`` hooks call this instead of allocating a fresh array when
+    a per-call input is *assembled* (e.g. concatenated from per-graph
+    blocks): fill the returned buffer and pass it to the engine as an
+    input array.  A plan compiled from a staging buffer adopts it as its
+    own input buffer, so steady-state runs skip both the fresh
+    allocation and the input copy.
+
+    The same ``(name, shape, dtype)`` always returns the same ndarray
+    object (a view of a power-of-two-bucketed backing array, like arena
+    buffers), which is what makes the adoption identity check in
+    :meth:`ForwardPlan.run` hit.  Buffers belong to the module's plan
+    state and are only handed out under its lock — ``prepare`` hooks run
+    inside :func:`plan_call`'s locked section, so concurrent scorers
+    never interleave fills.
+    """
+    state = _state_for(module)
+    dtype = np.dtype(dtype)
+    shape = tuple(int(s) for s in shape)
+    with state.lock:
+        key = (name, shape, dtype.str)
+        view = state.staging.get(key)
+        if view is not None:
+            state.staging.move_to_end(key)
+            return view
+        lead = shape[0] if shape else 1
+        tail = shape[1:] if shape else ()
+        backing_key = (name, tail, dtype.str)
+        backing = state.staging_backing.get(backing_key)
+        if backing is None or backing.shape[0] < lead:
+            backing = np.empty((_bucket(lead),) + tail, dtype)
+            state.staging_backing[backing_key] = backing
+        view = backing[:lead] if shape else backing.reshape(())
+        state.staging[key] = view
+        while len(state.staging) > _STAGING_CACHE_SIZE:
+            state.staging.popitem(last=False)
+        return view
+
+
+def _signature(method: str, arrays, extras) -> tuple:
+    return (
+        method,
+        tuple((a.shape, a.dtype.str) for a in arrays),
+        extras,
+    )
+
+
+def plan_call(module: Module, method: str, *args):
+    """Run ``module.<method>(*args)`` through a compiled plan.
+
+    Returns the raw ndarray result (or a tuple of ndarrays for
+    multi-output methods), or ``None`` when the call cannot be planned —
+    plans disabled in this context, no lowering registered for
+    ``type(module)``, the module tree is in training mode, or the
+    lowering's ``prepare`` opted out.  Callers fall back to the tape
+    path on ``None``; both paths produce bit-identical values.
+    """
+    if not _PLANS_ENABLED.get():
+        return None
+    lowering = _LOWERINGS.get((type(module), method))
+    if lowering is None:
+        return None
+    if any(m.training for m in module.modules()):
+        return None
+    state = _state_for(module)
+    with state.lock:
+        # ``prepare`` runs inside the lock so hooks that assemble inputs
+        # into staging buffers (:func:`staging_input`) stay atomic with
+        # the plan execution that reads them.
+        prepared = lowering.prepare(module, args)
+        if prepared is None:
+            return None
+        arrays, objects, extras = prepared
+        arrays = [np.asarray(a) for a in arrays]
+        signature = _signature(method, arrays, extras)
+        plan = state.plans.get(signature)
+        if plan is _UNPLANNABLE:
+            return None
+        if plan is not None and plan.stale():
+            # A weight update invalidates every plan of this module.
+            state.plans.clear()
+            plan = None
+        if plan is None:
+            builder = PlanBuilder(state.arena)
+            staging = state.staging
+            try:
+                views = [
+                    builder.input(
+                        a, adopt=any(a is s for s in staging.values())
+                    )
+                    for a in arrays
+                ]
+                slots = [builder.object_input(o) for o in objects]
+                outputs = lowering.build(module, builder, views, slots, extras)
+            except UnsupportedLowering:
+                state.plans[signature] = _UNPLANNABLE
+                return None
+            plan = builder.finish(outputs)
+            state.plans[signature] = plan
+            state.compiles += 1
+            while len(state.plans) > _PLAN_CACHE_SIZE:
+                state.plans.popitem(last=False)
+        else:
+            state.plans.move_to_end(signature)
+            state.hits += 1
+        return plan.run(arrays, objects)
+
+
+# Negative-cache sentinel: a signature whose build raised
+# UnsupportedLowering stays on the tape path without re-attempting
+# compilation every call.
+_UNPLANNABLE = object()

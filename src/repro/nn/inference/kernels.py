@@ -1,0 +1,303 @@
+"""Raw-ndarray kernels executed by compiled forward plans.
+
+Every kernel takes its output buffer first and writes with numpy's
+``out=`` forms.  Bit-identity with the tape path
+(:mod:`repro.nn.functional`) is a hard contract: each kernel performs
+the *same* numpy operations in the *same* order as the corresponding
+tape op, so plan scores match tape scores exactly (not just to
+tolerance).  Deviations that look equivalent usually are not — e.g.
+``np.maximum(x, 0)`` differs from the tape's ``x * (x > 0)`` on ``-0.0``
+— so new kernels must copy the tape formula, not paraphrase it.
+
+Kernels may receive non-array arguments (axis tuples, scalars, an
+:class:`ObjectSlot` holding a per-call sparse matrix); those are bound
+into the plan step at compile time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # the clip ufunc np.clip itself dispatches to (numpy >= 2)
+    from numpy._core.umath import clip as _clip
+except ImportError:  # pragma: no cover - older numpy layout
+    from numpy.core.umath import clip as _clip
+
+from repro.nn.functional import segment_sum_raw
+
+__all__ = [
+    "ObjectSlot",
+    "k_matmul",
+    "k_add",
+    "k_subtract",
+    "k_multiply",
+    "k_divide",
+    "k_negative",
+    "k_power",
+    "k_maximum",
+    "k_copy",
+    "k_relu",
+    "k_leaky_relu",
+    "k_tanh",
+    "k_sigmoid",
+    "k_sum",
+    "k_mean",
+    "k_amax",
+    "k_softmax",
+    "k_segment_sum",
+    "k_spmm",
+    "k_reshape_copy",
+    "k_lstm_input",
+    "k_lstm_cell",
+    "k_lstm_freeze",
+]
+
+
+class ObjectSlot:
+    """Mutable cell for a non-ndarray per-call input (e.g. a CSR matrix).
+
+    The plan binds the slot into its steps at compile time; each run
+    rebinds ``value`` before executing, so kernels dereference the
+    current call's object without recompiling.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value=None):
+        self.value = value
+
+
+def k_matmul(out: np.ndarray, a: np.ndarray, b: np.ndarray) -> None:
+    """``out = a @ b`` (same BLAS routine as the tape's ``a @ b``)."""
+    np.matmul(a, b, out=out)
+
+
+def k_add(out: np.ndarray, a, b) -> None:
+    """Broadcasting ``out = a + b`` (``a`` or ``b`` may alias ``out``)."""
+    np.add(a, b, out=out)
+
+
+def k_subtract(out: np.ndarray, a, b) -> None:
+    """Broadcasting ``out = a - b``."""
+    np.subtract(a, b, out=out)
+
+
+def k_multiply(out: np.ndarray, a, b) -> None:
+    """Broadcasting ``out = a * b``."""
+    np.multiply(a, b, out=out)
+
+
+def k_divide(out: np.ndarray, a, b) -> None:
+    """Broadcasting ``out = a / b``."""
+    np.divide(a, b, out=out)
+
+
+def k_negative(out: np.ndarray, a: np.ndarray) -> None:
+    """``out = -a``."""
+    np.negative(a, out=out)
+
+
+def k_power(out: np.ndarray, a: np.ndarray, exponent: float) -> None:
+    """``out = a ** exponent`` (matches the tape's ``a.data**exponent``)."""
+    np.power(a, exponent, out=out)
+
+
+def k_maximum(out: np.ndarray, a, b) -> None:
+    """Elementwise ``out = maximum(a, b)``."""
+    np.maximum(a, b, out=out)
+
+
+def k_copy(out: np.ndarray, a: np.ndarray) -> None:
+    """``out[...] = a`` (used for concat/stack slot writes)."""
+    np.copyto(out, a)
+
+
+def k_relu(out: np.ndarray, a: np.ndarray, mask: np.ndarray) -> None:
+    """In-place-capable rectifier, bit-identical to ``a * (a > 0)``.
+
+    The tape multiplies by a boolean mask, which maps negative inputs to
+    ``-0.0``; ``np.maximum(a, 0)`` would give ``+0.0`` instead, so the
+    mask-multiply form is load-bearing.  ``mask`` is a pooled bool buffer.
+    """
+    np.greater(a, 0, out=mask)
+    np.multiply(a, mask, out=out)
+
+
+def k_leaky_relu(
+    out: np.ndarray, a: np.ndarray, slope: float, mask: np.ndarray
+) -> None:
+    """Leaky rectifier matching ``a * where(a > 0, 1.0, slope)``.
+
+    Positive entries pass through untouched — bitwise equal to the
+    tape's ``a * 1.0`` — and only non-positive entries are scaled.
+    """
+    np.less_equal(a, 0, out=mask)
+    if out is not a:
+        np.copyto(out, a)
+    np.multiply(out, slope, out=out, where=mask)
+
+
+def k_tanh(out: np.ndarray, a: np.ndarray) -> None:
+    """``out = tanh(a)`` (``a`` may alias ``out``)."""
+    np.tanh(a, out=out)
+
+
+def k_sigmoid(out: np.ndarray, a: np.ndarray) -> None:
+    """Stable logistic sigmoid, the tape's exact op chain.
+
+    clip to ±40 → negate → exp → +1 → reciprocal, i.e.
+    ``1.0 / (1.0 + np.exp(-np.clip(a, -40, 40)))``.  The clip runs
+    through the same ufunc ``np.clip`` dispatches to, minus the Python
+    wrapper — bitwise identical, called thousands of times per LSTM
+    forward.
+    """
+    _clip(a, -40.0, 40.0, out=out)
+    np.negative(out, out=out)
+    np.exp(out, out=out)
+    np.add(out, 1.0, out=out)
+    np.divide(1.0, out, out=out)
+
+
+def k_sum(out: np.ndarray, a: np.ndarray, axis, keepdims: bool) -> None:
+    """``out = a.sum(axis, keepdims)`` (same pairwise reduction)."""
+    np.sum(a, axis=axis, keepdims=keepdims, out=out)
+
+
+def k_mean(out: np.ndarray, a: np.ndarray, axis, keepdims: bool) -> None:
+    """``out = a.mean(axis, keepdims)``."""
+    np.mean(a, axis=axis, keepdims=keepdims, out=out)
+
+
+def k_amax(out: np.ndarray, a: np.ndarray, axis, keepdims: bool) -> None:
+    """``out = a.max(axis, keepdims)``."""
+    np.amax(a, axis=axis, keepdims=keepdims, out=out)
+
+
+def k_softmax(
+    out: np.ndarray,
+    a: np.ndarray,
+    axis: int,
+    max_buf: np.ndarray,
+    sum_buf: np.ndarray,
+) -> None:
+    """Stable softmax along ``axis``, the tape's exact op chain.
+
+    ``max_buf`` / ``sum_buf`` are pooled keepdims-shaped buffers for the
+    shift and the normaliser.
+    """
+    np.amax(a, axis=axis, keepdims=True, out=max_buf)
+    np.subtract(a, max_buf, out=out)
+    np.exp(out, out=out)
+    np.sum(out, axis=axis, keepdims=True, out=sum_buf)
+    np.divide(out, sum_buf, out=out)
+
+
+def k_segment_sum(
+    out: np.ndarray, x: np.ndarray, segment_ids: np.ndarray
+) -> None:
+    """Sum rows of ``x`` into segment buckets.
+
+    Delegates to :func:`repro.nn.functional.segment_sum_raw` — the same
+    routine the tape op runs — so the sorted-ids ``reduceat`` fast path
+    and the ``np.add.at`` fallback are chosen identically on both
+    execution paths and the outputs stay bit-identical.
+    """
+    segment_sum_raw(out, x, segment_ids)
+
+
+def k_reshape_copy(out: np.ndarray, a: np.ndarray, shape: tuple) -> None:
+    """``out = a.reshape(shape)`` by copy (non-contiguous fallback)."""
+    np.copyto(out, a.reshape(shape))
+
+
+def k_lstm_input(
+    out: np.ndarray,
+    comb: np.ndarray,
+    x_dst: np.ndarray,
+    h_dst: np.ndarray,
+    x_t: np.ndarray,
+    h_prev: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray,
+) -> None:
+    """Gate pre-activations ``[x_t, h_prev] @ W + b`` in one dispatch.
+
+    Fuses the two concat copies, the matmul, and the bias add of one
+    LSTM timestep — the same four numpy calls the unfused steps made,
+    in the same order, writing the same buffers (``x_dst``/``h_dst``
+    are the column halves of ``comb``).  Fusion only removes Python
+    step dispatch, never changes arithmetic.
+    """
+    np.copyto(x_dst, x_t)
+    np.copyto(h_dst, h_prev)
+    np.matmul(comb, weight, out=out)
+    np.add(out, bias, out=out)
+
+
+def k_lstm_cell(
+    out: np.ndarray,
+    gi: np.ndarray,
+    gf: np.ndarray,
+    gg: np.ndarray,
+    go: np.ndarray,
+    c_prev: np.ndarray,
+    i: np.ndarray,
+    f: np.ndarray,
+    g: np.ndarray,
+    o: np.ndarray,
+    ig: np.ndarray,
+    tanh_c: np.ndarray,
+    c_raw: np.ndarray,
+) -> None:
+    """The LSTM cell's post-matmul elementwise chain, one dispatch.
+
+    ``out`` is the raw hidden state ``h_raw``; ``gi``/``gf``/``gg``/
+    ``go`` are the four column slices of the gate pre-activations.
+    Every line below is the exact ufunc the unfused kernels ran
+    (sigmoid via the tape's clip → exp chain), in the same order.
+    """
+    k_sigmoid(i, gi)
+    k_sigmoid(f, gf)
+    np.tanh(gg, out=g)
+    k_sigmoid(o, go)
+    np.multiply(f, c_prev, out=c_raw)
+    np.multiply(i, g, out=ig)
+    np.add(c_raw, ig, out=c_raw)
+    np.tanh(c_raw, out=tanh_c)
+    np.multiply(o, tanh_c, out=out)
+
+
+def k_lstm_freeze(
+    out: np.ndarray,
+    keep: np.ndarray,
+    h_raw: np.ndarray,
+    h_prev: np.ndarray,
+    c_raw: np.ndarray,
+    c_prev: np.ndarray,
+    c_out: np.ndarray,
+    drop: np.ndarray,
+    kh: np.ndarray,
+    dh: np.ndarray,
+) -> None:
+    """Masked state freeze ``keep*new + (1-keep)*old`` for h and c.
+
+    ``out`` is the frozen hidden state; ``c_out`` the frozen cell
+    state.  Same ufunc sequence as the unfused mask steps.
+    """
+    np.subtract(1.0, keep, out=drop)
+    np.multiply(keep, h_raw, out=kh)
+    np.multiply(drop, h_prev, out=dh)
+    np.add(kh, dh, out=out)
+    np.multiply(keep, c_raw, out=kh)
+    np.multiply(drop, c_prev, out=dh)
+    np.add(kh, dh, out=c_out)
+
+
+def k_spmm(out: np.ndarray, slot: ObjectSlot, x: np.ndarray) -> None:
+    """``out = csr @ x`` with the CSR matrix taken from ``slot``.
+
+    scipy's sparse matmul has no ``out=`` form, so this is the one
+    kernel that still allocates a temporary per call; the product itself
+    is the same routine the tape uses.
+    """
+    np.copyto(out, np.asarray(slot.value @ x))

@@ -1,0 +1,464 @@
+"""Plan lowerings for the core ``repro.nn`` modules.
+
+Each lowering turns a module's tape forward into arena-buffer kernel
+steps with the *same* float64 operations in the *same* order, so planned
+outputs are bit-identical to tape outputs.  Composite modules
+(Sequential, MLP, the sequence heads) lower their children through
+:func:`emit`, which dispatches on the child's concrete class.
+
+In-place discipline: activation emitters overwrite their input buffer.
+That is sound here because in every registered lowering the activation
+input is a freshly produced buffer (a Linear/gate output, or a plan
+input that is re-copied each run) that no later step reads.  Emitters
+that need a value twice (e.g. DiffPool's propagated features) must keep
+it out of in-place chains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.attention import AttentionPooling
+from repro.nn.inference.engine import (
+    UnsupportedLowering,
+    register_lowering,
+)
+from repro.nn.inference.kernels import (
+    k_add,
+    k_amax,
+    k_copy,
+    k_divide,
+    k_leaky_relu,
+    k_lstm_cell,
+    k_lstm_freeze,
+    k_lstm_input,
+    k_matmul,
+    k_maximum,
+    k_mean,
+    k_multiply,
+    k_negative,
+    k_power,
+    k_relu,
+    k_sigmoid,
+    k_softmax,
+    k_subtract,
+    k_sum,
+    k_tanh,
+)
+from repro.nn.layers import MLP, Activation, Dropout, LayerNorm, Linear, Sequential
+from repro.nn.rnn import BiLSTM, LSTM, LSTMCell
+from repro.nn.tensor import Tensor
+
+__all__ = ["emit", "register_emitter"]
+
+_MASK_OFFSET = 1e9  # keep in sync with heads/attention
+
+_EMITTERS = {}
+
+
+def register_emitter(cls):
+    """Decorator registering a build-time emitter for module class ``cls``."""
+
+    def decorator(fn):
+        _EMITTERS[cls] = fn
+        return fn
+
+    return decorator
+
+
+def emit(module, builder, *views):
+    """Emit the kernel steps for ``module`` applied to ``views``.
+
+    Dispatches on the module's concrete class; raises
+    :class:`UnsupportedLowering` for classes without an emitter, which
+    the engine negative-caches (tape fallback).
+    """
+    fn = _EMITTERS.get(type(module))
+    if fn is None:
+        raise UnsupportedLowering(
+            f"no plan emitter for {type(module).__name__}"
+        )
+    return fn(module, builder, *views)
+
+
+# --------------------------------------------------------------------- #
+# Feed-forward layers
+# --------------------------------------------------------------------- #
+
+
+@register_emitter(Linear)
+def _emit_linear(module, b, x):
+    out = b.alloc((x.shape[0], module.out_features))
+    b.step(k_matmul, out, x, b.param(module.weight))
+    if module.bias is not None:
+        b.step(k_add, out, out, b.param(module.bias))
+    return out
+
+
+@register_emitter(Dropout)
+def _emit_dropout(module, b, x):
+    # Plans only compile in eval mode, where dropout is the identity.
+    return x
+
+
+@register_emitter(Activation)
+def _emit_activation(module, b, x):
+    if module.name == "relu":
+        mask = b.alloc(x.shape, np.bool_)
+        return b.step(k_relu, x, x, mask)
+    if module.name == "tanh":
+        return b.step(k_tanh, x, x)
+    if module.name == "sigmoid":
+        return b.step(k_sigmoid, x, x)
+    if module.name == "leaky_relu":
+        mask = b.alloc(x.shape, np.bool_)
+        return b.step(k_leaky_relu, x, x, 0.01, mask)
+    raise UnsupportedLowering(f"activation {module.name!r}")
+
+
+@register_emitter(LayerNorm)
+def _emit_layer_norm(module, b, x):
+    reduced = x.shape[:-1] + (1,)
+    mu = b.alloc(reduced)
+    b.step(k_mean, mu, x, -1, True)
+    b.step(k_negative, mu, mu)
+    centered = b.alloc(x.shape)
+    b.step(k_add, centered, x, mu)
+    squared = b.alloc(x.shape)
+    b.step(k_multiply, squared, centered, centered)
+    var = b.alloc(reduced)
+    b.step(k_mean, var, squared, -1, True)
+    b.step(k_add, var, var, module.eps)
+    b.step(k_power, var, var, -0.5)
+    b.step(k_multiply, centered, centered, var)
+    b.step(k_multiply, centered, centered, b.param(module.gain))
+    b.step(k_add, centered, centered, b.param(module.shift))
+    return centered
+
+
+@register_emitter(Sequential)
+def _emit_sequential(module, b, x):
+    for child in module.steps:
+        x = emit(child, b, x)
+    return x
+
+
+@register_emitter(MLP)
+def _emit_mlp(module, b, x):
+    return emit(module.net, b, x)
+
+
+# --------------------------------------------------------------------- #
+# Recurrence
+# --------------------------------------------------------------------- #
+
+
+def _emit_cell_step(cell, b, x_t, h_prev, c_prev, tmp):
+    """One LSTMCell step into the shared per-timestep temp buffers.
+
+    Two fused kernels (gate pre-activations, elementwise cell update)
+    replace the ~15 unfused steps per timestep — same numpy calls in
+    the same order, so the fusion is dispatch-only and bit-preserving.
+    """
+    H = cell.hidden_dim
+    D = x_t.shape[1]
+    comb, gates = tmp["comb"], tmp["gates"]
+    b.step(
+        k_lstm_input,
+        gates,
+        comb,
+        comb[:, :D],
+        comb[:, D:],
+        x_t,
+        h_prev,
+        b.param(cell.weight),
+        b.param(cell.bias),
+    )
+    c_raw, h_raw = tmp["c_raw"], tmp["h_raw"]
+    b.step(
+        k_lstm_cell,
+        h_raw,
+        gates[:, 0 * H : 1 * H],
+        gates[:, 1 * H : 2 * H],
+        gates[:, 2 * H : 3 * H],
+        gates[:, 3 * H : 4 * H],
+        c_prev,
+        tmp["i"],
+        tmp["f"],
+        tmp["g"],
+        tmp["o"],
+        tmp["ig"],
+        tmp["tanh_c"],
+        c_raw,
+    )
+    return h_raw, c_raw
+
+
+def _cell_temps(b, batch, input_dim, hidden_dim):
+    return {
+        "comb": b.alloc((batch, input_dim + hidden_dim)),
+        "gates": b.alloc((batch, 4 * hidden_dim)),
+        "i": b.alloc((batch, hidden_dim)),
+        "f": b.alloc((batch, hidden_dim)),
+        "g": b.alloc((batch, hidden_dim)),
+        "o": b.alloc((batch, hidden_dim)),
+        "ig": b.alloc((batch, hidden_dim)),
+        "tanh_c": b.alloc((batch, hidden_dim)),
+        "c_raw": b.alloc((batch, hidden_dim)),
+        "h_raw": b.alloc((batch, hidden_dim)),
+    }
+
+
+def _emit_lstm(module, b, x, mask, need_outputs=True):
+    """Unrolled masked LSTM; returns ``(stacked | None, final_h)``.
+
+    ``need_outputs=False`` skips the per-timestep output copies and the
+    stacked buffer entirely (dead-code elimination for heads that only
+    read the final state — the remaining values are unchanged).
+    """
+    batch, steps, input_dim = x.shape
+    H = module.hidden_dim
+    tmp = _cell_temps(b, batch, input_dim, H)
+    # kh/dh/drop implement the masked state freeze keep*new + drop*old.
+    kh = b.alloc((batch, H))
+    dh = b.alloc((batch, H))
+    drop = b.alloc((batch, 1))
+    # Initial state must be genuinely zero on *every* run, and arena
+    # buffers are dirty — so h0/c0 are plan-owned constants.
+    zeros = b.const(np.zeros((batch, H)))
+    h_prev, c_prev = zeros, zeros
+    # Ping-pong state buffers: step t writes one while reading the other.
+    h_pp = [b.alloc((batch, H)), b.alloc((batch, H))]
+    c_pp = [b.alloc((batch, H)), b.alloc((batch, H))]
+    stacked = b.alloc((batch, steps, H)) if need_outputs else None
+    order = range(steps - 1, -1, -1) if module.reverse else range(steps)
+    for index, t in enumerate(order):
+        keep = mask[:, t : t + 1]
+        h_raw, c_raw = _emit_cell_step(
+            module.cell, b, x[:, t, :], h_prev, c_prev, tmp
+        )
+        h_out, c_out = h_pp[index % 2], c_pp[index % 2]
+        b.step(
+            k_lstm_freeze,
+            h_out,
+            keep,
+            h_raw,
+            h_prev,
+            c_raw,
+            c_prev,
+            c_out,
+            drop,
+            kh,
+            dh,
+        )
+        h_prev, c_prev = h_out, c_out
+        if need_outputs:
+            b.step(k_copy, stacked[:, t, :], h_out)
+    return stacked, h_prev
+
+
+def _emit_bilstm(module, b, x, mask, need_outputs=True):
+    """Bidirectional LSTM; returns ``(concat_outputs | None, concat_final)``."""
+    batch, steps, _ = x.shape
+    H = module.hidden_dim
+    fwd_out, fwd_final = _emit_lstm(
+        module.forward_lstm, b, x, mask, need_outputs
+    )
+    bwd_out, bwd_final = _emit_lstm(
+        module.backward_lstm, b, x, mask, need_outputs
+    )
+    final = b.alloc((batch, 2 * H))
+    b.step(k_copy, final[:, :H], fwd_final)
+    b.step(k_copy, final[:, H:], bwd_final)
+    if not need_outputs:
+        return None, final
+    outputs = b.alloc((batch, steps, 2 * H))
+    b.step(k_copy, outputs[:, :, :H], fwd_out)
+    b.step(k_copy, outputs[:, :, H:], bwd_out)
+    return outputs, final
+
+
+# --------------------------------------------------------------------- #
+# Attention pooling
+# --------------------------------------------------------------------- #
+
+
+def _emit_attention(module, b, x, mask):
+    """AttentionPooling over ``x`` (B,T,D); ``mask`` may be ``None``."""
+    batch, steps, dim = x.shape
+    flat = b.reshape(x, (batch * steps, dim))
+    hidden = b.alloc((batch * steps, module.attention_dim))
+    b.step(k_matmul, hidden, flat, b.param(module.projection))
+    b.step(k_tanh, hidden, hidden)
+    scores_flat = b.alloc((batch * steps, 1))
+    b.step(k_matmul, scores_flat, hidden, b.param(module.query))
+    scores = b.reshape(scores_flat, (batch, steps))
+    if mask is not None:
+        offset = b.alloc((batch, steps))
+        b.step(k_subtract, offset, mask, 1.0)
+        b.step(k_multiply, offset, offset, _MASK_OFFSET)
+        b.step(k_add, scores, scores, offset)
+    max_buf = b.alloc((batch, 1))
+    sum_buf = b.alloc((batch, 1))
+    b.step(k_softmax, scores, scores, 1, max_buf, sum_buf)
+    weighted = b.alloc((batch, steps, dim))
+    b.step(k_multiply, weighted, x, b.reshape(scores, (batch, steps, 1)))
+    pooled = b.alloc((batch, dim))
+    b.step(k_sum, pooled, weighted, 1, False)
+    return pooled
+
+
+# --------------------------------------------------------------------- #
+# Masked pooling primitives shared with the sequence heads
+# --------------------------------------------------------------------- #
+
+
+def emit_masked_sum(b, x, mask):
+    """``sum(x * mask[:, :, None], axis=1)`` into a fresh buffer."""
+    batch, steps, dim = x.shape
+    weighted = b.alloc((batch, steps, dim))
+    b.step(k_multiply, weighted, x, b.reshape(mask, (batch, steps, 1)))
+    total = b.alloc((batch, dim))
+    b.step(k_sum, total, weighted, 1, False)
+    return total
+
+
+def emit_masked_avg(b, x, mask):
+    """Masked mean over timesteps (count floored at 1, like the tape)."""
+    batch = x.shape[0]
+    total = emit_masked_sum(b, x, mask)
+    counts = b.alloc((batch, 1))
+    b.step(k_sum, counts, mask, 1, True)
+    b.step(k_maximum, counts, counts, 1.0)
+    pooled = b.alloc(total.shape)
+    b.step(k_divide, pooled, total, counts)
+    return pooled
+
+
+def emit_masked_max(b, x, mask):
+    """Masked max: padded steps are shifted down by the mask offset."""
+    batch, steps, dim = x.shape
+    offset = b.alloc((batch, steps, 1))
+    b.step(k_subtract, offset, b.reshape(mask, (batch, steps, 1)), 1.0)
+    b.step(k_multiply, offset, offset, _MASK_OFFSET)
+    shifted = b.alloc((batch, steps, dim))
+    b.step(k_add, shifted, x, offset)
+    pooled = b.alloc((batch, dim))
+    b.step(k_amax, pooled, shifted, 1, False)
+    return pooled
+
+
+# --------------------------------------------------------------------- #
+# Top-level prepares for the plain tensor-in / tensor-out modules
+# --------------------------------------------------------------------- #
+
+
+def _as_array(value):
+    return value.data if isinstance(value, Tensor) else np.asarray(value)
+
+
+def _prepare_single(module, args):
+    """``forward(x)`` modules: one float array in."""
+    if len(args) != 1:
+        return None
+    x = _as_array(args[0])
+    if x.dtype.kind not in "fiu":
+        return None
+    return [np.asarray(x, dtype=np.float64)], [], ()
+
+
+def _prepare_sequence(module, args):
+    """``forward(x, mask=None)`` modules over (B, T, D) sequences.
+
+    A ``None`` mask is materialised as ones — exactly what the tape
+    forward does — so one plan shape serves both spellings.
+    """
+    if not 1 <= len(args) <= 2:
+        return None
+    x = _as_array(args[0])
+    if x.ndim != 3:
+        return None
+    mask = args[1] if len(args) == 2 else None
+    if mask is None:
+        mask = np.ones(x.shape[:2], dtype=np.float64)
+    else:
+        mask = np.asarray(mask, dtype=np.float64)
+        if mask.shape != x.shape[:2]:
+            return None
+    return [np.asarray(x, dtype=np.float64), mask], [], ()
+
+
+def _prepare_attention(module, args):
+    """AttentionPooling: the tape skips the mask offset when mask is None,
+    so the flag is part of the plan signature."""
+    if not 1 <= len(args) <= 2:
+        return None
+    x = _as_array(args[0])
+    if x.ndim != 3:
+        return None
+    mask = args[1] if len(args) == 2 else None
+    if mask is None:
+        return [np.asarray(x, dtype=np.float64)], [], ("nomask",)
+    mask = np.asarray(mask, dtype=np.float64)
+    if mask.shape != x.shape[:2]:
+        return None
+    return [np.asarray(x, dtype=np.float64), mask], [], ("mask",)
+
+
+def _prepare_cell(module, args):
+    """LSTMCell: ``forward(x, (h, c))``."""
+    if len(args) != 2:
+        return None
+    x = _as_array(args[0])
+    try:
+        h, c = args[1]
+    except (TypeError, ValueError):
+        return None
+    return (
+        [
+            np.asarray(x, dtype=np.float64),
+            np.asarray(_as_array(h), dtype=np.float64),
+            np.asarray(_as_array(c), dtype=np.float64),
+        ],
+        [],
+        (),
+    )
+
+
+def _single_build(emitter):
+    def build(module, b, views, objects, extras):
+        return emitter(module, b, views[0])
+
+    return build
+
+
+for _cls in (Linear, Dropout, Activation, LayerNorm, Sequential, MLP):
+    register_lowering(_cls, prepare=_prepare_single)(
+        _single_build(_EMITTERS[_cls])
+    )
+
+
+@register_lowering(LSTM, prepare=_prepare_sequence)
+def _build_lstm(module, b, views, objects, extras):
+    stacked, final = _emit_lstm(module, b, views[0], views[1])
+    return (stacked, final)
+
+
+@register_lowering(BiLSTM, prepare=_prepare_sequence)
+def _build_bilstm(module, b, views, objects, extras):
+    outputs, final = _emit_bilstm(module, b, views[0], views[1])
+    return (outputs, final)
+
+
+@register_lowering(LSTMCell, prepare=_prepare_cell)
+def _build_lstm_cell(module, b, views, objects, extras):
+    x, h, c = views
+    tmp = _cell_temps(b, x.shape[0], x.shape[1], module.hidden_dim)
+    h_raw, c_raw = _emit_cell_step(module, b, x, h, c, tmp)
+    return (h_raw, c_raw)
+
+
+@register_lowering(AttentionPooling, prepare=_prepare_attention)
+def _build_attention(module, b, views, objects, extras):
+    mask = views[1] if extras == ("mask",) else None
+    return _emit_attention(module, b, views[0], mask)

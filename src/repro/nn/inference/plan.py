@@ -1,0 +1,187 @@
+"""Forward-plan representation and the builder used by lowerings.
+
+A :class:`ForwardPlan` is a flat list of ``(kernel, out, args)`` steps
+over preallocated buffers — no :class:`~repro.nn.tensor.Tensor`
+wrappers, no backward closures, no tape.  Compilation is
+*compile-by-execution*: a lowering's ``build`` function emits steps via
+:class:`PlanBuilder`, and each step executes eagerly as it is recorded,
+so the plan is validated (shapes, dtypes) against real data the moment
+it is built.
+
+Replaying the plan is a bare loop over the steps.  Inputs are copied
+into arena buffers (skipped when the caller assembled the input in the
+plan's own adopted staging buffer), per-call objects (sparse matrices)
+are rebound into their :class:`~repro.nn.inference.kernels.ObjectSlot`
+cells, and the output views are copied out — everything in between
+reuses the same storage call after call.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.nn.inference.arena import BufferArena
+from repro.nn.inference.kernels import ObjectSlot
+from repro.nn.module import Parameter
+
+__all__ = ["ForwardPlan", "PlanBuilder"]
+
+
+class ForwardPlan:
+    """A compiled, replayable forward pass over arena buffers."""
+
+    __slots__ = (
+        "steps",
+        "inputs",
+        "object_slots",
+        "outputs",
+        "param_guard",
+        "consts",
+        "calls",
+    )
+
+    def __init__(
+        self,
+        steps: Sequence[Tuple[Callable, np.ndarray, tuple]],
+        inputs: Sequence[np.ndarray],
+        object_slots: Sequence[ObjectSlot],
+        outputs,
+        param_guard: Sequence[Tuple[Parameter, int]],
+        consts: Sequence[np.ndarray],
+    ):
+        self.steps = tuple(steps)
+        self.inputs = tuple(inputs)
+        self.object_slots = tuple(object_slots)
+        self.outputs = outputs
+        self.param_guard = tuple(param_guard)
+        # Plan-owned constants are referenced by steps; kept here so the
+        # plan's lifetime pins them even if a lowering drops its refs.
+        self.consts = tuple(consts)
+        self.calls = 0
+
+    def stale(self) -> bool:
+        """Whether any guarded parameter mutated since compilation."""
+        return any(
+            param.plan_version != version
+            for param, version in self.param_guard
+        )
+
+    def run(self, arrays: Sequence[np.ndarray], objects: Sequence) :
+        """Execute the plan for one call and return fresh output arrays.
+
+        ``arrays`` / ``objects`` must match the compile-time signature
+        (the engine guarantees this by keying plans on it).
+        """
+        for buffer, array in zip(self.inputs, arrays):
+            if array is not buffer:
+                np.copyto(buffer, array)
+        for slot, obj in zip(self.object_slots, objects):
+            slot.value = obj
+        for kernel, out, args in self.steps:
+            kernel(out, *args)
+        self.calls += 1
+        if isinstance(self.outputs, tuple):
+            return tuple(np.array(view) for view in self.outputs)
+        return np.array(self.outputs)
+
+
+class PlanBuilder:
+    """Records kernel steps while executing them against an arena.
+
+    Lowerings interact only with this class: :meth:`input` binds a
+    per-call array, :meth:`param` a module weight, :meth:`const` a
+    plan-owned immutable array, :meth:`alloc` a scratch/output buffer,
+    and :meth:`step` emits (and immediately runs) one kernel.
+    """
+
+    def __init__(self, arena: BufferArena):
+        self._arena = arena
+        arena.begin()
+        self.steps: List[Tuple[Callable, np.ndarray, tuple]] = []
+        self.inputs: List[np.ndarray] = []
+        self.objects: List[ObjectSlot] = []
+        self.params: List[Parameter] = []
+        self.consts: List[np.ndarray] = []
+
+    def input(self, array: np.ndarray, adopt: bool = False) -> np.ndarray:
+        """Bind a per-call ndarray input; returns its arena buffer.
+
+        With ``adopt=True`` the array itself (an engine staging buffer
+        the caller assembles in place) becomes the plan's input buffer:
+        :meth:`ForwardPlan.run` sees the same object passed back each
+        call and skips the input copy entirely.
+        """
+        array = np.asarray(array)
+        if adopt:
+            buffer = array
+        else:
+            buffer = self._arena.take(array.shape, array.dtype)
+            np.copyto(buffer, array)
+        self.inputs.append(buffer)
+        return buffer
+
+    def object_input(self, obj) -> ObjectSlot:
+        """Bind a per-call non-ndarray input (e.g. a CSR adjacency)."""
+        slot = ObjectSlot(obj)
+        self.objects.append(slot)
+        return slot
+
+    def param(self, parameter: Parameter) -> np.ndarray:
+        """Reference a module weight; the plan guards its version."""
+        if not isinstance(parameter, Parameter):
+            raise ValidationError(
+                f"builder.param expects a Parameter, got {type(parameter)!r}"
+            )
+        self.params.append(parameter)
+        return parameter.data
+
+    def const(self, array: np.ndarray) -> np.ndarray:
+        """A plan-owned constant array (never written by any step).
+
+        Use for buffers whose initial value is read before any write —
+        arena storage is shared across plans and may hold garbage.
+        """
+        array = np.asarray(array, dtype=np.float64)
+        self.consts.append(array)
+        return array
+
+    def alloc(self, shape, dtype=np.float64) -> np.ndarray:
+        """A scratch/output buffer from the arena."""
+        return self._arena.take(tuple(shape), dtype)
+
+    def step(self, kernel: Callable, out: np.ndarray, *args) -> np.ndarray:
+        """Record one kernel step and execute it now; returns ``out``."""
+        kernel(out, *args)
+        self.steps.append((kernel, out, args))
+        return out
+
+    def reshape(self, array: np.ndarray, shape) -> np.ndarray:
+        """A reshaped *view* of an arena buffer (stable aliasing).
+
+        Falls back to an explicit copy step when numpy cannot produce a
+        view (non-contiguous source), keeping downstream aliasing sound.
+        """
+        shape = tuple(int(s) for s in shape)
+        view = array.reshape(shape)
+        if view.base is not None or view is array:
+            return view
+        from repro.nn.inference.kernels import k_reshape_copy
+
+        out = self.alloc(shape, array.dtype)
+        return self.step(k_reshape_copy, out, array, shape)
+
+    def finish(self, outputs, param_guard_extra=()) -> ForwardPlan:
+        """Freeze the recorded steps into a :class:`ForwardPlan`."""
+        guard = [(p, p.plan_version) for p in self.params]
+        guard.extend(param_guard_extra)
+        return ForwardPlan(
+            self.steps,
+            self.inputs,
+            self.objects,
+            outputs,
+            guard,
+            self.consts,
+        )

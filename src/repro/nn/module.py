@@ -13,10 +13,25 @@ __all__ = ["Module", "Parameter"]
 
 
 class Parameter(Tensor):
-    """A tensor registered as a trainable parameter of a module."""
+    """A tensor registered as a trainable parameter of a module.
+
+    ``plan_version`` counts mutations of ``data`` (optimizer steps,
+    ``load_state_dict``).  Compiled forward plans in
+    :mod:`repro.nn.inference` snapshot the version at compile time and
+    recompile when it moves — necessary because optimizers *replace* the
+    ``data`` array rather than updating it in place, so a plan holding
+    the old array reference would silently serve stale weights.
+    """
+
+    __slots__ = ("plan_version",)
 
     def __init__(self, data):
         super().__init__(data, requires_grad=True)
+        self.plan_version = 0
+
+    def bump_plan_version(self) -> None:
+        """Mark the parameter data as mutated (invalidates forward plans)."""
+        self.plan_version += 1
 
 
 class Module:
@@ -118,6 +133,7 @@ class Module:
                     f"{param.data.shape}"
                 )
             param.data = value.copy()
+            param.bump_plan_version()
 
     # ------------------------------------------------------------------ #
     # Call protocol

@@ -84,6 +84,7 @@ class SGD(Optimizer):
                 self._velocity[id(param)] = velocity
                 grad = velocity
             param.data = param.data - self.lr * grad
+            param.bump_plan_version()
 
 
 class Adam(Optimizer):
@@ -132,3 +133,4 @@ class Adam(Optimizer):
             m_hat = m / correction1
             v_hat = v / correction2
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            param.bump_plan_version()

@@ -19,6 +19,7 @@ Design notes
 from __future__ import annotations
 
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -27,24 +28,27 @@ from repro.errors import AutogradError
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "unbroadcast", "as_tensor"]
 
-_GRAD_ENABLED = True
+# Context-local so ``no_grad()`` in one thread / async task (the serving
+# miss path, ``async_score``) cannot flip tape recording under a trainer
+# running concurrently in another context.  Fresh threads start with the
+# default (enabled), matching the previous module-global behaviour for
+# single-threaded code.
+_GRAD_ENABLED: ContextVar[bool] = ContextVar("grad_enabled", default=True)
 
 
 @contextmanager
 def no_grad() -> Iterator[None]:
     """Context manager disabling tape recording (inference mode)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    token = _GRAD_ENABLED.set(False)
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_ENABLED.reset(token)
 
 
 def is_grad_enabled() -> bool:
     """Whether operations currently record the autograd tape."""
-    return _GRAD_ENABLED
+    return _GRAD_ENABLED.get()
 
 
 def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:

@@ -11,6 +11,7 @@ from repro.seqmodels.heads import (
     SumPoolHead,
     build_head,
 )
+from repro.seqmodels import plans  # noqa: F401  (registers inference-plan lowerings)
 from repro.seqmodels.trainer import (
     SequenceTrainingConfig,
     fit_sequence_classifier,

@@ -1,0 +1,75 @@
+"""Plan lowerings for the sequence-classification heads.
+
+Importing this module registers a ``forward`` lowering for every head in
+:data:`repro.seqmodels.heads.HEAD_REGISTRY`, so
+:func:`repro.seqmodels.trainer.predict_proba_sequences` — and through it
+the serving ``_score_sequences`` tail, the cluster workers, and
+per-epoch training evaluation — execute compiled plans instead of tape
+forwards.
+
+Recurrent heads only consume the LSTM's final state, so their lowerings
+skip the stacked per-timestep outputs entirely (dead-code elimination;
+the surviving values are bit-identical to the tape).
+"""
+
+from __future__ import annotations
+
+from repro.nn.inference.engine import register_lowering
+from repro.nn.inference.lowerings import (
+    _emit_attention,
+    _emit_bilstm,
+    _emit_lstm,
+    _prepare_sequence,
+    emit,
+    emit_masked_avg,
+    emit_masked_max,
+    emit_masked_sum,
+)
+from repro.seqmodels.heads import (
+    AttentionHead,
+    AvgPoolHead,
+    BiLSTMHead,
+    LSTMHead,
+    MaxPoolHead,
+    SumPoolHead,
+)
+
+__all__ = []
+
+
+@register_lowering(LSTMHead, prepare=_prepare_sequence)
+def _build_lstm_head(module, b, views, objects, extras):
+    _, final = _emit_lstm(module.lstm, b, views[0], views[1], need_outputs=False)
+    return emit(module.classifier, b, final)
+
+
+@register_lowering(BiLSTMHead, prepare=_prepare_sequence)
+def _build_bilstm_head(module, b, views, objects, extras):
+    _, final = _emit_bilstm(
+        module.lstm, b, views[0], views[1], need_outputs=False
+    )
+    return emit(module.classifier, b, final)
+
+
+@register_lowering(AttentionHead, prepare=_prepare_sequence)
+def _build_attention_head(module, b, views, objects, extras):
+    pooled = _emit_attention(module.attention, b, views[0], views[1])
+    return emit(module.classifier, b, pooled)
+
+
+@register_lowering(SumPoolHead, prepare=_prepare_sequence)
+def _build_sum_head(module, b, views, objects, extras):
+    pooled = emit_masked_sum(b, views[0], views[1])
+    return emit(module.classifier, b, pooled)
+
+
+@register_lowering(AvgPoolHead, prepare=_prepare_sequence)
+def _build_avg_head(module, b, views, objects, extras):
+    pooled = emit_masked_avg(b, views[0], views[1])
+    return emit(module.classifier, b, pooled)
+
+
+@register_lowering(MaxPoolHead, prepare=_prepare_sequence)
+def _build_max_head(module, b, views, objects, extras):
+    pooled = emit_masked_max(b, views[0], views[1])
+    return emit(module.classifier, b, pooled)

@@ -10,6 +10,7 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.eval.curves import TrainingCurve
 from repro.eval.metrics import precision_recall_f1
+from repro.nn.inference import plan_call
 from repro.nn.loss import cross_entropy
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.nn.tensor import Tensor, no_grad
@@ -158,7 +159,13 @@ def predict_proba_sequences(
     max_sequence_length: Optional[int] = 32,
     batch_size: int = 64,
 ) -> np.ndarray:
-    """Softmax class probabilities per sequence."""
+    """Softmax class probabilities per sequence.
+
+    Each padded batch runs through the head's compiled forward plan when
+    one is registered (:mod:`repro.seqmodels.plans`), so serving scores
+    and per-epoch training evaluation share the tapeless fast path; the
+    tape forward remains as a bit-identical fallback.
+    """
     model.eval()
     outputs: List[np.ndarray] = []
     with no_grad():
@@ -166,7 +173,9 @@ def predict_proba_sequences(
             batch, mask = pad_sequences(
                 list(sequences[start : start + batch_size]), max_sequence_length
             )
-            logits = model(Tensor(batch), mask).data
+            logits = plan_call(model, "forward", batch, mask)
+            if logits is None:
+                logits = model(Tensor(batch), mask).data
             shifted = logits - logits.max(axis=1, keepdims=True)
             exps = np.exp(shifted)
             outputs.append(exps / exps.sum(axis=1, keepdims=True))

@@ -423,6 +423,142 @@ class TestOracleSync:
         assert findings == []
 
 
+LOWERINGS = "src/repro/nn/inference/lowerings.py"
+#: Minimal anchor: plan-sync only runs when the lowerings module is in
+#: the lint set, exactly like oracle-sync and the reference module.
+LOWERINGS_STUB = "_EMITTERS = {}\n"
+
+
+def lint_plan_sync(sources):
+    findings = lint_sources(sources)
+    return [f for f in findings if f.rule_id == "plan-sync"]
+
+
+class TestPlanSync:
+    def test_unregistered_forward_violation(self):
+        findings = lint_plan_sync(
+            {
+                LOWERINGS: LOWERINGS_STUB,
+                NN: textwrap.dedent(
+                    """\
+                    class Thing(Module):
+                        def forward(self, x):
+                            return x
+                    """
+                ),
+            }
+        )
+        assert_single(findings, "plan-sync", 2)
+        assert "Thing" in findings[0].message
+
+    def test_registered_lowering_clean(self):
+        findings = lint_plan_sync(
+            {
+                LOWERINGS: LOWERINGS_STUB,
+                NN: textwrap.dedent(
+                    """\
+                    class Thing(Module):
+                        def forward(self, x):
+                            return x
+
+                    @register_lowering(Thing, prepare=None)
+                    def _build_thing(module, b, views, objects, extras):
+                        return views[0]
+                    """
+                ),
+            }
+        )
+        assert findings == []
+
+    def test_registered_emitter_clean(self):
+        findings = lint_plan_sync(
+            {
+                LOWERINGS: LOWERINGS_STUB,
+                NN: textwrap.dedent(
+                    """\
+                    class Thing(Module):
+                        def forward(self, x):
+                            return x
+
+                    @register_emitter(Thing)
+                    def _emit_thing(module, b, x):
+                        return x
+                    """
+                ),
+            }
+        )
+        assert findings == []
+
+    def test_registered_descendant_covers_base(self):
+        findings = lint_plan_sync(
+            {
+                LOWERINGS: LOWERINGS_STUB,
+                NN: textwrap.dedent(
+                    """\
+                    class Head(Module):
+                        def forward(self, x):
+                            return self.pool(x)
+
+                    class SumHead(Head):
+                        def pool(self, x):
+                            return x
+
+                    @register_lowering(SumHead, prepare=None)
+                    def _build_sum_head(module, b, views, objects, extras):
+                        return views[0]
+                    """
+                ),
+            }
+        )
+        assert findings == []
+
+    def test_fallback_marker_clean(self):
+        findings = lint_plan_sync(
+            {
+                LOWERINGS: LOWERINGS_STUB,
+                NN: textwrap.dedent(
+                    """\
+                    class Thing(Module):
+                        inference_fallback = True
+
+                        def forward(self, x):
+                            return x
+                    """
+                ),
+            }
+        )
+        assert findings == []
+
+    def test_abstract_forward_clean(self):
+        findings = lint_plan_sync(
+            {
+                LOWERINGS: LOWERINGS_STUB,
+                NN: textwrap.dedent(
+                    """\
+                    class Base(Module):
+                        def forward(self, x):
+                            raise NotImplementedError
+                    """
+                ),
+            }
+        )
+        assert findings == []
+
+    def test_skipped_without_lowerings_module(self):
+        findings = lint_plan_sync(
+            {
+                NN: textwrap.dedent(
+                    """\
+                    class Thing(Module):
+                        def forward(self, x):
+                            return x
+                    """
+                ),
+            }
+        )
+        assert findings == []
+
+
 class TestBroadExcept:
     def test_except_exception_violation(self):
         findings = lint_one(
@@ -498,6 +634,7 @@ class TestFramework:
             "kernel-determinism",
             "lock-discipline",
             "oracle-sync",
+            "plan-sync",
             "stable-hash",
             "tape-discipline",
         }

@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.features",
     "repro.graphs",
     "repro.nn",
+    "repro.nn.inference",
     "repro.gnn",
     "repro.ml",
     "repro.seqmodels",

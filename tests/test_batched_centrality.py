@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
+from repro.graphs import batched_centrality as batched_module
 from repro.graphs import (
     ArrayGraph,
     GraphConstructionPipeline,
@@ -224,6 +225,87 @@ class TestSkewAwarePacking:
         for graph, reference in zip(graphs, expected):
             np.testing.assert_allclose(
                 graph.centrality, reference, rtol=1e-9, atol=1e-9
+            )
+
+
+class TestActiveSegmentCompaction:
+    """PageRank working-pack compaction: once frozen graphs dominate a
+    pack the loop shrinks to the active blocks — a pure performance
+    move that must never change a single bit of any result."""
+
+    @pytest.fixture()
+    def skewed_matrices(self):
+        """Five edgeless graphs (converge at iteration one) plus one
+        dense-ish graph that iterates for dozens of rounds: after the
+        first iteration the frozen blocks hold the majority of pack
+        nodes, which is exactly the compaction trigger."""
+        fast = [sp.csr_matrix((60, 60), dtype=np.float64) for _ in range(5)]
+        return fast + [_random_csr(120, seed=77)]
+
+    def test_extract_active_blocks_is_exact(self, mixed_matrices):
+        packed, offsets = pack_block_diagonal(mixed_matrices)
+        transpose = packed.transpose().tocsr()
+        sizes = np.diff(offsets)
+        keep_graphs = np.arange(sizes.size) % 2 == 0
+        keep = np.repeat(keep_graphs, sizes)
+        sub = batched_module._extract_active_blocks(transpose, keep)
+        rows = np.flatnonzero(keep)
+        assert sub.shape == (rows.size, rows.size)
+        assert (sub != transpose[rows][:, rows]).nnz == 0
+        # No entry of a kept row may be dropped (disconnected blocks).
+        assert sub.nnz == int(np.diff(transpose.indptr)[rows].sum())
+
+    def test_skewed_pack_compacts_and_stays_bit_identical(
+        self, skewed_matrices, monkeypatch
+    ):
+        compactions = []
+        original = batched_module._extract_active_blocks
+
+        def spy(matrix, keep):
+            compactions.append((keep.size, int(keep.sum())))
+            return original(matrix, keep)
+
+        monkeypatch.setattr(
+            batched_module, "_extract_active_blocks", spy
+        )
+        whole_pack = batched_centrality_matrices(
+            skewed_matrices, max_batch_nodes=None
+        )
+        assert compactions, (
+            "a convergence-skewed pack should trigger at least one "
+            "active-segment compaction"
+        )
+        # Chunk invariance across the compaction: per-graph packs never
+        # compact (a lone graph is all-active or done), yet must match
+        # the compacted whole-pack run bit for bit.
+        per_graph_packs = batched_centrality_matrices(
+            skewed_matrices, max_batch_nodes=1
+        )
+        for i, (a, b) in enumerate(zip(whole_pack, per_graph_packs)):
+            assert np.array_equal(a, b), f"compaction changed graph {i}"
+        for i, matrix in enumerate(skewed_matrices):
+            np.testing.assert_allclose(
+                whole_pack[i],
+                centrality_matrix_csr(matrix),
+                rtol=1e-9,
+                atol=1e-9,
+                err_msg=f"graph {i} vs per-graph CSR path",
+            )
+
+    def test_skewed_pack_order_invariance(self, skewed_matrices):
+        baseline = batched_centrality_matrices(
+            skewed_matrices, max_batch_nodes=None
+        )
+        permutation = np.random.default_rng(9).permutation(
+            len(skewed_matrices)
+        )
+        permuted = batched_centrality_matrices(
+            [skewed_matrices[j] for j in permutation],
+            max_batch_nodes=None,
+        )
+        for position, j in enumerate(permutation):
+            assert np.array_equal(permuted[position], baseline[j]), (
+                f"permuting the skewed batch changed graph {j}"
             )
 
 

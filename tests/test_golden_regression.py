@@ -109,3 +109,12 @@ def test_model_scores_match_golden(golden, world):
         scores, golden["scores"], rtol=1e-5, atol=1e-7
     )
     np.testing.assert_allclose(scores.sum(axis=1), 1.0, rtol=1e-9)
+    # The compiled-plan inference path (the default above) must be bit
+    # identical to the autograd tape — not merely within tolerance.
+    from repro.nn.inference import plan_execution
+
+    with plan_execution(False):
+        tape_scores = classifier.predict_proba(addresses, index)
+    assert np.array_equal(scores, tape_scores), (
+        "plan-path scores diverge from the tape path"
+    )

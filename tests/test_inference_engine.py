@@ -1,0 +1,495 @@
+"""Plan-vs-tape parity for the tapeless inference engine.
+
+The contract of :mod:`repro.nn.inference` is *bit identity*: a compiled
+forward plan must produce the exact float64 bits of the autograd tape it
+replaces, for every module with a registered lowering — otherwise the
+serving layer's cluster==single==naive 1e-9 story silently degrades.
+Every sweep below therefore asserts ``np.array_equal``, never allclose.
+
+Covered per module family: randomized-shape parity, plan reuse across
+calls (hit counters), arena steady state, invalidation on weight
+mutation (optimizer step and ``load_state_dict``), fallback behaviour
+(training mode, disabled contexts), and thread isolation of
+``plan_execution``.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.gnn import GCN, GFN, DiffPool, EncodedGraph
+from repro.nn.attention import AttentionPooling
+from repro.nn.inference import (
+    clear_plans,
+    plan_call,
+    plan_execution,
+    plan_stats,
+    plans_enabled,
+    staging_input,
+)
+from repro.nn.inference import engine
+from repro.nn.layers import (
+    MLP,
+    Activation,
+    Dropout,
+    LayerNorm,
+    Linear,
+    Sequential,
+)
+from repro.nn.optim import SGD, Adam
+from repro.nn.rnn import LSTM, BiLSTM, LSTMCell
+from repro.nn.tensor import Tensor, no_grad
+from repro.seqmodels import (
+    AttentionHead,
+    AvgPoolHead,
+    BiLSTMHead,
+    LSTMHead,
+    MaxPoolHead,
+    SumPoolHead,
+)
+from repro.seqmodels.trainer import predict_proba_sequences
+
+SEEDS = [0, 1, 2]
+
+
+def tape_forward(module, *args):
+    """The reference tape result, with plans pinned off."""
+    module.eval()
+    with no_grad(), plan_execution(False):
+        out = module(*args)
+    if isinstance(out, tuple):
+        return tuple(t.data for t in out)
+    return out.data
+
+
+def plan_forward(module, method, *args):
+    """The plan result; fails the test if the call fell back."""
+    module.eval()
+    with no_grad():
+        got = plan_call(module, method, *args)
+    assert got is not None, (
+        f"{type(module).__name__}.{method} fell back to the tape"
+    )
+    return got
+
+
+def assert_identical(plan, tape, label):
+    if isinstance(tape, tuple):
+        assert isinstance(plan, tuple) and len(plan) == len(tape), label
+        for index, (p, t) in enumerate(zip(plan, tape)):
+            assert np.array_equal(p, t), f"{label}[{index}] diverged"
+    else:
+        assert np.array_equal(plan, tape), f"{label} diverged"
+
+
+# ------------------------------------------------------------------ #
+# nn/layers.py — single-input modules
+# ------------------------------------------------------------------ #
+
+SINGLE_FACTORIES = [
+    ("linear", lambda d, s: Linear(d, 5, rng=s)),
+    ("linear_nobias", lambda d, s: Linear(d, 5, bias=False, rng=s)),
+    ("layernorm", lambda d, s: LayerNorm(d)),
+    ("dropout_eval", lambda d, s: Dropout(0.5, rng=s)),
+    ("relu", lambda d, s: Activation("relu")),
+    ("tanh", lambda d, s: Activation("tanh")),
+    ("sigmoid", lambda d, s: Activation("sigmoid")),
+    ("leaky_relu", lambda d, s: Activation("leaky_relu")),
+    (
+        "sequential",
+        lambda d, s: Sequential(
+            Linear(d, 6, rng=s), Activation("relu"), Linear(6, 3, rng=s + 1)
+        ),
+    ),
+    ("mlp", lambda d, s: MLP([d, 8, 4], dropout=0.25, rng=s)),
+]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "name,factory", SINGLE_FACTORIES, ids=[n for n, _ in SINGLE_FACTORIES]
+)
+def test_single_input_parity(name, factory, seed):
+    rng = np.random.default_rng(1000 + seed)
+    dim = int(rng.integers(2, 9))
+    module = factory(dim, seed)
+    for _ in range(2):  # second call exercises plan reuse
+        x = rng.normal(size=(int(rng.integers(1, 7)), dim))
+        # Activations mutate their input buffer in place inside the
+        # plan; the tape must still see the original values.
+        assert_identical(
+            plan_forward(module, "forward", x),
+            tape_forward(module, Tensor(x.copy())),
+            name,
+        )
+
+
+# ------------------------------------------------------------------ #
+# nn/rnn.py — recurrent modules (multi-output)
+# ------------------------------------------------------------------ #
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("cls", [LSTM, BiLSTM], ids=["lstm", "bilstm"])
+def test_recurrent_parity(cls, seed):
+    rng = np.random.default_rng(2000 + seed)
+    module = cls(4, 6, rng=seed)
+    batch, steps = int(rng.integers(1, 5)), int(rng.integers(1, 6))
+    x = rng.normal(size=(batch, steps, 4))
+    mask = (rng.random((batch, steps)) < 0.75).astype(np.float64)
+    mask[:, 0] = 1.0
+    assert_identical(
+        plan_forward(module, "forward", x, mask),
+        tape_forward(module, Tensor(x), mask),
+        f"{cls.__name__} masked",
+    )
+    assert_identical(
+        plan_forward(module, "forward", x),
+        tape_forward(module, Tensor(x)),
+        f"{cls.__name__} unmasked",
+    )
+
+
+def test_reversed_lstm_parity():
+    rng = np.random.default_rng(7)
+    module = LSTM(3, 5, rng=0, reverse=True)
+    x = rng.normal(size=(2, 4, 3))
+    assert_identical(
+        plan_forward(module, "forward", x),
+        tape_forward(module, Tensor(x)),
+        "LSTM reversed",
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_lstm_cell_parity(seed):
+    rng = np.random.default_rng(3000 + seed)
+    module = LSTMCell(4, 6, rng=seed)
+    batch = int(rng.integers(1, 5))
+    x = rng.normal(size=(batch, 4))
+    h = rng.normal(size=(batch, 6))
+    c = rng.normal(size=(batch, 6))
+    assert_identical(
+        plan_forward(module, "forward", x, (h, c)),
+        tape_forward(module, Tensor(x), (Tensor(h), Tensor(c))),
+        "LSTMCell",
+    )
+
+
+# ------------------------------------------------------------------ #
+# nn/attention.py
+# ------------------------------------------------------------------ #
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_attention_pooling_parity(seed):
+    rng = np.random.default_rng(4000 + seed)
+    module = AttentionPooling(5, attention_dim=4, rng=seed)
+    batch, steps = int(rng.integers(1, 5)), int(rng.integers(1, 6))
+    x = rng.normal(size=(batch, steps, 5))
+    mask = (rng.random((batch, steps)) < 0.7).astype(np.float64)
+    mask[:, 0] = 1.0
+    assert_identical(
+        plan_forward(module, "forward", x, mask),
+        tape_forward(module, Tensor(x), mask),
+        "attention masked",
+    )
+    # The tape skips the additive mask offset entirely when no mask is
+    # given, so mask/nomask are distinct plans — both must match.
+    assert_identical(
+        plan_forward(module, "forward", x),
+        tape_forward(module, Tensor(x)),
+        "attention unmasked",
+    )
+
+
+# ------------------------------------------------------------------ #
+# seqmodels/heads.py — the six sequence heads
+# ------------------------------------------------------------------ #
+
+HEAD_CLASSES = [
+    LSTMHead,
+    BiLSTMHead,
+    AttentionHead,
+    SumPoolHead,
+    AvgPoolHead,
+    MaxPoolHead,
+]
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+@pytest.mark.parametrize(
+    "cls", HEAD_CLASSES, ids=[c.__name__ for c in HEAD_CLASSES]
+)
+def test_sequence_head_parity(cls, seed):
+    rng = np.random.default_rng(5000 + seed)
+    module = cls(6, 3, hidden_dim=8, rng=seed)
+    batch, steps = int(rng.integers(1, 5)), int(rng.integers(1, 6))
+    x = rng.normal(size=(batch, steps, 6))
+    mask = (rng.random((batch, steps)) < 0.75).astype(np.float64)
+    mask[:, 0] = 1.0
+    assert_identical(
+        plan_forward(module, "forward", x, mask),
+        tape_forward(module, Tensor(x), mask),
+        cls.__name__,
+    )
+
+
+def test_predict_proba_sequences_identical_paths():
+    rng = np.random.default_rng(77)
+    module = LSTMHead(5, 3, hidden_dim=8, rng=0)
+    sequences = [
+        rng.normal(size=(int(rng.integers(1, 7)), 5)) for _ in range(9)
+    ]
+    planned = predict_proba_sequences(module, sequences, 4, batch_size=4)
+    with plan_execution(False):
+        taped = predict_proba_sequences(module, sequences, 4, batch_size=4)
+    assert np.array_equal(planned, taped)
+    assert plan_stats(module)["compiles"] > 0, "plan path never engaged"
+
+
+# ------------------------------------------------------------------ #
+# gnn/ — GFN, GCN, DiffPool through predict / embed_graphs (which also
+# exercises the sum_readout segment lowering)
+# ------------------------------------------------------------------ #
+
+
+def _random_graphs(rng, count, feature_dim):
+    graphs = []
+    for index in range(count):
+        n = int(rng.integers(2, 7))
+        dense = (rng.random((n, n)) < 0.4).astype(np.float64)
+        np.fill_diagonal(dense, 1.0)
+        graphs.append(
+            EncodedGraph(
+                features=rng.normal(size=(n, feature_dim)),
+                adjacency=sp.csr_matrix(dense),
+                label=index % 2,
+                address=f"addr{index}",
+                slice_index=0,
+            )
+        )
+    return graphs
+
+
+GNN_FACTORIES = [
+    ("gfn", lambda d, s: GFN(d, 2, hidden_dim=8, k=2, rng=s)),
+    ("gcn", lambda d, s: GCN(d, 2, hidden_dim=8, rng=s)),
+    (
+        "diffpool",
+        lambda d, s: DiffPool(d, 2, hidden_dim=8, num_clusters=3, rng=s),
+    ),
+]
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+@pytest.mark.parametrize(
+    "name,factory", GNN_FACTORIES, ids=[n for n, _ in GNN_FACTORIES]
+)
+def test_gnn_parity(name, factory, seed):
+    rng = np.random.default_rng(6000 + seed)
+    feature_dim = int(rng.integers(2, 5))
+    model = factory(feature_dim, seed)
+    graphs = _random_graphs(rng, 6, feature_dim)
+    payload = model.prepare_batch(graphs)
+    assert_identical(
+        plan_forward(model, "forward", payload),
+        tape_forward(model, payload),
+        f"{name} forward",
+    )
+    model.eval()
+    with no_grad():
+        embedded_plan = plan_call(model, "embed", payload)
+        assert embedded_plan is not None
+        with plan_execution(False):
+            embedded_tape = model.embed(payload).data
+    assert np.array_equal(embedded_plan, embedded_tape), f"{name} embed"
+    # End-to-end convenience paths route through the same plans.
+    plan_rows = model.embed_graphs(graphs, batch_size=4)
+    with plan_execution(False):
+        tape_rows = model.embed_graphs(graphs, batch_size=4)
+    assert np.array_equal(plan_rows, tape_rows)
+    plan_labels = model.predict(graphs, batch_size=4)
+    with plan_execution(False):
+        tape_labels = model.predict(graphs, batch_size=4)
+    assert np.array_equal(plan_labels, tape_labels)
+
+
+# ------------------------------------------------------------------ #
+# Staging inputs: plans adopt engine-owned assembly buffers
+# ------------------------------------------------------------------ #
+
+
+def test_staging_input_is_stable_per_key():
+    module = Linear(3, 2, rng=0)
+    first = staging_input(module, "features", (7, 3))
+    again = staging_input(module, "features", (7, 3))
+    # Identity is the contract: ForwardPlan.run skips the input copy
+    # only when the caller passes the very buffer the plan adopted.
+    assert first is again
+    assert first.shape == (7, 3)
+    # A different name or shape is a different buffer.
+    assert staging_input(module, "other", (7, 3)) is not first
+    bigger = staging_input(module, "features", (9, 3))
+    assert bigger is not first
+    # The original exact-shape view survives the backing growth.
+    assert staging_input(module, "features", (7, 3)) is first
+
+
+def test_gfn_batch_lowering_adopts_staging():
+    rng = np.random.default_rng(21)
+    model = GFN(3, 2, hidden_dim=8, k=1, rng=0)
+    graphs = _random_graphs(rng, 6, 3)
+    plan_rows = model.embed_graphs(graphs)
+    with plan_execution(False):
+        tape_rows = model.embed_graphs(graphs)
+    assert np.array_equal(plan_rows, tape_rows)
+    stats = plan_stats(model)
+    assert stats["compiles"] >= 1
+    # The batch-level plan adopted the staging buffers: replays are
+    # cache hits and the adopted feature input is the staging view.
+    model.embed_graphs(graphs)
+    assert plan_stats(model)["compiles"] == stats["compiles"]
+    assert plan_stats(model)["hits"] > stats["hits"]
+    total = sum(g.num_nodes for g in graphs)
+    width = 1 + model.input_dim * (model.k + 1)
+    features = staging_input(model, "features", (total, width))
+    state = engine._state_for(model)
+    adopted = [
+        buffer
+        for plan in state.plans.values()
+        if plan is not engine._UNPLANNABLE
+        for buffer in plan.inputs
+        if buffer is features
+    ]
+    assert adopted, "no plan adopted the staged feature buffer"
+
+
+def test_per_request_shapes_all_stay_cached():
+    # One signature per distinct batch geometry (the per-request serving
+    # pattern) must not thrash the plan cache.
+    rng = np.random.default_rng(22)
+    model = GFN(3, 2, hidden_dim=8, k=1, rng=0)
+    batches = [
+        _random_graphs(np.random.default_rng(100 + i), i + 2, 3)
+        for i in range(12)
+    ]
+    for batch in batches:
+        model.embed_graphs(batch)
+    compiles = plan_stats(model)["compiles"]
+    hits = plan_stats(model)["hits"]
+    for batch in batches:
+        plan_rows = model.embed_graphs(batch)
+        with plan_execution(False):
+            assert np.array_equal(plan_rows, model.embed_graphs(batch))
+    assert plan_stats(model)["compiles"] == compiles, "plan cache thrashed"
+    assert plan_stats(model)["hits"] >= hits + len(batches)
+
+
+# ------------------------------------------------------------------ #
+# Engine mechanics: reuse, arena steady state, invalidation, fallback
+# ------------------------------------------------------------------ #
+
+
+def test_plan_reuse_and_arena_steady_state():
+    rng = np.random.default_rng(11)
+    module = MLP([4, 8, 3], rng=0)
+    x = rng.normal(size=(5, 4))
+    plan_forward(module, "forward", x)
+    after_first = plan_stats(module)
+    assert after_first["compiles"] == 1
+    for _ in range(3):
+        plan_forward(module, "forward", rng.normal(size=(5, 4)))
+    after_reuse = plan_stats(module)
+    assert after_reuse["compiles"] == 1
+    assert after_reuse["hits"] == 3
+    # Same-shape replays must not grow the arena: steady state is
+    # zero new buffer allocation.
+    assert after_reuse["arena_bytes"] == after_first["arena_bytes"]
+
+
+def test_shape_bucketing_reuses_pooled_buffers():
+    rng = np.random.default_rng(12)
+    module = Linear(4, 3, rng=0)
+    plan_forward(module, "forward", rng.normal(size=(8, 4)))
+    grown = plan_stats(module)["arena_bytes"]
+    # A smaller leading dim fits the already-bucketed pool entries.
+    plan_forward(module, "forward", rng.normal(size=(5, 4)))
+    assert plan_stats(module)["arena_bytes"] == grown
+
+
+def test_optimizer_step_invalidates_plans():
+    rng = np.random.default_rng(13)
+    for optimizer_cls in (SGD, Adam):
+        module = Linear(4, 3, rng=0)
+        x = rng.normal(size=(2, 4))
+        stale = plan_forward(module, "forward", x)
+        module.train()
+        optimizer = optimizer_cls(module.parameters(), lr=0.5)
+        loss = module(Tensor(x)).sum()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        fresh = plan_forward(module, "forward", x)
+        assert not np.array_equal(fresh, stale), "plan served stale weights"
+        assert_identical(
+            fresh, tape_forward(module, Tensor(x)), optimizer_cls.__name__
+        )
+        assert plan_stats(module)["compiles"] == 2
+
+
+def test_load_state_dict_invalidates_plans():
+    rng = np.random.default_rng(14)
+    module = Linear(4, 3, rng=0)
+    donor = Linear(4, 3, rng=99)
+    x = rng.normal(size=(2, 4))
+    stale = plan_forward(module, "forward", x)
+    module.load_state_dict(donor.state_dict())
+    fresh = plan_forward(module, "forward", x)
+    assert not np.array_equal(fresh, stale), "plan served stale weights"
+    assert_identical(
+        fresh, tape_forward(donor, Tensor(x)), "load_state_dict"
+    )
+
+
+def test_training_mode_falls_back():
+    module = MLP([3, 4, 2], dropout=0.5, rng=0)
+    module.train()
+    with no_grad():
+        assert plan_call(module, "forward", np.zeros((2, 3))) is None
+
+
+def test_clear_plans_forces_recompile():
+    rng = np.random.default_rng(15)
+    module = Linear(3, 2, rng=0)
+    x = rng.normal(size=(2, 3))
+    plan_forward(module, "forward", x)
+    clear_plans(module)
+    assert plan_stats(module)["plans"] == 0
+    plan_forward(module, "forward", x)
+    assert plan_stats(module)["compiles"] == 2
+
+
+def test_plan_execution_is_context_local():
+    assert plans_enabled()
+    module = Linear(3, 2, rng=0)
+    module.eval()
+    x = np.zeros((1, 3))
+    seen = {}
+
+    def worker():
+        with no_grad():
+            seen["other_thread"] = plan_call(module, "forward", x)
+
+    with plan_execution(False):
+        assert not plans_enabled()
+        with no_grad():
+            assert plan_call(module, "forward", x) is None
+        # A concurrent scorer thread must not inherit the pin.
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+    assert plans_enabled()
+    assert seen["other_thread"] is not None
