@@ -20,7 +20,14 @@ forward per address) on the same synthetic chain:
   processes, inference in the parent);
 - **warm restart**: ``save_warm`` → fresh cluster → ``load_warm`` →
   re-score, asserting *zero* construction misses
-  (``warm_restart_hit_rate == 1``).
+  (``warm_restart_hit_rate == 1``);
+- **streaming**: live-traffic shape on a fresh connected cluster — many
+  concurrent single-address ``async_score`` requests, which the micro-
+  batcher coalesces into merged passes, timed against the same sweep as
+  serial per-request calls; then one appended block, timing the first
+  post-append re-score (``append_refresh_seconds``) and asserting the
+  worker pool was *streamed to*, never re-forked
+  (``pool_stats()['starts'] == 1`` across the whole phase).
 
 Asserted contracts: warm-cache batched scoring is at least 5× faster
 than the naive loop; a block append re-scores only the touched
@@ -29,7 +36,10 @@ restart rebuilds nothing.  In full mode on a multi-core host the
 cluster cold path must additionally beat the single-process cold path
 by ≥ ``MIN_CLUSTER_SPEEDUP`` (process-parallel construction is
 physically pointless to gate on one core, so single-core hosts record
-``cluster_gate_enforced: false`` instead).
+``cluster_gate_enforced: false`` instead), and micro-batched concurrent
+scoring must beat serial per-request scoring by
+≥ ``MIN_STREAMING_SPEEDUP`` under the same multi-core proviso
+(``streaming_gate_enforced``).
 
 Results land in ``benchmarks/results/BENCH_serving.json`` under a
 per-mode key (``smoke`` / ``full``) — same layout as
@@ -41,6 +51,7 @@ so the same assertions can run in CI; see ``scripts/tier1.sh``.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import os
 import time
@@ -85,6 +96,7 @@ if SMOKE:
     MIN_CLUSTER_SPEEDUP = None  # timing noise dominates at smoke scale
     INFER_REPEATS = 3
     MIN_INFER_SPEEDUP = None  # ditto: sub-ms forwards, noise dominates
+    MIN_STREAMING_SPEEDUP = None  # ditto
 else:
     WORLD_CONFIG = WorldConfig(
         seed=SEED, num_blocks=220, num_retail=90, num_gamblers=32,
@@ -100,6 +112,7 @@ else:
     MIN_CLUSTER_SPEEDUP = 1.5 if (os.cpu_count() or 1) >= 2 else None
     INFER_REPEATS = 5
     MIN_INFER_SPEEDUP = 1.5
+    MIN_STREAMING_SPEEDUP = 1.2 if (os.cpu_count() or 1) >= 2 else None
 
 
 @pytest.fixture(scope="module")
@@ -339,6 +352,72 @@ def test_bench_serving_throughput(serving_setup, tmp_path):
     assert rebuilt <= _slices_of(world.index, target)
     assert served >= other_slices
 
+    # --- streaming: micro-batched concurrency + live append ----------- #
+    # The live-traffic shape: many concurrent single-address requests.
+    # The async front end coalesces them into merged passes (one padded
+    # head pass instead of n), and a block append streams to the live
+    # workers as a tail-replay message — the pool must never re-fork
+    # (`starts` stays 1 across the whole phase).
+    streaming = ClusterScoringService(
+        classifier, world.index, chain=world.chain, config=cluster_config
+    )
+    streaming.score(addresses)  # warm caches; the first misses fork the pool
+    assert streaming.pool_stats()["starts"] == 1
+
+    start = time.perf_counter()
+    serial_scores = {}
+    for a in addresses:
+        serial_scores.update(streaming.score([a]))
+    serial_request_seconds = time.perf_counter() - start
+
+    async def _concurrent_sweep():
+        results = await asyncio.gather(
+            *(streaming.async_score([a]) for a in addresses)
+        )
+        merged = {}
+        for scores in results:
+            merged.update(scores)
+        return merged
+
+    start = time.perf_counter()
+    concurrent_scores = asyncio.run(_concurrent_sweep())
+    concurrent_seconds = time.perf_counter() - start
+    for a in addresses:
+        np.testing.assert_allclose(
+            concurrent_scores[a].probabilities,
+            serial_scores[a].probabilities,
+            rtol=1e-9,
+            atol=1e-9,
+        )
+    batch_stats = streaming.micro_batch_stats()
+    assert batch_stats["requests"] == n
+    assert batch_stats["batches"] < n, "no coalescing happened"
+    concurrent_speedup = serial_request_seconds / concurrent_seconds
+    if MIN_STREAMING_SPEEDUP is not None:
+        assert concurrent_speedup >= MIN_STREAMING_SPEEDUP, (
+            f"micro-batched concurrent scoring only "
+            f"{concurrent_speedup:.2f}x serial per-request scoring "
+            f"(need >= {MIN_STREAMING_SPEEDUP}x)"
+        )
+
+    stream_target = next(
+        a for a in addresses if world.chain.utxo_set.balance_of(a) > 0
+    )
+    _append_self_spend(world.chain, stream_target)
+    start = time.perf_counter()
+    refreshed = streaming.score(addresses)
+    append_refresh_seconds = time.perf_counter() - start
+    stream_pool = streaming.pool_stats()
+    assert stream_pool["starts"] == 1, stream_pool  # streamed, not re-forked
+    assert stream_pool["ingest_batches"] >= 1
+    np.testing.assert_allclose(
+        refreshed[stream_target].probabilities,
+        classifier.predict_proba([stream_target], world.index)[0],
+        rtol=1e-9,
+        atol=1e-9,
+    )
+    streaming.close()
+
     mode = "smoke" if SMOKE else "full"
     payload = {
         "benchmark": "serving_throughput",
@@ -373,6 +452,14 @@ def test_bench_serving_throughput(serving_setup, tmp_path):
         "warm_restart_seconds": warm_restart_seconds,
         "warm_restart_hit_rate": warm_restart_hit_rate,
         "warm_restart_entries": restored,
+        "serial_request_seconds": serial_request_seconds,
+        "concurrent_seconds": concurrent_seconds,
+        "concurrent_addr_per_second": n / concurrent_seconds,
+        "concurrent_speedup_vs_serial": concurrent_speedup,
+        "micro_batches": batch_stats["batches"],
+        "append_refresh_seconds": append_refresh_seconds,
+        "streaming_pool_starts": stream_pool["starts"],
+        "streaming_gate_enforced": MIN_STREAMING_SPEEDUP is not None,
     }
     # Merge under a per-mode key: a tier-1 smoke run must not clobber
     # the full-mode trajectory (and vice versa).
@@ -406,6 +493,21 @@ def test_bench_serving_throughput(serving_setup, tmp_path):
         ("cluster warm", cluster_warm_seconds, n / cluster_warm_seconds),
         ("warm restart (store)", warm_restart_seconds, n / warm_restart_seconds),
         ("incremental (1 block)", incremental_seconds, n / incremental_seconds),
+        (
+            "serial per-request",
+            serial_request_seconds,
+            n / serial_request_seconds,
+        ),
+        (
+            "concurrent micro-batch",
+            concurrent_seconds,
+            n / concurrent_seconds,
+        ),
+        (
+            "append refresh (stream)",
+            append_refresh_seconds,
+            n / append_refresh_seconds,
+        ),
     ]
     lines = [
         f"Serving throughput — {n} addresses, {total_slices} slice graphs"
@@ -428,6 +530,13 @@ def test_bench_serving_throughput(serving_setup, tmp_path):
     lines.append(
         f"warm restart: {restored} slices restored, "
         f"hit rate {warm_restart_hit_rate:.0%}, zero rebuilds"
+    )
+    lines.append(
+        f"streaming: {concurrent_speedup:.2f}x concurrent vs serial in "
+        f"{batch_stats['batches']} micro-batches "
+        f"(gate {'on' if MIN_STREAMING_SPEEDUP else 'off'}), append "
+        f"refresh {append_refresh_seconds:.3f}s with "
+        f"{stream_pool['starts']} pool start"
     )
     lines.append(
         "cache: hits={hits} misses={misses} evictions={evictions} "

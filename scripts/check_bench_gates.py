@@ -27,6 +27,10 @@ Serving gates (mirroring ``benchmarks/bench_serving_throughput.py``):
   says ``cluster_gate_enforced`` (the full bench disables the gate on
   single-core hosts, where process parallelism cannot exist; the entry
   records ``available_cpus`` so the skip is auditable).
+- ``concurrent_speedup_vs_serial`` >= 1.2 (micro-batched concurrent
+  ``async_score`` vs serial per-request scoring on the streaming
+  cluster, PR 8) — conditional on ``streaming_gate_enforced``, same
+  single-core proviso as the cluster gate.
 
 A missing file or missing full-mode entry is reported but does not
 fail (fresh checkouts have no recorded trajectory until someone runs
@@ -61,6 +65,7 @@ GATES = {
 CONDITIONAL_GATES = {
     "BENCH_serving.json": {
         "cluster_speedup": ("cluster_gate_enforced", 1.5),
+        "concurrent_speedup_vs_serial": ("streaming_gate_enforced", 1.2),
     },
 }
 

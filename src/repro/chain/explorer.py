@@ -185,16 +185,23 @@ class ChainIndex:
 
     def ingest_transactions(
         self, transactions: "Sequence[Tuple[Transaction, int]]"
-    ) -> None:
+    ) -> int:
         """Ingest ``(transaction, height)`` pairs (a replay tail).
 
         Transactions already known are skipped, so replaying an
         overlapping tail is idempotent — re-ingesting would otherwise
-        duplicate per-address records.
+        duplicate per-address records.  Returns the number of
+        transactions actually ingested (0 when the whole tail was
+        already known), which is what lets replay consumers — the
+        cluster's shard refresh, the streaming worker ingest path —
+        tell a real catch-up from a redundant one.
         """
+        ingested = 0
         for tx, height in transactions:
             if tx.txid not in self._tx_by_id:
                 self._ingest(tx, height)
+                ingested += 1
+        return ingested
 
     def sharded(
         self, address_filter: Callable[[str], bool]

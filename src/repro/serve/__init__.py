@@ -8,7 +8,9 @@ block-diagonal batched inference
 scale-out layer above it
 (:class:`~repro.serve.cluster.ClusterScoringService`): deterministic
 address-prefix sharding (:class:`~repro.serve.router.ShardRouter`),
-multi-process miss construction, an asyncio front end, and warm-cache
+live multi-process miss construction with streamed block-append
+ingestion, per-shard locking so disjoint queries overlap, an asyncio
+front end that micro-batches concurrent requests, and warm-cache
 persistence keyed by pipeline fingerprint and encoder version
 (:class:`~repro.serve.store.CacheStore`).
 """

@@ -28,10 +28,18 @@ shard cache holds.  Payloads that grow after insertion (models memoise
 propagated features into cached entries) are therefore re-counted on
 their next :meth:`~SliceGraphCache.get` — which every serving path
 performs before using an entry.
+
+Every public method is internally serialised on one re-entrant lock, so
+the cache is safe to share between threads (the streaming serving path
+reads embedding caches during inference while other queries plan and
+commit).  The lock is a *leaf* in the serving layer's lock order —
+cache methods never call out while holding it — so holding a service or
+shard lock around a cache call can never deadlock.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import (
@@ -132,16 +140,22 @@ class SliceGraphCache(Generic[P]):
             raise ValidationError(f"capacity must be > 0, got {capacity}")
         self.capacity = capacity
         self.stats = CacheStats()
+        #: Leaf lock: serialises every public method, never held across
+        #: a call out of the cache.  RLock so ``import_entries`` can
+        #: route through ``put``.
+        self._mutex = threading.RLock()
         self._entries: "OrderedDict[CacheKey, P]" = OrderedDict()
         self._by_address: Dict[str, Set[CacheKey]] = {}
         self._entry_nbytes: Dict[CacheKey, int] = {}
         self._nbytes = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._mutex:
+            return len(self._entries)
 
     def __contains__(self, key: CacheKey) -> bool:
-        return key in self._entries
+        with self._mutex:
+            return key in self._entries
 
     @property
     def nbytes(self) -> int:
@@ -150,35 +164,39 @@ class SliceGraphCache(Generic[P]):
         O(1): the running total of the recorded per-entry sizes, not a
         sweep over the entries.
         """
-        return self._nbytes
+        with self._mutex:
+            return self._nbytes
 
     def get(self, key: CacheKey) -> Optional[P]:
         """The cached payload at ``key`` (refreshing recency), or None."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self._record_nbytes(key, entry)
-        self.stats.hits += 1
-        return entry
+        with self._mutex:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._record_nbytes(key, entry)
+            self.stats.hits += 1
+            return entry
 
     def note_miss(self, count: int = 1) -> None:
         """Count ``count`` lookups the caller skipped as known-stale."""
-        self.stats.misses += count
+        with self._mutex:
+            self.stats.misses += count
 
     def put(self, key: CacheKey, payload: P) -> None:
         """Insert (or refresh) ``key``, evicting LRU entries over capacity."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = payload
-        self._record_nbytes(key, payload)
-        self._by_address.setdefault(key[0], set()).add(key)
-        while len(self._entries) > self.capacity:
-            evicted_key, _ = self._entries.popitem(last=False)
-            self._drop_accounting(evicted_key)
-            self._discard_address_key(evicted_key)
-            self.stats.evictions += 1
+        with self._mutex:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = payload
+            self._record_nbytes(key, payload)
+            self._by_address.setdefault(key[0], set()).add(key)
+            while len(self._entries) > self.capacity:
+                evicted_key, _ = self._entries.popitem(last=False)
+                self._drop_accounting(evicted_key)
+                self._discard_address_key(evicted_key)
+                self.stats.evictions += 1
 
     def invalidate_address(self, address: str, from_slice: int = 0) -> int:
         """Drop cached slices of ``address`` with index >= ``from_slice``.
@@ -186,25 +204,27 @@ class SliceGraphCache(Generic[P]):
         Returns the number of entries dropped.  ``from_slice=0`` drops
         everything cached for the address.
         """
-        keys = self._by_address.get(address)
-        if not keys:
-            return 0
-        stale = [key for key in keys if key[1] >= from_slice]
-        for key in stale:
-            del self._entries[key]
-            self._drop_accounting(key)
-            keys.discard(key)
-        if not keys:
-            del self._by_address[address]
-        self.stats.invalidations += len(stale)
-        return len(stale)
+        with self._mutex:
+            keys = self._by_address.get(address)
+            if not keys:
+                return 0
+            stale = [key for key in keys if key[1] >= from_slice]
+            for key in stale:
+                del self._entries[key]
+                self._drop_accounting(key)
+                keys.discard(key)
+            if not keys:
+                del self._by_address[address]
+            self.stats.invalidations += len(stale)
+            return len(stale)
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
-        self._entries.clear()
-        self._by_address.clear()
-        self._entry_nbytes.clear()
-        self._nbytes = 0
+        with self._mutex:
+            self._entries.clear()
+            self._by_address.clear()
+            self._entry_nbytes.clear()
+            self._nbytes = 0
 
     def export_entries(self) -> List[Tuple[CacheKey, P]]:
         """Snapshot every live entry as ``(key, payload)`` pairs.
@@ -213,7 +233,8 @@ class SliceGraphCache(Generic[P]):
         elsewhere (:meth:`import_entries`) reproduces the recency
         ranking — the persistence path of the warm-cache store.
         """
-        return list(self._entries.items())
+        with self._mutex:
+            return list(self._entries.items())
 
     def import_entries(self, entries: Iterable[Tuple[CacheKey, P]]) -> int:
         """Insert ``(key, payload)`` pairs (a prior :meth:`export_entries`).
@@ -225,11 +246,12 @@ class SliceGraphCache(Generic[P]):
         entries, and reporting those as restored would overstate how
         warm the cache actually is.
         """
-        keys = []
-        for key, payload in entries:
-            self.put(key, payload)
-            keys.append(key)
-        return sum(1 for key in keys if key in self._entries)
+        with self._mutex:
+            keys = []
+            for key, payload in entries:
+                self.put(key, payload)
+                keys.append(key)
+            return sum(1 for key in keys if key in self._entries)
 
     def _record_nbytes(self, key: CacheKey, payload: P) -> None:
         size = _payload_nbytes(payload)

@@ -11,42 +11,60 @@ one core no matter how many worker threads it owns.
   into N shards.  Each shard owns its own
   :class:`~repro.chain.explorer.ChainIndex` slice
   (:meth:`~repro.chain.explorer.ChainIndex.sharded`), its own
-  :class:`~repro.serve.cache.SliceGraphCache` + embedding cache, and
-  its own :class:`~repro.graphs.pipeline.GraphConstructionPipeline` —
-  the unit of replica scale-out and of warm-store bundling.
-- **Multi-process construction.**  Cache misses fan out over a
-  ``multiprocessing`` process pool, one task per shard with misses.
-  Workers rebuild the missing slice graphs in array form
+  :class:`~repro.serve.cache.SliceGraphCache` + embedding cache, its
+  own :class:`~repro.graphs.pipeline.GraphConstructionPipeline`, and —
+  since the streaming rework — its own lock and version counter: the
+  unit of replica scale-out, of warm-store bundling, and of query
+  concurrency.
+- **Live multi-process construction.**  Cache misses fan out over a
+  pool of *long-lived* ``multiprocessing`` workers (:class:`_WorkerPool`),
+  one build task per shard with misses.  Workers rebuild the missing
+  slice graphs in array form
   (:func:`~repro.graphs.pipeline.worker_build_slices` — one
   ``build_many_slices`` call per task, so Stage 4 batches across every
-  address the worker owns), encode them, pre-propagate the GFN feature
+  address the task owns), encode them, pre-propagate the GFN feature
   augmentation, and ship the
   :class:`~repro.gnn.data.EncodedGraph` ndarray columns back as
-  picklable payloads.  **Inference stays in the parent**: the trained
-  model is loaded exactly once, and all shards' slice sequences share
-  one block-diagonal GNN batch + one padded sequence-head pass, so
-  results are 1e-9-parity with the single service.
+  picklable payloads.  Block appends are *streamed* to the workers as
+  tail-replay messages over the same per-worker queues
+  (:meth:`~repro.chain.explorer.ChainIndex.ingest_transactions`), so a
+  warm pool survives chain growth instead of being re-forked per block.
+  **Inference stays in the parent**: the trained model is loaded
+  exactly once, and all shards' slice sequences share one
+  block-diagonal GNN batch + one padded sequence-head pass, so results
+  are 1e-9-parity with the single service.
+- **Per-shard locking.**  The service lock only guards lifecycle state
+  (chain subscription, pool/executor/batcher handles, the sync
+  watermark).  Queries plan, build, and commit under the owning
+  *shard's* lock with an optimistic version check — concurrent queries
+  touching disjoint shards never contend, and a block append racing an
+  in-flight query simply forces that query to re-plan against the
+  post-append state (see :meth:`_Shard.commit_members`).
 - **Invalidation.**  Block appends route each touched address to its
   owning shard and drop exactly the dirtied trailing slices there
   (same ``(timestamp, txid)`` insertion-point protocol as the single
-  service); worker processes are marked stale and re-forked with the
-  updated shard indexes on the next miss.  Growth observed *without*
-  block events re-slices the shard indexes from the parent index
-  before planning, so an unconnected cluster degrades to full rebuilds
-  of grown addresses instead of serving stale history.
+  service), bumping the shard version so racing queries re-plan.
+  Growth observed *without* block events re-slices the shard indexes
+  from the parent index tail before planning, so an unconnected
+  cluster degrades to full rebuilds of grown addresses instead of
+  serving stale history.
 - **Warm persistence.**  :meth:`ClusterScoringService.save_warm`
   writes one :class:`~repro.serve.store.CacheStore` bundle per shard,
   keyed by ``(pipeline fingerprint, model version)``;
   :meth:`~ClusterScoringService.load_warm` re-routes every stored
   entry through the *current* router, so a store written with N shards
   can warm a cluster resharded to M (or a plain single service).
-- **Async front end.**  :meth:`~ClusterScoringService.async_score`
-  lets concurrent asyncio callers share one cluster; queries serialise
-  on an internal lock (construction parallelism lives below the lock,
-  in the pool).
+- **Async front end with micro-batching.**
+  :meth:`~ClusterScoringService.async_score` runs queries on the
+  cluster's own bounded executor (never the event loop's default one),
+  and — by default — coalesces concurrent in-flight requests through a
+  :class:`_MicroBatcher` window into one merged scoring pass: the
+  cross-*request* analogue of the cross-address batching below it, with
+  per-request results split back out bit-equal to serial scoring.
 
-The single-writer chain model still applies: ``score`` must not run
-concurrently with block appends.
+``score`` is thread-safe; the single-writer chain model still applies
+to *appends* (one block producer at a time), but appends may now race
+in-flight queries — the per-shard version protocol linearizes them.
 """
 
 from __future__ import annotations
@@ -54,10 +72,13 @@ from __future__ import annotations
 import asyncio
 import multiprocessing
 import threading
-from concurrent.futures import ProcessPoolExecutor
+import time
+from collections import deque
 from collections.abc import Mapping
+from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
+from queue import Empty
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
@@ -84,6 +105,7 @@ from repro.serve.service import (
     _invalidate_address,
     _plan_slices,
     _score_sequences,
+    _unknown_addresses_error,
 )
 from repro.serve.store import CacheStore, encoder_version
 from repro.utils.timer import StageTimer
@@ -97,13 +119,23 @@ class ClusterConfig:
 
     ``num_shards`` fixes the address-space partition (and the warm
     store's bundle layout); ``num_workers`` sizes the construction
-    process pool (0 builds misses in the parent process, still
+    worker pool (0 builds misses in the parent process, still
     sharded); ``prefix_length`` feeds the router (see
     :class:`~repro.serve.router.ShardRouter`).  ``cache_capacity`` and
     ``embedding_cache_capacity`` are *per shard*.  ``start_method``
     overrides the ``multiprocessing`` start method (default: ``fork``
     when the platform offers it — workers then inherit the shard
     indexes copy-on-write instead of pickling them).
+
+    The async front end: ``async_workers`` bounds the cluster's own
+    query executor (:meth:`~ClusterScoringService.async_score` never
+    touches the event loop's default executor); ``micro_batch`` turns
+    the request-coalescing window on (default) or off;
+    ``micro_batch_window`` is how long, in seconds, the first request
+    of a batch waits for concurrent companions (0 coalesces only
+    what is already queued); ``micro_batch_max_addresses`` caps the
+    merged query size so one giant batch cannot stall latency for
+    everyone behind it.
     """
 
     num_shards: int = 2
@@ -115,6 +147,10 @@ class ClusterConfig:
     embedding_cache: bool = True
     embedding_cache_capacity: int = 65536
     start_method: Optional[str] = None
+    async_workers: int = 4
+    micro_batch: bool = True
+    micro_batch_window: float = 0.002
+    micro_batch_max_addresses: int = 1024
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -130,12 +166,19 @@ class ClusterConfig:
             "graph_batch_size",
             "sequence_batch_size",
             "embedding_cache_capacity",
+            "async_workers",
+            "micro_batch_max_addresses",
         ):
             value = getattr(self, field_name)
             if value <= 0:
                 raise ValidationError(
                     f"{field_name} must be > 0, got {value}"
                 )
+        if self.micro_batch_window < 0:
+            raise ValidationError(
+                f"micro_batch_window must be >= 0, got "
+                f"{self.micro_batch_window}"
+            )
         if self.start_method is not None and (
             self.start_method
             not in multiprocessing.get_all_start_methods()
@@ -158,7 +201,18 @@ class _ShardMembership:
 
 
 class _Shard:
-    """One shard's private serving state (caches, index slice, pipeline)."""
+    """One shard's private serving state plus its concurrency contract.
+
+    All mutable serving state (index slice, caches, coverage, version)
+    is guarded by ``lock``; ``version`` increments on every event that
+    can change what a plan would conclude (block append, tail replay,
+    trust reset), which is what lets queries plan and build *outside*
+    the lock and detect interference at commit time.  ``build_lock``
+    serialises parent-process (inline) builds per shard: the chain
+    index memoises interned node keys during construction, and two
+    concurrent builders racing that memo could intern conflicting keys.
+    It is never held together with ``lock``.
+    """
 
     __slots__ = (
         "shard_id",
@@ -167,7 +221,25 @@ class _Shard:
         "cache",
         "embeddings",
         "covered",
+        "lock",
+        "build_lock",
+        "version",
     )
+
+    #: Per-shard discipline, enforced by the ``lock-discipline`` rule:
+    #: mutations of these attributes — through ``self`` here or through
+    #: a ``shard``-named reference elsewhere in this file — must sit
+    #: inside ``with <receiver>.lock``.
+    _LOCK_GUARDED = {
+        "lock": (
+            "index",
+            "pipeline",
+            "cache",
+            "embeddings",
+            "covered",
+            "version",
+        ),
+    }
 
     def __init__(
         self,
@@ -188,67 +260,592 @@ class _Shard:
             else None
         )
         self.covered: Dict[str, int] = {}
+        self.lock = threading.RLock()
+        self.build_lock = threading.Lock()
+        self.version = 0
+
+    # -------------------------------------------------------------- #
+    # Query protocol: plan -> (build outside the lock) -> commit
+    # -------------------------------------------------------------- #
+
+    def plan_members(
+        self,
+        members: Sequence[str],
+        fingerprint: str,
+        slice_size: int,
+        connected: bool,
+    ) -> Tuple[
+        int,
+        Dict[str, int],
+        Dict[str, Tuple[Dict[int, EncodedGraph], List[int], int]],
+    ]:
+        """Plan every member address under one lock hold.
+
+        Returns ``(version, counts, plans)`` where ``plans`` maps each
+        address to its :func:`~repro.serve.service._plan_slices` result
+        and ``version`` is the shard version the whole plan is
+        consistent with — :meth:`commit_members` refuses the results if
+        the shard has moved on since.
+        """
+        with self.lock:
+            version = self.version
+            counts: Dict[str, int] = {}
+            plans: Dict[
+                str, Tuple[Dict[int, EncodedGraph], List[int], int]
+            ] = {}
+            for address in members:
+                count = self.index.transaction_count(address)
+                counts[address] = count
+                plans[address] = _plan_slices(
+                    self.cache,
+                    fingerprint,
+                    slice_size,
+                    address,
+                    count,
+                    self.covered.get(address, 0),
+                    connected,
+                )
+            return version, counts, plans
+
+    def commit_members(
+        self,
+        version: int,
+        members: Sequence[str],
+        plans: Dict[str, Tuple[Dict[int, EncodedGraph], List[int], int]],
+        built: Dict[str, List[EncodedGraph]],
+        counts: Dict[str, int],
+        fingerprint: str,
+    ) -> Optional[
+        Tuple[Dict[str, List[EncodedGraph]], Set[Tuple[str, int]]]
+    ]:
+        """Commit one plan's build results, unless the shard moved on.
+
+        Returns ``(sequences, untrusted)`` on success, or ``None`` when
+        the shard version changed since :meth:`plan_members` — a block
+        append or tail replay interleaved with the build, so both the
+        plan and the built graphs may reflect a state that no longer
+        exists; the caller re-plans.  This check is what linearizes
+        appends against in-flight queries without holding any lock
+        across construction.
+        """
+        with self.lock:
+            if self.version != version:
+                return None
+            sequences: Dict[str, List[EncodedGraph]] = {}
+            untrusted: Set[Tuple[str, int]] = set()
+            for address in members:
+                reusable, _missing, fresh_until = plans[address]
+                by_slice = dict(reusable)
+                for graph in built.get(address, ()):
+                    self.cache.put(
+                        (address, graph.slice_index, fingerprint), graph
+                    )
+                    by_slice[graph.slice_index] = graph
+                    if graph.slice_index >= fresh_until:
+                        untrusted.add((address, graph.slice_index))
+                sequences[address] = [
+                    by_slice[i] for i in sorted(by_slice)
+                ]
+                self.covered[address] = counts[address]
+            return sequences, untrusted
+
+    # -------------------------------------------------------------- #
+    # Mutation events (each bumps the version racing plans check)
+    # -------------------------------------------------------------- #
+
+    def apply_block_locked(
+        self,
+        block: Block,
+        touched: Dict[str, Tuple[float, str]],
+        slice_size: int,
+    ) -> None:
+        """Ingest an appended block; the caller holds ``self.lock``.
+
+        ``touched`` maps this shard's dirtied member addresses to the
+        earliest new ``(timestamp, txid)`` key — each gets the shared
+        insertion-point invalidation, and any dirtied membership bumps
+        the version so racing queries re-plan (including first-ever
+        queries with no coverage yet, whose plans are equally stale).
+        """
+        self.index.on_block(block)
+        if touched:
+            self.version += 1
+        for address, earliest_new in touched.items():
+            _invalidate_address(
+                self.cache,
+                self.embeddings,
+                self.covered,
+                self.index.records_for,
+                address,
+                earliest_new,
+                slice_size,
+            )
+
+    def ingest_tail_locked(
+        self, tail: Sequence[Tuple[object, int]]
+    ) -> None:
+        """Replay a parent-index tail; the caller holds ``self.lock``."""
+        if self.index.ingest_transactions(tail):
+            self.version += 1
+
+    def reset_trust(self) -> None:
+        """Drop caches and coverage (:meth:`ClusterScoringService.connect`
+        re-establishing the trust baseline)."""
+        with self.lock:
+            self.version += 1
+            self.cache.clear()
+            if self.embeddings is not None:
+                self.embeddings.clear()
+            self.covered.clear()
+
+    # -------------------------------------------------------------- #
+    # Accounting and persistence
+    # -------------------------------------------------------------- #
+
+    def merge_timer(self, timer: StageTimer) -> None:
+        """Fold a private build pipeline's stage timer into the shard's."""
+        with self.lock:
+            self.pipeline.timer.merge(timer)
+
+    def timer_snapshot(self) -> StageTimer:
+        """A consistent copy of the shard's accumulated stage timer."""
+        with self.lock:
+            snapshot = StageTimer()
+            snapshot.merge(self.pipeline.timer)
+            return snapshot
+
+    def export_warm_state(self):
+        """Atomic warm snapshot of the caches plus coverage."""
+        with self.lock:
+            return _export_warm_state(
+                self.cache, self.embeddings, self.covered
+            )
 
 
 # ---------------------------------------------------------------------- #
 # Worker-process side
 # ---------------------------------------------------------------------- #
 
-#: Per-worker context pinned by the pool initializer (shard indexes,
-#: pipeline config, GFN propagation depth).
-_WORKER_CONTEXT: Dict[str, object] = {}
+#: How often the parent-side collector wakes to health-check workers.
+_COLLECT_POLL_SECONDS = 0.5
+#: How long shutdown waits for a worker/collector before terminating it.
+_JOIN_TIMEOUT_SECONDS = 10.0
 
 
-def _init_worker(
+def _worker_main(
     indexes: List[ChainIndex],
     pipeline_config: GraphPipelineConfig,
     gfn_k: Optional[int],
+    tasks,
+    results,
 ) -> None:
-    """Pool initializer: pin the shard index slices in the worker.
+    """Long-lived shard worker loop: build tasks and ingest messages.
 
-    Under the default ``fork`` start method the arguments arrive via
-    process inheritance (copy-on-write, no serialization); under
-    ``spawn`` they are pickled once per worker at pool start, never per
-    task.
+    One FIFO task queue per worker is the ordering contract the parent
+    relies on: an ``ingest`` enqueued before a ``build`` is applied
+    before it, so a build planned against post-append shard state is
+    always constructed against post-append worker state.  ``ingest``
+    replays a ``(transaction, height)`` tail into every local shard
+    index (:meth:`~repro.chain.explorer.ChainIndex.ingest_transactions`
+    — idempotent, so overlapping tails are safe); ``build`` runs the
+    usual per-shard miss construction and ships encoded graphs back on
+    the shared result queue; ``stop`` exits the loop.
     """
-    _WORKER_CONTEXT["indexes"] = indexes
-    _WORKER_CONTEXT["pipeline_config"] = pipeline_config
-    _WORKER_CONTEXT["gfn_k"] = gfn_k
-
-
-def _build_shard_task(
-    shard_id: int, requests: Dict[str, List[int]]
-) -> Tuple[int, Dict[str, List[EncodedGraph]], StageTimer]:
-    """Process-pool task: build + encode one shard's cache misses.
-
-    Runs :func:`~repro.graphs.pipeline.worker_build_slices` over the
-    shard's own index slice (one pipeline call — Stage 4 batches
-    across every address of the task), encodes each slice graph, and
-    pre-propagates the GFN feature augmentation so the parent's warm
-    path skips those sparse matmuls too.  Returns picklable ndarray
-    payloads plus the worker's stage timer for parent-side accounting.
-    """
-    index: ChainIndex = _WORKER_CONTEXT["indexes"][shard_id]  # type: ignore[index]
-    pipeline_config: GraphPipelineConfig = _WORKER_CONTEXT[
-        "pipeline_config"
-    ]  # type: ignore[assignment]
-    gfn_k: Optional[int] = _WORKER_CONTEXT["gfn_k"]  # type: ignore[assignment]
-    graphs_by_address, timer = worker_build_slices(
-        index, dict(requests), pipeline_config
-    )
-    encoded: Dict[str, List[EncodedGraph]] = {}
-    for address, graphs in graphs_by_address.items():
-        rows = [encode_graph(graph) for graph in graphs]
-        if gfn_k is not None:
-            for row in rows:
-                augment_features(row, gfn_k)
-        encoded[address] = rows
-    return shard_id, encoded, timer
+    while True:
+        message = tasks.get()
+        kind = message[0]
+        if kind == "stop":
+            return
+        if kind == "ingest":
+            tail = message[1]
+            for index in indexes:
+                index.ingest_transactions(tail)
+            continue
+        _, seq, shard_id, requests = message
+        try:
+            index = indexes[shard_id]
+            graphs_by_address, timer = worker_build_slices(
+                index, dict(requests), pipeline_config
+            )
+            encoded: Dict[str, List[EncodedGraph]] = {}
+            for address, graphs in graphs_by_address.items():
+                rows = [encode_graph(graph) for graph in graphs]
+                if gfn_k is not None:
+                    for row in rows:
+                        augment_features(row, gfn_k)
+                encoded[address] = rows
+            results.put((seq, encoded, timer, None))
+        except Exception as error:  # repro: lint-ignore[broad-except]
+            # Process boundary: the failure must travel back as data or
+            # the parent's future never resolves.
+            results.put(
+                (seq, None, None, f"{type(error).__name__}: {error}")
+            )
 
 
 # ---------------------------------------------------------------------- #
 # Parent-process side
 # ---------------------------------------------------------------------- #
+
+
+class _WorkerPool:
+    """Long-lived construction workers fed over per-worker queues.
+
+    Unlike a ``ProcessPoolExecutor`` snapshot-and-refork cycle, these
+    workers live across block appends: the parent streams each append
+    as an ``ingest`` message and the workers replay the tail into their
+    local shard indexes in place.  Build tasks for a given shard are
+    pinned to one worker (``shard_id % num_workers``), so the
+    per-worker FIFO gives the parent a simple linearization guarantee —
+    every build sees exactly the ingests enqueued before it.
+
+    A single collector thread drains the shared result queue, resolves
+    the matching futures, and fails the futures of any worker that died
+    mid-build (worker death is otherwise an indefinite hang).
+    """
+
+    #: Collector/submitter shared state and its lock (lock-discipline).
+    _LOCK_GUARDED = {
+        "_lock": (
+            "_pending",
+            "_assigned",
+            "_seq",
+            "_closed",
+            "_ingest_batches",
+        ),
+    }
+
+    def __init__(
+        self,
+        num_workers: int,
+        indexes: List[ChainIndex],
+        pipeline_config: GraphPipelineConfig,
+        gfn_k: Optional[int],
+        context,
+    ):
+        self._tasks = [context.Queue() for _ in range(num_workers)]
+        self._results = context.Queue()
+        self._processes = [
+            context.Process(
+                target=_worker_main,
+                args=(
+                    indexes,
+                    pipeline_config,
+                    gfn_k,
+                    self._tasks[worker_id],
+                    self._results,
+                ),
+                daemon=True,
+            )
+            for worker_id in range(num_workers)
+        ]
+        for process in self._processes:
+            process.start()
+        self._lock = threading.Lock()
+        self._pending: Dict[int, Future] = {}
+        self._assigned: Dict[int, int] = {}
+        self._seq = 0
+        self._closed = False
+        self._ingest_batches = 0
+        self._collector = threading.Thread(
+            target=self._collect,
+            name="repro-cluster-pool-collector",
+            daemon=True,
+        )
+        self._collector.start()
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._processes)
+
+    @property
+    def ingest_batches(self) -> int:
+        """Tail-replay messages streamed to the workers so far."""
+        with self._lock:
+            return self._ingest_batches
+
+    def submit(
+        self, shard_id: int, requests: Dict[str, List[int]]
+    ) -> Future:
+        """Queue one shard's miss-build; resolves to ``(encoded, timer)``."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is closed")
+            seq = self._seq
+            self._seq += 1
+            worker_id = shard_id % len(self._processes)
+            future: Future = Future()
+            self._pending[seq] = future
+            self._assigned[seq] = worker_id
+        self._tasks[worker_id].put(("build", seq, shard_id, requests))
+        return future
+
+    def send_ingest(
+        self, tail: Sequence[Tuple[object, int]]
+    ) -> None:
+        """Stream a tail of appended transactions to every worker.
+
+        Enqueued on each worker's task queue, so FIFO ordering relative
+        to build tasks is preserved per worker.  Idempotent on the
+        worker side (known txids are skipped), so the parent never has
+        to reconcile which worker saw which tail.
+        """
+        if not tail:
+            return
+        with self._lock:
+            if self._closed:
+                return
+            self._ingest_batches += 1
+        for tasks in self._tasks:
+            tasks.put(("ingest", list(tail)))
+
+    def _collect(self) -> None:
+        while True:
+            try:
+                message = self._results.get(
+                    timeout=_COLLECT_POLL_SECONDS
+                )
+            except Empty:
+                with self._lock:
+                    if self._closed:
+                        return
+                self._fail_dead_workers()
+                continue
+            seq, encoded, timer, error = message
+            with self._lock:
+                future = self._pending.pop(seq, None)
+                self._assigned.pop(seq, None)
+            if future is None:
+                continue
+            if error is not None:
+                future.set_exception(
+                    RuntimeError(f"shard worker build failed: {error}")
+                )
+            else:
+                future.set_result((encoded, timer))
+
+    def _fail_dead_workers(self) -> None:
+        dead = {
+            worker_id
+            for worker_id, process in enumerate(self._processes)
+            if not process.is_alive()
+        }
+        if not dead:
+            return
+        with self._lock:
+            lost = [
+                (seq, self._pending.pop(seq))
+                for seq, worker_id in list(self._assigned.items())
+                if worker_id in dead and seq in self._pending
+            ]
+            for seq, _ in lost:
+                self._assigned.pop(seq, None)
+        for seq, future in lost:
+            future.set_exception(
+                RuntimeError(
+                    f"shard worker died with build #{seq} in flight"
+                )
+            )
+
+    def shutdown(self) -> None:
+        """Stop workers and the collector; fail any in-flight builds."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pending = list(self._pending.values())
+            self._pending.clear()
+            self._assigned.clear()
+        for future in pending:
+            future.set_exception(
+                RuntimeError("worker pool shut down with builds in flight")
+            )
+        for tasks in self._tasks:
+            tasks.put(("stop",))
+        for process in self._processes:
+            process.join(timeout=_JOIN_TIMEOUT_SECONDS)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        self._collector.join(timeout=_JOIN_TIMEOUT_SECONDS)
+
+
+class _BatchRequest:
+    """One queued ``async_score`` call awaiting its coalesced batch."""
+
+    __slots__ = ("addresses", "future")
+
+    def __init__(self, addresses: List[str]):
+        self.addresses = addresses
+        self.future: Future = Future()
+
+
+class _MicroBatcher:
+    """Dynamic request coalescing for :meth:`ClusterScoringService.async_score`.
+
+    Concurrent requests land in a queue; a single batcher thread wakes
+    on the first arrival, sleeps the configured coalescing window so
+    companions can join, then drains whatever is pending (up to the
+    address cap) into one merged, deduplicated scoring pass — every
+    request of the window shares one block-diagonal GNN batch and one
+    padded sequence-head pass, the cross-request analogue of the
+    cluster's cross-address batching.  The merged pass runs on the
+    cluster's bounded query executor, so consecutive windows pipeline
+    instead of serialising behind each other.
+
+    Results split back out per request from the merged score dict —
+    scoring is per-address and input-order-independent below the head,
+    so micro-batched scores are identical to serial ones.  A request
+    naming unknown addresses fails alone with the shared
+    :func:`~repro.serve.service._unknown_addresses_error`; it never
+    poisons the batch it happened to share a window with.
+    """
+
+    #: Queue/counter state and the condition lock that guards it.
+    _LOCK_GUARDED = {
+        "_condition": (
+            "_queue",
+            "_closed",
+            "_requests",
+            "_batches",
+            "_batched_requests",
+            "_max_batch",
+        ),
+    }
+
+    def __init__(self, cluster: "ClusterScoringService"):
+        self._cluster = cluster
+        self._condition = threading.Condition()
+        self._queue: "deque[_BatchRequest]" = deque()
+        self._closed = False
+        self._requests = 0
+        self._batches = 0
+        self._batched_requests = 0
+        self._max_batch = 0
+        self._thread = threading.Thread(
+            target=self._run,
+            name="repro-cluster-batcher",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def enqueue(self, addresses: List[str]) -> Future:
+        """Queue one request; resolves to its ``{address: AddressScore}``."""
+        request = _BatchRequest(addresses)
+        with self._condition:
+            if self._closed:
+                request.future.set_exception(
+                    RuntimeError("cluster is closed")
+                )
+                return request.future
+            self._queue.append(request)
+            self._requests += 1
+            self._condition.notify()
+        return request.future
+
+    def stats(self) -> Dict[str, int]:
+        """Coalescing counters: requests seen, batches formed, etc."""
+        with self._condition:
+            return {
+                "requests": self._requests,
+                "batches": self._batches,
+                "batched_requests": self._batched_requests,
+                "max_batch": self._max_batch,
+            }
+
+    def shutdown(self) -> None:
+        """Stop the batcher thread; queued requests fail rather than hang."""
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+        self._thread.join(timeout=_JOIN_TIMEOUT_SECONDS)
+
+    def _run(self) -> None:
+        window = self._cluster.config.micro_batch_window
+        limit = self._cluster.config.micro_batch_max_addresses
+        while True:
+            with self._condition:
+                while not self._queue and not self._closed:
+                    self._condition.wait()
+                if self._closed:
+                    drained = list(self._queue)
+                    self._queue.clear()
+                    for request in drained:
+                        _fail_future(
+                            request.future,
+                            RuntimeError("cluster is closed"),
+                        )
+                    return
+            if window > 0:
+                # The coalescing window: give concurrent callers a
+                # chance to join this batch before it is sealed.
+                time.sleep(window)
+            batch: List[_BatchRequest] = []
+            total = 0
+            with self._condition:
+                while self._queue:
+                    request = self._queue[0]
+                    if batch and total + len(request.addresses) > limit:
+                        break
+                    self._queue.popleft()
+                    batch.append(request)
+                    total += len(request.addresses)
+                self._batches += 1
+                self._batched_requests += len(batch)
+                self._max_batch = max(self._max_batch, len(batch))
+            executor = self._cluster._ensure_async_executor()
+            executor.submit(self._execute, batch)
+
+    def _execute(self, batch: List[_BatchRequest]) -> None:
+        """Run one sealed batch: validate, merge, score, split."""
+        cluster = self._cluster
+        valid: List[_BatchRequest] = []
+        merged: List[str] = []
+        seen: Set[str] = set()
+        for request in batch:
+            unique = list(dict.fromkeys(request.addresses))
+            unknown = [
+                a
+                for a in unique
+                if cluster.index.transaction_count(a) == 0
+            ]
+            if unknown:
+                _fail_future(
+                    request.future, _unknown_addresses_error(unknown)
+                )
+                continue
+            valid.append(request)
+            for address in unique:
+                if address not in seen:
+                    seen.add(address)
+                    merged.append(address)
+        if not valid:
+            return
+        try:
+            scores = cluster._score_addresses(merged)
+        except Exception as error:  # repro: lint-ignore[broad-except]
+            # Fan the failure out: every request of the merged pass gets
+            # the real exception instead of an executor-swallowed hang.
+            for request in valid:
+                _fail_future(request.future, error)
+            return
+        for request in valid:
+            result = {
+                address: scores[address]
+                for address in dict.fromkeys(request.addresses)
+            }
+            try:
+                request.future.set_result(result)
+            except InvalidStateError:
+                pass  # caller cancelled while we were scoring
+
+
+def _fail_future(future: Future, error: BaseException) -> None:
+    """Fail ``future`` unless the caller already cancelled it."""
+    try:
+        future.set_exception(error)
+    except InvalidStateError:
+        pass
 
 
 class ClusterScoringService:
@@ -258,18 +855,32 @@ class ClusterScoringService:
     same constructor shape, same ``score`` / ``score_one`` /
     ``connect`` / ``disconnect`` / ``close`` surface, same incremental
     invalidation semantics — with construction spread over
-    ``config.num_workers`` processes and state spread over
-    ``config.num_shards`` shards.  See the module docstring for the
-    design.
+    ``config.num_workers`` live worker processes, state spread over
+    ``config.num_shards`` independently-locked shards, and an async
+    front end that micro-batches concurrent requests.  See the module
+    docstring for the design.
+
+    Lock order (outermost first): service ``_lock`` → shard locks in
+    ascending ``shard_id`` order → cache-internal leaf locks.  Queries
+    hold at most one shard lock at a time and no lock at all during
+    construction or inference.
     """
 
-    #: Shared mutable state and the lock that guards it, enforced by the
+    #: Lifecycle state and the lock that guards it, enforced by the
     #: ``lock-discipline`` rule of :mod:`repro.analysis`: writes (and
     #: mutating calls) on these attributes must sit inside ``with
     #: self.<lock>``, except in ``__init__`` and in ``*_locked`` methods
-    #: whose callers already hold the lock.
+    #: whose callers already hold the lock.  Query-path state lives in
+    #: the shards, each under its own declared lock.
     _LOCK_GUARDED = {
-        "_lock": ("_chain", "_executor", "_pool_stale", "_synced_transactions"),
+        "_lock": (
+            "_chain",
+            "_pool",
+            "_pool_starts",
+            "_synced_transactions",
+            "_async_executor",
+            "_batcher",
+        ),
         "_timer_lock": ("_worker_timer",),
     }
 
@@ -313,8 +924,10 @@ class ClusterScoringService:
         self._timer_lock = threading.Lock()
         self._lock = threading.RLock()
         self._chain: Optional[Blockchain] = None
-        self._executor: Optional[ProcessPoolExecutor] = None
-        self._pool_stale = False
+        self._pool: Optional[_WorkerPool] = None
+        self._pool_starts = 0
+        self._async_executor: Optional[ThreadPoolExecutor] = None
+        self._batcher: Optional[_MicroBatcher] = None
         if chain is not None:
             self.connect(chain)
 
@@ -339,10 +952,7 @@ class ClusterScoringService:
                 self.disconnect()
             if any(shard.covered for shard in self.shards):
                 for shard in self.shards:
-                    shard.cache.clear()
-                    if shard.embeddings is not None:
-                        shard.embeddings.clear()
-                    shard.covered.clear()
+                    shard.reset_trust()
             self._refresh_stale_shards_locked()
             chain.add_listener(self.on_block)
             self._chain = chain
@@ -355,12 +965,30 @@ class ClusterScoringService:
             self._chain = None
 
     def close(self) -> None:
-        """Release resources: detach from the chain, stop the pool."""
+        """Release resources: chain, batcher, query executor, worker pool.
+
+        Teardown runs *outside* the service lock — joining worker
+        processes can take a while, and the old design's
+        shutdown-under-the-lock stalled the first post-append query
+        behind a full pool teardown.  Order matters: the batcher stops
+        producing first, then the query executor drains, then the pool
+        (which running queries may still be submitting to) goes last.
+        """
         self.disconnect()
         with self._lock:
-            if self._executor is not None:
-                self._executor.shutdown(wait=True)
-                self._executor = None
+            batcher = self._batcher
+            self._batcher = None
+        if batcher is not None:
+            batcher.shutdown()
+        with self._lock:
+            executor = self._async_executor
+            self._async_executor = None
+            pool = self._pool
+            self._pool = None
+        if executor is not None:
+            executor.shutdown(wait=True)
+        if pool is not None:
+            pool.shutdown()
 
     def on_block(self, block: Block) -> None:
         """Feed the append to every shard index, then invalidate.
@@ -368,45 +996,47 @@ class ClusterScoringService:
         Each touched address routes to its owning shard, where exactly
         the slices at or after the block's insertion point into that
         address's history are dropped — the cross-shard form of the
-        single service's incremental invalidation.  The construction
-        pool is marked stale so the next miss re-forks workers over the
-        updated shard indexes.
+        single service's incremental invalidation — and the shard
+        version is bumped so racing queries re-plan.  The same
+        transactions are streamed to the live worker pool as an ingest
+        message *inside* the shard-lock critical section: any query
+        that observes the bumped version is therefore guaranteed its
+        subsequent build tasks queue behind the ingest, which is what
+        keeps worker-built graphs consistent with parent-side plans
+        without re-forking anything.
         """
         with self._lock:
-            for shard in self.shards:
-                shard.index.on_block(block)
-            self._synced_transactions = self.shards[
-                0
-            ].index.total_transactions()
+            slice_size = self.pipeline_config.slice_size
             new_by_address: Dict[str, List[Tuple[float, str]]] = {}
             for tx in block.transactions:
                 for address in tx.addresses():
                     new_by_address.setdefault(address, []).append(
                         (tx.timestamp, tx.txid)
                     )
+            touched_by_shard: Dict[int, Dict[str, Tuple[float, str]]] = {}
             for address, keys in new_by_address.items():
-                self._invalidate_on_shard(address, earliest_new=min(keys))
-            self._pool_stale = True
-
-    def _invalidate_on_shard(
-        self, address: str, earliest_new: Optional[Tuple[float, str]]
-    ) -> None:
-        """Route one touched address to its shard's invalidation.
-
-        The protocol itself is the shared
-        :func:`~repro.serve.service._invalidate_address` body — one
-        implementation for the single service and every shard.
-        """
-        shard = self.shards[self.router.shard_of(address)]
-        _invalidate_address(
-            shard.cache,
-            shard.embeddings,
-            shard.covered,
-            shard.index.records_for,
-            address,
-            earliest_new,
-            self.pipeline_config.slice_size,
-        )
+                touched_by_shard.setdefault(
+                    self.router.shard_of(address), {}
+                )[address] = min(keys)
+            for shard in self.shards:
+                shard.lock.acquire()
+            try:
+                for shard in self.shards:
+                    shard.apply_block_locked(
+                        block,
+                        touched_by_shard.get(shard.shard_id, {}),
+                        slice_size,
+                    )
+                self._synced_transactions = self.shards[
+                    0
+                ].index.total_transactions()
+                if self._pool is not None:
+                    self._pool.send_ingest(
+                        [(tx, block.height) for tx in block.transactions]
+                    )
+            finally:
+                for shard in reversed(self.shards):
+                    shard.lock.release()
 
     def _refresh_stale_shards_locked(self) -> None:
         """Catch shard indexes up when the parent index grew unobserved.
@@ -417,18 +1047,25 @@ class ClusterScoringService:
         the parent index's *tail* into each shard
         (:meth:`~repro.chain.explorer.ChainIndex.transactions_since` /
         :meth:`~repro.chain.explorer.ChainIndex.ingest_transactions` —
-        O(new transactions), not a from-scratch re-slice) and marks the
-        pool stale; coverage trust is handled separately by the
-        planning protocol, exactly like the single service's
-        unconnected path.
+        O(new transactions), not a from-scratch re-slice) and streams
+        the same tail to the live workers; coverage trust is handled
+        separately by the planning protocol, exactly like the single
+        service's unconnected path.  Caller holds the service lock.
         """
         if self.index.total_transactions() <= self._synced_transactions:
             return
         tail = self.index.transactions_since(self._synced_transactions)
         for shard in self.shards:
-            shard.index.ingest_transactions(tail)
-        self._synced_transactions = self.index.total_transactions()
-        self._pool_stale = True
+            shard.lock.acquire()
+        try:
+            for shard in self.shards:
+                shard.ingest_tail_locked(tail)
+            self._synced_transactions = self.index.total_transactions()
+            if self._pool is not None:
+                self._pool.send_ingest(tail)
+        finally:
+            for shard in reversed(self.shards):
+                shard.lock.release()
 
     # ------------------------------------------------------------------ #
     # Scoring
@@ -437,16 +1074,25 @@ class ClusterScoringService:
     def score(self, addresses: Sequence[str]) -> Dict[str, AddressScore]:
         """Score addresses: ``{address: AddressScore}`` in input order.
 
-        Misses are planned per shard, built by the process pool (one
-        task per shard with misses), and inference runs once in the
-        parent over every shard's sequences — scores match the single
-        service to 1e-9.  Raises
+        Misses are planned per shard, built by the live worker pool
+        (one task per shard with misses), and inference runs once in
+        the parent over every shard's sequences — scores match the
+        single service to 1e-9.  Raises
         :class:`~repro.errors.ValidationError` for addresses with no
-        transactions on chain.  Thread-safe: concurrent callers
-        serialise on the service lock.
+        transactions on chain.  Thread-safe: queries only serialise
+        where they actually overlap — each plan/commit takes the owning
+        shard's lock, so concurrent queries on disjoint shards proceed
+        fully in parallel.
         """
-        with self._lock:
-            return self._score_locked(list(dict.fromkeys(addresses)))
+        addresses = list(dict.fromkeys(addresses))
+        if not addresses:
+            return {}
+        unknown = [
+            a for a in addresses if self.index.transaction_count(a) == 0
+        ]
+        if unknown:
+            raise _unknown_addresses_error(unknown)
+        return self._score_addresses(addresses)
 
     def score_one(self, address: str) -> AddressScore:
         """Score a single address."""
@@ -456,67 +1102,89 @@ class ClusterScoringService:
         self, addresses: Sequence[str]
     ) -> Dict[str, AddressScore]:
         """Asyncio front end: await a :meth:`score` without blocking
-        the event loop (the query runs on a default-executor thread;
-        concurrent callers queue on the service lock while the process
-        pool below it does the heavy lifting)."""
-        loop = asyncio.get_running_loop()
-        addresses = list(addresses)
-        return await loop.run_in_executor(None, self.score, addresses)
+        the event loop.
 
-    def _score_locked(
+        With ``config.micro_batch`` (the default) the request joins the
+        cluster's coalescing window: concurrent in-flight requests are
+        merged into one scoring pass (see :class:`_MicroBatcher`) whose
+        per-request results are identical to serial scoring.  With
+        micro-batching off, the query runs directly on the cluster's
+        own bounded executor — never the event loop's default executor,
+        which ``async_score`` must not compete over with unrelated
+        loop work.
+        """
+        addresses = list(addresses)
+        if self.config.micro_batch:
+            return await asyncio.wrap_future(
+                self._ensure_batcher().enqueue(addresses)
+            )
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._ensure_async_executor(), self.score, addresses
+        )
+
+    def _score_addresses(
         self, addresses: List[str]
     ) -> Dict[str, AddressScore]:
+        """The shared query body: plan/build/commit per shard, then infer.
+
+        Holds no lock during construction or inference.  Each shard's
+        plan records the shard version; if an append interleaves before
+        commit, that shard's results are discarded and re-planned — the
+        optimistic-retry protocol that linearizes appends against
+        in-flight queries (appends are rare relative to queries, so
+        retries are too).
+        """
         if not addresses:
             return {}
-        unknown = [
-            a for a in addresses if self.index.transaction_count(a) == 0
-        ]
-        if unknown:
-            raise ValidationError(
-                "addresses with no transactions on chain: "
-                + ", ".join(a[:16] for a in unknown[:5])
-            )
-        self._refresh_stale_shards_locked()
+        with self._lock:
+            self._refresh_stale_shards_locked()
+            connected = self._chain is not None
         slice_size = self.pipeline_config.slice_size
-        reusable: Dict[str, Dict[int, EncodedGraph]] = {}
-        to_build: Dict[int, Dict[str, List[int]]] = {}
-        counts: Dict[str, int] = {}
-        fresh_until: Dict[str, int] = {}
-        for shard_id, members in self.router.partition(addresses).items():
-            shard = self.shards[shard_id]
-            for address in members:
-                count = self.index.transaction_count(address)
-                counts[address] = count
-                reusable[address], missing, fresh_until[address] = (
-                    _plan_slices(
-                        shard.cache,
-                        self.fingerprint,
-                        slice_size,
-                        address,
-                        count,
-                        shard.covered.get(address, 0),
-                        self._chain is not None,
-                    )
-                )
-                if missing:
-                    to_build.setdefault(shard_id, {})[address] = missing
-
-        built = self._build(to_build)
-
-        untrusted: Set[Tuple[str, int]] = set()
         sequences: Dict[str, List[EncodedGraph]] = {}
-        for address in addresses:
-            shard = self.shards[self.router.shard_of(address)]
-            by_slice = dict(reusable[address])
-            for graph in built.get(address, ()):
-                shard.cache.put(
-                    (address, graph.slice_index, self.fingerprint), graph
+        untrusted: Set[Tuple[str, int]] = set()
+        pending = {
+            shard_id: list(members)
+            for shard_id, members in self.router.partition(
+                addresses
+            ).items()
+        }
+        while pending:
+            plans = {}
+            to_build: Dict[int, Dict[str, List[int]]] = {}
+            for shard_id, members in sorted(pending.items()):
+                shard = self.shards[shard_id]
+                version, counts, shard_plans = shard.plan_members(
+                    members, self.fingerprint, slice_size, connected
                 )
-                by_slice[graph.slice_index] = graph
-                if graph.slice_index >= fresh_until[address]:
-                    untrusted.add((address, graph.slice_index))
-            sequences[address] = [by_slice[i] for i in sorted(by_slice)]
-            shard.covered[address] = counts[address]
+                plans[shard_id] = (version, counts, shard_plans)
+                missing = {
+                    address: plan[1]
+                    for address, plan in shard_plans.items()
+                    if plan[1]
+                }
+                if missing:
+                    to_build[shard_id] = missing
+            built = self._build(to_build)
+            retry = {}
+            for shard_id, members in sorted(pending.items()):
+                shard = self.shards[shard_id]
+                version, counts, shard_plans = plans[shard_id]
+                committed = shard.commit_members(
+                    version,
+                    members,
+                    shard_plans,
+                    built,
+                    counts,
+                    self.fingerprint,
+                )
+                if committed is None:
+                    retry[shard_id] = members
+                    continue
+                shard_sequences, shard_untrusted = committed
+                sequences.update(shard_sequences)
+                untrusted |= shard_untrusted
+            pending = retry
 
         # Inference — parent process only, model loaded once: the
         # shared tail runs one block-diagonal GNN pass + one padded
@@ -540,63 +1208,97 @@ class ClusterScoringService:
     def _build(
         self, to_build: Dict[int, Dict[str, List[int]]]
     ) -> Dict[str, List[EncodedGraph]]:
-        """Construct all missing slices, one task per shard with misses."""
+        """Construct all missing slices, one task per shard with misses.
+
+        The worker path submits every shard's task before collecting
+        any result, so cross-shard construction overlaps in the pool;
+        the inline path (``num_workers == 0``) serialises per shard on
+        ``build_lock`` (the index's interning memo is not safe under
+        concurrent builders) while still overlapping across shards via
+        concurrent callers.
+        """
         built: Dict[str, List[EncodedGraph]] = {}
         if not to_build:
             return built
         if self.config.num_workers > 0:
-            executor = self._ensure_pool_locked()
+            pool = self._ensure_pool()
             futures = [
-                executor.submit(_build_shard_task, shard_id, requests)
+                pool.submit(shard_id, requests)
                 for shard_id, requests in sorted(to_build.items())
             ]
             for future in futures:
-                _, encoded, timer = future.result()
+                encoded, timer = future.result()
                 with self._timer_lock:
                     self._worker_timer.merge(timer)
                 built.update(encoded)
             return built
         for shard_id, requests in sorted(to_build.items()):
             shard = self.shards[shard_id]
-            graphs_by_address = shard.pipeline.build_many_slices(
-                shard.index, requests
-            )
+            pipeline = GraphConstructionPipeline(self.pipeline_config)
+            with shard.build_lock:
+                graphs_by_address = pipeline.build_many_slices(
+                    shard.index, requests
+                )
             for address, graphs in graphs_by_address.items():
                 built[address] = [
                     encode_graph(graph) for graph in graphs
                 ]
+            shard.merge_timer(pipeline.timer)
         return built
 
-    def _ensure_pool_locked(self) -> ProcessPoolExecutor:
-        """The live construction pool, re-forked after invalidations.
+    def _ensure_pool(self) -> _WorkerPool:
+        """The live worker pool, started lazily on the first miss.
 
-        Workers snapshot the shard indexes at fork time, so any event
-        that changed them (block append, stale-shard refresh) marks the
-        pool stale and the next miss replaces it — the parent never
-        ships per-task index state, only the tiny request dicts.
+        Started under the service lock, so the fork (or spawn)
+        snapshots the shard indexes at a consistent sync point — every
+        append after this instant reaches the workers as an ingest
+        message instead of a re-fork.  ``pool_stats()['starts']``
+        counts these starts; steady-state serving should see exactly 1.
         """
-        if self._executor is not None and self._pool_stale:
-            self._executor.shutdown(wait=True)
-            self._executor = None
-        if self._executor is None:
-            method = self.config.start_method
-            if method is None and (
-                "fork" in multiprocessing.get_all_start_methods()
-            ):
-                method = "fork"
-            context = multiprocessing.get_context(method)
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.config.num_workers,
-                mp_context=context,
-                initializer=_init_worker,
-                initargs=(
+        pool = self._pool
+        if pool is not None:
+            return pool
+        with self._lock:
+            if self._pool is None:
+                method = self.config.start_method
+                if method is None and (
+                    "fork" in multiprocessing.get_all_start_methods()
+                ):
+                    method = "fork"
+                context = multiprocessing.get_context(method)
+                self._pool = _WorkerPool(
+                    self.config.num_workers,
                     [shard.index for shard in self.shards],
                     self.pipeline_config,
                     getattr(self.classifier.encoder, "k", None),
-                ),
-            )
-            self._pool_stale = False
-        return self._executor
+                    context,
+                )
+                self._pool_starts += 1
+            return self._pool
+
+    def _ensure_async_executor(self) -> ThreadPoolExecutor:
+        """The cluster's own bounded query executor (lazy, closed in
+        :meth:`close`) — ``async_score`` never borrows the event
+        loop's default executor."""
+        executor = self._async_executor
+        if executor is not None:
+            return executor
+        with self._lock:
+            if self._async_executor is None:
+                self._async_executor = ThreadPoolExecutor(
+                    max_workers=self.config.async_workers,
+                    thread_name_prefix="repro-cluster-query",
+                )
+            return self._async_executor
+
+    def _ensure_batcher(self) -> _MicroBatcher:
+        batcher = self._batcher
+        if batcher is not None:
+            return batcher
+        with self._lock:
+            if self._batcher is None:
+                self._batcher = _MicroBatcher(self)
+            return self._batcher
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -631,13 +1333,51 @@ class ClusterScoringService:
             rows.append(row)
         return rows
 
+    def pool_stats(self) -> Dict[str, int]:
+        """Worker-pool lifecycle counters.
+
+        ``starts`` counts pool forks — the streaming contract is that
+        it stays at 1 across any number of block appends (workers
+        ingest tails in place); ``ingest_batches`` counts the
+        tail-replay messages streamed so far; ``workers`` is the live
+        worker count (0 before the first miss or with inline builds).
+        """
+        with self._lock:
+            pool = self._pool
+            return {
+                "starts": self._pool_starts,
+                "workers": pool.num_workers if pool is not None else 0,
+                "ingest_batches": (
+                    pool.ingest_batches if pool is not None else 0
+                ),
+            }
+
+    def micro_batch_stats(self) -> Dict[str, int]:
+        """Coalescing counters of the async micro-batcher.
+
+        ``requests`` counts enqueued ``async_score`` calls,
+        ``batches`` the merged scoring passes they were coalesced
+        into, ``batched_requests`` the requests those batches carried,
+        and ``max_batch`` the largest coalescing window observed.
+        All zero until the first micro-batched request.
+        """
+        batcher = self._batcher
+        if batcher is None:
+            return {
+                "requests": 0,
+                "batches": 0,
+                "batched_requests": 0,
+                "max_batch": 0,
+            }
+        return batcher.stats()
+
     def construction_report(self) -> List[Dict[str, float]]:
         """Stage-cost rows aggregated over shards *and* pool workers."""
         timer = StageTimer()
         with self._timer_lock:
             timer.merge(self._worker_timer)
         for shard in self.shards:
-            timer.merge(shard.pipeline.timer)
+            timer.merge(shard.timer_snapshot())
         return stage_report_from_timer(timer)
 
     # ------------------------------------------------------------------ #
@@ -659,9 +1399,7 @@ class ClusterScoringService:
             for shard in self.shards:
                 store.save_warm(
                     f"shard_{shard.shard_id:04d}",
-                    _export_warm_state(
-                        shard.cache, shard.embeddings, shard.covered
-                    ),
+                    shard.export_warm_state(),
                 )
             return store.directory
 

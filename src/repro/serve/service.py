@@ -162,6 +162,36 @@ def _class_name_mapping(
     return {i: str(name) for i, name in enumerate(class_names)}
 
 
+#: Cap on the number of addresses an unknown-address error spells out.
+_UNKNOWN_SHOWN = 5
+#: Cap on the characters shown per spelled-out address.
+_UNKNOWN_PREFIX = 16
+
+
+def _unknown_addresses_error(unknown: Sequence[str]) -> ValidationError:
+    """The shared no-transactions-on-chain report (service and cluster).
+
+    Long batches are summarised rather than dumped: the message always
+    carries the *total* unknown count, spells out at most
+    ``_UNKNOWN_SHOWN`` addresses truncated to ``_UNKNOWN_PREFIX``
+    characters, and marks every truncation and elision explicitly — a
+    caller reading the message can tell exactly how much it is not
+    seeing.
+    """
+    shown = [
+        a[:_UNKNOWN_PREFIX] + ("…" if len(a) > _UNKNOWN_PREFIX else "")
+        for a in unknown[:_UNKNOWN_SHOWN]
+    ]
+    elided = len(unknown) - len(shown)
+    detail = ", ".join(shown)
+    if elided > 0:
+        detail += f" (+{elided} more elided)"
+    noun = "address" if len(unknown) == 1 else "addresses"
+    return ValidationError(
+        f"{len(unknown)} {noun} with no transactions on chain: {detail}"
+    )
+
+
 def _plan_slices(
     cache: SliceGraphCache,
     fingerprint: str,
@@ -576,10 +606,7 @@ class AddressScoringService:
             a for a in addresses if self.index.transaction_count(a) == 0
         ]
         if unknown:
-            raise ValidationError(
-                "addresses with no transactions on chain: "
-                + ", ".join(a[:16] for a in unknown[:5])
-            )
+            raise _unknown_addresses_error(unknown)
         sequences_by_address, untrusted = self._encoded_sequences(addresses)
         return _score_sequences(
             self.classifier,

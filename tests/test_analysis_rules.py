@@ -337,6 +337,64 @@ class TestLockDiscipline:
         )
         assert findings == []
 
+    def test_receiver_write_violation(self):
+        """A table on ``_Shard`` binds ``shard.<attr>`` writes file-wide."""
+        findings = lint_one(
+            SERVE,
+            """\
+            import threading
+
+            class _Shard:
+                _LOCK_GUARDED = {"lock": ("cache", "version")}
+
+                def __init__(self):
+                    self.lock = threading.RLock()
+                    self.cache = {}
+                    self.version = 0
+
+            def invalidate(shard, key):
+                shard.cache.pop(key, None)
+                shard.version += 1
+            """,
+        )
+        assert len(findings) == 2, findings
+        assert sorted(f.line for f in findings) == [12, 13]
+        for finding in findings:
+            assert finding.rule_id == "lock-discipline"
+            assert "_Shard" in finding.message
+            assert "shard.lock" in finding.message
+
+    def test_receiver_under_lock_and_foreign_name_clean(self):
+        """``with shard.lock`` satisfies the receiver discipline;
+        non-``shard``-named receivers and ``*_locked`` callers are out
+        of its scope by design."""
+        findings = lint_one(
+            SERVE,
+            """\
+            import threading
+
+            class _Shard:
+                _LOCK_GUARDED = {"lock": ("cache", "version")}
+
+                def __init__(self):
+                    self.lock = threading.RLock()
+                    self.cache = {}
+                    self.version = 0
+
+            def invalidate(shard, key):
+                with shard.lock:
+                    shard.cache.pop(key, None)
+                    shard.version += 1
+
+            def replay_locked(shard, tail):
+                shard.version += 1
+
+            def observe(cluster):
+                cluster.version += 1
+            """,
+        )
+        assert findings == []
+
     def test_import_time_pool_violation(self):
         findings = lint_one(
             SERVE,

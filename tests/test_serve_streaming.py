@@ -1,0 +1,388 @@
+"""Streaming steady-state serving: the concurrency surface of the cluster.
+
+Pins the contracts the streaming rework introduced on top of the
+parity/persistence tests of ``test_serve_cluster``:
+
+- a block append on a connected cluster **streams** to the live worker
+  pool instead of re-forking it — ``pool_stats()['starts']`` stays 1
+  across any number of appends, and worker-built graphs reflect the
+  appended history (tail-replay ingestion, not stale snapshots);
+- queries on disjoint shards overlap: holding one shard's lock blocks
+  only that shard's queries, never the others';
+- micro-batched concurrent ``async_score`` calls coalesce into fewer
+  merged passes whose per-request scores equal serial scoring to 1e-9,
+  and a request naming unknown addresses fails alone without poisoning
+  its window;
+- a block append racing an in-flight query forces a re-plan (the
+  optimistic version protocol) and the query returns post-append
+  scores — never a stale/fresh mix;
+- unknown-address validation reports the *total* count and elides the
+  tail explicitly, identically on the single service and the cluster;
+- ``async_score`` runs on the cluster's own bounded executor, created
+  lazily and shut down by ``close()``.
+
+Economies are tiny (slice size 4, single-epoch training): these tests
+exercise locking and linearization, not model quality.
+"""
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import BAClassifier, BAClassifierConfig
+from repro.errors import ValidationError
+from repro.serve import (
+    AddressScoringService,
+    ClusterConfig,
+    ClusterScoringService,
+)
+from repro.testing import append_self_spend, random_chain
+
+SLICE_SIZE = 4
+
+
+@pytest.fixture(scope="module")
+def economy():
+    """Randomized economy + single-epoch classifier + baseline scores."""
+    chain, index, addresses = random_chain(7, num_wallets=4, rounds=10)
+    classifier = BAClassifier(
+        BAClassifierConfig(
+            slice_size=SLICE_SIZE,
+            gnn_epochs=1,
+            head_epochs=1,
+            gnn_hidden_dim=8,
+            head_hidden_dim=8,
+            head_restarts=1,
+            seed=0,
+        )
+    )
+    labels = np.array(
+        [i % 2 for i in range(len(addresses))], dtype=np.int64
+    )
+    classifier.fit(addresses, labels, index)
+    single = AddressScoringService(classifier, index)
+    baseline = single.score(addresses)
+    single.close()
+    return chain, index, addresses, classifier, baseline
+
+
+def _cluster(economy, *, connect=False, **kwargs):
+    chain, index, _, classifier, _ = economy
+    config = ClusterConfig(**kwargs)
+    return ClusterScoringService(
+        classifier,
+        index,
+        chain=chain if connect else None,
+        config=config,
+    )
+
+
+def _spendable(chain, index, addresses, router=None, shard_id=None):
+    """An address with balance to self-spend (optionally on one shard)."""
+    for address in addresses:
+        if chain.utxo_set.balance_of(address) <= 0:
+            continue
+        if router is not None and router.shard_of(address) != shard_id:
+            continue
+        return address
+    raise AssertionError("economy has no spendable address for this test")
+
+
+class TestStreamingAppends:
+    def test_append_streams_instead_of_reforking(self, economy):
+        """The acceptance pin: appends never restart the worker pool,
+        and post-append worker builds match a fresh model pass."""
+        chain, index, addresses, classifier, _ = economy
+        cluster = _cluster(
+            economy, connect=True, num_shards=2, num_workers=2
+        )
+        try:
+            cluster.score(addresses)
+            stats = cluster.pool_stats()
+            assert stats["starts"] == 1
+            assert stats["workers"] == 2
+            before_ingests = stats["ingest_batches"]
+
+            target = _spendable(chain, index, addresses)
+            append_self_spend(chain, target)
+
+            rescored = cluster.score(addresses)
+            stats = cluster.pool_stats()
+            assert stats["starts"] == 1  # streamed, not re-forked
+            assert stats["ingest_batches"] > before_ingests
+            expected = classifier.predict_proba([target], index)[0]
+            np.testing.assert_allclose(
+                rescored[target].probabilities,
+                expected,
+                rtol=1e-9,
+                atol=1e-9,
+            )
+        finally:
+            cluster.close()
+
+    def test_repeated_appends_keep_workers_current(self, economy):
+        """Several appends between scores all reach the workers as
+        tail-replay messages; every rescore matches a fresh pass."""
+        chain, index, addresses, classifier, _ = economy
+        cluster = _cluster(
+            economy, connect=True, num_shards=2, num_workers=2
+        )
+        try:
+            cluster.score(addresses)
+            target = _spendable(chain, index, addresses)
+            for _ in range(3):
+                append_self_spend(chain, target)
+                rescored = cluster.score(addresses)
+                expected = classifier.predict_proba([target], index)[0]
+                np.testing.assert_allclose(
+                    rescored[target].probabilities,
+                    expected,
+                    rtol=1e-9,
+                    atol=1e-9,
+                )
+            assert cluster.pool_stats()["starts"] == 1
+        finally:
+            cluster.close()
+
+
+class TestPerShardLocking:
+    def test_disjoint_shards_do_not_contend(self, economy):
+        """Holding shard A's lock stalls shard-A queries only: a
+        concurrent shard-B query completes while the lock is held."""
+        _, index, addresses, _, _ = economy
+        cluster = _cluster(
+            economy, num_shards=2, num_workers=0, micro_batch=False
+        )
+        try:
+            by_shard = cluster.router.partition(addresses)
+            assert len(by_shard) == 2, "economy routed onto one shard"
+            a_members, b_members = by_shard[0], by_shard[1]
+            cluster.score(addresses)  # warm caches: queries are fast
+
+            errors = []
+            done_b = threading.Event()
+            done_a = threading.Event()
+
+            def run(members, done):
+                try:
+                    cluster.score(members)
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+                finally:
+                    done.set()
+
+            with cluster.shards[0].lock:
+                thread_b = threading.Thread(
+                    target=run, args=(b_members, done_b)
+                )
+                thread_b.start()
+                assert done_b.wait(timeout=30), (
+                    "shard-B query blocked behind shard-A lock"
+                )
+                thread_a = threading.Thread(
+                    target=run, args=(a_members, done_a)
+                )
+                thread_a.start()
+                assert not done_a.wait(timeout=0.5), (
+                    "shard-A query ignored the held shard-A lock"
+                )
+            assert done_a.wait(timeout=30)
+            thread_a.join(timeout=30)
+            thread_b.join(timeout=30)
+            assert errors == []
+        finally:
+            cluster.close()
+
+    def test_append_during_inflight_query_linearizes(self, economy):
+        """An append racing a query's build forces a re-plan: the query
+        returns post-append scores, never a stale/fresh mix."""
+        chain, index, addresses, classifier, _ = economy
+        cluster = _cluster(
+            economy, connect=True, num_shards=2, num_workers=0
+        )
+        try:
+            target = _spendable(chain, index, addresses)
+            original_build = cluster._build
+            build_started = threading.Event()
+            resume = threading.Event()
+            build_calls = []
+
+            def gated_build(to_build):
+                build_calls.append(sorted(to_build))
+                if len(build_calls) == 1:
+                    build_started.set()
+                    assert resume.wait(timeout=30)
+                return original_build(to_build)
+
+            cluster._build = gated_build
+
+            result = {}
+            errors = []
+
+            def query():
+                try:
+                    result.update(cluster.score([target]))
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+
+            thread = threading.Thread(target=query)
+            thread.start()
+            assert build_started.wait(timeout=30)
+            # The query is mid-build holding no locks: the append must
+            # proceed (no deadlock) and bump the target shard version.
+            append_self_spend(chain, target)
+            resume.set()
+            thread.join(timeout=60)
+            assert not thread.is_alive()
+            assert errors == []
+            assert len(build_calls) >= 2, (
+                "append did not force the in-flight query to re-plan"
+            )
+            expected = classifier.predict_proba([target], index)[0]
+            np.testing.assert_allclose(
+                result[target].probabilities,
+                expected,
+                rtol=1e-9,
+                atol=1e-9,
+            )
+        finally:
+            cluster.close()
+
+
+class TestMicroBatching:
+    def test_batched_scores_match_serial(self, economy):
+        """Concurrent requests coalesce into fewer merged passes whose
+        per-request results equal serial scoring to 1e-9."""
+        _, _, addresses, _, _ = economy
+        cluster = _cluster(
+            economy,
+            num_shards=2,
+            num_workers=0,
+            micro_batch=True,
+            micro_batch_window=0.2,
+        )
+        try:
+            serial = cluster.score(addresses)
+            half = len(addresses) // 2
+            requests = [
+                list(addresses),
+                list(addresses[:half]),
+                list(addresses[half:]),
+                [addresses[0], addresses[-1]],
+            ]
+
+            async def fan_out():
+                return await asyncio.gather(
+                    *(cluster.async_score(r) for r in requests)
+                )
+
+            results = asyncio.run(fan_out())
+            for request, scores in zip(requests, results):
+                assert sorted(scores) == sorted(set(request))
+                for address in request:
+                    np.testing.assert_allclose(
+                        scores[address].probabilities,
+                        serial[address].probabilities,
+                        rtol=1e-9,
+                        atol=1e-9,
+                    )
+            stats = cluster.micro_batch_stats()
+            assert stats["requests"] == len(requests)
+            assert stats["batched_requests"] == len(requests)
+            assert stats["batches"] < len(requests), (
+                "no coalescing happened inside a 200ms window"
+            )
+            assert stats["max_batch"] >= 2
+        finally:
+            cluster.close()
+
+    def test_unknown_request_fails_alone(self, economy):
+        """A request naming unknown addresses fails with the shared
+        validation error; the valid request sharing its window still
+        scores."""
+        _, _, addresses, _, _ = economy
+        cluster = _cluster(
+            economy,
+            num_shards=2,
+            num_workers=0,
+            micro_batch=True,
+            micro_batch_window=0.2,
+        )
+        try:
+            serial = cluster.score([addresses[0]])
+
+            async def fan_out():
+                return await asyncio.gather(
+                    cluster.async_score([addresses[0]]),
+                    cluster.async_score(["bc1q-nowhere"]),
+                    return_exceptions=True,
+                )
+
+            good, bad = asyncio.run(fan_out())
+            assert isinstance(bad, ValidationError)
+            assert "1 address with no transactions" in str(bad)
+            np.testing.assert_allclose(
+                good[addresses[0]].probabilities,
+                serial[addresses[0]].probabilities,
+                rtol=1e-9,
+                atol=1e-9,
+            )
+        finally:
+            cluster.close()
+
+
+class TestUnknownAddressReporting:
+    def test_total_count_and_explicit_elision(self, economy):
+        """Seven unknowns: the error carries the full count, shows the
+        first five, and says how many were elided."""
+        _, index, addresses, classifier, _ = economy
+        unknowns = [f"bc1q-missing-{i}" for i in range(7)]
+        cluster = _cluster(economy, num_shards=2)
+        single = AddressScoringService(classifier, index)
+        try:
+            messages = []
+            for service in (single, cluster):
+                with pytest.raises(ValidationError) as excinfo:
+                    service.score([addresses[0], *unknowns])
+                messages.append(str(excinfo.value))
+            for message in messages:
+                assert "7 addresses with no transactions" in message
+                assert "(+2 more elided)" in message
+            # Same builder on both services: identical reporting.
+            assert messages[0] == messages[1]
+        finally:
+            single.close()
+            cluster.close()
+
+
+class TestAsyncExecutorLifecycle:
+    def test_lazy_bounded_executor_closed_by_close(self, economy):
+        """``async_score`` uses the cluster's own named executor —
+        created on first use, never the loop default — and ``close()``
+        shuts it down."""
+        _, _, addresses, _, _ = economy
+        cluster = _cluster(
+            economy, num_shards=2, num_workers=0, micro_batch=False
+        )
+        try:
+            assert cluster._async_executor is None  # lazy
+            thread_names = []
+            original_score = cluster.score
+
+            def recording_score(batch):
+                thread_names.append(threading.current_thread().name)
+                return original_score(batch)
+
+            cluster.score = recording_score
+            asyncio.run(cluster.async_score(addresses[:2]))
+            assert thread_names
+            assert thread_names[0].startswith("repro-cluster-query")
+            executor = cluster._async_executor
+            assert executor is not None
+            assert executor._max_workers == cluster.config.async_workers
+        finally:
+            cluster.close()
+        assert cluster._async_executor is None
+        assert executor._shutdown
