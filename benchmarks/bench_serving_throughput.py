@@ -27,7 +27,17 @@ forward per address) on the same synthetic chain:
   serial per-request calls; then one appended block, timing the first
   post-append re-score (``append_refresh_seconds``) and asserting the
   worker pool was *streamed to*, never re-forked
-  (``pool_stats()['starts'] == 1`` across the whole phase).
+  (``pool_stats()['starts'] == 1`` across the whole phase);
+- **store**: the same cluster backed by the memory-mapped chain store
+  (``ClusterConfig(store_dir=...)``) — shard workers read interned
+  transaction columns from mapped ``.npy`` segments instead of holding
+  a deep-copied index slice.  Records the resident per-worker footprint
+  of both flavors (``store_peak_worker_bytes`` vs
+  ``inmemory_peak_worker_bytes``) and the store-backed cold throughput;
+  the memory saving must be ≥ ``MIN_STORE_MEMORY_SAVING`` in every
+  mode, and in full mode the store path must hold ≥
+  ``MIN_STORE_THROUGHPUT_RATIO`` of the in-memory cluster's cold
+  throughput.
 
 Asserted contracts: warm-cache batched scoring is at least 5× faster
 than the naive loop; a block append re-scores only the touched
@@ -97,6 +107,7 @@ if SMOKE:
     INFER_REPEATS = 3
     MIN_INFER_SPEEDUP = None  # ditto: sub-ms forwards, noise dominates
     MIN_STREAMING_SPEEDUP = None  # ditto
+    MIN_STORE_THROUGHPUT_RATIO = None  # ditto
 else:
     WORLD_CONFIG = WorldConfig(
         seed=SEED, num_blocks=220, num_retail=90, num_gamblers=32,
@@ -113,6 +124,11 @@ else:
     INFER_REPEATS = 5
     MIN_INFER_SPEEDUP = 1.5
     MIN_STREAMING_SPEEDUP = 1.2 if (os.cpu_count() or 1) >= 2 else None
+    MIN_STORE_THROUGHPUT_RATIO = 0.9
+
+# Mapped columns vs a deep-copied index slice is a structural saving,
+# not a timing artifact — enforced at every scale.
+MIN_STORE_MEMORY_SAVING = 2.0
 
 
 @pytest.fixture(scope="module")
@@ -416,7 +432,56 @@ def test_bench_serving_throughput(serving_setup, tmp_path):
         rtol=1e-9,
         atol=1e-9,
     )
+
+    # --- store: memory-mapped shard columns vs deep-copied slices ----- #
+    # Per-worker resident footprint: an in-memory shard holds a deep
+    # copy of its slice of the chain (transaction objects, records,
+    # interning, memo); a store-backed shard holds only adjacency
+    # arrays + caches — the columns stay in mapped file pages shared
+    # across every worker.
+    inmemory_peak_worker_bytes = max(
+        shard.index.resident_nbytes() for shard in streaming.shards
+    )
     streaming.close()
+
+    store_cluster = ClusterScoringService(
+        classifier,
+        world.index,
+        chain=world.chain,
+        config=ClusterConfig(
+            num_shards=CLUSTER_SHARDS,
+            num_workers=CLUSTER_WORKERS,
+            store_dir=str(tmp_path / "chain_store"),
+        ),
+    )
+    start = time.perf_counter()
+    store_scores = store_cluster.score(addresses)
+    store_cold_seconds = time.perf_counter() - start
+    for a in addresses:
+        np.testing.assert_allclose(
+            store_scores[a].probabilities,
+            refreshed[a].probabilities,
+            rtol=1e-9,
+            atol=1e-9,
+        )
+    store_peak_worker_bytes = max(
+        shard.index.resident_nbytes() for shard in store_cluster.shards
+    )
+    store_cluster.close()
+    store_memory_saving = inmemory_peak_worker_bytes / store_peak_worker_bytes
+    assert store_memory_saving >= MIN_STORE_MEMORY_SAVING, (
+        f"store-backed worker only {store_memory_saving:.1f}x smaller "
+        f"than the deep-copied in-memory shard "
+        f"({store_peak_worker_bytes} vs {inmemory_peak_worker_bytes} "
+        f"bytes, need >= {MIN_STORE_MEMORY_SAVING}x)"
+    )
+    store_throughput_ratio = cluster_cold_seconds / store_cold_seconds
+    if MIN_STORE_THROUGHPUT_RATIO is not None:
+        assert store_throughput_ratio >= MIN_STORE_THROUGHPUT_RATIO, (
+            f"store-backed cold scoring at {store_throughput_ratio:.2f}x "
+            f"the in-memory cluster (need >= "
+            f"{MIN_STORE_THROUGHPUT_RATIO}x)"
+        )
 
     mode = "smoke" if SMOKE else "full"
     payload = {
@@ -460,6 +525,13 @@ def test_bench_serving_throughput(serving_setup, tmp_path):
         "append_refresh_seconds": append_refresh_seconds,
         "streaming_pool_starts": stream_pool["starts"],
         "streaming_gate_enforced": MIN_STREAMING_SPEEDUP is not None,
+        "store_cold_seconds": store_cold_seconds,
+        "store_addr_per_second": n / store_cold_seconds,
+        "store_peak_worker_bytes": store_peak_worker_bytes,
+        "inmemory_peak_worker_bytes": inmemory_peak_worker_bytes,
+        "store_memory_saving": store_memory_saving,
+        "store_throughput_ratio": store_throughput_ratio,
+        "store_gate_enforced": MIN_STORE_THROUGHPUT_RATIO is not None,
     }
     # Merge under a per-mode key: a tier-1 smoke run must not clobber
     # the full-mode trajectory (and vice versa).
@@ -508,6 +580,7 @@ def test_bench_serving_throughput(serving_setup, tmp_path):
             append_refresh_seconds,
             n / append_refresh_seconds,
         ),
+        ("store-backed cold", store_cold_seconds, n / store_cold_seconds),
     ]
     lines = [
         f"Serving throughput — {n} addresses, {total_slices} slice graphs"
@@ -537,6 +610,13 @@ def test_bench_serving_throughput(serving_setup, tmp_path):
         f"(gate {'on' if MIN_STREAMING_SPEEDUP else 'off'}), append "
         f"refresh {append_refresh_seconds:.3f}s with "
         f"{stream_pool['starts']} pool start"
+    )
+    lines.append(
+        f"chain store: worker footprint {store_peak_worker_bytes:,} B "
+        f"mapped vs {inmemory_peak_worker_bytes:,} B deep-copied "
+        f"({store_memory_saving:.1f}x smaller), cold throughput "
+        f"{store_throughput_ratio:.2f}x in-memory "
+        f"(gate {'on' if MIN_STORE_THROUGHPUT_RATIO else 'off'})"
     )
     lines.append(
         "cache: hits={hits} misses={misses} evictions={evictions} "

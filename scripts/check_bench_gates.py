@@ -31,6 +31,13 @@ Serving gates (mirroring ``benchmarks/bench_serving_throughput.py``):
   ``async_score`` vs serial per-request scoring on the streaming
   cluster, PR 8) — conditional on ``streaming_gate_enforced``, same
   single-core proviso as the cluster gate.
+- ``store_memory_saving``    >= 2   (a store-backed shard worker reads
+  columns from mapped ``.npy`` segments instead of holding a deep-
+  copied index slice; the footprint drop is structural, so the gate is
+  unconditional)
+- ``store_throughput_ratio`` >= 0.9 (the mapped column path must hold
+  cold-scoring parity with the in-memory cluster — the memory saving
+  may not be bought with throughput)
 
 A missing file or missing full-mode entry is reported but does not
 fail (fresh checkouts have no recorded trajectory until someone runs
@@ -57,6 +64,8 @@ GATES = {
         "warm_speedup_vs_naive": 5.0,
         "warm_restart_hit_rate": 1.0,
         "infer_speedup_vs_tape": 1.5,
+        "store_memory_saving": 2.0,
+        "store_throughput_ratio": 0.9,
     },
 }
 

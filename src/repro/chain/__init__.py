@@ -16,6 +16,12 @@ from repro.chain.serialize import (
     load_world_chain,
     save_chain,
     save_world,
+    transaction_from_columns,
+)
+from repro.chain.store import (
+    STORE_FORMAT_VERSION,
+    ChainStore,
+    StoreBackedChainIndex,
 )
 from repro.chain.transaction import (
     SATOSHIS_PER_BTC,
@@ -47,6 +53,10 @@ __all__ = [
     "load_world_chain",
     "save_chain",
     "save_world",
+    "transaction_from_columns",
+    "STORE_FORMAT_VERSION",
+    "ChainStore",
+    "StoreBackedChainIndex",
     "SATOSHIS_PER_BTC",
     "OutPoint",
     "Transaction",

@@ -296,6 +296,63 @@ class ChainIndex:
         node keys handed out earlier stay valid)."""
         self._tx_arrays.clear()
 
+    def resident_nbytes(self) -> int:
+        """Estimated resident heap bytes held by this index.
+
+        A deterministic ``sys.getsizeof`` walk over the transaction
+        objects, per-address records, interning tables and the column
+        memo (each distinct object counted once).  An estimate — Python
+        object overhead is approximated, shared objects held by *other*
+        indexes still count here — but consistent across index flavors,
+        which is what the serving benchmarks compare: a deep-copied
+        in-memory shard slice against the store-backed view's
+        :meth:`~repro.chain.store.StoreBackedChainIndex.resident_nbytes`.
+        """
+        import sys
+
+        seen: Set[int] = set()
+
+        def size(obj) -> int:
+            if id(obj) in seen:
+                return 0
+            seen.add(id(obj))
+            total = sys.getsizeof(obj)
+            attrs = getattr(obj, "__dict__", None)
+            if attrs is not None and id(attrs) not in seen:
+                seen.add(id(attrs))
+                total += sys.getsizeof(attrs)
+            return total
+
+        total = 0
+        for table in (
+            self._tx_by_id,
+            self._tx_height,
+            self._records,
+            self._first_seen,
+            self._address_ids,
+            self._address_names,
+            self._tx_ids,
+            self._tx_names,
+            self._tx_arrays,
+        ):
+            total += size(table)
+        for txid, tx in self._tx_by_id.items():
+            total += size(txid) + size(tx) + size(tx.inputs) + size(tx.outputs)
+            for inp in tx.inputs:
+                total += size(inp) + size(inp.outpoint)
+                total += size(inp.outpoint.txid) + size(inp.address)
+            for out in tx.outputs:
+                total += size(out) + size(out.address)
+        for address, records in self._records.items():
+            total += size(address) + size(records)
+            for record in records:
+                total += size(record) + size(record.txid)
+        for columns in self._tx_arrays.values():
+            total += size(columns)
+            total += columns.input_keys.nbytes + columns.input_values.nbytes
+            total += columns.output_keys.nbytes + columns.output_values.nbytes
+        return total
+
     def node_names(self, keys: Sequence[int]) -> List[str]:
         """Decode interned node keys back to reference strings.
 

@@ -25,6 +25,7 @@ from repro.errors import ValidationError
 __all__ = [
     "transaction_to_dict",
     "transaction_from_dict",
+    "transaction_from_columns",
     "save_chain",
     "load_chain",
     "save_world",
@@ -76,6 +77,43 @@ def transaction_from_dict(payload: Dict) -> Transaction:
     recorded = payload.get("txid")
     if recorded:
         object.__setattr__(tx, "txid", recorded)
+    return tx
+
+
+def transaction_from_columns(
+    txid: str,
+    timestamp: float,
+    inputs: "Tuple[Tuple[str, int], ...] | list",
+    outputs: "Tuple[Tuple[str, int], ...] | list",
+) -> Transaction:
+    """Rebuild a transaction from stored ``(address, value)`` columns.
+
+    The columnar chain store (:mod:`repro.chain.store`) persists only the
+    graph-facing content of a transaction — participant addresses, values
+    and the timestamp — not the spent outpoints, which no downstream
+    consumer (records, features, graph construction) reads.  Inputs are
+    therefore given synthetic ``stored:<i>`` outpoints, and the recorded
+    txid is restored verbatim (it would not recompute from content with
+    synthetic outpoints).  Round-trips ``is_coinbase``, ``value_for``,
+    ``addresses`` and ``fee`` exactly; outpoint identity is *not*
+    preserved.
+    """
+    tx = Transaction.create(
+        inputs=[
+            TxInput(
+                outpoint=OutPoint(txid="stored", vout=i),
+                address=address,
+                value=int(value),
+            )
+            for i, (address, value) in enumerate(inputs)
+        ],
+        outputs=[
+            TxOutput(address=address, value=int(value))
+            for address, value in outputs
+        ],
+        timestamp=float(timestamp),
+    )
+    object.__setattr__(tx, "txid", txid)
     return tx
 
 

@@ -79,6 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="warm-cache store directory: load before "
                             "scoring, save after (keyed by pipeline "
                             "fingerprint + model version)")
+    score.add_argument("--store-dir", default=None,
+                       help="memory-mapped chain store directory "
+                            "(cluster mode only): shards read columns "
+                            "from mapped segments instead of deep-"
+                            "copied indexes; created/extended on use")
     score.add_argument("--cache-capacity", type=int, default=4096,
                        help="slice-cache entries (per shard when "
                             "--shards > 0)")
@@ -191,6 +196,11 @@ def _cmd_score(args) -> int:
         ScoringServiceConfig,
     )
 
+    if args.store_dir and args.shards <= 0:
+        print("error: --store-dir requires --shards > 0 "
+              "(the chain store backs cluster shards)",
+              file=sys.stderr)
+        return 2
     chain, index, _, _ = load_world_chain(args.world)
     classifier = BAClassifier.load(args.model)
     if args.shards > 0:
@@ -202,6 +212,7 @@ def _cmd_score(args) -> int:
                 num_shards=args.shards,
                 num_workers=args.workers,
                 cache_capacity=args.cache_capacity,
+                store_dir=args.store_dir,
             ),
             class_names=CLASS_NAMES,
         )

@@ -32,6 +32,11 @@ class InsufficientFundsError(ChainError):
     """A wallet cannot assemble enough UTXO value for a requested spend."""
 
 
+class ChainStoreError(ChainError):
+    """The persistent chain store is corrupt, torn, or misused
+    (read-only mutation, writer/index divergence, unmapped lookup)."""
+
+
 class NotFittedError(ReproError, RuntimeError):
     """A model method requiring a fitted model was called before ``fit``."""
 

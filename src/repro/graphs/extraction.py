@@ -34,6 +34,7 @@ __all__ = [
     "build_original_graph",
     "build_original_arrays",
     "build_arrays_from_index",
+    "build_arrays_from_columns",
     "extract_graphs",
     "extract_array_graphs",
 ]
@@ -238,6 +239,34 @@ def build_arrays_from_index(
             f"cannot build a graph for {center_address[:12]} from zero transactions"
         )
     columns = [index.transaction_arrays(tx) for tx in transactions]
+    return build_arrays_from_columns(
+        index, center_address, columns, slice_index=slice_index
+    )
+
+
+def build_arrays_from_columns(
+    index: ChainIndex,
+    center_address: str,
+    columns: "Sequence",
+    slice_index: int = 0,
+) -> ArrayGraph:
+    """Columnar Stage-1 build from pre-fetched :class:`TxArrays` columns.
+
+    The assembly core of :func:`build_arrays_from_index`, factored so
+    column *sources* are pluggable: the in-memory index's memoised
+    ``transaction_arrays`` and the chain store's mapped segment views
+    (:meth:`~repro.chain.store.StoreBackedChainIndex.transaction_columns_of`)
+    both feed it.  ``index`` supplies only name decoding
+    (:meth:`~repro.chain.explorer.ChainIndex.node_names`) and the center
+    key lookup; the output is element-identical to
+    :func:`build_original_arrays` regardless of the key numbering the
+    source interned, because node ids are first-encounter ranks and
+    references are decoded strings.
+    """
+    if not columns:
+        raise GraphConstructionError(
+            f"cannot build a graph for {center_address[:12]} from zero transactions"
+        )
     t = len(columns)
     n_in = np.fromiter(
         (c.input_keys.size for c in columns), dtype=np.int64, count=t

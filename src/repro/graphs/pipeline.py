@@ -35,7 +35,11 @@ from repro.graphs.compression import (
     compress_single_transaction_addresses,
 )
 from repro.graphs.arrays import ArrayGraph
-from repro.graphs.extraction import build_original_arrays, slice_transactions
+from repro.graphs.extraction import (
+    build_arrays_from_columns,
+    build_original_arrays,
+    slice_transactions,
+)
 from repro.utils.timer import StageTimer
 
 __all__ = [
@@ -154,14 +158,40 @@ class GraphConstructionPipeline:
         address: str,
         slice_indices: Optional[Sequence[int]],
     ) -> List[ArrayGraph]:
-        """Stages 1–3 for one address (extraction + both compressions)."""
+        """Stages 1–3 for one address (extraction + both compressions).
+
+        Two column sources feed the extraction: the default path fetches
+        Python ``Transaction`` objects and builds with
+        :func:`build_original_arrays`; a store-backed index (one
+        exposing ``transaction_columns_of``) is sliced straight from its
+        mapped, pre-sorted :class:`~repro.chain.explorer.TxArrays`
+        columns and built with
+        :func:`~repro.graphs.extraction.build_arrays_from_columns` —
+        identical output, no materialised transaction objects.
+        """
         start = time.perf_counter()
-        transactions = index.transactions_of(address)
-        if not transactions:
-            raise GraphConstructionError(
-                f"address {address[:12]} has no transactions on chain"
-            )
-        slices = slice_transactions(transactions, self.config.slice_size)
+        columns_of = getattr(index, "transaction_columns_of", None)
+        if columns_of is not None:
+            size = self.config.slice_size
+            if size <= 0:
+                raise ValidationError(
+                    f"slice_size must be > 0, got {size}"
+                )
+            columns = columns_of(address)
+            if not columns:
+                raise GraphConstructionError(
+                    f"address {address[:12]} has no transactions on chain"
+                )
+            slices = [
+                columns[s: s + size] for s in range(0, len(columns), size)
+            ]
+        else:
+            transactions = index.transactions_of(address)
+            if not transactions:
+                raise GraphConstructionError(
+                    f"address {address[:12]} has no transactions on chain"
+                )
+            slices = slice_transactions(transactions, self.config.slice_size)
         if slice_indices is None:
             wanted = list(range(len(slices)))
         else:
@@ -174,10 +204,18 @@ class GraphConstructionPipeline:
                     )
         prep_seconds = time.perf_counter() - start
         start = time.perf_counter()
-        graphs = [
-            build_original_arrays(address, slices[i], slice_index=i)
-            for i in wanted
-        ]
+        if columns_of is not None:
+            graphs = [
+                build_arrays_from_columns(
+                    index, address, slices[i], slice_index=i
+                )
+                for i in wanted
+            ]
+        else:
+            graphs = [
+                build_original_arrays(address, slices[i], slice_index=i)
+                for i in wanted
+            ]
         build_seconds = time.perf_counter() - start
         if graphs:
             # Stage 1 covers fetch + chronological slicing + construction.

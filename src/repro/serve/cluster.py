@@ -86,6 +86,7 @@ import numpy as np
 from repro.chain.block import Block
 from repro.chain.chain import Blockchain
 from repro.chain.explorer import ChainIndex
+from repro.chain.store import ChainStore, StoreBackedChainIndex
 from repro.errors import NotFittedError, ValidationError
 from repro.gnn.data import EncodedGraph, encode_graph
 from repro.gnn.gfn import augment_features
@@ -136,6 +137,15 @@ class ClusterConfig:
     what is already queued); ``micro_batch_max_addresses`` caps the
     merged query size so one giant batch cannot stall latency for
     everyone behind it.
+
+    ``store_dir`` switches the cluster onto the memory-mapped chain
+    store (:mod:`repro.chain.store`): the directory is created/synced
+    from the parent index at startup, shard slices become
+    :class:`~repro.chain.store.StoreBackedChainIndex` views over the
+    shared maps instead of deep-copied indexes, and block appends
+    stream to workers as tail segments they remap from disk instead of
+    pickled transaction payloads.  ``None`` (default) keeps the
+    in-memory slices.
     """
 
     num_shards: int = 2
@@ -151,6 +161,7 @@ class ClusterConfig:
     micro_batch: bool = True
     micro_batch_window: float = 0.002
     micro_batch_max_addresses: int = 1024
+    store_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
@@ -366,8 +377,17 @@ class _Shard:
         insertion-point invalidation, and any dirtied membership bumps
         the version so racing queries re-plan (including first-ever
         queries with no coverage yet, whose plans are equally stale).
+
+        A store-backed slice (one exposing ``remap``) is read-only: the
+        caller has already committed the block to the shared chain
+        store, so the slice catches up by remapping the tail segments
+        instead of ingesting transaction objects.
         """
-        self.index.on_block(block)
+        remap = getattr(self.index, "remap", None)
+        if remap is not None:
+            remap()
+        else:
+            self.index.on_block(block)
         if touched:
             self.version += 1
         for address, earliest_new in touched.items():
@@ -384,7 +404,15 @@ class _Shard:
     def ingest_tail_locked(
         self, tail: Sequence[Tuple[object, int]]
     ) -> None:
-        """Replay a parent-index tail; the caller holds ``self.lock``."""
+        """Replay a parent-index tail; the caller holds ``self.lock``.
+
+        Store-backed slices remap instead (the caller has already
+        appended the tail to the shared chain store)."""
+        remap = getattr(self.index, "remap", None)
+        if remap is not None:
+            if remap():
+                self.version += 1
+            return
         if self.index.ingest_transactions(tail):
             self.version += 1
 
@@ -447,9 +475,13 @@ def _worker_main(
     always constructed against post-append worker state.  ``ingest``
     replays a ``(transaction, height)`` tail into every local shard
     index (:meth:`~repro.chain.explorer.ChainIndex.ingest_transactions`
-    — idempotent, so overlapping tails are safe); ``build`` runs the
-    usual per-shard miss construction and ships encoded graphs back on
-    the shared result queue; ``stop`` exits the loop.
+    — idempotent, so overlapping tails are safe); ``remap`` is the
+    store-backed analogue — each local
+    :class:`~repro.chain.store.StoreBackedChainIndex` pulls the new
+    tail segments straight from the mapped store directory, so nothing
+    but the one-word message crosses the process boundary; ``build``
+    runs the usual per-shard miss construction and ships encoded graphs
+    back on the shared result queue; ``stop`` exits the loop.
     """
     while True:
         message = tasks.get()
@@ -460,6 +492,10 @@ def _worker_main(
             tail = message[1]
             for index in indexes:
                 index.ingest_transactions(tail)
+            continue
+        if kind == "remap":
+            for index in indexes:
+                index.remap()
             continue
         _, seq, shard_id, requests = message
         try:
@@ -512,6 +548,7 @@ class _WorkerPool:
             "_seq",
             "_closed",
             "_ingest_batches",
+            "_remaps",
         ),
     }
 
@@ -547,6 +584,7 @@ class _WorkerPool:
         self._seq = 0
         self._closed = False
         self._ingest_batches = 0
+        self._remaps = 0
         self._collector = threading.Thread(
             target=self._collect,
             name="repro-cluster-pool-collector",
@@ -563,6 +601,12 @@ class _WorkerPool:
         """Tail-replay messages streamed to the workers so far."""
         with self._lock:
             return self._ingest_batches
+
+    @property
+    def remaps(self) -> int:
+        """Store-remap messages streamed to the workers so far."""
+        with self._lock:
+            return self._remaps
 
     def submit(
         self, shard_id: int, requests: Dict[str, List[int]]
@@ -598,6 +642,23 @@ class _WorkerPool:
             self._ingest_batches += 1
         for tasks in self._tasks:
             tasks.put(("ingest", list(tail)))
+
+    def send_remap(self) -> None:
+        """Tell every worker to remap its store-backed shard indexes.
+
+        The store-mode replacement for :meth:`send_ingest`: the
+        appended transactions are already on disk as committed tail
+        segments, so the message carries no payload at all — workers
+        map the new segments and extend their member adjacency.  Same
+        per-worker FIFO ordering contract: a build enqueued after this
+        message sees the post-append store.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._remaps += 1
+        for tasks in self._tasks:
+            tasks.put(("remap",))
 
     def _collect(self) -> None:
         while True:
@@ -880,6 +941,7 @@ class ClusterScoringService:
             "_synced_transactions",
             "_async_executor",
             "_batcher",
+            "_store",
         ),
         "_timer_lock": ("_worker_timer",),
     }
@@ -910,10 +972,27 @@ class ClusterScoringService:
             f"{self.fingerprint}:{self.model_version}"
         )
         self.class_names = _class_name_mapping(class_names)
+        # Store mode: mirror the parent index into the mapped chain
+        # store once, then give every shard a StoreBackedChainIndex
+        # view over the *shared* maps — no deep-copied slices, and
+        # workers (forked or respawned) read the same files.
+        self._store: Optional[ChainStore] = None
+        if self.config.store_dir is not None:
+            self._store = ChainStore(self.config.store_dir, writable=True)
+            self._store.sync_from_index(index)
         self.shards: List[_Shard] = [
             _Shard(
                 shard_id,
-                index.sharded(_ShardMembership(self.router, shard_id)),
+                (
+                    StoreBackedChainIndex(
+                        self._store,
+                        _ShardMembership(self.router, shard_id),
+                    )
+                    if self._store is not None
+                    else index.sharded(
+                        _ShardMembership(self.router, shard_id)
+                    )
+                ),
                 self.pipeline_config,
                 self.config,
             )
@@ -972,7 +1051,10 @@ class ClusterScoringService:
         shutdown-under-the-lock stalled the first post-append query
         behind a full pool teardown.  Order matters: the batcher stops
         producing first, then the query executor drains, then the pool
-        (which running queries may still be submitting to) goes last.
+        (which running queries may still be submitting to), and in
+        store mode the mapped segments are released last — every shard
+        slice drops its adjacency and the shared store drops its
+        memmaps, so no file handles outlive the service.
         """
         self.disconnect()
         with self._lock:
@@ -989,6 +1071,14 @@ class ClusterScoringService:
             executor.shutdown(wait=True)
         if pool is not None:
             pool.shutdown()
+        with self._lock:
+            store = self._store
+            self._store = None
+        if store is not None:
+            for shard in self.shards:
+                with shard.lock:
+                    shard.index.close()
+            store.close()
 
     def on_block(self, block: Block) -> None:
         """Feed the append to every shard index, then invalidate.
@@ -1004,6 +1094,11 @@ class ClusterScoringService:
         subsequent build tasks queue behind the ingest, which is what
         keeps worker-built graphs consistent with parent-side plans
         without re-forking anything.
+
+        In store mode the block is first committed to the shared chain
+        store as a tail segment (still inside the critical section),
+        the shard slices remap from the maps, and the workers get a
+        payload-free ``remap`` message instead of pickled transactions.
         """
         with self._lock:
             slice_size = self.pipeline_config.slice_size
@@ -1021,6 +1116,8 @@ class ClusterScoringService:
             for shard in self.shards:
                 shard.lock.acquire()
             try:
+                if self._store is not None:
+                    self._store.append_block(block)
                 for shard in self.shards:
                     shard.apply_block_locked(
                         block,
@@ -1031,9 +1128,15 @@ class ClusterScoringService:
                     0
                 ].index.total_transactions()
                 if self._pool is not None:
-                    self._pool.send_ingest(
-                        [(tx, block.height) for tx in block.transactions]
-                    )
+                    if self._store is not None:
+                        self._pool.send_remap()
+                    else:
+                        self._pool.send_ingest(
+                            [
+                                (tx, block.height)
+                                for tx in block.transactions
+                            ]
+                        )
             finally:
                 for shard in reversed(self.shards):
                     shard.lock.release()
@@ -1058,11 +1161,16 @@ class ClusterScoringService:
         for shard in self.shards:
             shard.lock.acquire()
         try:
+            if self._store is not None:
+                self._store.append_transactions(tail)
             for shard in self.shards:
                 shard.ingest_tail_locked(tail)
             self._synced_transactions = self.index.total_transactions()
             if self._pool is not None:
-                self._pool.send_ingest(tail)
+                if self._store is not None:
+                    self._pool.send_remap()
+                else:
+                    self._pool.send_ingest(tail)
         finally:
             for shard in reversed(self.shards):
                 shard.lock.release()
@@ -1339,8 +1447,10 @@ class ClusterScoringService:
         ``starts`` counts pool forks — the streaming contract is that
         it stays at 1 across any number of block appends (workers
         ingest tails in place); ``ingest_batches`` counts the
-        tail-replay messages streamed so far; ``workers`` is the live
-        worker count (0 before the first miss or with inline builds).
+        tail-replay messages streamed so far; ``remaps`` counts the
+        store-mode remap messages (the payload-free equivalent);
+        ``workers`` is the live worker count (0 before the first miss
+        or with inline builds).
         """
         with self._lock:
             pool = self._pool
@@ -1350,6 +1460,7 @@ class ClusterScoringService:
                 "ingest_batches": (
                     pool.ingest_batches if pool is not None else 0
                 ),
+                "remaps": pool.remaps if pool is not None else 0,
             }
 
     def micro_batch_stats(self) -> Dict[str, int]:

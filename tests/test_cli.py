@@ -38,11 +38,22 @@ class TestParser:
     def test_score_cluster_args(self):
         args = build_parser().parse_args(
             ["score", "--world", "w", "--model", "m", "--shards", "4",
-             "--workers", "2", "--warm-dir", "/tmp/warm", "addr1"]
+             "--workers", "2", "--warm-dir", "/tmp/warm",
+             "--store-dir", "/tmp/chain_store", "addr1"]
         )
         assert args.shards == 4
         assert args.workers == 2
         assert args.warm_dir == "/tmp/warm"
+        assert args.store_dir == "/tmp/chain_store"
+
+    def test_store_dir_requires_shards(self, capsys):
+        """--store-dir backs cluster shards; unsharded use exits 2
+        before touching the world or model paths."""
+        assert main(
+            ["score", "--world", "w", "--model", "m",
+             "--store-dir", "/tmp/chain_store", "addr1"]
+        ) == 2
+        assert "--store-dir requires --shards" in capsys.readouterr().err
 
     def test_lint_args(self):
         args = build_parser().parse_args(
@@ -178,3 +189,13 @@ class TestEndToEnd:
         assert main(cluster_args) == 0
         output = capsys.readouterr().out
         assert "misses=0" in output
+
+        # Store-backed cluster: shards read mapped chain segments and
+        # the store directory materializes on first use.
+        store_dir = tmp_path / "chain_store"
+        assert main(
+            cluster_args + ["--store-dir", str(store_dir)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert known in output
+        assert (store_dir / "manifest.json").exists()

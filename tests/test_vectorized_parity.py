@@ -343,8 +343,19 @@ class TestFeatureParity:
         matrix = sfe_matrix(bags)
         assert matrix.shape == (len(bags), 15)
         for row, bag in zip(matrix, bags):
+            # The segmented kernel sums with reduceat, np.mean with
+            # pairwise reduction; cancellation-dominated features
+            # (tilt = mean - median) keep a rounding residual
+            # proportional to the value magnitude, so the absolute
+            # floor must scale with it (1e-12 · max|v| is ~1e4 × the
+            # worst-case summation-order error for 25-value bags, and
+            # far below any meaningful feature scale).
+            magnitude = max((abs(v) for v in bag), default=1.0)
             np.testing.assert_allclose(
-                row, sfe_vector(bag), rtol=1e-9, atol=1e-9
+                row,
+                sfe_vector(bag),
+                rtol=1e-9,
+                atol=1e-9 + 1e-12 * magnitude,
             )
 
 
