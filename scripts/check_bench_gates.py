@@ -38,6 +38,9 @@ Serving gates (mirroring ``benchmarks/bench_serving_throughput.py``):
 - ``store_throughput_ratio`` >= 0.9 (the mapped column path must hold
   cold-scoring parity with the in-memory cluster — the memory saving
   may not be bought with throughput)
+- ``obs_overhead_pct``       <= 5   (a *ceiling*, not a floor: enabling
+  the ``repro.obs`` instrumentation layer may tax warm-path scoring
+  throughput by at most 5%, PR 10)
 
 A missing file or missing full-mode entry is reported but does not
 fail (fresh checkouts have no recorded trajectory until someone runs
@@ -78,6 +81,14 @@ CONDITIONAL_GATES = {
     },
 }
 
+#: Ceiling gates — ``file -> {field -> maximum}`` — for overhead
+#: budgets, where regression means the value *grew*.
+MAX_GATES = {
+    "BENCH_serving.json": {
+        "obs_overhead_pct": 5.0,
+    },
+}
+
 
 def check_file(filename: str) -> "list[str] | None":
     """Gate one results file; returns failures, or None when absent."""
@@ -97,16 +108,19 @@ def check_file(filename: str) -> "list[str] | None":
         )
         return None
     gates = [
-        (field, minimum, None)
+        (field, minimum, None, "min")
         for field, minimum in GATES.get(filename, {}).items()
     ] + [
-        (field, minimum, flag)
+        (field, minimum, flag, "min")
         for field, (flag, minimum) in CONDITIONAL_GATES.get(
             filename, {}
         ).items()
+    ] + [
+        (field, maximum, None, "max")
+        for field, maximum in MAX_GATES.get(filename, {}).items()
     ]
     failures = []
-    for field, minimum, flag in gates:
+    for field, bound, flag, direction in gates:
         value = full.get(field)
         if flag is not None and not full.get(flag):
             print(
@@ -120,20 +134,25 @@ def check_file(filename: str) -> "list[str] | None":
             failures.append(
                 f"  {filename}: {field} missing from the full-mode entry"
             )
-        elif value < minimum:
+        elif direction == "min" and value < bound:
             failures.append(
-                f"  {filename}: {field} = {value:.2f} < required {minimum}"
+                f"  {filename}: {field} = {value:.2f} < required {bound}"
+            )
+        elif direction == "max" and value > bound:
+            failures.append(
+                f"  {filename}: {field} = {value:.2f} > allowed {bound}"
             )
         else:
+            relation = ">=" if direction == "min" else "<="
             print(
-                f"bench gates: {field} = {value:.2f} (>= {minimum}) ok"
+                f"bench gates: {field} = {value:.2f} ({relation} {bound}) ok"
             )
     return failures
 
 
 def main() -> int:
     failures = []
-    for filename in GATES:
+    for filename in sorted({*GATES, *CONDITIONAL_GATES, *MAX_GATES}):
         result = check_file(filename)
         if result:
             failures.extend(result)

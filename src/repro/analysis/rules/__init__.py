@@ -6,6 +6,7 @@ from repro.analysis.rules import (  # noqa: F401  (registration side effects)
     fingerprint,
     hashing,
     locks,
+    obs,
     oracle,
     plans,
     tape,
@@ -17,6 +18,7 @@ __all__ = [
     "fingerprint",
     "hashing",
     "locks",
+    "obs",
     "oracle",
     "plans",
     "tape",

@@ -1,0 +1,144 @@
+"""obs-discipline: instrumentation goes through the ``repro.obs`` facade.
+
+The observability layer stays cheap and exportable only if every call
+site follows three conventions.  Spans must be opened with ``with
+obs.span(...):`` — constructing a :class:`repro.obs.Span` record by
+hand bypasses the enabled check, the sampling decision, and the ring
+buffer, and span() used outside a ``with`` leaks the contextvar token
+(the span never closes and every later span in the thread nests under
+it).  Metric names must be literal snake_case strings at the call
+site: the registry validates names at registration, but a literal is
+what lets the name be grepped from source straight to a Grafana
+board, and it keeps the metric namespace enumerable without running
+the code.  ``repro.obs`` itself is exempt — it is the implementation.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import FileRule, register
+
+__all__ = ["ObsDisciplineRule"]
+
+_SNAKE_CASE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: Facade functions that open spans and must appear as With items.
+_SPAN_OPENERS = (
+    "repro.obs.span",
+    "repro.obs.span_from_context",
+)
+
+#: Attribute names whose calls register metrics and need literal names.
+_METRIC_FACTORIES = ("counter", "gauge", "histogram")
+
+
+@register
+class ObsDisciplineRule(FileRule):
+    """Pin the ``repro.obs`` usage conventions across the repo."""
+
+    rule_id = "obs-discipline"
+    description = (
+        "spans only via `with obs.span(...)`; metric names must be "
+        "literal snake_case at the call site"
+    )
+    scopes = ("repro",)
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        """Flag hand-built Spans, span() outside with, non-literal names."""
+        module = context.module
+        if module == "repro.obs" or module.startswith("repro.obs."):
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            yield from self._check_span_construction(context, node)
+            yield from self._check_span_in_with(context, node)
+            yield from self._check_metric_name(context, node)
+
+    # -------------------------------------------------------------- #
+    # Individual checks
+    # -------------------------------------------------------------- #
+
+    def _check_span_construction(
+        self, context: FileContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        """Hand-constructed ``Span(...)`` records outside repro.obs."""
+        func = node.func
+        bare = isinstance(func, ast.Name) and func.id == "Span"
+        resolved = context.resolve(func)
+        via_module = resolved is not None and (
+            resolved == "repro.obs.Span"
+            or (
+                resolved.startswith("repro.obs.")
+                and resolved.endswith(".Span")
+            )
+        )
+        if bare or via_module:
+            yield Finding(
+                path=context.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule_id=self.rule_id,
+                message=(
+                    "Span records are built by the tracer — open spans "
+                    "with `with obs.span(...):` instead of constructing "
+                    "Span() directly"
+                ),
+            )
+
+    def _check_span_in_with(
+        self, context: FileContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        """``obs.span(...)`` calls must be ``with`` context expressions."""
+        resolved = context.resolve(node.func)
+        if resolved not in _SPAN_OPENERS:
+            return
+        parent = context.parent(node)
+        if isinstance(parent, ast.withitem) and parent.context_expr is node:
+            return
+        yield Finding(
+            path=context.path,
+            line=node.lineno,
+            col=node.col_offset,
+            rule_id=self.rule_id,
+            message=(
+                "obs.span(...) must be the context expression of a "
+                "`with` statement — a span held any other way leaks "
+                "its contextvar token and never closes"
+            ),
+        )
+
+    def _check_metric_name(
+        self, context: FileContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        """Metric factory calls need a literal snake_case name."""
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr not in _METRIC_FACTORIES:
+            return
+        if not node.args:
+            return
+        name = node.args[0]
+        if (
+            isinstance(name, ast.Constant)
+            and isinstance(name.value, str)
+            and _SNAKE_CASE.match(name.value)
+        ):
+            return
+        yield Finding(
+            path=context.path,
+            line=node.lineno,
+            col=node.col_offset,
+            rule_id=self.rule_id,
+            message=(
+                f"{func.attr}() metric names must be literal snake_case "
+                "strings at the call site — computed names defeat "
+                "grep-to-dashboard traceability"
+            ),
+        )

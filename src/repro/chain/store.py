@@ -64,6 +64,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.chain.block import Block
 from repro.chain.explorer import ChainIndex, TxArrays, TxRecord
 from repro.chain.serialize import transaction_from_columns
@@ -71,6 +72,12 @@ from repro.chain.transaction import Transaction
 from repro.errors import ChainStoreError
 
 __all__ = ["ChainStore", "StoreBackedChainIndex", "STORE_FORMAT_VERSION"]
+
+# Registry handles for store lifecycle events (see repro.obs).  Literal
+# snake_case names are pinned by the obs-discipline lint rule.
+_STORE_COMMITS = obs.counter("store_segment_commits_total")
+_STORE_REMAPS = obs.counter("store_remaps_total")
+_STORE_RECOVERIES = obs.counter("store_torn_tail_recoveries_total")
 
 #: Bump when the segment layout changes incompatibly.
 STORE_FORMAT_VERSION = 1
@@ -179,6 +186,7 @@ class ChainStore:
                     raise
                 # Torn tail: fall back to the last committed prefix.
                 self.recovered_tail = entry.get("name")
+                _STORE_RECOVERIES.inc()
                 if self.writable:
                     self._write_manifest(entries[:position])
         if self.writable:
@@ -238,7 +246,14 @@ class ChainStore:
                         f"{array.dtype}{array.shape}, metadata declares "
                         f"{spec['dtype']}{tuple(spec['shape'])}"
                     )
-                arrays[column] = array
+                # Serve reads through a plain-ndarray view: np.memmap's
+                # subclass machinery (__array_finalize__ on every slice,
+                # mmap bookkeeping in __getitem__) measurably taxes the
+                # per-transaction column reads of store-backed scoring.
+                # The view keeps the memmap alive as its .base, so the
+                # pages stay file-backed and shared across processes,
+                # and dropping the segment still closes the handle.
+                arrays[column] = array.view(np.ndarray)
             tx_count = int(entry["tx_count"])
             if (
                 arrays["timestamps"].shape != (tx_count,)
@@ -417,6 +432,7 @@ class ChainStore:
         entries = self._read_manifest()[: len(self._segments)] + [entry]
         self._write_manifest(entries)
         self._segments.append(self._map_segment(entry))
+        _STORE_COMMITS.inc()
         return len(fresh)
 
     def sync_from_index(self, index: ChainIndex) -> int:
@@ -497,6 +513,8 @@ class ChainStore:
                 ):
                     self._tx_ids.setdefault(txid, segment.tx_base + offset)
             mapped += 1
+        if mapped:
+            _STORE_REMAPS.inc()
         return mapped
 
     def close(self) -> None:

@@ -14,6 +14,7 @@ work from a persisted world, so the expensive simulation runs once.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -89,7 +90,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "--shards > 0)")
     score.add_argument("--stats", action="store_true",
                        help="print cache statistics after scoring")
+    score.add_argument("--stats-json", default=None, metavar="PATH",
+                       help="write the repro.obs metrics snapshot of "
+                            "the run to PATH as JSON")
+    score.add_argument("--trace-jsonl", default=None, metavar="PATH",
+                       help="write the request traces of the run to "
+                            "PATH as JSON lines (one trace per line)")
     score.add_argument("addresses", nargs="+")
+
+    stats = sub.add_parser(
+        "stats",
+        help="render a repro.obs metrics snapshot (from --stats-json)",
+    )
+    stats.add_argument("--input", required=True,
+                       help="snapshot JSON written by score --stats-json")
+    stats.add_argument("--format", choices=("json", "prometheus"),
+                       default="prometheus",
+                       help="output rendering (default: prometheus text)")
 
     lint = sub.add_parser(
         "lint",
@@ -261,7 +278,33 @@ def _cmd_score(args) -> int:
                         **row
                     )
                 )
+    if args.stats_json:
+        from repro import obs
+        from repro.obs import render_json
+
+        with open(args.stats_json, "w", encoding="utf-8") as handle:
+            handle.write(render_json(obs.snapshot()))
+            handle.write("\n")
+        print(f"stats: snapshot written to {args.stats_json}")
+    if args.trace_jsonl:
+        from repro import obs
+
+        count = obs.export_trace_jsonl(args.trace_jsonl)
+        print(f"traces: {count} written to {args.trace_jsonl}")
     service.close()
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.obs import render_json, render_prometheus
+
+    with open(args.input, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    if args.format == "json":
+        sys.stdout.write(render_json(snapshot))
+        sys.stdout.write("\n")
+    else:
+        sys.stdout.write(render_prometheus(snapshot))
     return 0
 
 
@@ -277,6 +320,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "classify": _cmd_classify,
     "score": _cmd_score,
+    "stats": _cmd_stats,
     "lint": _cmd_lint,
 }
 

@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.chain.explorer import ChainIndex
 from repro.errors import GraphConstructionError, ValidationError
 from repro.graphs.augmentation import augment_graph, augment_graphs
@@ -56,6 +57,41 @@ STAGE_NAMES = (
     "stage3_multi_compression",
     "stage4_augmentation",
 )
+
+#: Bridge from StageTimer stage names to registry histograms — the
+#: legacy per-stage accounting keeps working, and every accumulation
+#: also lands in an exportable ``repro.obs`` latency distribution.
+_STAGE_HISTOGRAMS = {
+    STAGE_NAMES[0]: obs.histogram("pipeline_stage1_extraction_seconds"),
+    STAGE_NAMES[1]: obs.histogram(
+        "pipeline_stage2_single_compression_seconds"
+    ),
+    STAGE_NAMES[2]: obs.histogram(
+        "pipeline_stage3_multi_compression_seconds"
+    ),
+    STAGE_NAMES[3]: obs.histogram("pipeline_stage4_augmentation_seconds"),
+}
+
+#: Span names per stage (``with obs.span(...)`` around each stage pass).
+_STAGE_SPANS = {
+    STAGE_NAMES[0]: "pipeline.stage1_extraction",
+    STAGE_NAMES[1]: "pipeline.stage2_single_compression",
+    STAGE_NAMES[2]: "pipeline.stage3_multi_compression",
+    STAGE_NAMES[3]: "pipeline.stage4_augmentation",
+}
+
+
+def _observe_stage(name: str, seconds: float, count: int) -> None:
+    """StageTimer observer feeding per-stage histograms.
+
+    One observation per accumulation event (a timed per-graph stage
+    entry, or one batched sweep), matching how operators read stage
+    latency distributions; the legacy per-graph *means* still come
+    from the timer itself via :func:`stage_report_from_timer`.
+    """
+    metric = _STAGE_HISTOGRAMS.get(name)
+    if metric is not None:
+        metric.observe(seconds)
 
 
 #: Config fields that tune *how fast* Stage 4 runs, not *what* it
@@ -127,7 +163,7 @@ class GraphConstructionPipeline:
 
     def __init__(self, config: "GraphPipelineConfig | None" = None):
         self.config = config or GraphPipelineConfig()
-        self.timer = StageTimer()
+        self.timer = StageTimer(observer=_observe_stage)
 
     def build(self, index: ChainIndex, address: str) -> List[ArrayGraph]:
         """All slice graphs of ``address``, fully compressed and augmented."""
@@ -169,6 +205,17 @@ class GraphConstructionPipeline:
         :func:`~repro.graphs.extraction.build_arrays_from_columns` —
         identical output, no materialised transaction objects.
         """
+        with obs.span(_STAGE_SPANS[STAGE_NAMES[0]]):
+            graphs = self._extract(index, address, slice_indices)
+        return self._compress(graphs)
+
+    def _extract(
+        self,
+        index: ChainIndex,
+        address: str,
+        slice_indices: Optional[Sequence[int]],
+    ) -> List[ArrayGraph]:
+        """Stage 1 proper: slice the history and build original arrays."""
         start = time.perf_counter()
         columns_of = getattr(index, "transaction_columns_of", None)
         if columns_of is not None:
@@ -228,7 +275,7 @@ class GraphConstructionPipeline:
                 prep_share + build_seconds,
                 count=len(graphs),
             )
-        return self._compress(graphs)
+        return graphs
 
     def _compress(self, graphs: List[ArrayGraph]) -> List[ArrayGraph]:
         """Stages 2–3 over extracted graphs, timed per graph."""
@@ -251,9 +298,10 @@ class GraphConstructionPipeline:
             if not enabled:
                 continue
             processed = []
-            for graph in graphs:
-                with self.timer.stage(name):
-                    processed.append(transform(graph))
+            with obs.span(_STAGE_SPANS[name]):
+                for graph in graphs:
+                    with self.timer.stage(name):
+                        processed.append(transform(graph))
             graphs = processed
         return graphs
 
@@ -269,18 +317,21 @@ class GraphConstructionPipeline:
         if not graphs:
             return graphs
         if self.config.batch_stage4:
-            start = time.perf_counter()
-            graphs = augment_graphs(
-                graphs, max_batch_nodes=self.config.stage4_max_batch_nodes
-            )
-            self.timer.add(
-                name, time.perf_counter() - start, count=len(graphs)
-            )
+            with obs.span(_STAGE_SPANS[name]):
+                start = time.perf_counter()
+                graphs = augment_graphs(
+                    graphs,
+                    max_batch_nodes=self.config.stage4_max_batch_nodes,
+                )
+                self.timer.add(
+                    name, time.perf_counter() - start, count=len(graphs)
+                )
             return graphs
         processed = []
-        for graph in graphs:
-            with self.timer.stage(name):
-                processed.append(augment_graph(graph))
+        with obs.span(_STAGE_SPANS[name]):
+            for graph in graphs:
+                with self.timer.stage(name):
+                    processed.append(augment_graph(graph))
         return processed
 
     def build_many(

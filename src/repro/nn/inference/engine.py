@@ -34,6 +34,7 @@ from typing import Callable, Dict, Iterator, NamedTuple, Optional, Tuple, Type
 
 import numpy as np
 
+from repro import obs
 from repro.nn.inference.arena import BufferArena, _bucket
 from repro.nn.inference.plan import ForwardPlan, PlanBuilder
 from repro.nn.module import Module
@@ -50,6 +51,14 @@ __all__ = [
     "plan_stats",
     "staging_input",
 ]
+
+
+# Registry handles for the plan cache (see repro.obs): compile/hit
+# counters aggregate across every planned module, and the arena gauge
+# tracks total plan-arena bytes via per-compile deltas.
+_PLAN_COMPILES = obs.counter("plan_compiles_total")
+_PLAN_HITS = obs.counter("plan_hits_total")
+_PLAN_ARENA_BYTES = obs.gauge("plan_arena_bytes")
 
 
 class UnsupportedLowering(Exception):
@@ -284,28 +293,37 @@ def plan_call(module: Module, method: str, *args):
             state.plans.clear()
             plan = None
         if plan is None:
-            builder = PlanBuilder(state.arena)
-            staging = state.staging
-            try:
-                views = [
-                    builder.input(
-                        a, adopt=any(a is s for s in staging.values())
+            with obs.span("infer.plan_compile"):
+                arena_before = state.arena.allocated_bytes()
+                builder = PlanBuilder(state.arena)
+                staging = state.staging
+                try:
+                    views = [
+                        builder.input(
+                            a, adopt=any(a is s for s in staging.values())
+                        )
+                        for a in arrays
+                    ]
+                    slots = [builder.object_input(o) for o in objects]
+                    outputs = lowering.build(
+                        module, builder, views, slots, extras
                     )
-                    for a in arrays
-                ]
-                slots = [builder.object_input(o) for o in objects]
-                outputs = lowering.build(module, builder, views, slots, extras)
-            except UnsupportedLowering:
-                state.plans[signature] = _UNPLANNABLE
-                return None
-            plan = builder.finish(outputs)
-            state.plans[signature] = plan
-            state.compiles += 1
-            while len(state.plans) > _PLAN_CACHE_SIZE:
-                state.plans.popitem(last=False)
+                except UnsupportedLowering:
+                    state.plans[signature] = _UNPLANNABLE
+                    return None
+                plan = builder.finish(outputs)
+                state.plans[signature] = plan
+                state.compiles += 1
+                _PLAN_COMPILES.inc()
+                _PLAN_ARENA_BYTES.add(
+                    state.arena.allocated_bytes() - arena_before
+                )
+                while len(state.plans) > _PLAN_CACHE_SIZE:
+                    state.plans.popitem(last=False)
         else:
             state.plans.move_to_end(signature)
             state.hits += 1
+            _PLAN_HITS.inc()
         return plan.run(arrays, objects)
 
 

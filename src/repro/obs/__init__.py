@@ -1,0 +1,217 @@
+"""Unified observability for the serving stack: metrics + tracing.
+
+``repro.obs`` is the one instrumentation surface the rest of the repo
+talks to.  It owns a process-global
+:class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges,
+fixed-bucket histograms; lock-striped updates; JSON / Prometheus
+export) and a process-global :class:`~repro.obs.tracing.Tracer`
+(contextvars-propagated spans, bounded ring buffer, deterministic
+sampling).  Everything is stdlib-only and import-cycle-free, so any
+layer — ``serve``, ``graphs``, ``nn.inference``, ``chain.store`` —
+can instrument itself without architectural knots.
+
+Typical instrumentation::
+
+    from repro import obs
+
+    _REQUESTS = obs.counter("serve_requests_total")
+
+    def score(self, addresses):
+        with obs.span("serve.score"):
+            _REQUESTS.inc()
+            ...
+
+Cross-process requests piggyback on existing IPC: the parent captures
+:func:`current_context` into the worker ``build`` message, the worker
+runs under :func:`span_from_context` and ships
+:func:`drain_for_shipping` back with its result, and the parent folds
+it in with :func:`absorb` — counters exactly once, spans into the
+same trace tree.  The whole layer turns into near-zero-cost no-ops
+under :func:`set_enabled` (the module-level flag is checked before
+any span allocation, and every metric update checks a shared switch).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus,
+    render_json,
+    render_prometheus,
+)
+from repro.obs.tracing import Span, Tracer, _NOOP
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "DEFAULT_BUCKETS",
+    "render_json",
+    "render_prometheus",
+    "parse_prometheus",
+    "enabled",
+    "set_enabled",
+    "configure",
+    "registry",
+    "tracer",
+    "counter",
+    "gauge",
+    "histogram",
+    "span",
+    "span_from_context",
+    "current_context",
+    "snapshot",
+    "export_traces",
+    "export_trace_jsonl",
+    "drain_for_shipping",
+    "absorb",
+    "reset",
+]
+
+_REGISTRY = MetricsRegistry()
+_TRACER = Tracer()
+
+#: Module-level master switch — checked before any span allocation.
+_ENABLED = True
+
+
+def enabled() -> bool:
+    """Whether the observability layer is currently recording."""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> bool:
+    """Flip the master switch; returns the previous state.
+
+    Disabling stops metric updates (each checks a shared switch) and
+    makes :func:`span` return a shared no-op context manager before
+    allocating anything, so steady-state serving pays only a couple
+    of attribute checks per instrumented site.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(flag)
+    _REGISTRY.set_enabled(flag)
+    return previous
+
+
+def configure(sample_rate: Optional[float] = None,
+              ring_capacity: Optional[int] = None) -> None:
+    """Adjust trace sampling rate and/or span ring capacity."""
+    _TRACER.configure(sample_rate=sample_rate, ring_capacity=ring_capacity)
+
+
+def registry() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _REGISTRY
+
+
+def tracer() -> Tracer:
+    """The process-global tracer."""
+    return _TRACER
+
+
+def counter(name: str) -> Counter:
+    """The process-global counter ``name`` (registered on first use)."""
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """The process-global gauge ``name`` (registered on first use)."""
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str, buckets=None) -> Histogram:
+    """The process-global histogram ``name`` (registered on first use)."""
+    return _REGISTRY.histogram(name, buckets)
+
+
+def span(name: str):
+    """A context manager timing ``name`` in the current request tree.
+
+    The only sanctioned way to open a span (``with obs.span(...):`` —
+    pinned by the ``obs-discipline`` lint rule).  Returns a shared
+    no-op immediately when the layer is disabled.
+    """
+    if not _ENABLED:
+        return _NOOP
+    return _TRACER.span(name)
+
+
+def span_from_context(name: str, context: Optional[Tuple[str, str]]):
+    """A span parented to a remote process's :func:`current_context`."""
+    if not _ENABLED:
+        return _NOOP
+    return _TRACER.span_from_context(name, context)
+
+
+def current_context() -> Optional[Tuple[str, str]]:
+    """The active ``(trace_id, span_id)`` pair, or ``None``.
+
+    Picklable by construction — ship it inside an existing IPC
+    message and hand it to :func:`span_from_context` on the far side.
+    """
+    if not _ENABLED:
+        return None
+    return _TRACER.current_context()
+
+
+def snapshot() -> Dict[str, Dict]:
+    """A plain-dict snapshot of the process-global registry."""
+    return _REGISTRY.snapshot()
+
+
+def export_traces() -> List[Dict]:
+    """Finished spans as nested per-trace trees."""
+    return _TRACER.export_traces()
+
+
+def export_trace_jsonl(path: str) -> int:
+    """Write the finished traces to ``path`` as JSON lines."""
+    return _TRACER.export_jsonl(path)
+
+
+def drain_for_shipping() -> Dict:
+    """Worker-side delta payload: drained metrics + finished spans.
+
+    Draining resets counters/histograms and empties the span ring, so
+    shipping one payload per build result folds every update into the
+    parent exactly once no matter how many results a worker returns.
+    """
+    return {
+        "metrics": _REGISTRY.drain(),
+        "spans": _TRACER.drain_spans(),
+    }
+
+
+def absorb(payload: Optional[Dict]) -> None:
+    """Parent-side fold of a worker's :func:`drain_for_shipping`."""
+    if not payload:
+        return
+    metrics = payload.get("metrics")
+    if metrics:
+        _REGISTRY.merge(metrics)
+    spans = payload.get("spans")
+    if spans:
+        _TRACER.adopt(spans)
+
+
+def reset() -> None:
+    """Zero every metric and drop every span (registrations kept).
+
+    Used by tests and benchmarks to isolate a measurement window, and
+    by freshly forked shard workers so counters inherited from the
+    parent's address space are not re-shipped as deltas.  The
+    enabled/disabled state is left untouched.
+    """
+    _REGISTRY.reset()
+    _TRACER.clear()

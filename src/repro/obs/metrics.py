@@ -1,0 +1,516 @@
+"""Process-global metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is deliberately tiny and dependency-free.  Three metric
+kinds cover the serving stack's needs:
+
+- :class:`Counter` — monotonic event counts (``inc``);
+- :class:`Gauge` — last-written level measurements (``set``/``add``);
+- :class:`Histogram` — fixed upper-bound buckets plus sum/count
+  (``observe``), Prometheus cumulative-``le`` style.
+
+Updates are lock-striped: each metric is pinned to one of a small pool
+of locks by a stable crc32 of its name, so unrelated hot-path updates
+rarely contend while one metric's updates stay atomic.  Metric names
+are validated once at registration (``snake_case``, enforced by the
+``obs-discipline`` lint rule at the call sites too) and never parsed
+on the hot path.
+
+Export is a plain dict (:meth:`MetricsRegistry.snapshot`) renderable
+as JSON (:func:`render_json`) or Prometheus text exposition format
+(:func:`render_prometheus`, round-trippable via
+:func:`parse_prometheus`).  Worker processes accumulate locally and
+ship deltas with :meth:`MetricsRegistry.drain` — a snapshot that
+atomically resets counters and histograms so repeated shipments fold
+into the parent (:meth:`MetricsRegistry.merge`) exactly once.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import re
+import threading
+import zlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "render_json",
+    "render_prometheus",
+    "parse_prometheus",
+]
+
+_NAME_PATTERN = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: Default histogram upper bounds (seconds-scale latencies).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Number of stripe locks shared by all metrics of a registry.
+_NUM_STRIPES = 8
+
+
+class _Switch:
+    """Shared mutable on/off flag checked by every metric update."""
+
+    __slots__ = ("on",)
+
+    def __init__(self, on: bool = True) -> None:
+        self.on = bool(on)
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "_lock", "_switch", "_value")
+
+    def __init__(self, name: str, lock: threading.Lock,
+                 switch: _Switch) -> None:
+        self.name = name
+        self._lock = lock
+        self._switch = switch
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (no-op while the owning registry is disabled)."""
+        if not self._switch.on:
+            return
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """The current count."""
+        return self._value
+
+
+class Gauge:
+    """A level measurement: last write wins, deltas via :meth:`add`.
+
+    ``_touched`` tracks whether the gauge has been written since the
+    last :meth:`MetricsRegistry.drain` — a drained payload ships only
+    touched gauges, so a worker that never writes a gauge cannot
+    clobber the parent's level with its inherited zero.
+    """
+
+    __slots__ = ("name", "_lock", "_switch", "_value", "_touched")
+
+    def __init__(self, name: str, lock: threading.Lock,
+                 switch: _Switch) -> None:
+        self.name = name
+        self._lock = lock
+        self._switch = switch
+        self._value = 0.0
+        self._touched = False
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge (no-op while disabled)."""
+        if not self._switch.on:
+            return
+        with self._lock:
+            self._value = float(value)
+            self._touched = True
+
+    def add(self, delta: float) -> None:
+        """Shift the gauge by ``delta`` (no-op while disabled)."""
+        if not self._switch.on:
+            return
+        with self._lock:
+            self._value += float(delta)
+            self._touched = True
+
+    @property
+    def value(self) -> float:
+        """The current level."""
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket distribution with cumulative-``le`` export.
+
+    ``buckets`` are the finite upper bounds; an implicit ``+Inf``
+    bucket catches the overflow, so ``counts`` has ``len(buckets)+1``
+    cells.  Exported counts are cumulative (Prometheus convention).
+    """
+
+    __slots__ = ("name", "buckets", "_lock", "_switch", "_counts", "_sum")
+
+    def __init__(self, name: str, buckets: Tuple[float, ...],
+                 lock: threading.Lock, switch: _Switch) -> None:
+        self.name = name
+        self.buckets = buckets
+        self._lock = lock
+        self._switch = switch
+        self._counts = [0] * (len(buckets) + 1)
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one sample (no-op while disabled)."""
+        if not self._switch.on:
+            return
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+
+    @property
+    def count(self) -> int:
+        """Total number of recorded samples."""
+        return sum(self._counts)
+
+    @property
+    def sum(self) -> float:
+        """Sum of all recorded sample values."""
+        return self._sum
+
+
+class MetricsRegistry:
+    """A named family of counters, gauges, and histograms.
+
+    Metric accessors (:meth:`counter` / :meth:`gauge` /
+    :meth:`histogram`) register on first use and return the same
+    object afterwards; re-registering a name as a different kind (or a
+    histogram with different buckets) raises
+    :class:`~repro.errors.ValidationError`.  Hot call sites should
+    keep the returned metric object rather than re-looking it up.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._switch = _Switch(enabled)
+        self._meta_lock = threading.Lock()
+        self._stripes = tuple(
+            threading.Lock() for _ in range(_NUM_STRIPES)
+        )
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+
+    def _stripe(self, name: str) -> threading.Lock:
+        return self._stripes[
+            zlib.crc32(name.encode("ascii")) % _NUM_STRIPES
+        ]
+
+    def _validate(self, name: str, kind: str) -> None:
+        if not _NAME_PATTERN.match(name):
+            raise ValidationError(
+                f"metric name {name!r} is not snake_case "
+                "(^[a-z][a-z0-9_]*$)"
+            )
+        for family, label in (
+            (self._counters, "counter"),
+            (self._gauges, "gauge"),
+            (self._histograms, "histogram"),
+        ):
+            if label != kind and name in family:
+                raise ValidationError(
+                    f"metric {name!r} already registered as a {label}, "
+                    f"cannot re-register as a {kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name``, registering it on first use."""
+        with self._meta_lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                self._validate(name, "counter")
+                metric = Counter(name, self._stripe(name), self._switch)
+                self._counters[name] = metric
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name``, registering it on first use."""
+        with self._meta_lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                self._validate(name, "gauge")
+                metric = Gauge(name, self._stripe(name), self._switch)
+                self._gauges[name] = metric
+            return metric
+
+    def histogram(self, name: str,
+                  buckets: Optional[Iterable[float]] = None) -> Histogram:
+        """The histogram named ``name``, registering it on first use.
+
+        ``buckets`` (finite upper bounds, strictly increasing) default
+        to :data:`DEFAULT_BUCKETS`; passing different buckets for an
+        already registered name raises.
+        """
+        bounds = (
+            DEFAULT_BUCKETS if buckets is None else tuple(
+                float(b) for b in buckets
+            )
+        )
+        if list(bounds) != sorted(set(bounds)):
+            raise ValidationError(
+                f"histogram {name!r} buckets must be strictly "
+                f"increasing, got {bounds}"
+            )
+        with self._meta_lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                self._validate(name, "histogram")
+                metric = Histogram(
+                    name, bounds, self._stripe(name), self._switch
+                )
+                self._histograms[name] = metric
+            elif buckets is not None and metric.buckets != bounds:
+                raise ValidationError(
+                    f"histogram {name!r} already registered with "
+                    f"buckets {metric.buckets}, got {bounds}"
+                )
+            return metric
+
+    # ------------------------------------------------------------------ #
+    # Enable / disable
+    # ------------------------------------------------------------------ #
+
+    @property
+    def enabled(self) -> bool:
+        """Whether updates are currently recorded."""
+        return self._switch.on
+
+    def set_enabled(self, flag: bool) -> None:
+        """Turn recording on or off for every metric at once."""
+        self._switch.on = bool(flag)
+
+    # ------------------------------------------------------------------ #
+    # Export / merge
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """A plain-dict copy of every metric's current state."""
+        with self._meta_lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+        out: Dict[str, Dict] = {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        for metric in counters:
+            with metric._lock:
+                out["counters"][metric.name] = metric._value
+        for metric in gauges:
+            with metric._lock:
+                out["gauges"][metric.name] = metric._value
+        for metric in histograms:
+            with metric._lock:
+                out["histograms"][metric.name] = {
+                    "buckets": list(metric.buckets),
+                    "counts": list(metric._counts),
+                    "sum": metric._sum,
+                }
+        return out
+
+    def drain(self) -> Dict[str, Dict]:
+        """Snapshot-and-reset for delta shipping.
+
+        Counters and histograms are zeroed under their locks as they
+        are read, so a sequence of ``drain()`` calls partitions the
+        recorded activity: merging every drained snapshot into another
+        registry folds each update in exactly once.  Gauges are levels,
+        not flows: their values are reported rather than reset, and
+        only gauges *written* since the last drain are shipped — an
+        untouched gauge must not overwrite the receiver's level.
+        """
+        with self._meta_lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+        out: Dict[str, Dict] = {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        for metric in counters:
+            with metric._lock:
+                if metric._value:
+                    out["counters"][metric.name] = metric._value
+                metric._value = 0
+        for metric in gauges:
+            with metric._lock:
+                if metric._touched:
+                    out["gauges"][metric.name] = metric._value
+                    metric._touched = False
+        for metric in histograms:
+            with metric._lock:
+                if any(metric._counts):
+                    out["histograms"][metric.name] = {
+                        "buckets": list(metric.buckets),
+                        "counts": list(metric._counts),
+                        "sum": metric._sum,
+                    }
+                metric._counts = [0] * len(metric._counts)
+                metric._sum = 0.0
+        return out
+
+    def merge(self, snapshot: Dict[str, Dict]) -> None:
+        """Fold a snapshot/drain dict into this registry.
+
+        Counters and histogram cells add; gauges take the incoming
+        value (last write wins).  Metrics absent locally are
+        registered on the fly, so a parent can absorb a worker's
+        drain without pre-declaring every name.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            metric = self.counter(name)
+            with metric._lock:
+                metric._value += int(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            metric = self.gauge(name)
+            with metric._lock:
+                metric._value = float(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            metric = self.histogram(name, data["buckets"])
+            if len(data["counts"]) != len(metric._counts):
+                raise ValidationError(
+                    f"histogram {name!r} merge with mismatched bucket "
+                    f"count {len(data['counts'])} != "
+                    f"{len(metric._counts)}"
+                )
+            with metric._lock:
+                for index, count in enumerate(data["counts"]):
+                    metric._counts[index] += int(count)
+                metric._sum += float(data["sum"])
+
+    def reset(self) -> None:
+        """Zero every metric in place (registrations are kept).
+
+        Existing metric objects stay valid — call sites that cached a
+        :class:`Counter` keep incrementing the same cell — so tests
+        and benchmarks can isolate a measurement window.
+        """
+        with self._meta_lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+        for metric in counters:
+            with metric._lock:
+                metric._value = 0
+        for metric in gauges:
+            with metric._lock:
+                metric._value = 0.0
+                metric._touched = False
+        for metric in histograms:
+            with metric._lock:
+                metric._counts = [0] * len(metric._counts)
+                metric._sum = 0.0
+
+
+# ---------------------------------------------------------------------- #
+# Renderers
+# ---------------------------------------------------------------------- #
+
+
+def render_json(snapshot: Dict[str, Dict], indent: int = 2) -> str:
+    """Render a snapshot dict as deterministic (sorted-key) JSON."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+def _format_bound(bound: float) -> str:
+    return repr(float(bound))
+
+
+def render_prometheus(snapshot: Dict[str, Dict]) -> str:
+    """Render a snapshot in Prometheus text exposition format.
+
+    Histogram bucket counts are emitted cumulatively with ``le``
+    labels plus the ``+Inf`` bucket, ``_sum``, and ``_count`` series,
+    matching what a Prometheus scraper expects.  The output parses
+    back to the same snapshot via :func:`parse_prometheus`.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        value = snapshot["counters"][name]
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {int(value)}")
+    for name in sorted(snapshot.get("gauges", {})):
+        value = snapshot["gauges"][name]
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {repr(float(value))}")
+    for name in sorted(snapshot.get("histograms", {})):
+        data = snapshot["histograms"][name]
+        lines.append(f"# TYPE {name} histogram")
+        cumulative = 0
+        for bound, count in zip(data["buckets"], data["counts"]):
+            cumulative += int(count)
+            lines.append(
+                f'{name}_bucket{{le="{_format_bound(bound)}"}} '
+                f"{cumulative}"
+            )
+        cumulative += int(data["counts"][-1])
+        lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{name}_sum {repr(float(data['sum']))}")
+        lines.append(f"{name}_count {cumulative}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict]:
+    """Parse :func:`render_prometheus` output back into a snapshot.
+
+    Only the subset this module emits is supported (one unlabeled
+    series per counter/gauge, cumulative ``le`` buckets per
+    histogram); it exists so the exposition format is pinned by a
+    round-trip test rather than by eyeball.
+    """
+    out: Dict[str, Dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+    kinds: Dict[str, str] = {}
+    buckets: Dict[str, List[Tuple[str, int]]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split()
+            kinds[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        series, value = line.rsplit(" ", 1)
+        if "{" in series:
+            base, label = series.split("{", 1)
+            if not base.endswith("_bucket"):
+                raise ValidationError(
+                    f"unsupported labeled series {series!r}"
+                )
+            name = base[: -len("_bucket")]
+            bound = label[len('le="'):-len('"}')]
+            buckets.setdefault(name, []).append((bound, int(value)))
+            continue
+        if series.endswith("_sum") and kinds.get(series[:-4]) == "histogram":
+            name = series[:-4]
+            out["histograms"].setdefault(name, {})["sum"] = float(value)
+            continue
+        if (series.endswith("_count")
+                and kinds.get(series[:-6]) == "histogram"):
+            continue
+        kind = kinds.get(series)
+        if kind == "counter":
+            out["counters"][series] = int(value)
+        elif kind == "gauge":
+            out["gauges"][series] = float(value)
+        else:
+            raise ValidationError(
+                f"series {series!r} has no preceding # TYPE line"
+            )
+    for name, pairs in buckets.items():
+        bounds = [float(b) for b, _ in pairs if b != "+Inf"]
+        cumulative = [c for _, c in pairs]
+        counts = [cumulative[0]] + [
+            cumulative[i] - cumulative[i - 1]
+            for i in range(1, len(cumulative))
+        ]
+        out["histograms"].setdefault(name, {}).update(
+            {"buckets": bounds, "counts": counts}
+        )
+        out["histograms"][name].setdefault("sum", 0.0)
+    return out

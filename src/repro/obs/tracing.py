@@ -1,0 +1,330 @@
+"""Request tracing: contextvars-propagated spans with a bounded ring.
+
+A *span* is one timed region of a request (``with obs.span("serve.
+build")``).  Spans opened while another span is active become its
+children via a :data:`contextvars.ContextVar`, so one ``score`` /
+``async_score`` request yields a single tree no matter how many
+helpers it flows through.  Crossing a process boundary works by
+value: the parent captures :meth:`Tracer.current_context` (a plain
+picklable tuple), ships it inside the existing worker ``build``
+message, and the worker opens its spans under that remote parent with
+:meth:`Tracer.span_from_context`; the worker's finished spans travel
+back piggybacked on the build result and are adopted into the parent
+ring (:meth:`Tracer.adopt`), giving one exportable tree spanning both
+processes.
+
+Finished spans land in a bounded ring buffer (old traces fall off the
+back) and export as nested trees (:meth:`Tracer.export_traces`) or
+JSON lines, one trace per line (:meth:`Tracer.export_jsonl`).
+Sampling is deterministic — a rate accumulator, not an RNG — and is
+decided once per trace at the root: an unsampled root records nothing
+and marks the whole context unsampled so descendants skip themselves
+without fragmenting into new traces.  When tracing is disabled the
+span entry points return a shared no-op context manager before
+allocating anything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Span", "Tracer"]
+
+#: The active span context of the current thread/async task.
+_ACTIVE: ContextVar[Optional["_Context"]] = ContextVar(
+    "repro_obs_active_span", default=None
+)
+
+
+class _Context:
+    """Propagated span context: trace id, parent span id, sampled bit."""
+
+    __slots__ = ("trace_id", "span_id", "sampled")
+
+    def __init__(self, trace_id: str, span_id: str, sampled: bool) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.sampled = sampled
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+class Span:
+    """One finished timed region; a record, not a context manager.
+
+    Spans are only constructed inside ``repro.obs`` (enforced by the
+    ``obs-discipline`` lint rule) — instrumented code opens them with
+    ``with obs.span(name):`` and never touches this class directly.
+    ``start``/``end`` are wall-clock epoch seconds so spans from
+    different processes on one host order sensibly.
+    """
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id", "start", "end", "pid",
+    )
+
+    def __init__(self, name: str, trace_id: str, span_id: str,
+                 parent_id: Optional[str], start: float, end: float,
+                 pid: int) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end = end
+        self.pid = pid
+
+    def to_dict(self) -> Dict:
+        """A plain-dict form (picklable, JSON-serializable)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.end - self.start,
+            "pid": self.pid,
+        }
+
+
+class _ActiveSpan:
+    """Context manager recording one span into its tracer's ring."""
+
+    __slots__ = (
+        "_tracer", "_name", "_remote", "_token", "_ctx", "_parent_id",
+        "_start",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 remote: Optional[Tuple[str, str]] = None) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._remote = remote
+        self._token = None
+        self._ctx: Optional[_Context] = None
+        self._parent_id: Optional[str] = None
+        self._start = 0.0
+
+    def __enter__(self) -> "_ActiveSpan":
+        tracer = self._tracer
+        if self._remote is not None:
+            trace_id, parent_id = self._remote
+            ctx = _Context(trace_id, tracer._next_id(), True)
+        else:
+            parent = _ACTIVE.get()
+            if parent is None:
+                sampled = tracer._sample()
+                ctx = _Context(
+                    tracer._next_id() if sampled else "",
+                    tracer._next_id() if sampled else "",
+                    sampled,
+                )
+                parent_id = None
+            else:
+                ctx = _Context(
+                    parent.trace_id,
+                    tracer._next_id() if parent.sampled else "",
+                    parent.sampled,
+                )
+                parent_id = parent.span_id
+        self._ctx = ctx
+        self._parent_id = parent_id
+        self._token = _ACTIVE.set(ctx)
+        if ctx.sampled:
+            self._start = time.time()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _ACTIVE.reset(self._token)
+        ctx = self._ctx
+        if ctx is None or not ctx.sampled:
+            return
+        self._tracer._record(
+            Span(
+                self._name, ctx.trace_id, ctx.span_id, self._parent_id,
+                self._start, time.time(), os.getpid(),
+            )
+        )
+
+
+class Tracer:
+    """Owns the finished-span ring, id generation, and sampling."""
+
+    def __init__(self, ring_capacity: int = 4096,
+                 sample_rate: float = 1.0) -> None:
+        self._lock = threading.Lock()
+        self._finished: "deque[Dict]" = deque(maxlen=int(ring_capacity))
+        self._sequence = 0
+        self._accumulator = 0.0
+        self._sample_rate = float(sample_rate)
+
+    # ------------------------------------------------------------------ #
+    # Configuration
+    # ------------------------------------------------------------------ #
+
+    @property
+    def sample_rate(self) -> float:
+        """Fraction of root spans that start a recorded trace."""
+        return self._sample_rate
+
+    def configure(self, sample_rate: Optional[float] = None,
+                  ring_capacity: Optional[int] = None) -> None:
+        """Adjust sampling and/or ring capacity in place.
+
+        Changing the capacity re-seats the ring and keeps the newest
+        spans that fit; sampling only affects traces rooted after the
+        call.
+        """
+        with self._lock:
+            if sample_rate is not None:
+                if not 0.0 <= sample_rate <= 1.0:
+                    raise ValueError(
+                        f"sample_rate must be in [0, 1], got {sample_rate}"
+                    )
+                self._sample_rate = float(sample_rate)
+                self._accumulator = 0.0
+            if ring_capacity is not None:
+                self._finished = deque(
+                    self._finished, maxlen=int(ring_capacity)
+                )
+
+    # ------------------------------------------------------------------ #
+    # Span entry points
+    # ------------------------------------------------------------------ #
+
+    def span(self, name: str):
+        """A context manager timing ``name`` under the active context."""
+        return _ActiveSpan(self, name)
+
+    def span_from_context(self, name: str,
+                          context: Optional[Tuple[str, str]]):
+        """A span parented to a remote (cross-process) context.
+
+        ``context`` is a ``(trace_id, parent_span_id)`` pair captured
+        by :meth:`current_context` in another process; ``None`` (the
+        parent was unsampled or disabled) yields a no-op.
+        """
+        if context is None:
+            return _NOOP
+        return _ActiveSpan(self, name, remote=tuple(context))
+
+    def current_context(self) -> Optional[Tuple[str, str]]:
+        """The active ``(trace_id, span_id)``, picklable for shipping.
+
+        ``None`` when no span is active or the trace is unsampled —
+        receivers treat that as "do not record".
+        """
+        ctx = _ACTIVE.get()
+        if ctx is None or not ctx.sampled:
+            return None
+        return (ctx.trace_id, ctx.span_id)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _next_id(self) -> str:
+        with self._lock:
+            self._sequence += 1
+            sequence = self._sequence
+        return f"{os.getpid():x}.{sequence:x}"
+
+    def _sample(self) -> bool:
+        with self._lock:
+            self._accumulator += self._sample_rate
+            if self._accumulator >= 1.0 - 1e-12:
+                self._accumulator -= 1.0
+                return True
+            return False
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._finished.append(span.to_dict())
+
+    # ------------------------------------------------------------------ #
+    # Export / shipping
+    # ------------------------------------------------------------------ #
+
+    def finished_spans(self) -> List[Dict]:
+        """A copy of the ring's span dicts, oldest first."""
+        with self._lock:
+            return list(self._finished)
+
+    def drain_spans(self) -> List[Dict]:
+        """Remove and return every finished span (delta shipping)."""
+        with self._lock:
+            spans = list(self._finished)
+            self._finished.clear()
+        return spans
+
+    def adopt(self, spans: List[Dict]) -> None:
+        """Append spans recorded elsewhere (a worker's drain)."""
+        with self._lock:
+            self._finished.extend(spans)
+
+    def clear(self) -> None:
+        """Drop every finished span."""
+        with self._lock:
+            self._finished.clear()
+
+    def export_traces(self) -> List[Dict]:
+        """Finished spans grouped per trace and nested into trees.
+
+        Each entry is ``{"trace_id": ..., "spans": [roots...]}`` where
+        every span dict gains a ``children`` list (sorted by start
+        time).  A span whose parent fell off the ring (or lives in
+        another process's ring) surfaces as an extra root of its
+        trace rather than being dropped.
+        """
+        spans = self.finished_spans()
+        by_trace: Dict[str, List[Dict]] = {}
+        for span in spans:
+            by_trace.setdefault(span["trace_id"], []).append(span)
+        traces = []
+        for trace_id, members in by_trace.items():
+            nodes = {
+                span["span_id"]: dict(span, children=[])
+                for span in members
+            }
+            roots = []
+            for span in members:
+                node = nodes[span["span_id"]]
+                parent = span.get("parent_id")
+                if parent is not None and parent in nodes:
+                    nodes[parent]["children"].append(node)
+                else:
+                    roots.append(node)
+            for node in nodes.values():
+                node["children"].sort(key=lambda child: child["start"])
+            roots.sort(key=lambda root: root["start"])
+            traces.append({"trace_id": trace_id, "spans": roots})
+        return traces
+
+    def export_jsonl(self, path: str) -> int:
+        """Write one JSON line per trace tree; returns the trace count."""
+        traces = self.export_traces()
+        with open(path, "w", encoding="utf-8") as handle:
+            for trace in traces:
+                handle.write(json.dumps(trace, sort_keys=True))
+                handle.write("\n")
+        return len(traces)

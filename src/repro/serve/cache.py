@@ -47,15 +47,24 @@ from typing import (
     Generic,
     Iterable,
     List,
+    NamedTuple,
     Optional,
     Set,
     Tuple,
     TypeVar,
 )
 
+from repro import obs
 from repro.errors import ValidationError
 
-__all__ = ["CacheKey", "CacheStats", "SliceGraphCache"]
+__all__ = [
+    "CacheKey",
+    "CacheStats",
+    "CacheMetrics",
+    "SliceGraphCache",
+    "slice_cache_metrics",
+    "embedding_cache_metrics",
+]
 
 #: ``(address, slice_index, pipeline fingerprint)``.
 CacheKey = Tuple[str, int, str]
@@ -115,6 +124,42 @@ class CacheStats:
         return total
 
 
+class CacheMetrics(NamedTuple):
+    """Registry counters a cache increments alongside its ``stats``.
+
+    The legacy per-cache :class:`CacheStats` object stays the
+    source of per-instance truth (shard breakdowns, hit rates); the
+    bound registry counters aggregate the same events across every
+    cache of the same tier into the process-global
+    :mod:`repro.obs` registry, which is what gets exported.
+    """
+
+    hits: obs.Counter
+    misses: obs.Counter
+    evictions: obs.Counter
+    invalidations: obs.Counter
+
+
+def slice_cache_metrics() -> CacheMetrics:
+    """Registry counters for the encoded-slice-graph cache tier."""
+    return CacheMetrics(
+        hits=obs.counter("cache_slice_hits_total"),
+        misses=obs.counter("cache_slice_misses_total"),
+        evictions=obs.counter("cache_slice_evictions_total"),
+        invalidations=obs.counter("cache_slice_invalidations_total"),
+    )
+
+
+def embedding_cache_metrics() -> CacheMetrics:
+    """Registry counters for the per-slice embedding cache tier."""
+    return CacheMetrics(
+        hits=obs.counter("cache_embedding_hits_total"),
+        misses=obs.counter("cache_embedding_misses_total"),
+        evictions=obs.counter("cache_embedding_evictions_total"),
+        invalidations=obs.counter("cache_embedding_invalidations_total"),
+    )
+
+
 def _payload_nbytes(payload) -> int:
     """Best-effort byte size of a payload (0 when it does not report one)."""
     return int(getattr(payload, "nbytes", 0) or 0)
@@ -135,11 +180,19 @@ class SliceGraphCache(Generic[P]):
     which is entry-count LRU.
     """
 
-    def __init__(self, capacity: int = 4096):
+    def __init__(self, capacity: int = 4096,
+                 metrics: Optional[CacheMetrics] = None):
         if capacity <= 0:
             raise ValidationError(f"capacity must be > 0, got {capacity}")
         self.capacity = capacity
         self.stats = CacheStats()
+        self._metrics = metrics
+        #: Hit/miss deltas not yet pushed into the registry counters.
+        #: The lookup fast path bumps these plain ints under the mutex
+        #: it already holds; :meth:`flush_metrics` ships them in one
+        #: locked increment per counter instead of one per slice.
+        self._pending_hits = 0
+        self._pending_misses = 0
         #: Leaf lock: serialises every public method, never held across
         #: a call out of the cache.  RLock so ``import_entries`` can
         #: route through ``put``.
@@ -173,16 +226,40 @@ class SliceGraphCache(Generic[P]):
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
+                self._pending_misses += 1
                 return None
             self._entries.move_to_end(key)
             self._record_nbytes(key, entry)
             self.stats.hits += 1
+            self._pending_hits += 1
             return entry
 
     def note_miss(self, count: int = 1) -> None:
         """Count ``count`` lookups the caller skipped as known-stale."""
         with self._mutex:
             self.stats.misses += count
+            self._pending_misses += count
+
+    def flush_metrics(self) -> None:
+        """Push batched hit/miss deltas into the registry counters.
+
+        The serving layer calls this once per scoring request: lookups
+        are per-slice (hundreds per warm request), so incrementing the
+        lock-striped registry counters inline would tax the hot path —
+        the ``obs_overhead_pct`` budget of the serving benchmark.
+        Deltas accumulated while the registry is disabled are dropped
+        here (``inc`` no-ops), matching the drop-when-disabled
+        semantics of every other metric update.
+        """
+        if self._metrics is None:
+            return
+        with self._mutex:
+            hits, self._pending_hits = self._pending_hits, 0
+            misses, self._pending_misses = self._pending_misses, 0
+        if hits:
+            self._metrics.hits.inc(hits)
+        if misses:
+            self._metrics.misses.inc(misses)
 
     def put(self, key: CacheKey, payload: P) -> None:
         """Insert (or refresh) ``key``, evicting LRU entries over capacity."""
@@ -197,6 +274,8 @@ class SliceGraphCache(Generic[P]):
                 self._drop_accounting(evicted_key)
                 self._discard_address_key(evicted_key)
                 self.stats.evictions += 1
+                if self._metrics is not None:
+                    self._metrics.evictions.inc()
 
     def invalidate_address(self, address: str, from_slice: int = 0) -> int:
         """Drop cached slices of ``address`` with index >= ``from_slice``.
@@ -216,6 +295,8 @@ class SliceGraphCache(Generic[P]):
             if not keys:
                 del self._by_address[address]
             self.stats.invalidations += len(stale)
+            if self._metrics is not None:
+                self._metrics.invalidations.inc(len(stale))
             return len(stale)
 
     def clear(self) -> None:

@@ -83,6 +83,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.chain.block import Block
 from repro.chain.chain import Blockchain
 from repro.chain.explorer import ChainIndex
@@ -96,10 +97,18 @@ from repro.graphs.pipeline import (
     stage_report_from_timer,
     worker_build_slices,
 )
-from repro.serve.cache import CacheStats, SliceGraphCache
+from repro.serve.cache import (
+    CacheStats,
+    SliceGraphCache,
+    embedding_cache_metrics,
+    slice_cache_metrics,
+)
 from repro.serve.router import DEFAULT_PREFIX_LENGTH, ShardRouter
 from repro.serve.service import (
     AddressScore,
+    _SERVE_ADDRESSES,
+    _SERVE_REQUESTS,
+    _SERVE_SECONDS,
     _class_name_mapping,
     _export_warm_state,
     _import_warm_state,
@@ -112,6 +121,32 @@ from repro.serve.store import CacheStore, encoder_version
 from repro.utils.timer import StageTimer
 
 __all__ = ["ClusterConfig", "ClusterScoringService"]
+
+#: Cluster-layer registry metrics (process-global; see ``repro.obs``).
+#: The legacy accessors — ``pool_stats()``, ``micro_batch_stats()``,
+#: per-shard ``CacheStats`` — stay the per-instance views; these
+#: aggregate the same events for export, incremented at the same
+#: sites, so the two surfaces cannot drift.
+_SHARD_LOCK_WAIT = obs.histogram("shard_lock_wait_seconds")
+_SHARD_RETRIES = obs.counter("shard_version_retries_total")
+_POOL_STARTS = obs.counter("pool_starts_total")
+_POOL_WORKERS = obs.gauge("pool_workers")
+_POOL_INGESTS = obs.counter("pool_ingest_batches_total")
+_POOL_REMAPS = obs.counter("pool_remaps_total")
+_MB_REQUESTS = obs.counter("micro_batch_requests_total")
+_MB_BATCHES = obs.counter("micro_batches_total")
+_MB_BATCHED = obs.counter("micro_batched_requests_total")
+
+
+def _observe_lock_wait(wait_start: float) -> None:
+    """Record time spent waiting on a shard lock.
+
+    Called as the first statement inside ``with shard.lock`` blocks on
+    the query path, with ``wait_start`` read just before the ``with``
+    — the delta is the acquisition wait (plus nanoseconds of entry
+    overhead), the operational signal for shard contention.
+    """
+    _SHARD_LOCK_WAIT.observe(time.perf_counter() - wait_start)
 
 
 @dataclass(frozen=True)
@@ -263,10 +298,13 @@ class _Shard:
         self.index = index
         self.pipeline = GraphConstructionPipeline(pipeline_config)
         self.cache: SliceGraphCache[EncodedGraph] = SliceGraphCache(
-            config.cache_capacity
+            config.cache_capacity, metrics=slice_cache_metrics()
         )
         self.embeddings: Optional[SliceGraphCache[np.ndarray]] = (
-            SliceGraphCache(config.embedding_cache_capacity)
+            SliceGraphCache(
+                config.embedding_cache_capacity,
+                metrics=embedding_cache_metrics(),
+            )
             if config.embedding_cache
             else None
         )
@@ -298,7 +336,9 @@ class _Shard:
         consistent with — :meth:`commit_members` refuses the results if
         the shard has moved on since.
         """
+        wait_start = time.perf_counter()
         with self.lock:
+            _observe_lock_wait(wait_start)
             version = self.version
             counts: Dict[str, int] = {}
             plans: Dict[
@@ -339,7 +379,9 @@ class _Shard:
         appends against in-flight queries without holding any lock
         across construction.
         """
+        wait_start = time.perf_counter()
         with self.lock:
+            _observe_lock_wait(wait_start)
             if self.version != version:
                 return None
             sequences: Dict[str, List[EncodedGraph]] = {}
@@ -482,7 +524,15 @@ def _worker_main(
     but the one-word message crosses the process boundary; ``build``
     runs the usual per-shard miss construction and ships encoded graphs
     back on the shared result queue; ``stop`` exits the loop.
+
+    Observability rides the same messages: each ``build`` carries the
+    parent's trace context, the worker runs the construction under a
+    ``worker.build`` span parented to it, and every result ships the
+    worker's drained metric/span deltas back — no extra IPC.  The
+    reset below matters under fork: the child inherits the parent's
+    registry *values*, which must not be re-shipped as deltas.
     """
+    obs.reset()
     while True:
         message = tasks.get()
         kind = message[0]
@@ -497,25 +547,34 @@ def _worker_main(
             for index in indexes:
                 index.remap()
             continue
-        _, seq, shard_id, requests = message
+        _, seq, shard_id, requests, trace_context = message
         try:
-            index = indexes[shard_id]
-            graphs_by_address, timer = worker_build_slices(
-                index, dict(requests), pipeline_config
+            with obs.span_from_context("worker.build", trace_context):
+                index = indexes[shard_id]
+                graphs_by_address, timer = worker_build_slices(
+                    index, dict(requests), pipeline_config
+                )
+                encoded: Dict[str, List[EncodedGraph]] = {}
+                for address, graphs in graphs_by_address.items():
+                    rows = [encode_graph(graph) for graph in graphs]
+                    if gfn_k is not None:
+                        for row in rows:
+                            augment_features(row, gfn_k)
+                    encoded[address] = rows
+            results.put(
+                (seq, encoded, timer, None, obs.drain_for_shipping())
             )
-            encoded: Dict[str, List[EncodedGraph]] = {}
-            for address, graphs in graphs_by_address.items():
-                rows = [encode_graph(graph) for graph in graphs]
-                if gfn_k is not None:
-                    for row in rows:
-                        augment_features(row, gfn_k)
-                encoded[address] = rows
-            results.put((seq, encoded, timer, None))
         except Exception as error:  # repro: lint-ignore[broad-except]
             # Process boundary: the failure must travel back as data or
             # the parent's future never resolves.
             results.put(
-                (seq, None, None, f"{type(error).__name__}: {error}")
+                (
+                    seq,
+                    None,
+                    None,
+                    f"{type(error).__name__}: {error}",
+                    obs.drain_for_shipping(),
+                )
             )
 
 
@@ -609,9 +668,17 @@ class _WorkerPool:
             return self._remaps
 
     def submit(
-        self, shard_id: int, requests: Dict[str, List[int]]
+        self,
+        shard_id: int,
+        requests: Dict[str, List[int]],
+        trace_context: Optional[Tuple[str, str]] = None,
     ) -> Future:
-        """Queue one shard's miss-build; resolves to ``(encoded, timer)``."""
+        """Queue one shard's miss-build; resolves to ``(encoded, timer)``.
+
+        ``trace_context`` (the submitter's ``obs.current_context()``)
+        rides inside the build message so the worker's construction
+        span lands in the same request trace.
+        """
         with self._lock:
             if self._closed:
                 raise RuntimeError("worker pool is closed")
@@ -621,7 +688,9 @@ class _WorkerPool:
             future: Future = Future()
             self._pending[seq] = future
             self._assigned[seq] = worker_id
-        self._tasks[worker_id].put(("build", seq, shard_id, requests))
+        self._tasks[worker_id].put(
+            ("build", seq, shard_id, requests, trace_context)
+        )
         return future
 
     def send_ingest(
@@ -640,6 +709,7 @@ class _WorkerPool:
             if self._closed:
                 return
             self._ingest_batches += 1
+        _POOL_INGESTS.inc()
         for tasks in self._tasks:
             tasks.put(("ingest", list(tail)))
 
@@ -657,6 +727,7 @@ class _WorkerPool:
             if self._closed:
                 return
             self._remaps += 1
+        _POOL_REMAPS.inc()
         for tasks in self._tasks:
             tasks.put(("remap",))
 
@@ -672,7 +743,11 @@ class _WorkerPool:
                         return
                 self._fail_dead_workers()
                 continue
-            seq, encoded, timer, error = message
+            seq, encoded, timer, error, obs_payload = message
+            # Fold the worker's metric/span deltas in *before* the
+            # future resolves, so a caller inspecting traces right
+            # after ``score()`` returns sees the worker spans.
+            obs.absorb(obs_payload)
             with self._lock:
                 future = self._pending.pop(seq, None)
                 self._assigned.pop(seq, None)
@@ -801,6 +876,7 @@ class _MicroBatcher:
                 return request.future
             self._queue.append(request)
             self._requests += 1
+            _MB_REQUESTS.inc()
             self._condition.notify()
         return request.future
 
@@ -854,6 +930,8 @@ class _MicroBatcher:
                 self._batches += 1
                 self._batched_requests += len(batch)
                 self._max_batch = max(self._max_batch, len(batch))
+                _MB_BATCHES.inc()
+                _MB_BATCHED.inc(len(batch))
             executor = self._cluster._ensure_async_executor()
             executor.submit(self._execute, batch)
 
@@ -1245,6 +1323,28 @@ class ClusterScoringService:
         """
         if not addresses:
             return {}
+        request_start = time.perf_counter()
+        with obs.span("serve.score"):
+            _SERVE_REQUESTS.inc()
+            _SERVE_ADDRESSES.inc(len(addresses))
+            scores = self._score_addresses_traced(addresses)
+        _SERVE_SECONDS.observe(time.perf_counter() - request_start)
+        # Ship the request's batched cache hit/miss deltas into the
+        # registry.  Only the shards this request touched: taking every
+        # shard's lock here would reintroduce exactly the cross-shard
+        # contention the per-shard locking design removed.
+        for shard_id in sorted(self.router.partition(addresses)):
+            shard = self.shards[shard_id]
+            with shard.lock:
+                shard.cache.flush_metrics()
+                if shard.embeddings is not None:
+                    shard.embeddings.flush_metrics()
+        return scores
+
+    def _score_addresses_traced(
+        self, addresses: List[str]
+    ) -> Dict[str, AddressScore]:
+        """The :meth:`_score_addresses` body, run under ``serve.score``."""
         with self._lock:
             self._refresh_stale_shards_locked()
             connected = self._chain is not None
@@ -1260,38 +1360,41 @@ class ClusterScoringService:
         while pending:
             plans = {}
             to_build: Dict[int, Dict[str, List[int]]] = {}
-            for shard_id, members in sorted(pending.items()):
-                shard = self.shards[shard_id]
-                version, counts, shard_plans = shard.plan_members(
-                    members, self.fingerprint, slice_size, connected
-                )
-                plans[shard_id] = (version, counts, shard_plans)
-                missing = {
-                    address: plan[1]
-                    for address, plan in shard_plans.items()
-                    if plan[1]
-                }
-                if missing:
-                    to_build[shard_id] = missing
+            with obs.span("serve.plan"):
+                for shard_id, members in sorted(pending.items()):
+                    shard = self.shards[shard_id]
+                    version, counts, shard_plans = shard.plan_members(
+                        members, self.fingerprint, slice_size, connected
+                    )
+                    plans[shard_id] = (version, counts, shard_plans)
+                    missing = {
+                        address: plan[1]
+                        for address, plan in shard_plans.items()
+                        if plan[1]
+                    }
+                    if missing:
+                        to_build[shard_id] = missing
             built = self._build(to_build)
             retry = {}
-            for shard_id, members in sorted(pending.items()):
-                shard = self.shards[shard_id]
-                version, counts, shard_plans = plans[shard_id]
-                committed = shard.commit_members(
-                    version,
-                    members,
-                    shard_plans,
-                    built,
-                    counts,
-                    self.fingerprint,
-                )
-                if committed is None:
-                    retry[shard_id] = members
-                    continue
-                shard_sequences, shard_untrusted = committed
-                sequences.update(shard_sequences)
-                untrusted |= shard_untrusted
+            with obs.span("serve.commit"):
+                for shard_id, members in sorted(pending.items()):
+                    shard = self.shards[shard_id]
+                    version, counts, shard_plans = plans[shard_id]
+                    committed = shard.commit_members(
+                        version,
+                        members,
+                        shard_plans,
+                        built,
+                        counts,
+                        self.fingerprint,
+                    )
+                    if committed is None:
+                        _SHARD_RETRIES.inc()
+                        retry[shard_id] = members
+                        continue
+                    shard_sequences, shard_untrusted = committed
+                    sequences.update(shard_sequences)
+                    untrusted |= shard_untrusted
             pending = retry
 
         # Inference — parent process only, model loaded once: the
@@ -1330,28 +1433,33 @@ class ClusterScoringService:
             return built
         if self.config.num_workers > 0:
             pool = self._ensure_pool()
-            futures = [
-                pool.submit(shard_id, requests)
-                for shard_id, requests in sorted(to_build.items())
-            ]
-            for future in futures:
-                encoded, timer = future.result()
-                with self._timer_lock:
-                    self._worker_timer.merge(timer)
-                built.update(encoded)
-            return built
-        for shard_id, requests in sorted(to_build.items()):
-            shard = self.shards[shard_id]
-            pipeline = GraphConstructionPipeline(self.pipeline_config)
-            with shard.build_lock:
-                graphs_by_address = pipeline.build_many_slices(
-                    shard.index, requests
-                )
-            for address, graphs in graphs_by_address.items():
-                built[address] = [
-                    encode_graph(graph) for graph in graphs
+            with obs.span("serve.build"):
+                trace_context = obs.current_context()
+                futures = [
+                    pool.submit(shard_id, requests, trace_context)
+                    for shard_id, requests in sorted(to_build.items())
                 ]
-            shard.merge_timer(pipeline.timer)
+                for future in futures:
+                    encoded, timer = future.result()
+                    with self._timer_lock:
+                        self._worker_timer.merge(timer)
+                    built.update(encoded)
+            return built
+        with obs.span("serve.build"):
+            for shard_id, requests in sorted(to_build.items()):
+                shard = self.shards[shard_id]
+                pipeline = GraphConstructionPipeline(
+                    self.pipeline_config
+                )
+                with shard.build_lock:
+                    graphs_by_address = pipeline.build_many_slices(
+                        shard.index, requests
+                    )
+                for address, graphs in graphs_by_address.items():
+                    built[address] = [
+                        encode_graph(graph) for graph in graphs
+                    ]
+                shard.merge_timer(pipeline.timer)
         return built
 
     def _ensure_pool(self) -> _WorkerPool:
@@ -1382,6 +1490,8 @@ class ClusterScoringService:
                     context,
                 )
                 self._pool_starts += 1
+                _POOL_STARTS.inc()
+                _POOL_WORKERS.set(self.config.num_workers)
             return self._pool
 
     def _ensure_async_executor(self) -> ThreadPoolExecutor:

@@ -51,6 +51,7 @@ not run concurrently with block appends.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from collections.abc import Mapping
@@ -68,6 +69,7 @@ from typing import (
 
 import numpy as np
 
+from repro import obs
 from repro.chain.block import Block
 from repro.chain.chain import Blockchain
 from repro.chain.explorer import ChainIndex
@@ -75,10 +77,23 @@ from repro.errors import NotFittedError, ValidationError
 from repro.gnn.data import EncodedGraph, encode_graph
 from repro.graphs.pipeline import GraphConstructionPipeline
 from repro.seqmodels.trainer import predict_proba_sequences
-from repro.serve.cache import CacheKey, CacheStats, SliceGraphCache
+from repro.serve.cache import (
+    CacheKey,
+    CacheStats,
+    SliceGraphCache,
+    embedding_cache_metrics,
+    slice_cache_metrics,
+)
 from repro.serve.store import CacheStore, WarmState, encoder_version
 
 __all__ = ["ScoringServiceConfig", "AddressScore", "AddressScoringService"]
+
+#: Request-level registry metrics, shared by the single service and the
+#: cluster (both funnel through ``_score_sequences``); one scoring pass
+#: == one request (the micro-batcher may merge several callers into one).
+_SERVE_REQUESTS = obs.counter("serve_requests_total")
+_SERVE_ADDRESSES = obs.counter("serve_addresses_total")
+_SERVE_SECONDS = obs.histogram("serve_request_seconds")
 
 
 @dataclass(frozen=True)
@@ -350,15 +365,17 @@ def _score_sequences(
                     (address, graph.slice_index) not in untrusted,
                 )
             )
-    embeddings = _embed_entries(
-        classifier.encoder, flat, graph_batch_size
-    )
-    probabilities = predict_proba_sequences(
-        classifier.head,
-        [embeddings[start:end] for start, end in spans],
-        classifier.config.max_sequence_length,
-        batch_size=sequence_batch_size,
-    )
+    with obs.span("serve.embed"):
+        embeddings = _embed_entries(
+            classifier.encoder, flat, graph_batch_size
+        )
+    with obs.span("serve.head"):
+        probabilities = predict_proba_sequences(
+            classifier.head,
+            [embeddings[start:end] for start, end in spans],
+            classifier.config.max_sequence_length,
+            batch_size=sequence_batch_size,
+        )
     labels = probabilities.argmax(axis=1)
     return {
         address: AddressScore(
@@ -483,7 +500,7 @@ class AddressScoringService:
         self.fingerprint = self.pipeline_config.fingerprint()
         self.pipeline = GraphConstructionPipeline(self.pipeline_config)
         self.cache: SliceGraphCache[EncodedGraph] = SliceGraphCache(
-            self.config.cache_capacity
+            self.config.cache_capacity, metrics=slice_cache_metrics()
         )
         #: Digest of the encoder weights — keys the embedding cache and
         #: the warm store, so entries never outlive a retrain.
@@ -494,7 +511,10 @@ class AddressScoringService:
             f"{self.fingerprint}:{self.model_version}"
         )
         self.embeddings: Optional[SliceGraphCache[np.ndarray]] = (
-            SliceGraphCache(self.config.embedding_cache_capacity)
+            SliceGraphCache(
+                self.config.embedding_cache_capacity,
+                metrics=embedding_cache_metrics(),
+            )
             if self.config.embedding_cache
             else None
         )
@@ -602,23 +622,34 @@ class AddressScoringService:
         addresses = list(dict.fromkeys(addresses))
         if not addresses:
             return {}
-        unknown = [
-            a for a in addresses if self.index.transaction_count(a) == 0
-        ]
-        if unknown:
-            raise _unknown_addresses_error(unknown)
-        sequences_by_address, untrusted = self._encoded_sequences(addresses)
-        return _score_sequences(
-            self.classifier,
-            addresses,
-            sequences_by_address,
-            untrusted,
-            lambda address: self.embeddings,
-            self.embedding_fingerprint,
-            self.config.graph_batch_size,
-            self.config.sequence_batch_size,
-            self.class_names,
-        )
+        start = time.perf_counter()
+        with obs.span("serve.score"):
+            _SERVE_REQUESTS.inc()
+            _SERVE_ADDRESSES.inc(len(addresses))
+            unknown = [
+                a for a in addresses if self.index.transaction_count(a) == 0
+            ]
+            if unknown:
+                raise _unknown_addresses_error(unknown)
+            sequences_by_address, untrusted = self._encoded_sequences(
+                addresses
+            )
+            result = _score_sequences(
+                self.classifier,
+                addresses,
+                sequences_by_address,
+                untrusted,
+                lambda address: self.embeddings,
+                self.embedding_fingerprint,
+                self.config.graph_batch_size,
+                self.config.sequence_batch_size,
+                self.class_names,
+            )
+        _SERVE_SECONDS.observe(time.perf_counter() - start)
+        self.cache.flush_metrics()
+        if self.embeddings is not None:
+            self.embeddings.flush_metrics()
+        return result
 
     def score_one(self, address: str) -> AddressScore:
         """Score a single address."""
@@ -715,66 +746,74 @@ class AddressScoringService:
         missing: Dict[str, List[int]] = {}
         counts: Dict[str, int] = {}
         fresh_until: Dict[str, int] = {}
-        for address in addresses:
-            count = self.index.transaction_count(address)
-            counts[address] = count
-            reusable[address], missing[address], fresh_until[address] = (
-                _plan_slices(
-                    self.cache,
-                    self.fingerprint,
-                    slice_size,
-                    address,
-                    count,
-                    self._covered.get(address, 0),
-                    self._chain is not None,
+        with obs.span("serve.plan"):
+            for address in addresses:
+                count = self.index.transaction_count(address)
+                counts[address] = count
+                reusable[address], missing[address], fresh_until[address] = (
+                    _plan_slices(
+                        self.cache,
+                        self.fingerprint,
+                        slice_size,
+                        address,
+                        count,
+                        self._covered.get(address, 0),
+                        self._chain is not None,
+                    )
                 )
-            )
 
         to_build = {a: idxs for a, idxs in missing.items() if idxs}
         built: Dict[str, List[EncodedGraph]] = {}
-        if self.config.max_workers > 0 and len(to_build) > 1:
-            # One long-lived pool per service: per-call executor setup
-            # is measurable against small warm queries.  Addresses are
-            # grouped into one task per worker so each worker's
-            # pipeline call batches Stage 4 across its whole group, not
-            # per address.
-            if self._executor is None:
-                self._executor = ThreadPoolExecutor(
-                    max_workers=self.config.max_workers
-                )
-            groups: List[Dict[str, List[int]]] = [
-                {}
-                for _ in range(
-                    min(self.config.max_workers, len(to_build))
-                )
-            ]
-            for i, (address, idxs) in enumerate(to_build.items()):
-                groups[i % len(groups)][address] = idxs
-            futures = [
-                self._executor.submit(self._build_addresses, group)
-                for group in groups
-            ]
-            for future in futures:
-                built.update(future.result())
-        elif to_build:
-            built = self._build_addresses(to_build)
+        with obs.span("serve.build"):
+            if self.config.max_workers > 0 and len(to_build) > 1:
+                # One long-lived pool per service: per-call executor setup
+                # is measurable against small warm queries.  Addresses are
+                # grouped into one task per worker so each worker's
+                # pipeline call batches Stage 4 across its whole group, not
+                # per address.
+                if self._executor is None:
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self.config.max_workers
+                    )
+                groups: List[Dict[str, List[int]]] = [
+                    {}
+                    for _ in range(
+                        min(self.config.max_workers, len(to_build))
+                    )
+                ]
+                for i, (address, idxs) in enumerate(to_build.items()):
+                    groups[i % len(groups)][address] = idxs
+                context = obs.current_context()
+                futures = [
+                    self._executor.submit(
+                        self._build_addresses, group, context
+                    )
+                    for group in groups
+                ]
+                for future in futures:
+                    built.update(future.result())
+            elif to_build:
+                built = self._build_addresses(to_build)
 
         untrusted: Set[Tuple[str, int]] = set()
         sequences: Dict[str, List[EncodedGraph]] = {}
-        for address in addresses:
-            by_slice = dict(reusable[address])
-            for graph in built.get(address, ()):
-                key = (address, graph.slice_index, self.fingerprint)
-                self.cache.put(key, graph)
-                by_slice[graph.slice_index] = graph
-                if graph.slice_index >= fresh_until[address]:
-                    untrusted.add((address, graph.slice_index))
-            sequences[address] = [by_slice[i] for i in sorted(by_slice)]
-            self._covered[address] = counts[address]
+        with obs.span("serve.commit"):
+            for address in addresses:
+                by_slice = dict(reusable[address])
+                for graph in built.get(address, ()):
+                    key = (address, graph.slice_index, self.fingerprint)
+                    self.cache.put(key, graph)
+                    by_slice[graph.slice_index] = graph
+                    if graph.slice_index >= fresh_until[address]:
+                        untrusted.add((address, graph.slice_index))
+                sequences[address] = [by_slice[i] for i in sorted(by_slice)]
+                self._covered[address] = counts[address]
         return sequences, untrusted
 
     def _build_addresses(
-        self, requests: Dict[str, List[int]]
+        self,
+        requests: Dict[str, List[int]],
+        context: "Optional[Tuple[str, str]]" = None,
     ) -> Dict[str, List[EncodedGraph]]:
         """Build + encode missing slices of many addresses at once.
 
@@ -785,10 +824,24 @@ class AddressScoringService:
         every address of the call.  Uses a private pipeline so workers
         never share a timer; accumulations merge back under a lock,
         keeping :meth:`construction_report` accounting identical
-        between paths.
+        between paths.  ``context`` re-parents the task's spans under
+        the request span when the task runs on an executor thread
+        (contextvars do not cross threads by themselves).
         """
+        if context is not None:
+            with obs.span_from_context("serve.build_task", context):
+                return self._build_addresses_spanned(requests)
+        with obs.span("serve.build_task"):
+            return self._build_addresses_spanned(requests)
+
+    def _build_addresses_spanned(
+        self, requests: Dict[str, List[int]]
+    ) -> Dict[str, List[EncodedGraph]]:
+        """The :meth:`_build_addresses` body, run under its task span."""
         pipeline = GraphConstructionPipeline(self.pipeline_config)
-        graphs_by_address = pipeline.build_many_slices(self.index, requests)
+        graphs_by_address = pipeline.build_many_slices(
+            self.index, requests
+        )
         encoded = {
             address: [encode_graph(graph) for graph in graphs]
             for address, graphs in graphs_by_address.items()

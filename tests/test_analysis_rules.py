@@ -660,6 +660,106 @@ class TestBroadExcept:
         assert findings == []
 
 
+class TestObsDiscipline:
+    def test_bare_span_construction_flagged(self):
+        findings = lint_one(
+            SERVE,
+            """\
+            from repro.obs import Span
+
+            def record(name):
+                return Span(name, "t", "s", None, 0.0, 1.0, 0)
+            """,
+            rule_id="obs-discipline",
+        )
+        assert_single(findings, "obs-discipline", 4)
+
+    def test_span_outside_with_flagged(self):
+        findings = lint_one(
+            SERVE,
+            """\
+            from repro import obs
+
+            def score(addresses):
+                span = obs.span("serve.score")
+                span.__enter__()
+            """,
+            rule_id="obs-discipline",
+        )
+        assert_single(findings, "obs-discipline", 4)
+
+    def test_span_from_context_outside_with_flagged(self):
+        findings = lint_one(
+            SERVE,
+            """\
+            from repro import obs
+
+            def build(context):
+                return obs.span_from_context("worker.build", context)
+            """,
+            rule_id="obs-discipline",
+        )
+        assert_single(findings, "obs-discipline", 4)
+
+    def test_computed_metric_name_flagged(self):
+        findings = lint_one(
+            SERVE,
+            """\
+            from repro import obs
+
+            def metric_for(shard_id):
+                return obs.counter("shard_%d_hits" % shard_id)
+            """,
+            rule_id="obs-discipline",
+        )
+        assert_single(findings, "obs-discipline", 4)
+
+    def test_non_snake_case_metric_name_flagged(self):
+        findings = lint_one(
+            SERVE,
+            """\
+            from repro import obs
+
+            HITS = obs.counter("CacheHits")
+            """,
+            rule_id="obs-discipline",
+        )
+        assert_single(findings, "obs-discipline", 3)
+
+    def test_clean_usage_passes(self):
+        findings = lint_one(
+            SERVE,
+            """\
+            from repro import obs
+
+            _HITS = obs.counter("cache_hits_total")
+            _LATENCY = obs.histogram("serve_request_seconds")
+
+            def score(addresses, context=None):
+                with obs.span("serve.score"):
+                    _HITS.inc()
+                with obs.span_from_context("worker.build", context):
+                    pass
+            """,
+            rule_id="obs-discipline",
+        )
+        assert findings == []
+
+    def test_obs_package_itself_exempt(self):
+        findings = lint_one(
+            "src/repro/obs/tracing.py",
+            """\
+            class Span:
+                pass
+
+            def span(name):
+                return Span()
+            """,
+            rule_id="obs-discipline",
+        )
+        assert findings == []
+
+
 class TestFramework:
     def test_suppression_comment_silences_finding(self):
         findings = lint_one(
@@ -691,6 +791,7 @@ class TestFramework:
             "fingerprint-discipline",
             "kernel-determinism",
             "lock-discipline",
+            "obs-discipline",
             "oracle-sync",
             "plan-sync",
             "stable-hash",

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.eval",
     "repro.serve",
+    "repro.obs",
     "repro.utils",
     "repro.analysis",
 ]

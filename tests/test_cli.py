@@ -55,6 +55,27 @@ class TestParser:
         ) == 2
         assert "--store-dir requires --shards" in capsys.readouterr().err
 
+    def test_score_obs_args(self):
+        args = build_parser().parse_args(
+            ["score", "--world", "w", "--model", "m",
+             "--stats-json", "snap.json",
+             "--trace-jsonl", "traces.jsonl", "addr1"]
+        )
+        assert args.stats_json == "snap.json"
+        assert args.trace_jsonl == "traces.jsonl"
+
+    def test_stats_args(self):
+        args = build_parser().parse_args(
+            ["stats", "--input", "snap.json", "--format", "json"]
+        )
+        assert args.command == "stats"
+        assert args.input == "snap.json"
+        assert args.format == "json"
+        default = build_parser().parse_args(
+            ["stats", "--input", "snap.json"]
+        )
+        assert default.format == "prometheus"
+
     def test_lint_args(self):
         args = build_parser().parse_args(
             ["lint", "src", "--baseline", "b.json", "--list-rules"]
@@ -199,3 +220,65 @@ class TestEndToEnd:
         output = capsys.readouterr().out
         assert known in output
         assert (store_dir / "manifest.json").exists()
+
+    def test_score_exports_stats_and_traces(
+        self, world_dir, tmp_path, capsys
+    ):
+        import json
+
+        from repro import obs
+
+        model_dir = tmp_path / "model"
+        assert main(
+            [
+                "train", "--world", str(world_dir), "--out", str(model_dir),
+                "--gnn-epochs", "1", "--head-epochs", "1",
+                "--slice-size", "30", "--min-transactions", "4",
+            ]
+        ) == 0
+        from repro.chain.serialize import load_world_chain
+
+        _, index, labels, _ = load_world_chain(world_dir)
+        known = next(
+            a for a in labels if index.transaction_count(a) >= 4
+        )
+        obs.reset()
+        stats_path = tmp_path / "snapshot.json"
+        trace_path = tmp_path / "traces.jsonl"
+        assert main(
+            [
+                "score", "--world", str(world_dir),
+                "--model", str(model_dir),
+                "--stats-json", str(stats_path),
+                "--trace-jsonl", str(trace_path),
+                known,
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert f"snapshot written to {stats_path}" in output
+
+        snapshot = json.loads(stats_path.read_text())
+        assert snapshot["counters"]["serve_requests_total"] >= 1
+        assert "serve_request_seconds" in snapshot["histograms"]
+
+        traces = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        score_roots = [
+            tree for tree in traces
+            if any(s["name"] == "serve.score" for s in tree["spans"])
+        ]
+        assert score_roots, "no serve.score trace exported"
+
+        # The snapshot renders through the stats verb in both formats.
+        assert main(
+            ["stats", "--input", str(stats_path), "--format",
+             "prometheus"]
+        ) == 0
+        rendered = capsys.readouterr().out
+        assert "# TYPE serve_requests_total counter" in rendered
+        assert main(
+            ["stats", "--input", str(stats_path), "--format", "json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out) == snapshot
